@@ -1,0 +1,14 @@
+"""Benchmark-suite configuration.
+
+The benchmarks regenerate every table and figure of the paper.  Unless the
+caller pins ``REPRO_SCALE`` explicitly, the suite runs at half scale
+(master repository of 10 000 pages) so a full ``pytest benchmarks/
+--benchmark-only`` pass completes in minutes; set ``REPRO_SCALE=1`` (or
+higher) for the full-size runs recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+os.environ.setdefault("REPRO_SCALE", "0.5")

@@ -1,0 +1,30 @@
+"""Figures 9(a), 9(b), 10: supernode-graph growth vs repository size.
+
+Regenerates the paper's scalability plots and asserts their headline
+claim: supernode/superedge counts grow *sublinearly* in repository size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import scalability
+from repro.experiments.harness import sweep_sizes
+
+
+def test_fig9_fig10_scalability(benchmark):
+    points = benchmark.pedantic(
+        scalability.run, args=(sweep_sizes(),), rounds=1, iterations=1
+    )
+    print("\n" + scalability.report(points))
+
+    input_ratio = points[-1].num_pages / points[0].num_pages
+    supernode_ratio = points[-1].num_supernodes / points[0].num_supernodes
+    superedge_ratio = points[-1].num_superedges / points[0].num_superedges
+    # Figure 9: sublinear growth of both curves.
+    assert supernode_ratio < input_ratio
+    assert superedge_ratio < input_ratio
+    # Figure 10: the supernode graph stays a small fraction of the input
+    # (paper: <90 MB for 115M pages ~ under 1 byte/page).
+    assert points[-1].supernode_graph_bytes < 24 * points[-1].num_pages
+    # Monotone growth sanity.
+    counts = [p.num_supernodes for p in points]
+    assert counts == sorted(counts)

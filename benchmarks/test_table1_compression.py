@@ -1,0 +1,31 @@
+"""Table 1: bits/edge for Plain Huffman, Link3 and S-Node on WG and WGT,
+plus the "maximum repository in 8 GB" extrapolation.
+
+Asserts the paper's compression ordering: the two structured schemes beat
+plain Huffman decisively, and S-Node is competitive with (at full scale,
+ahead of) Link3.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import compression
+
+
+def test_table1_compression(benchmark):
+    rows, mean_degree = benchmark.pedantic(compression.run, rounds=1, iterations=1)
+    print("\n" + compression.report(rows, mean_degree))
+
+    by_name = {row.scheme: row for row in rows}
+    huffman = by_name["plain-huffman"]
+    link3 = by_name["link3"]
+    snode = by_name["s-node"]
+    # Paper Table 1 shape: Huffman ~15 bits/edge, the others far below.
+    assert snode.bits_per_edge_wg < 0.75 * huffman.bits_per_edge_wg
+    assert link3.bits_per_edge_wg < 0.75 * huffman.bits_per_edge_wg
+    # S-Node within a whisker of Link3 (ahead at full scale).
+    assert snode.bits_per_edge_wg < 1.1 * link3.bits_per_edge_wg
+    # The 8 GB extrapolation follows the same ordering.
+    assert snode.max_pages_wg > huffman.max_pages_wg
+    # All schemes also compress the transpose.
+    for row in rows:
+        assert 0 < row.bits_per_edge_wgt < 64

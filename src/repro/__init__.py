@@ -1,0 +1,46 @@
+"""repro - S-Node Web-graph representation (Raghavan & Garcia-Molina, ICDE 2003).
+
+Top-level convenience surface; the subpackages hold the full API:
+
+* :mod:`repro.webdata` - repositories and the synthetic Web generator.
+* :mod:`repro.snode` - the S-Node build pipeline and store.
+* :mod:`repro.baselines` - the comparison representations.
+* :mod:`repro.index` / :mod:`repro.query` - indexes and complex queries.
+* :mod:`repro.experiments` - drivers for every table/figure of the paper.
+"""
+
+from repro.baselines import (
+    FlatFileRepresentation,
+    GraphRepresentation,
+    HuffmanRepresentation,
+    Link3Representation,
+    RelationalRepresentation,
+    SNodeRepresentation,
+)
+from repro.index import PageRankIndex, TextIndex
+from repro.query import QueryEngine
+from repro.snode import BuildOptions, SNodeBuild, SNodeStore, build_snode
+from repro.webdata import GeneratorConfig, Page, Repository, generate_web
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "generate_web",
+    "GeneratorConfig",
+    "Repository",
+    "Page",
+    "build_snode",
+    "BuildOptions",
+    "SNodeBuild",
+    "SNodeStore",
+    "GraphRepresentation",
+    "SNodeRepresentation",
+    "HuffmanRepresentation",
+    "Link3Representation",
+    "RelationalRepresentation",
+    "FlatFileRepresentation",
+    "TextIndex",
+    "PageRankIndex",
+    "QueryEngine",
+]

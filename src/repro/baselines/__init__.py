@@ -1,0 +1,29 @@
+"""Comparison representations from the paper's section 4.
+
+* :class:`~repro.baselines.huffman_rep.HuffmanRepresentation` — "Plain
+  Huffman": per-page codes by in-degree.
+* :class:`~repro.baselines.link3.Link3Representation` — the Connectivity
+  Server's Link Database scheme (Randall et al.).
+* :class:`~repro.baselines.relational.RelationalRepresentation` — mini
+  relational store (slotted heap + B+trees + buffer pool), standing in for
+  the paper's PostgreSQL baseline.
+* :class:`~repro.baselines.flatfile.FlatFileRepresentation` —
+  uncompressed adjacency lists in plain files.
+* :class:`~repro.baselines.base.SNodeRepresentation` — adapter putting the
+  S-Node store behind the same interface.
+"""
+
+from repro.baselines.base import GraphRepresentation, SNodeRepresentation
+from repro.baselines.flatfile import FlatFileRepresentation
+from repro.baselines.huffman_rep import HuffmanRepresentation
+from repro.baselines.link3 import Link3Representation
+from repro.baselines.relational import RelationalRepresentation
+
+__all__ = [
+    "GraphRepresentation",
+    "SNodeRepresentation",
+    "FlatFileRepresentation",
+    "HuffmanRepresentation",
+    "Link3Representation",
+    "RelationalRepresentation",
+]

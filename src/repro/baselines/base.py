@@ -1,0 +1,154 @@
+"""Common interface every Web-graph representation implements.
+
+Queries and experiments are written once against
+:class:`GraphRepresentation`; each scheme (S-Node, Huffman, Link3,
+relational, flat file) plugs in behind it.  All public methods speak
+*repository* page ids (crawl order) — schemes with internal renumberings
+(S-Node, Link3) translate at the boundary, exactly as their real
+counterparts translate through URL<->id maps.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Iterable, Iterator
+
+
+class GraphRepresentation(abc.ABC):
+    """Adjacency-list access to one stored Web graph."""
+
+    #: Human-readable scheme name used in experiment tables.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def out_neighbors(self, page: int) -> list[int]:
+        """Sorted adjacency list of ``page`` (repository ids)."""
+
+    def out_neighbors_many(self, pages: Iterable[int]) -> dict[int, list[int]]:
+        """Adjacency lists of several pages (override to batch I/O)."""
+        return {page: self.out_neighbors(page) for page in pages}
+
+    @abc.abstractmethod
+    def iterate_all(self) -> Iterator[tuple[int, list[int]]]:
+        """Yield (page, adjacency) over all pages in the scheme's natural
+        storage order — the sequential-access path of Table 2."""
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Total bytes of the representation (payload + decode metadata)."""
+
+    @property
+    @abc.abstractmethod
+    def num_pages(self) -> int:
+        """Number of pages represented."""
+
+    @property
+    @abc.abstractmethod
+    def num_edges(self) -> int:
+        """Number of edges represented."""
+
+    def bits_per_edge(self) -> float:
+        """Table 1 metric."""
+        if self.num_edges == 0:
+            return 0.0
+        return self.size_bytes() * 8.0 / self.num_edges
+
+    # -- instrumentation hooks (no-ops for purely in-memory schemes) --------
+
+    def reset_io_stats(self) -> None:
+        """Zero I/O counters before a measured run."""
+
+    def io_stats(self) -> dict[str, int]:
+        """Bytes read / seeks performed since the last reset."""
+        return {}
+
+    def drop_caches(self) -> None:
+        """Forget buffered data so the next access is cold."""
+
+    def close(self) -> None:
+        """Release file handles."""
+
+    def __enter__(self) -> "GraphRepresentation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SNodeRepresentation(GraphRepresentation):
+    """Adapter exposing an :class:`~repro.snode.build.SNodeBuild` through
+    the common interface (translating new ids back to repository ids)."""
+
+    name = "s-node"
+
+    def __init__(self, build) -> None:
+        self._build = build
+        self._store = build.store
+        self._old_to_new = build.numbering.old_to_new
+        self._new_to_old = build.numbering.new_to_old
+
+    @property
+    def store(self):
+        """The underlying :class:`~repro.snode.store.SNodeStore`."""
+        return self._store
+
+    @property
+    def build(self):
+        """The underlying :class:`~repro.snode.build.SNodeBuild`."""
+        return self._build
+
+    def out_neighbors(self, page: int) -> list[int]:
+        new_page = self._old_to_new[page]
+        row = self._store.out_neighbors(new_page)
+        return sorted(self._new_to_old[t] for t in row)
+
+    def out_neighbors_many(self, pages) -> dict[int, list[int]]:
+        translated = {self._old_to_new[p]: p for p in pages}
+        rows = self._store.out_neighbors_many(list(translated))
+        return {
+            translated[new_page]: sorted(self._new_to_old[t] for t in row)
+            for new_page, row in rows.items()
+        }
+
+    def iterate_all(self):
+        for new_page, row in self._store.iterate_all():
+            yield self._new_to_old[new_page], sorted(
+                self._new_to_old[t] for t in row
+            )
+
+    def size_bytes(self) -> int:
+        from repro.snode.encode import supernode_graph_size_bytes
+
+        manifest = self._store.manifest
+        return (
+            manifest["payload_bytes"]
+            + supernode_graph_size_bytes(self._build.model)
+            + manifest["pageid_bytes"]
+        )
+
+    @property
+    def num_pages(self) -> int:
+        return self._store.num_pages
+
+    @property
+    def num_edges(self) -> int:
+        return self._build.total_edges()
+
+    def reset_io_stats(self) -> None:
+        self._store.stats.reset()
+
+    def io_stats(self) -> dict[str, int]:
+        stats = self._store.stats
+        return {
+            "bytes_read": stats.bytes_read,
+            "disk_seeks": stats.disk_seeks,
+            "graphs_loaded": stats.graphs_loaded,
+            "graphs_evicted": stats.graphs_evicted,
+            "buffer_hits": stats.buffer_hits,
+        }
+
+    def drop_caches(self) -> None:
+        self._store.drop_buffers()
+
+    def close(self) -> None:
+        self._store.close()

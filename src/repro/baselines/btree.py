@@ -1,0 +1,388 @@
+"""Disk-backed B+tree with fixed-size pages.
+
+Keys are unsigned 64-bit integers; values are small byte strings (at most
+:data:`MAX_VALUE_BYTES`).  The tree supports bulk building from sorted
+pairs (how the relational baseline creates its indexes), point lookups,
+point inserts (leaf/internal splits, no deletes) and ascending range
+scans.  Pages are read through a caller-supplied page cache so the
+relational layer can charge index I/O against its buffer pool.
+
+Page layout (4096 bytes)::
+
+    meta page (page 0):  [magic u32][root u32][height u32][num_pages u32]
+    internal page:       [type u8=0][count u16] [child u32]
+                         ([key u64][child u32]) * count
+    leaf page:           [type u8=1][count u16][next u32]
+                         ([key u64][vlen u16][value]) * count   (packed)
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.errors import StorageError
+
+PAGE_SIZE = 4096
+MAX_VALUE_BYTES = 1024
+
+_META = struct.Struct("<IIII")
+_MAGIC = 0xB7EE0001
+_LEAF_HEADER = struct.Struct("<BHI")
+_INTERNAL_HEADER = struct.Struct("<BH")
+_KEY = struct.Struct("<Q")
+_CHILD = struct.Struct("<I")
+_VLEN = struct.Struct("<H")
+
+_LEAF_ENTRY_OVERHEAD = _KEY.size + _VLEN.size
+_INTERNAL_ENTRY = _KEY.size + _CHILD.size
+_NO_PAGE = 0xFFFFFFFF
+
+
+class _Leaf:
+    """Parsed leaf node."""
+
+    __slots__ = ("keys", "values", "next_leaf")
+
+    def __init__(self, keys: list[int], values: list[bytes], next_leaf: int) -> None:
+        self.keys = keys
+        self.values = values
+        self.next_leaf = next_leaf
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(PAGE_SIZE)
+        _LEAF_HEADER.pack_into(out, 0, 1, len(self.keys), self.next_leaf)
+        position = _LEAF_HEADER.size
+        for key, value in zip(self.keys, self.values):
+            _KEY.pack_into(out, position, key)
+            position += _KEY.size
+            _VLEN.pack_into(out, position, len(value))
+            position += _VLEN.size
+            out[position : position + len(value)] = value
+            position += len(value)
+        if position > PAGE_SIZE:
+            raise StorageError("leaf node overflow")
+        return bytes(out)
+
+    def bytes_used(self) -> int:
+        return _LEAF_HEADER.size + sum(
+            _LEAF_ENTRY_OVERHEAD + len(v) for v in self.values
+        )
+
+
+class _Internal:
+    """Parsed internal node: children[i] covers keys < keys[i]; the last
+    child covers the rest (children has len(keys)+1 entries)."""
+
+    __slots__ = ("keys", "children")
+
+    def __init__(self, keys: list[int], children: list[int]) -> None:
+        self.keys = keys
+        self.children = children
+
+    def to_bytes(self) -> bytes:
+        out = bytearray(PAGE_SIZE)
+        _INTERNAL_HEADER.pack_into(out, 0, 0, len(self.keys))
+        position = _INTERNAL_HEADER.size
+        _CHILD.pack_into(out, position, self.children[0])
+        position += _CHILD.size
+        for key, child in zip(self.keys, self.children[1:]):
+            _KEY.pack_into(out, position, key)
+            position += _KEY.size
+            _CHILD.pack_into(out, position, child)
+            position += _CHILD.size
+        if position > PAGE_SIZE:
+            raise StorageError("internal node overflow")
+        return bytes(out)
+
+    def bytes_used(self) -> int:
+        return _INTERNAL_HEADER.size + _CHILD.size + len(self.keys) * _INTERNAL_ENTRY
+
+
+def _parse(data: bytes) -> _Leaf | _Internal:
+    if data[0] == 1:
+        _, count, next_leaf = _LEAF_HEADER.unpack_from(data, 0)
+        position = _LEAF_HEADER.size
+        keys: list[int] = []
+        values: list[bytes] = []
+        for _ in range(count):
+            (key,) = _KEY.unpack_from(data, position)
+            position += _KEY.size
+            (vlen,) = _VLEN.unpack_from(data, position)
+            position += _VLEN.size
+            values.append(bytes(data[position : position + vlen]))
+            position += vlen
+            keys.append(key)
+        return _Leaf(keys, values, next_leaf)
+    _, count = _INTERNAL_HEADER.unpack_from(data, 0)
+    position = _INTERNAL_HEADER.size
+    (first_child,) = _CHILD.unpack_from(data, position)
+    position += _CHILD.size
+    keys = []
+    children = [first_child]
+    for _ in range(count):
+        (key,) = _KEY.unpack_from(data, position)
+        position += _KEY.size
+        (child,) = _CHILD.unpack_from(data, position)
+        position += _CHILD.size
+        keys.append(key)
+        children.append(child)
+    return _Internal(keys, children)
+
+
+class BPlusTree:
+    """A single-file B+tree.  Open an existing file or bulk-build a new one."""
+
+    def __init__(self, path: Path | str, page_reader=None) -> None:
+        self._path = Path(path)
+        if not self._path.exists():
+            raise StorageError(f"no B+tree file at {self._path}")
+        self._read_page_raw = page_reader or self._default_reader
+        meta = self._read_meta()
+        self._root = meta[1]
+        self._height = meta[2]
+        self._num_pages = meta[3]
+
+    # -- construction ------------------------------------------------------
+
+    @classmethod
+    def bulk_build(
+        cls, path: Path | str, pairs: Iterable[tuple[int, bytes]]
+    ) -> "BPlusTree":
+        """Create a balanced tree from key-sorted (key, value) pairs."""
+        path = Path(path)
+        pages: list[bytes] = [b"\x00" * PAGE_SIZE]  # meta placeholder
+        leaf_fill = PAGE_SIZE - 256  # leave slack for future inserts
+        current = _Leaf([], [], _NO_PAGE)
+        leaf_entries: list[tuple[int, int]] = []  # (first key, page number)
+        previous_key: int | None = None
+
+        def flush_leaf() -> None:
+            nonlocal current
+            if not current.keys:
+                return
+            page_number = len(pages)
+            if leaf_entries:
+                # Fix previous leaf's next pointer.
+                prior = _parse(pages[leaf_entries[-1][1]])
+                assert isinstance(prior, _Leaf)
+                prior.next_leaf = page_number
+                pages[leaf_entries[-1][1]] = prior.to_bytes()
+            leaf_entries.append((current.keys[0], page_number))
+            pages.append(current.to_bytes())
+            current = _Leaf([], [], _NO_PAGE)
+
+        for key, value in pairs:
+            if len(value) > MAX_VALUE_BYTES:
+                raise StorageError(f"value of {len(value)} bytes exceeds limit")
+            if previous_key is not None and key <= previous_key:
+                raise StorageError("bulk build requires strictly ascending keys")
+            previous_key = key
+            if current.bytes_used() + _LEAF_ENTRY_OVERHEAD + len(value) > leaf_fill:
+                flush_leaf()
+            current.keys.append(key)
+            current.values.append(value)
+        flush_leaf()
+
+        if not leaf_entries:
+            # Empty tree: a single empty leaf as root.
+            pages.append(_Leaf([], [], _NO_PAGE).to_bytes())
+            leaf_entries.append((0, len(pages) - 1))
+
+        # Build internal levels bottom-up.
+        level = leaf_entries
+        height = 1
+        fanout = (PAGE_SIZE - _INTERNAL_HEADER.size - _CHILD.size) // _INTERNAL_ENTRY
+        fanout = max(2, fanout - 8)  # slack for future inserts
+        while len(level) > 1:
+            next_level: list[tuple[int, int]] = []
+            for start in range(0, len(level), fanout):
+                group = level[start : start + fanout]
+                node = _Internal(
+                    keys=[key for key, _ in group[1:]],
+                    children=[page for _, page in group],
+                )
+                page_number = len(pages)
+                pages.append(node.to_bytes())
+                next_level.append((group[0][0], page_number))
+            level = next_level
+            height += 1
+        root = level[0][1]
+        meta = bytearray(PAGE_SIZE)
+        _META.pack_into(meta, 0, _MAGIC, root, height, len(pages))
+        pages[0] = bytes(meta)
+        path.write_bytes(b"".join(pages))
+        return cls(path)
+
+    # -- page I/O ----------------------------------------------------------
+
+    def _default_reader(self, page_number: int) -> bytes:
+        with open(self._path, "rb") as handle:
+            handle.seek(page_number * PAGE_SIZE)
+            data = handle.read(PAGE_SIZE)
+        if len(data) != PAGE_SIZE:
+            raise StorageError("short B+tree page read")
+        return data
+
+    def _read_meta(self) -> tuple[int, int, int, int]:
+        data = self._read_page_raw(0)
+        meta = _META.unpack_from(data, 0)
+        if meta[0] != _MAGIC:
+            raise StorageError("not a B+tree file (bad magic)")
+        return meta
+
+    def _node(self, page_number: int) -> _Leaf | _Internal:
+        return _parse(self._read_page_raw(page_number))
+
+    # -- queries ----------------------------------------------------------
+
+    def get(self, key: int) -> bytes | None:
+        """Value for ``key`` or None."""
+        node = self._node(self._root)
+        while isinstance(node, _Internal):
+            node = self._node(self._descend(node, key))
+        index = _lower_bound(node.keys, key)
+        if index < len(node.keys) and node.keys[index] == key:
+            return node.values[index]
+        return None
+
+    def _descend(self, node: _Internal, key: int) -> int:
+        index = _upper_bound(node.keys, key)
+        return node.children[index]
+
+    def scan(
+        self, low: int | None = None, high: int | None = None
+    ) -> Iterator[tuple[int, bytes]]:
+        """Yield (key, value) ascending for low <= key <= high."""
+        start = 0 if low is None else low
+        node = self._node(self._root)
+        while isinstance(node, _Internal):
+            node = self._node(self._descend(node, start))
+        index = _lower_bound(node.keys, start)
+        while True:
+            while index < len(node.keys):
+                key = node.keys[index]
+                if high is not None and key > high:
+                    return
+                yield key, node.values[index]
+                index += 1
+            if node.next_leaf == _NO_PAGE:
+                return
+            node = self._node(node.next_leaf)
+            if not isinstance(node, _Leaf):
+                raise StorageError("leaf chain points at an internal page")
+            index = 0
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.scan())
+
+    @property
+    def height(self) -> int:
+        """Tree height (1 = root is a leaf)."""
+        return self._height
+
+    @property
+    def num_pages(self) -> int:
+        """Pages in the file, including the meta page."""
+        return self._num_pages
+
+    def size_bytes(self) -> int:
+        """Total file size."""
+        return self._num_pages * PAGE_SIZE
+
+    # -- mutation ----------------------------------------------------------
+
+    def insert(self, key: int, value: bytes) -> None:
+        """Insert or overwrite ``key``.
+
+        Splits full nodes on the way back up; the meta page is rewritten
+        when the root changes.  Single-writer only.
+        """
+        if len(value) > MAX_VALUE_BYTES:
+            raise StorageError(f"value of {len(value)} bytes exceeds limit")
+        split = self._insert_into(self._root, key, value)
+        if split is not None:
+            middle_key, new_page = split
+            root_node = _Internal(keys=[middle_key], children=[self._root, new_page])
+            self._root = self._append_page(root_node.to_bytes())
+            self._height += 1
+            self._write_meta()
+
+    def _insert_into(
+        self, page_number: int, key: int, value: bytes
+    ) -> tuple[int, int] | None:
+        node = self._node(page_number)
+        if isinstance(node, _Leaf):
+            index = _lower_bound(node.keys, key)
+            if index < len(node.keys) and node.keys[index] == key:
+                node.values[index] = value
+            else:
+                node.keys.insert(index, key)
+                node.values.insert(index, value)
+            if node.bytes_used() <= PAGE_SIZE:
+                self._write_page(page_number, node.to_bytes())
+                return None
+            middle = len(node.keys) // 2
+            right = _Leaf(node.keys[middle:], node.values[middle:], node.next_leaf)
+            right_page = self._append_page(right.to_bytes())
+            left = _Leaf(node.keys[:middle], node.values[:middle], right_page)
+            self._write_page(page_number, left.to_bytes())
+            return right.keys[0], right_page
+        child_index = _upper_bound(node.keys, key)
+        split = self._insert_into(node.children[child_index], key, value)
+        if split is None:
+            return None
+        middle_key, new_page = split
+        node.keys.insert(child_index, middle_key)
+        node.children.insert(child_index + 1, new_page)
+        if node.bytes_used() <= PAGE_SIZE:
+            self._write_page(page_number, node.to_bytes())
+            return None
+        middle = len(node.keys) // 2
+        up_key = node.keys[middle]
+        right_node = _Internal(node.keys[middle + 1 :], node.children[middle + 1 :])
+        right_page = self._append_page(right_node.to_bytes())
+        left_node = _Internal(node.keys[:middle], node.children[: middle + 1])
+        self._write_page(page_number, left_node.to_bytes())
+        return up_key, right_page
+
+    def _write_page(self, page_number: int, data: bytes) -> None:
+        with open(self._path, "r+b") as handle:
+            handle.seek(page_number * PAGE_SIZE)
+            handle.write(data)
+
+    def _append_page(self, data: bytes) -> int:
+        with open(self._path, "ab") as handle:
+            handle.write(data)
+        page_number = self._num_pages
+        self._num_pages += 1
+        self._write_meta()
+        return page_number
+
+    def _write_meta(self) -> None:
+        meta = bytearray(PAGE_SIZE)
+        _META.pack_into(meta, 0, _MAGIC, self._root, self._height, self._num_pages)
+        self._write_page(0, bytes(meta))
+
+
+def _lower_bound(keys: list[int], key: int) -> int:
+    low, high = 0, len(keys)
+    while low < high:
+        middle = (low + high) // 2
+        if keys[middle] < key:
+            low = middle + 1
+        else:
+            high = middle
+    return low
+
+
+def _upper_bound(keys: list[int], key: int) -> int:
+    low, high = 0, len(keys)
+    while low < high:
+        middle = (low + high) // 2
+        if keys[middle] <= key:
+            low = middle + 1
+        else:
+            high = middle
+    return low

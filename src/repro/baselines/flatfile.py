@@ -1,0 +1,91 @@
+"""Uncompressed flat-file representation (the paper's baseline scheme).
+
+Adjacency lists are stored verbatim as 4-byte little-endian integers in a
+single data file; an in-memory offset array (the page-ID index) gives the
+byte range of each list.  Every ``out_neighbors`` call is a fresh
+seek+read — deliberately naive, as in the paper, where this scheme is
+"consistently the worst, often 15 times slower than S-Node".
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.baselines.base import GraphRepresentation
+from repro.errors import GraphError, StorageError
+from repro.graph.digraph import Digraph
+
+_ENTRY = struct.Struct("<I")
+
+
+class FlatFileRepresentation(GraphRepresentation):
+    """Plain uncompressed adjacency lists on disk."""
+
+    name = "flat-file"
+
+    def __init__(self, graph: Digraph, root: Path | str) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._num_pages = graph.num_vertices
+        self._num_edges = graph.num_edges
+        offsets = [0]
+        with open(self._path, "wb") as handle:
+            for page in range(self._num_pages):
+                row = graph.successors(page)
+                handle.write(struct.pack(f"<{len(row)}I", *(int(t) for t in row)))
+                offsets.append(offsets[-1] + 4 * len(row))
+        self._offsets = offsets
+        self._handle = open(self._path, "rb")
+        self.bytes_read = 0
+        self.disk_seeks = 0
+        self._last_read_end = -1
+
+    @property
+    def _path(self) -> Path:
+        return self._root / "adjacency.dat"
+
+    def out_neighbors(self, page: int) -> list[int]:
+        if not 0 <= page < self._num_pages:
+            raise GraphError(f"page {page} out of range")
+        start = self._offsets[page]
+        end = self._offsets[page + 1]
+        if self._last_read_end != start:
+            self.disk_seeks += 1
+        self._handle.seek(start)
+        data = self._handle.read(end - start)
+        if len(data) != end - start:
+            raise StorageError("short read from flat adjacency file")
+        self._last_read_end = end
+        self.bytes_read += len(data)
+        return list(struct.unpack(f"<{len(data) // 4}I", data))
+
+    def iterate_all(self) -> Iterator[tuple[int, list[int]]]:
+        for page in range(self._num_pages):
+            yield page, self.out_neighbors(page)
+
+    def size_bytes(self) -> int:
+        """Data file plus the 8-byte-per-page offset index."""
+        return self._offsets[-1] + 8 * (self._num_pages + 1)
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def reset_io_stats(self) -> None:
+        self.bytes_read = 0
+        self.disk_seeks = 0
+
+    def io_stats(self) -> dict[str, int]:
+        return {"bytes_read": self.bytes_read, "disk_seeks": self.disk_seeks}
+
+    def drop_caches(self) -> None:
+        self._last_read_end = -1
+
+    def close(self) -> None:
+        self._handle.close()

@@ -1,0 +1,93 @@
+"""The "Plain Huffman" representation (paper section 4).
+
+Pages with high in-degree appear most often inside adjacency lists, so
+they get the shortest codes; each adjacency list is stored as a gamma-coded
+degree followed by the Huffman codes of its targets.  A per-page bit-offset
+directory (delta-coded in its serialized form) provides random access.
+
+This is the same scheme the paper uses to compress the supernode graph —
+here applied to the whole Web graph as the baseline it is compared with.
+The paper evaluates it purely in memory (Tables 1 and 2); this class keeps
+the encoded stream in memory accordingly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.baselines.base import GraphRepresentation
+from repro.errors import GraphError
+from repro.graph.digraph import Digraph
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.huffman import HuffmanCodec
+from repro.util.varint import decode_gamma, delta_cost, encode_gamma
+
+
+class HuffmanRepresentation(GraphRepresentation):
+    """In-memory Huffman-coded adjacency lists with in-degree codes."""
+
+    name = "plain-huffman"
+
+    def __init__(self, graph: Digraph) -> None:
+        n = graph.num_vertices
+        frequencies = {page: 0 for page in range(n)}
+        for target in graph.targets:
+            frequencies[int(target)] += 1
+        self._codec = HuffmanCodec.from_frequencies(frequencies) if n else None
+        writer = BitWriter()
+        offsets: list[int] = []
+        for page in range(n):
+            offsets.append(len(writer))
+            row = graph.successors(page)
+            encode_gamma(writer, len(row))
+            for target in row:
+                self._codec.encode_symbol(writer, int(target))
+        offsets.append(len(writer))
+        self._payload = writer.to_bytes()
+        self._offsets = offsets
+        self._num_pages = n
+        self._num_edges = graph.num_edges
+        # Code-table size: the canonical lengths serialization.
+        table_writer = BitWriter()
+        if self._codec is not None:
+            self._codec.serialize_lengths(table_writer)
+        self._table_bits = len(table_writer)
+
+    # -- access -----------------------------------------------------------
+
+    def out_neighbors(self, page: int) -> list[int]:
+        if not 0 <= page < self._num_pages:
+            raise GraphError(f"page {page} out of range")
+        reader = BitReader(self._payload, start_bit=self._offsets[page])
+        degree = decode_gamma(reader)
+        row = [self._codec.decode_symbol(reader) for _ in range(degree)]
+        row.sort()
+        return row
+
+    def iterate_all(self) -> Iterator[tuple[int, list[int]]]:
+        reader = BitReader(self._payload)
+        for page in range(self._num_pages):
+            degree = decode_gamma(reader)
+            row = [self._codec.decode_symbol(reader) for _ in range(degree)]
+            row.sort()
+            yield page, row
+
+    # -- size accounting -----------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Payload + code table + delta-coded offset directory."""
+        offset_bits = 0
+        previous = 0
+        for offset in self._offsets[1:]:
+            offset_bits += delta_cost(offset - previous)
+            previous = offset
+        total_bits = len(self._payload) * 8 + self._table_bits + offset_bits
+        return (total_bits + 7) // 8
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges

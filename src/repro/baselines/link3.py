@@ -1,0 +1,334 @@
+"""The Connectivity Server "Link3" scheme (Randall et al., DCC 2002).
+
+Reimplemented from the published description:
+
+* pages are renumbered in **URL-lexicographic order**, so most links point
+  to nearby ids (locality) and consecutive pages have similar lists;
+* an adjacency list may be **delta-encoded against one of the previous
+  eight lists**: the row header stores the reference offset (0 = none),
+  followed by a deletion bit vector over the referenced list and the added
+  entries;
+* added entries / plain rows are stored as **nybble-coded gaps**, the
+  first relative to the source id (zig-zag signed), the rest ascending;
+* rows are grouped into fixed-count **blocks**; each block restarts the
+  reference window, carries a byte offset in a directory, and is the unit
+  of disk transfer and of buffer-manager caching.
+
+The block directory and id maps are held in memory (they are small); block
+payloads live in a single file accessed through an LRU of decoded blocks,
+so the scheme runs both fully in-memory (Table 2) and under a bounded
+buffer against disk (Figure 11).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.baselines.base import GraphRepresentation
+from repro.errors import GraphError, StorageError
+from repro.graph.digraph import Digraph
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.lru import LRUCache
+from repro.util.varint import decode_nibble, encode_nibble
+from repro.webdata.corpus import Repository
+from repro.webdata.urls import lexicographic_key
+
+DEFAULT_ROWS_PER_BLOCK = 256
+DEFAULT_WINDOW = 8
+#: The Link Database bounds how many references may chain before a plain
+#: row is forced, keeping random access fast; 4 is in the range Randall et
+#: al. discuss.
+DEFAULT_MAX_CHAIN = 4
+DEFAULT_BUFFER_BYTES = 8 * 1024 * 1024
+
+_ROW_COST = 4
+_EDGE_COST = 8
+
+
+def _zigzag(value: int) -> int:
+    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
+
+
+def _unzigzag(value: int) -> int:
+    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
+
+
+def _encode_plain(writer: BitWriter, source: int, row: list[int]) -> None:
+    encode_nibble(writer, len(row))
+    previous = None
+    for target in row:
+        if previous is None:
+            encode_nibble(writer, _zigzag(target - source))
+        else:
+            encode_nibble(writer, target - previous - 1)
+        previous = target
+
+
+def _decode_plain(reader: BitReader, source: int) -> list[int]:
+    count = decode_nibble(reader)
+    row: list[int] = []
+    previous = None
+    for _ in range(count):
+        if previous is None:
+            previous = source + _unzigzag(decode_nibble(reader))
+        else:
+            previous = previous + 1 + decode_nibble(reader)
+        row.append(previous)
+    return row
+
+
+class Link3Representation(GraphRepresentation):
+    """Block-structured Link3 adjacency storage over one Web graph."""
+
+    name = "link3"
+
+    def __init__(
+        self,
+        repository: Repository,
+        root: Path | str,
+        graph: Digraph | None = None,
+        rows_per_block: int = DEFAULT_ROWS_PER_BLOCK,
+        window: int = DEFAULT_WINDOW,
+        max_chain: int = DEFAULT_MAX_CHAIN,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    ) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+        self._rows_per_block = rows_per_block
+        self._window = window
+        self._max_chain = max_chain
+        graph = graph if graph is not None else repository.graph
+        n = graph.num_vertices
+        if n != repository.num_pages:
+            raise GraphError("graph and repository disagree on page count")
+        # URL-lexicographic renumbering.
+        order = sorted(
+            range(n), key=lambda p: lexicographic_key(repository.page(p).url)
+        )
+        self._new_to_old = order
+        self._old_to_new = [0] * n
+        for new, old in enumerate(order):
+            self._old_to_new[old] = new
+        self._num_pages = n
+        self._num_edges = graph.num_edges
+        self._block_offsets: list[int] = []
+        # Per-node bit offset of each row inside its block's bit stream —
+        # the "starts" structure of the real Link Database, which makes
+        # random access decode only the row and its reference chain rather
+        # than a whole block.  Its (delta-compressed) size is part of the
+        # published bits/link figures, and of ours.
+        self._row_bit_offsets: list[int] = []
+        self._write_blocks(graph)
+        self._handle = open(self._payload_path, "rb")
+        self._cache: LRUCache = LRUCache(buffer_bytes)
+        self.bytes_read = 0
+        self.disk_seeks = 0
+        self._last_read_end = -1
+
+    @property
+    def _payload_path(self) -> Path:
+        return self._root / "link3.dat"
+
+    # -- build ----------------------------------------------------------------
+
+    def _write_blocks(self, graph: Digraph) -> None:
+        payload = bytearray()
+        self._block_offsets = []
+        block_rows: list[list[int]] = []
+        block_depths: list[int] = []  # reference-chain depth of each row
+        writer = BitWriter()
+
+        def flush() -> None:
+            nonlocal writer
+            if not block_rows:
+                return
+            self._block_offsets.append(len(payload))
+            payload.extend(writer.to_bytes())
+            block_rows.clear()
+            block_depths.clear()
+            writer = BitWriter()
+
+        for new_page in range(self._num_pages):
+            old_page = self._new_to_old[new_page]
+            row = sorted(
+                self._old_to_new[int(t)] for t in graph.successors(old_page)
+            )
+            self._row_bit_offsets.append(len(writer))
+            used_offset = self._encode_row(writer, new_page, row, block_rows, block_depths)
+            block_rows.append(row)
+            block_depths.append(
+                0 if used_offset == 0 else block_depths[len(block_rows) - 1 - used_offset] + 1
+            )
+            if len(block_rows) == self._rows_per_block:
+                flush()
+        flush()
+        self._block_offsets.append(len(payload))
+        self._payload_path.write_bytes(bytes(payload))
+
+    def _encode_row(
+        self,
+        writer: BitWriter,
+        source: int,
+        row: list[int],
+        block_rows: list[list[int]],
+        block_depths: list[int],
+    ) -> int:
+        """Pick the cheapest of plain or window-referenced encodings.
+
+        Returns the reference offset used (0 = plain) so the caller can
+        track chain depths; rows whose chain would exceed the configured
+        maximum are not eligible as references.
+        """
+        best_cost = None
+        best_choice: tuple[int, list[int], list[int]] | None = None
+        probe = BitWriter()
+        _encode_plain(probe, source, row)
+        best_cost = len(probe)
+        row_set = set(row)
+        start = max(0, len(block_rows) - self._window)
+        for index in range(start, len(block_rows)):
+            reference = block_rows[index]
+            if not reference:
+                continue
+            if block_depths[index] + 1 > self._max_chain:
+                continue
+            offset = len(block_rows) - index  # 1..window
+            deletions = [0 if value in row_set else 1 for value in reference]
+            kept = {
+                value for value, deleted in zip(reference, deletions) if not deleted
+            }
+            additions = [value for value in row if value not in kept]
+            probe = BitWriter()
+            encode_nibble(probe, offset)
+            for bit in deletions:
+                probe.write_bit(bit)
+            _encode_plain(probe, source, additions)
+            cost = len(probe)
+            if cost < best_cost:
+                best_cost = cost
+                best_choice = (offset, deletions, additions)
+        if best_choice is None:
+            encode_nibble(writer, 0)
+            _encode_plain(writer, source, row)
+            return 0
+        offset, deletions, additions = best_choice
+        encode_nibble(writer, offset)
+        for bit in deletions:
+            writer.write_bit(bit)
+        _encode_plain(writer, source, additions)
+        return offset
+
+    # -- block decode ------------------------------------------------------------
+
+    def _load_block_bytes(self, block: int) -> bytes:
+        """Raw block payload via the buffer cache (unit of disk transfer)."""
+        cached = self._cache.get(block)
+        if cached is not None:
+            return cached
+        start = self._block_offsets[block]
+        end = self._block_offsets[block + 1]
+        if self._last_read_end != start:
+            self.disk_seeks += 1
+        self._handle.seek(start)
+        data = self._handle.read(end - start)
+        if len(data) != end - start:
+            raise StorageError("short read from Link3 payload")
+        self._last_read_end = end
+        self.bytes_read += len(data)
+        self._cache.put(block, data, len(data))
+        return data
+
+    # -- public access ------------------------------------------------------------
+
+    def _decode_row_chain(
+        self, block: int, data: bytes, position: int, memo: dict[int, list[int]]
+    ) -> list[int]:
+        """Decode row ``position`` of a block, resolving references via the
+        per-node start offsets (no whole-block decode)."""
+        cached = memo.get(position)
+        if cached is not None:
+            return cached
+        source = block * self._rows_per_block + position
+        reader = BitReader(data, start_bit=self._row_bit_offsets[source])
+        offset = decode_nibble(reader)
+        if offset == 0:
+            row = _decode_plain(reader, source)
+        else:
+            reference = self._decode_row_chain(block, data, position - offset, memo)
+            deletions = [reader.read_bit() for _ in reference]
+            additions = _decode_plain(reader, source)
+            kept = [
+                value for value, deleted in zip(reference, deletions) if not deleted
+            ]
+            row = sorted(set(kept) | set(additions))
+        memo[position] = row
+        return row
+
+    def out_neighbors(self, page: int) -> list[int]:
+        if not 0 <= page < self._num_pages:
+            raise GraphError(f"page {page} out of range")
+        new_page = self._old_to_new[page]
+        block, position = divmod(new_page, self._rows_per_block)
+        row = self._decode_row_chain(block, self._load_block_bytes(block), position, {})
+        return sorted(self._new_to_old[t] for t in row)
+
+    def iterate_all(self) -> Iterator[tuple[int, list[int]]]:
+        for block in range(len(self._block_offsets) - 1):
+            data = self._load_block_bytes(block)
+            first_page = block * self._rows_per_block
+            count = min(self._rows_per_block, self._num_pages - first_page)
+            memo: dict[int, list[int]] = {}
+            for position in range(count):
+                row = self._decode_row_chain(block, data, position, memo)
+                old = self._new_to_old[first_page + position]
+                yield old, sorted(self._new_to_old[t] for t in row)
+
+    def size_bytes(self) -> int:
+        """Payload + block directory + delta-coded per-node starts.
+
+        The starts array is what the Link Database's published bits/link
+        figures include for random access, so we include ours too.
+        """
+        from repro.util.varint import delta_cost
+
+        payload = self._payload_path.stat().st_size
+        directory = 8 * len(self._block_offsets)
+        starts_bits = 0
+        previous_offset = 0
+        previous_block = 0
+        for source, offset in enumerate(self._row_bit_offsets):
+            block = source // self._rows_per_block
+            if block != previous_block:
+                previous_offset = 0
+                previous_block = block
+            starts_bits += delta_cost(offset - previous_offset)
+            previous_offset = offset
+        return payload + directory + (starts_bits + 7) // 8
+
+    @property
+    def num_pages(self) -> int:
+        return self._num_pages
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def reset_io_stats(self) -> None:
+        self.bytes_read = 0
+        self.disk_seeks = 0
+
+    def io_stats(self) -> dict[str, int]:
+        return {"bytes_read": self.bytes_read, "disk_seeks": self.disk_seeks}
+
+    def drop_caches(self) -> None:
+        self._cache.clear()
+        self._last_read_end = -1
+
+    def set_buffer_bytes(self, buffer_bytes: int) -> None:
+        """Reconfigure the block cache budget."""
+        self._cache = LRUCache(buffer_bytes)
+        self._last_read_end = -1
+
+    def close(self) -> None:
+        self._handle.close()

@@ -1,0 +1,192 @@
+"""Command-line interface: ``repro <command>``.
+
+Gives a repository operator the whole pipeline without writing Python:
+
+* ``repro generate`` — synthesize a crawl and write it as a WebBase-style
+  bulk stream;
+* ``repro build``    — build an S-Node representation from a stream;
+* ``repro verify``   — integrity-check a stored representation;
+* ``repro stats``    — summarize a stored representation;
+* ``repro neighbors``— print a page's out-links from a stored
+  representation (by repository page id);
+* ``repro experiment`` — run one of the paper's experiment drivers.
+
+Every command prints human-readable output to stdout and exits non-zero
+on failure, so the tool scripts cleanly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import ReproError
+
+
+def _cmd_generate(arguments: argparse.Namespace) -> int:
+    from repro.webdata.generator import GeneratorConfig, generate_web
+    from repro.webdata.webbase import write_stream
+
+    repository = generate_web(
+        GeneratorConfig(num_pages=arguments.pages, seed=arguments.seed)
+    )
+    size = write_stream(repository, arguments.out)
+    print(
+        f"wrote {repository.num_pages} pages / {repository.num_links} links "
+        f"({size} bytes) to {arguments.out}"
+    )
+    return 0
+
+
+def _cmd_build(arguments: argparse.Namespace) -> int:
+    from repro.snode.build import BuildOptions, build_snode
+    from repro.webdata.webbase import read_repository
+
+    repository = read_repository(arguments.stream, limit=arguments.limit)
+    options = BuildOptions(transpose=arguments.transpose)
+    build = build_snode(repository, arguments.out, options)
+    direction = "WGT (backlinks)" if arguments.transpose else "WG"
+    print(
+        f"built {direction}: {build.model.num_supernodes} supernodes, "
+        f"{build.model.num_superedges} superedges, "
+        f"{build.bits_per_edge:.2f} bits/edge -> {arguments.out}"
+    )
+    build.store.close()
+    return 0
+
+
+def _cmd_verify(arguments: argparse.Namespace) -> int:
+    from repro.snode.verify import verify_snode
+
+    report = verify_snode(arguments.root, decode_payloads=not arguments.fast)
+    if report.ok:
+        print(f"OK ({report.graphs_checked} graphs checked)")
+        return 0
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}")
+    return 1
+
+
+def _cmd_stats(arguments: argparse.Namespace) -> int:
+    manifest_path = Path(arguments.root) / "manifest.json"
+    if not manifest_path.exists():
+        print(f"no S-Node manifest under {arguments.root}", file=sys.stderr)
+        return 1
+    manifest = json.loads(manifest_path.read_text())
+    for key in (
+        "num_pages",
+        "num_supernodes",
+        "num_superedges",
+        "positive_superedges",
+        "negative_superedges",
+        "payload_bytes",
+        "intranode_bytes",
+        "superedge_bytes",
+        "supernode_graph_bytes",
+    ):
+        print(f"{key:24s} {manifest.get(key)}")
+    return 0
+
+
+def _cmd_neighbors(arguments: argparse.Namespace) -> int:
+    from repro.snode.store import SNodeStore
+
+    with SNodeStore(arguments.root) as store:
+        new_to_old = store.new_to_old
+        old_to_new = {old: new for new, old in enumerate(new_to_old)}
+        new_page = old_to_new.get(arguments.page)
+        if new_page is None:
+            print(f"page {arguments.page} not in this representation", file=sys.stderr)
+            return 1
+        row = sorted(new_to_old[t] for t in store.out_neighbors(new_page))
+        print(" ".join(str(p) for p in row))
+    return 0
+
+
+def _cmd_experiment(arguments: argparse.Namespace) -> int:
+    import importlib
+
+    module_names = {
+        "scalability",
+        "compression",
+        "access_time",
+        "queries",
+        "buffer_sweep",
+        "ablations",
+    }
+    if arguments.name not in module_names:
+        print(
+            f"unknown experiment {arguments.name!r}; choose from "
+            f"{sorted(module_names)}",
+            file=sys.stderr,
+        )
+        return 1
+    module = importlib.import_module(f"repro.experiments.{arguments.name}")
+    saved_argv = sys.argv
+    try:
+        sys.argv = [f"repro experiment {arguments.name}", *arguments.args]
+        module.main()
+    finally:
+        sys.argv = saved_argv
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="S-Node Web-graph representation toolkit"
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="synthesize a crawl stream")
+    generate.add_argument("--pages", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=2003)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    build = commands.add_parser("build", help="build an S-Node representation")
+    build.add_argument("--stream", required=True, help="WebBase stream file")
+    build.add_argument("--out", required=True, help="output directory")
+    build.add_argument("--limit", type=int, default=None, help="crawl prefix")
+    build.add_argument("--transpose", action="store_true", help="build WGT")
+    build.set_defaults(handler=_cmd_build)
+
+    verify = commands.add_parser("verify", help="integrity-check a representation")
+    verify.add_argument("root")
+    verify.add_argument(
+        "--fast", action="store_true", help="skip payload decoding"
+    )
+    verify.set_defaults(handler=_cmd_verify)
+
+    stats = commands.add_parser("stats", help="summarize a representation")
+    stats.add_argument("root")
+    stats.set_defaults(handler=_cmd_stats)
+
+    neighbors = commands.add_parser("neighbors", help="print a page's out-links")
+    neighbors.add_argument("root")
+    neighbors.add_argument("page", type=int)
+    neighbors.set_defaults(handler=_cmd_neighbors)
+
+    experiment = commands.add_parser("experiment", help="run a paper experiment")
+    experiment.add_argument("name")
+    experiment.add_argument("args", nargs=argparse.REMAINDER)
+    experiment.set_defaults(handler=_cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    try:
+        return arguments.handler(arguments)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro library.
+
+All library-raised errors derive from :class:`ReproError` so callers can
+catch everything this package raises with a single handler while still
+being able to distinguish sub-categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class CodecError(ReproError):
+    """A bit-level codec was asked to encode/decode malformed input."""
+
+
+class BitStreamError(CodecError):
+    """Attempt to read past the end of a bit stream, or stream corruption."""
+
+
+class GraphError(ReproError):
+    """Invalid graph construction or access (e.g. vertex id out of range)."""
+
+
+class PartitionError(ReproError):
+    """A partition invariant was violated (overlap, missing pages, ...)."""
+
+
+class StorageError(ReproError):
+    """On-disk layout is missing, corrupt, or inconsistent with its manifest."""
+
+
+class QueryError(ReproError):
+    """A complex query was malformed or referenced unknown pages/domains."""
+
+
+class BuildError(ReproError):
+    """The S-Node build pipeline could not complete."""

@@ -1,0 +1,17 @@
+"""Experiment drivers regenerating every table and figure of the paper.
+
+Each module has a ``run(...)`` function returning structured results and a
+``python -m repro.experiments.<name>`` CLI that prints the paper-style
+table.  The pytest-benchmark wrappers in ``benchmarks/`` call the same
+``run`` functions.
+
+| paper artifact | module |
+|----------------|-------------------------|
+| Figure 9(a,b)  | ``scalability``         |
+| Figure 10      | ``scalability``         |
+| Table 1        | ``compression``         |
+| Table 2        | ``access_time``         |
+| Figure 11      | ``queries``             |
+| Figure 12      | ``buffer_sweep``        |
+| ablations      | ``ablations``           |
+"""

@@ -1,0 +1,135 @@
+"""Ablations of the design choices the paper calls out.
+
+1. **Positive/negative superedge choice** (section 2's compactness rule)
+   — rebuild with every superedge forced positive and compare bytes.
+2. **Reference encoding** (section 3.1) — rebuild with references and the
+   target dictionary disabled (every row direct-coded) and compare.
+3. **Split policy** (section 3.2: random vs largest-first, which the paper
+   found indistinguishable) — compare final partition sizes and
+   representation sizes under both policies.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from dataclasses import dataclass, replace
+
+from repro.experiments.harness import (
+    dataset,
+    experiment_refinement_config,
+    format_table,
+    sweep_sizes,
+)
+from repro.snode.build import BuildOptions, build_snode
+
+
+@dataclass
+class AblationRow:
+    """One configuration's size outcome."""
+
+    configuration: str
+    bits_per_edge: float
+    payload_bytes: int
+    supernodes: int
+    superedges: int
+    negative_superedges: int
+
+
+def _build(repository, workdir: str, label: str, options: BuildOptions) -> AblationRow:
+    build = build_snode(repository, workdir, options)
+    manifest = build.manifest
+    row = AblationRow(
+        configuration=label,
+        bits_per_edge=build.bits_per_edge,
+        payload_bytes=manifest["payload_bytes"],
+        supernodes=build.model.num_supernodes,
+        superedges=build.model.num_superedges,
+        negative_superedges=build.model.negative_count,
+    )
+    build.store.close()
+    return row
+
+
+def run(size: int | None = None) -> list[AblationRow]:
+    """Run every ablation on one dataset; returns one row per config."""
+    size = size or sweep_sizes()[1]
+    repository = dataset(size)
+    rows: list[AblationRow] = []
+    base_config = experiment_refinement_config()
+    with tempfile.TemporaryDirectory() as base:
+        rows.append(
+            _build(
+                repository,
+                f"{base}/full",
+                "full S-Node",
+                BuildOptions(refinement=base_config),
+            )
+        )
+        rows.append(
+            _build(
+                repository,
+                f"{base}/pos",
+                "always-positive superedges",
+                BuildOptions(refinement=base_config, force_positive_superedges=True),
+            )
+        )
+        rows.append(
+            _build(
+                repository,
+                f"{base}/noref",
+                "no reference encoding",
+                BuildOptions(
+                    refinement=base_config,
+                    reference_window=0,
+                    full_affinity_limit=0,
+                    use_dictionary=False,
+                ),
+            )
+        )
+        rows.append(
+            _build(
+                repository,
+                f"{base}/largest",
+                "largest-first split policy",
+                BuildOptions(refinement=replace(base_config, policy="largest")),
+            )
+        )
+    return rows
+
+
+def report(rows: list[AblationRow]) -> str:
+    """Comparison table across configurations."""
+    return format_table(
+        [
+            "configuration",
+            "bits/edge",
+            "payload bytes",
+            "supernodes",
+            "superedges",
+            "negative",
+        ],
+        [
+            (
+                r.configuration,
+                r.bits_per_edge,
+                r.payload_bytes,
+                r.supernodes,
+                r.superedges,
+                r.negative_superedges,
+            )
+            for r in rows
+        ],
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=None)
+    arguments = parser.parse_args()
+    print("[ablations]")
+    print(report(run(size=arguments.size)))
+
+
+if __name__ == "__main__":
+    main()

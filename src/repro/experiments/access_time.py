@@ -1,0 +1,123 @@
+"""Table 2: sequential and random in-memory access times (ns per edge).
+
+Exactly the paper's protocol: the *smallest* dataset (so every scheme fits
+comfortably in memory), 5000 random-page trials and 5000 sequential-page
+trials, timing only decode+extract — buffers are warmed before measuring
+so no disk time is included.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import tempfile
+import time
+from dataclasses import dataclass
+
+from repro.baselines import (
+    HuffmanRepresentation,
+    Link3Representation,
+    SNodeRepresentation,
+)
+from repro.baselines.base import GraphRepresentation
+from repro.experiments.harness import (
+    dataset,
+    experiment_refinement_config,
+    format_table,
+    sweep_sizes,
+)
+from repro.snode.build import BuildOptions, build_snode
+
+TRIALS = 5000
+
+
+@dataclass
+class AccessRow:
+    """One scheme's Table 2 row."""
+
+    scheme: str
+    sequential_ns_per_edge: float
+    random_ns_per_edge: float
+
+
+def _warm(representation: GraphRepresentation) -> None:
+    for _page, _row in representation.iterate_all():
+        pass
+
+
+def _measure(representation: GraphRepresentation, seed: int) -> AccessRow:
+    _warm(representation)
+    # Sequential: walk adjacency lists in storage order.
+    edges = 0
+    start = time.perf_counter()
+    iterator = representation.iterate_all()
+    for _ in range(min(TRIALS, representation.num_pages)):
+        _page, row = next(iterator)
+        edges += len(row)
+    sequential_elapsed = time.perf_counter() - start
+    sequential = sequential_elapsed * 1e9 / max(1, edges)
+    # Random: retrieve adjacency lists of random page ids.
+    rng = random.Random(seed)
+    pages = [rng.randrange(representation.num_pages) for _ in range(TRIALS)]
+    edges = 0
+    start = time.perf_counter()
+    for page in pages:
+        edges += len(representation.out_neighbors(page))
+    random_elapsed = time.perf_counter() - start
+    return AccessRow(
+        scheme=representation.name,
+        sequential_ns_per_edge=sequential,
+        random_ns_per_edge=random_elapsed * 1e9 / max(1, edges),
+    )
+
+
+def run(size: int | None = None, seed: int = 11) -> list[AccessRow]:
+    """Measure the three compressed schemes on the smallest dataset."""
+    size = size or sweep_sizes()[0]
+    repository = dataset(size)
+    rows: list[AccessRow] = []
+    rows.append(_measure(HuffmanRepresentation(repository.graph), seed))
+    with tempfile.TemporaryDirectory() as workdir:
+        link3 = Link3Representation(
+            repository, f"{workdir}/l3", buffer_bytes=1 << 30
+        )
+        rows.append(_measure(link3, seed))
+        link3.close()
+        build = build_snode(
+            repository,
+            f"{workdir}/sn",
+            BuildOptions(
+                refinement=experiment_refinement_config(), buffer_bytes=1 << 30
+            ),
+        )
+        # Table 2 protocol: the *encoded* representation sits in memory and
+        # every access pays its decode cost (see SNodeStore.cache_decoded).
+        build.store.close()
+        from repro.snode.store import SNodeStore
+
+        build.store = SNodeStore(
+            build.root, buffer_bytes=1 << 30, cache_decoded=False
+        )
+        rows.append(_measure(SNodeRepresentation(build), seed))
+        build.store.close()
+    return rows
+
+
+def report(rows: list[AccessRow]) -> str:
+    """Paper-style Table 2."""
+    table = format_table(
+        ["scheme", "sequential ns/edge", "random ns/edge"],
+        [(r.scheme, r.sequential_ns_per_edge, r.random_ns_per_edge) for r in rows],
+    )
+    fastest = min(rows, key=lambda r: r.random_ns_per_edge)
+    return table + f"\nfastest random access: {fastest.scheme}"
+
+
+def main() -> None:
+    argparse.ArgumentParser(description=__doc__).parse_args()
+    print("[access_time] Table 2 (in-memory decode times)")
+    print(report(run()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,349 @@
+"""Figure 11: complex-query navigation time across four representations.
+
+Protocol (paper section 4.3): the six Table 3 queries run against the
+flat-file, relational, Link3 and S-Node representations (forward and
+transpose builds of each), all under the same memory bound; each bar is
+the mean over several cold-cache trials.  The experiment also prints the
+paper's per-query "% reduction vs next best scheme" table and the
+section 4.3 instrumentation anecdote (how many intranode/superedge graphs
+S-Node loaded per query).
+
+**Disk-time simulation.** The paper ran on 2001 hardware where navigation
+time was dominated by disk seeks; on a modern machine with an OS page
+cache the same access patterns complete from memory and the measured wall
+time reflects only Python decode cost.  We therefore report *simulated*
+navigation time
+
+    cpu_scale x wall_time + seeks x seek_ms + bytes / throughput
+
+using the schemes' instrumented seek/byte counters and disk constants of
+the paper's era (9 ms seek, 25 MB/s transfer).  ``cpu_scale`` compensates
+for interpreting the decoders in Python instead of compiled C: comparing
+our Table 2 ns/edge numbers against the paper's shows a 30-100x gap, so
+the default 0.02 maps Python decode wall time onto the paper's CPU cost
+scale.  Raw wall times and I/O counters are reported alongside, and all
+three constants are CLI-adjustable (``--cpu-scale 1 --seek-ms 0 --mbps
+inf`` gives pure wall time).
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.baselines import (
+    FlatFileRepresentation,
+    Link3Representation,
+    RelationalRepresentation,
+    SNodeRepresentation,
+)
+from repro.baselines.base import GraphRepresentation
+from repro.experiments.harness import (
+    dataset,
+    experiment_refinement_config,
+    format_table,
+    sweep_sizes,
+)
+from repro.index.pagerank_index import PageRankIndex
+from repro.index.textindex import TextIndex
+from repro.query.engine import QueryEngine
+from repro.query.workload import PAPER_QUERIES
+from repro.snode.build import BuildOptions, build_snode
+
+#: Scaled analogue of the paper's 325 MB representation-memory bound.
+DEFAULT_BUFFER_BYTES = 512 * 1024
+
+#: 2001-era disk constants for the simulated navigation time.
+DEFAULT_SEEK_MS = 9.0
+DEFAULT_MBPS = 25.0
+#: Python-to-compiled-decoder wall-time compensation (see module docstring).
+DEFAULT_CPU_SCALE = 0.02
+
+SCHEMES = ("flat-file", "relational", "link3", "s-node")
+
+
+@dataclass
+class QueryTiming:
+    """Per (scheme, query) measurements."""
+
+    wall_ms: float
+    simulated_ms: float
+    disk_seeks: int
+    bytes_read: int
+    snode_intranode_loaded: int = 0
+    snode_superedge_loaded: int = 0
+
+
+@dataclass
+class QueryExperiment:
+    """Full Figure 11 result set."""
+
+    num_pages: int
+    buffer_bytes: int
+    timings: dict[tuple[str, str], QueryTiming] = field(default_factory=dict)
+
+    def reduction_vs_next_best(self) -> dict[str, float]:
+        """The paper's table: % reduction of S-Node vs the next best."""
+        reductions = {}
+        for query_name, _fn in PAPER_QUERIES:
+            snode = self.timings[("s-node", query_name)].simulated_ms
+            others = [
+                self.timings[(scheme, query_name)].simulated_ms
+                for scheme in SCHEMES
+                if scheme != "s-node"
+            ]
+            best_other = min(others)
+            if best_other > 0:
+                reductions[query_name] = 100.0 * (best_other - snode) / best_other
+            else:
+                reductions[query_name] = 0.0
+        return reductions
+
+
+class _SchemePair:
+    """Forward + transpose representations of one scheme."""
+
+    def __init__(
+        self,
+        name: str,
+        forward: GraphRepresentation,
+        backward: GraphRepresentation,
+    ) -> None:
+        self.name = name
+        self.forward = forward
+        self.backward = backward
+
+    def drop_caches(self) -> None:
+        self.forward.drop_caches()
+        self.backward.drop_caches()
+
+    def reset_io(self) -> None:
+        self.forward.reset_io_stats()
+        self.backward.reset_io_stats()
+
+    def io_totals(self) -> tuple[int, int]:
+        stats_f = self.forward.io_stats()
+        stats_b = self.backward.io_stats()
+        seeks = stats_f.get("disk_seeks", 0) + stats_b.get("disk_seeks", 0)
+        bytes_read = stats_f.get("bytes_read", 0) + stats_b.get("bytes_read", 0)
+        return seeks, bytes_read
+
+    def close(self) -> None:
+        self.forward.close()
+        self.backward.close()
+
+
+def _build_pair(
+    name: str, repository, workdir: Path, buffer_bytes: int
+) -> _SchemePair:
+    transpose = repository.graph.transpose()
+    if name == "flat-file":
+        return _SchemePair(
+            name,
+            FlatFileRepresentation(repository.graph, workdir / "ff_f"),
+            FlatFileRepresentation(transpose, workdir / "ff_b"),
+        )
+    if name == "relational":
+        return _SchemePair(
+            name,
+            RelationalRepresentation(
+                repository, workdir / "rel_f", buffer_bytes=buffer_bytes
+            ),
+            RelationalRepresentation(
+                repository, workdir / "rel_b", graph=transpose, buffer_bytes=buffer_bytes
+            ),
+        )
+    if name == "link3":
+        # The Link Database is a memory-resident design (the paper: it
+        # "does not use the two-level representation"); when forced to
+        # page from a bounded buffer it fetches small per-row extents
+        # rather than S-Node's purpose-laid-out graph regions.  16-row
+        # extents (~1-2 KiB) model that charitably — one extent still
+        # covers a row's whole reference chain.
+        return _SchemePair(
+            name,
+            Link3Representation(
+                repository,
+                workdir / "l3_f",
+                rows_per_block=16,
+                buffer_bytes=buffer_bytes,
+            ),
+            Link3Representation(
+                repository,
+                workdir / "l3_b",
+                graph=transpose,
+                rows_per_block=16,
+                buffer_bytes=buffer_bytes,
+            ),
+        )
+    if name == "s-node":
+        options = BuildOptions(
+            refinement=experiment_refinement_config(), buffer_bytes=buffer_bytes
+        )
+        forward_build = build_snode(repository, workdir / "sn_f", options)
+        backward_build = build_snode(
+            repository,
+            workdir / "sn_b",
+            BuildOptions(
+                refinement=experiment_refinement_config(),
+                buffer_bytes=buffer_bytes,
+                transpose=True,
+            ),
+        )
+        return _SchemePair(
+            name,
+            SNodeRepresentation(forward_build),
+            SNodeRepresentation(backward_build),
+        )
+    raise ValueError(f"unknown scheme {name}")
+
+
+def run(
+    size: int | None = None,
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    trials: int = 3,
+    seek_ms: float = DEFAULT_SEEK_MS,
+    mbps: float = DEFAULT_MBPS,
+    cpu_scale: float = DEFAULT_CPU_SCALE,
+    schemes: tuple[str, ...] = SCHEMES,
+    workdir: str | None = None,
+) -> QueryExperiment:
+    """Run the Figure 11 experiment; returns all timings."""
+    size = size or sweep_sizes()[3]  # the paper uses the 100M (4th) dataset
+    repository = dataset(size)
+    text_index = TextIndex(repository)
+    pagerank_index = PageRankIndex(repository)
+    experiment = QueryExperiment(num_pages=size, buffer_bytes=buffer_bytes)
+    own_tmp = tempfile.TemporaryDirectory() if workdir is None else None
+    base = Path(workdir or own_tmp.name)
+    try:
+        for scheme in schemes:
+            pair = _build_pair(scheme, repository, base, buffer_bytes)
+            engine = QueryEngine(
+                repository, text_index, pagerank_index, pair.forward, pair.backward
+            )
+            for query_name, query_fn in PAPER_QUERIES:
+                wall_total = 0.0
+                seeks_total = 0
+                bytes_total = 0
+                intranode_loaded = 0
+                superedge_loaded = 0
+                # Caches are dropped once per (scheme, query); the trials
+                # then average over a warming buffer, as the paper's
+                # 6-trial averages did.  Buffered schemes keep their hot
+                # B-tree levels / supernode graphs across trials, the flat
+                # file pays every access — exactly the contrast Figure 11
+                # shows.
+                pair.drop_caches()
+                for _ in range(trials):
+                    pair.reset_io()
+                    result = query_fn(engine)
+                    wall_total += result.navigation_seconds
+                    seeks, bytes_read = pair.io_totals()
+                    seeks_total += seeks
+                    bytes_total += bytes_read
+                    if scheme == "s-node":
+                        stats_f = pair.forward.store.stats  # type: ignore[attr-defined]
+                        stats_b = pair.backward.store.stats  # type: ignore[attr-defined]
+                        loads_f = stats_f.distinct_loaded()
+                        loads_b = stats_b.distinct_loaded()
+                        intranode_loaded = loads_f[0] + loads_b[0]
+                        superedge_loaded = loads_f[1] + loads_b[1]
+                wall_ms = wall_total * 1000.0 / trials
+                mean_seeks = seeks_total / trials
+                mean_bytes = bytes_total / trials
+                simulated_ms = (
+                    wall_ms * cpu_scale
+                    + mean_seeks * seek_ms
+                    + (mean_bytes / (mbps * 1e6)) * 1000.0
+                )
+                experiment.timings[(scheme, query_name)] = QueryTiming(
+                    wall_ms=wall_ms,
+                    simulated_ms=simulated_ms,
+                    disk_seeks=int(mean_seeks),
+                    bytes_read=int(mean_bytes),
+                    snode_intranode_loaded=intranode_loaded,
+                    snode_superedge_loaded=superedge_loaded,
+                )
+            pair.close()
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+    return experiment
+
+
+def report(experiment: QueryExperiment) -> str:
+    """Figure 11 bar-chart data + the % reduction table + the load log."""
+    rows = []
+    for query_name, _fn in PAPER_QUERIES:
+        row = [query_name]
+        for scheme in SCHEMES:
+            timing = experiment.timings.get((scheme, query_name))
+            row.append(
+                f"{timing.simulated_ms:.1f} ({timing.disk_seeks}s)"
+                if timing
+                else "-"
+            )
+        rows.append(row)
+    table = format_table(
+        ["query"] + [f"{s} ms(seeks)" for s in SCHEMES], rows
+    )
+    reductions = experiment.reduction_vs_next_best()
+    reduction_rows = [
+        (query, f"{value:.1f}%") for query, value in reductions.items()
+    ]
+    reduction_table = format_table(
+        ["query", "S-Node reduction vs next best"], reduction_rows
+    )
+    load_rows = []
+    for query_name, _fn in PAPER_QUERIES:
+        timing = experiment.timings.get(("s-node", query_name))
+        if timing:
+            load_rows.append(
+                (
+                    query_name,
+                    timing.snode_intranode_loaded,
+                    timing.snode_superedge_loaded,
+                    timing.disk_seeks,
+                )
+            )
+    load_table = format_table(
+        ["query", "intranode graphs", "superedge graphs", "disk seeks"], load_rows
+    )
+    return (
+        table
+        + "\n\n"
+        + reduction_table
+        + "\n\nS-Node instrumentation (distinct graphs loaded per query):\n"
+        + load_table
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=None)
+    parser.add_argument("--buffer-kb", type=int, default=DEFAULT_BUFFER_BYTES // 1024)
+    parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument("--seek-ms", type=float, default=DEFAULT_SEEK_MS)
+    parser.add_argument("--mbps", type=float, default=DEFAULT_MBPS)
+    parser.add_argument("--cpu-scale", type=float, default=DEFAULT_CPU_SCALE)
+    arguments = parser.parse_args()
+    experiment = run(
+        size=arguments.size,
+        buffer_bytes=arguments.buffer_kb * 1024,
+        trials=arguments.trials,
+        seek_ms=arguments.seek_ms,
+        mbps=arguments.mbps,
+        cpu_scale=arguments.cpu_scale,
+    )
+    print(
+        f"[queries] Figure 11 (pages={experiment.num_pages}, "
+        f"buffer={experiment.buffer_bytes // 1024} KiB)"
+    )
+    print(report(experiment))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Auxiliary repository indexes: full-text (phrase) index and PageRank.
+
+The paper's complex queries combine graph navigation with predicates over
+these indexes.  They stand in for the Stanford WebBase indexing machinery,
+which the paper accesses remotely and explicitly *excludes* from the
+reported navigation times — we use them only to resolve query predicates.
+"""
+
+from repro.index.pagerank_index import PageRankIndex
+from repro.index.textindex import TextIndex
+
+__all__ = ["TextIndex", "PageRankIndex"]

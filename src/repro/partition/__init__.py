@@ -1,0 +1,20 @@
+"""Partitioning of the page set (paper section 3.2).
+
+The pipeline: start from the domain partition P0, then repeatedly refine a
+randomly chosen element with URL split (up to 3 directory levels) and after
+that with clustered split (k-means over supernode-adjacency bit vectors),
+until clustered split has been aborted ``abortmax`` consecutive times.
+"""
+
+from repro.partition.partition import Partition
+from repro.partition.kmeans import KMeansResult, kmeans_binary
+from repro.partition.refine import RefinementConfig, RefinementResult, refine_partition
+
+__all__ = [
+    "Partition",
+    "KMeansResult",
+    "kmeans_binary",
+    "RefinementConfig",
+    "RefinementResult",
+    "refine_partition",
+]

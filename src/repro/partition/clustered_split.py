@@ -1,0 +1,126 @@
+"""Clustered split (paper section 3.2, Figure 6).
+
+For element N_ij, each page p gets a bit vector adj(p) whose dimension is
+the out-degree of supernode N_ij in the *current* supernode graph: bit b is
+set iff p points to at least one page inside the b-th out-neighbour
+supernode.  K-means over these vectors groups pages that "point to pages in
+other supernodes" the same way — i.e. pages with similar adjacency lists at
+supernode granularity — and the clusters become the child elements.
+
+The escalation protocol follows the paper exactly: start with k equal to
+the supernode's out-degree, bound each k-means run's wall-clock time, on
+timeout retry with k + 2, and after ``max_attempts`` failures abort the
+split for this element (the refinement driver counts consecutive aborts
+for its stopping criterion).
+"""
+
+from __future__ import annotations
+
+import random
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.graph.digraph import Digraph
+from repro.partition.kmeans import kmeans_binary
+from repro.partition.partition import Element, split_element
+
+
+@dataclass(frozen=True)
+class ClusteredSplitConfig:
+    """Escalation parameters for clustered split."""
+
+    time_bound_seconds: float = 0.5
+    max_attempts: int = 3
+    k_increment: int = 2
+    max_iterations: int = 30
+    # Scale adaptation: the paper starts k at the supernode's out-degree,
+    # with elements of thousands of pages.  At our reduced repository sizes
+    # an element of 50 pages can have out-degree 40+, which would shatter it
+    # into singletons and destroy the clustering the representation relies
+    # on.  We therefore cap k so each cluster averages at least
+    # ``min_cluster_size`` pages.
+    min_cluster_size: int = 128
+
+
+def supernode_adjacency_vectors(
+    element: Element,
+    graph: Digraph,
+    assignment: Sequence[int],
+    element_index: int,
+) -> tuple[np.ndarray, list[int]]:
+    """Build adj(p) bit vectors for every page of ``element``.
+
+    Returns (vectors, out-neighbour supernode ids).  The vector dimension
+    equals the element's out-degree in the supernode graph; self-loops
+    (links staying inside the element) are excluded, matching Figure 6
+    where only links to *other* supernodes set bits.
+    """
+    neighbor_ids: dict[int, int] = {}
+    rows: list[set[int]] = []
+    for page in element.pages:
+        row: set[int] = set()
+        for target in graph.successors(page):
+            target_element = assignment[int(target)]
+            if target_element == element_index:
+                continue
+            column = neighbor_ids.setdefault(target_element, len(neighbor_ids))
+            row.add(column)
+        rows.append(row)
+    vectors = np.zeros((len(element.pages), max(1, len(neighbor_ids))), dtype=np.int8)
+    for row_index, row in enumerate(rows):
+        for column in row:
+            vectors[row_index, column] = 1
+    ordered_neighbors = [0] * len(neighbor_ids)
+    for element_id, column in neighbor_ids.items():
+        ordered_neighbors[column] = element_id
+    return vectors, ordered_neighbors
+
+
+def clustered_split(
+    element: Element,
+    graph: Digraph,
+    assignment: Sequence[int],
+    element_index: int,
+    rng: random.Random,
+    config: ClusteredSplitConfig | None = None,
+) -> list[Element] | None:
+    """Attempt a clustered split of ``element``; None means *aborted*.
+
+    Abort happens when (a) the element is too small to split, (b) every
+    page has an identical vector (k-means can only produce one distinct
+    group), or (c) ``max_attempts`` successive k-means runs fail to
+    converge within the time bound.
+    """
+    config = config or ClusteredSplitConfig()
+    if len(element.pages) < 2:
+        return None
+    vectors, neighbors = supernode_adjacency_vectors(
+        element, graph, assignment, element_index
+    )
+    distinct = len({tuple(v) for v in map(tuple, vectors.tolist())})
+    if distinct < 2:
+        return None
+    # Paper: initial k = out-degree of the supernode; clamped both to
+    # feasibility and to the scale-adapted cluster-size floor (see config).
+    size_cap = max(2, len(element.pages) // config.min_cluster_size)
+    k = max(2, min(len(neighbors), len(element.pages), distinct, size_cap))
+    for _ in range(config.max_attempts):
+        result = kmeans_binary(
+            vectors,
+            k=min(k, distinct, len(element.pages)),
+            rng=rng,
+            time_bound_seconds=config.time_bound_seconds,
+            max_iterations=config.max_iterations,
+        )
+        if result.converged:
+            groups: dict[int, list[int]] = {}
+            for position, page in enumerate(element.pages):
+                groups.setdefault(int(result.labels[position]), []).append(page)
+            nonempty = [pages for pages in groups.values() if pages]
+            if len(nonempty) < 2:
+                return None
+            return split_element(element, nonempty)
+        k += config.k_increment
+    return None

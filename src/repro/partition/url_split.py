@@ -1,0 +1,84 @@
+"""URL split (paper section 3.2).
+
+Partitions an element's pages by URL prefix one directory level deeper
+than the prefix that produced the element.  Returns the child elements, or
+``None`` when the prefix no longer discriminates (every page shares the
+deeper prefix) — the caller then either retries at a deeper level or marks
+the element as URL-split-exhausted.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.partition.partition import Element, split_element
+from repro.webdata.urls import url_prefix
+
+#: Paper: "URL prefixes up to 3 levels in depth were useful for URL split".
+MAX_URL_SPLIT_DEPTH = 3
+
+
+def url_split(
+    element: Element,
+    urls: Sequence[str],
+    min_group_size: int = 1,
+) -> list[Element] | None:
+    """Split ``element`` on the next-deeper URL prefix.
+
+    ``urls`` maps page id -> URL for the whole repository.  Splitting is
+    attempted at ``element.url_depth + 1``; if that depth yields a single
+    group the split failed and ``None`` is returned.  Children record the
+    deeper depth, and children at depth >= :data:`MAX_URL_SPLIT_DEPTH` are
+    marked exhausted so refinement moves them to clustered split.
+
+    ``min_group_size`` is a scale adaptation: prefix groups smaller than it
+    are coalesced (in sorted prefix order, preserving lexicographic
+    adjacency) into runs of at least that size.  At the paper's repository
+    sizes directory groups hold thousands of pages; at ours a directory can
+    hold three, and thousands of three-page supernodes would drown the
+    representation in superedge-graph overhead.
+    """
+    depth = element.url_depth + 1
+    groups: dict[str, list[int]] = {}
+    for page in element.pages:
+        groups.setdefault(url_prefix(urls[page], depth), []).append(page)
+    if len(groups) <= 1:
+        return None
+    ordered = [groups[key] for key in sorted(groups)]
+    if min_group_size > 1:
+        ordered = _coalesce_small_groups(ordered, min_group_size)
+        if len(ordered) <= 1:
+            return None
+    exhausted = depth >= MAX_URL_SPLIT_DEPTH
+    return split_element(
+        element,
+        ordered,
+        url_depth=depth,
+        url_split_exhausted=exhausted,
+    )
+
+
+def _coalesce_small_groups(
+    ordered: list[list[int]], min_group_size: int
+) -> list[list[int]]:
+    """Merge adjacent (prefix-sorted) groups until each reaches the floor."""
+    merged: list[list[int]] = []
+    current: list[int] = []
+    for group in ordered:
+        current.extend(group)
+        if len(current) >= min_group_size:
+            merged.append(current)
+            current = []
+    if current:
+        if merged:
+            merged[-1].extend(current)
+        else:
+            merged.append(current)
+    return merged
+
+
+def mark_url_exhausted(element: Element) -> Element:
+    """Flag an element so refinement stops attempting URL split on it."""
+    from dataclasses import replace
+
+    return replace(element, url_split_exhausted=True)

@@ -1,0 +1,35 @@
+"""Complex-query layer: navigation primitives + the paper's six queries."""
+
+from repro.query.engine import QueryEngine
+from repro.query.ops import (
+    count_links_between,
+    induced_link_counts,
+    in_neighborhood_of,
+    out_neighborhood_of,
+)
+from repro.query.workload import (
+    PAPER_QUERIES,
+    QueryResult,
+    query1_referred_universities,
+    query2_comic_popularity,
+    query3_kleinberg_base_set,
+    query4_popular_topic_pages,
+    query5_intra_set_ranking,
+    query6_joint_references,
+)
+
+__all__ = [
+    "QueryEngine",
+    "out_neighborhood_of",
+    "in_neighborhood_of",
+    "count_links_between",
+    "induced_link_counts",
+    "PAPER_QUERIES",
+    "QueryResult",
+    "query1_referred_universities",
+    "query2_comic_popularity",
+    "query3_kleinberg_base_set",
+    "query4_popular_topic_pages",
+    "query5_intra_set_ranking",
+    "query6_joint_references",
+]

@@ -1,0 +1,85 @@
+"""QueryEngine: one object bundling everything a complex query touches.
+
+The engine owns the repository (page metadata), the text and PageRank
+indexes, and a *pair* of graph representations — forward (WG) and
+backward (WGT) — because half the paper's queries navigate backlinks.
+It also provides the navigation timer: the paper reports only "the
+portion of the query execution time spent in accessing and traversing the
+Web graph", so query implementations wrap exactly their representation
+calls in :meth:`navigation_timer`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+
+from repro.baselines.base import GraphRepresentation
+from repro.errors import QueryError
+from repro.index.pagerank_index import PageRankIndex
+from repro.index.textindex import TextIndex
+from repro.webdata.corpus import Repository
+
+
+class QueryEngine:
+    """Execution context for complex queries over one repository."""
+
+    def __init__(
+        self,
+        repository: Repository,
+        text_index: TextIndex,
+        pagerank_index: PageRankIndex,
+        forward: GraphRepresentation,
+        backward: GraphRepresentation | None = None,
+    ) -> None:
+        if forward.num_pages != repository.num_pages:
+            raise QueryError("representation does not match repository")
+        self.repository = repository
+        self.text = text_index
+        self.pagerank = pagerank_index
+        self.forward = forward
+        self.backward = backward
+        self._navigation_seconds = 0.0
+
+    # -- navigation timing ---------------------------------------------------
+
+    @contextmanager
+    def navigation_timer(self):
+        """Accumulate wall-clock time of the enclosed navigation block."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._navigation_seconds += time.perf_counter() - start
+
+    def reset_navigation_time(self) -> None:
+        """Zero the navigation-time accumulator (per-query runs)."""
+        self._navigation_seconds = 0.0
+
+    @property
+    def navigation_seconds(self) -> float:
+        """Navigation time accumulated since the last reset."""
+        return self._navigation_seconds
+
+    def require_backward(self) -> GraphRepresentation:
+        """The transpose representation; raises if the engine has none."""
+        if self.backward is None:
+            raise QueryError("this query needs a transpose (backlink) representation")
+        return self.backward
+
+    # -- predicate helpers (index side, not timed) -----------------------------
+
+    def pages_in_domain(self, domain: str) -> set[int]:
+        """Pages whose registered domain is ``domain``."""
+        return set(self.repository.pages_in_domain(domain))
+
+    def phrase_in_domain(self, phrase: str, domain: str | None = None) -> set[int]:
+        """Pages containing ``phrase``, optionally restricted to a domain."""
+        pages = self.text.pages_with_phrase(phrase.split())
+        if domain is None:
+            return pages
+        return pages & self.pages_in_domain(domain)
+
+    def domain_of(self, page: int) -> str:
+        """Registered domain of ``page``."""
+        return self.repository.page(page).domain

@@ -1,0 +1,61 @@
+"""Graph-navigation primitives over any :class:`GraphRepresentation`.
+
+These are the operations the rightmost column of the paper's Table 3
+names: out/in-neighborhoods of page sets, link counting between sets, and
+the induced-subgraph link counts.  They are deliberately written against
+the abstract representation interface so that one implementation serves
+S-Node, Link3, the relational store and the flat file alike.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.baselines.base import GraphRepresentation
+
+
+def out_neighborhood_of(
+    representation: GraphRepresentation, pages: Iterable[int]
+) -> dict[int, list[int]]:
+    """Adjacency lists of every page in ``pages``."""
+    return representation.out_neighbors_many(list(pages))
+
+
+def in_neighborhood_of(
+    backward: GraphRepresentation, pages: Iterable[int]
+) -> dict[int, list[int]]:
+    """Backlink lists of every page, given the transpose representation."""
+    return backward.out_neighbors_many(list(pages))
+
+
+def count_links_between(
+    backward: GraphRepresentation,
+    sources: set[int],
+    targets: Iterable[int],
+) -> int:
+    """Number of links from ``sources`` into ``targets``.
+
+    Evaluated from the target side (backlinks), which is the cheap plan
+    when the target set is small — the execution strategy a repository
+    engine would pick for Analysis 2's "links from stanford.edu to Cs".
+    """
+    total = 0
+    for row in backward.out_neighbors_many(list(targets)).values():
+        total += sum(1 for source in row if source in sources)
+    return total
+
+
+def induced_link_counts(
+    representation: GraphRepresentation, pages: set[int]
+) -> dict[int, int]:
+    """For each page of ``pages``: number of in-links from other members.
+
+    This is the "computation of graph induced by a set of pages" operation
+    of the paper's Query 5, computed from the forward lists of the set.
+    """
+    counts = {page: 0 for page in pages}
+    for source, row in representation.out_neighbors_many(list(pages)).items():
+        for target in row:
+            if target in counts and target != source:
+                counts[target] += 1
+    return counts

@@ -1,0 +1,248 @@
+"""The six complex queries of the paper's Table 3.
+
+Each query follows the paper's hand-crafted execution plan: resolve the
+page sets through the text/PageRank/domain indexes (not timed — the paper
+accesses those remotely and excludes them), then run the navigation
+portion inside ``engine.navigation_timer`` so that
+:class:`~repro.query.engine.QueryEngine.navigation_seconds` afterwards
+holds exactly the number Figure 11 plots.
+
+Default parameters are the paper's; every query takes overrides so the
+workload also runs on repositories generated with different topic seeds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import QueryError
+from repro.query.engine import QueryEngine
+from repro.query.ops import (
+    count_links_between,
+    in_neighborhood_of,
+    induced_link_counts,
+    out_neighborhood_of,
+)
+
+#: Comic strips of Analysis 2: name -> (word set Cw, website domain Cs).
+DEFAULT_COMICS: dict[str, tuple[tuple[str, ...], str]] = {
+    "Dilbert": (("dilbert", "dogbert", "the boss"), "dilbert.com"),
+    "Doonesbury": (("doonesbury", "zonker"), "doonesbury.com"),
+    "Peanuts": (("peanuts", "snoopy", "charlie brown"), "snoopy.com"),
+}
+
+DEFAULT_UNIVERSITIES = ("stanford.edu", "mit.edu", "caltech.edu", "berkeley.edu")
+
+
+@dataclass
+class QueryResult:
+    """Uniform result wrapper: payload + the timed navigation seconds."""
+
+    name: str
+    navigation_seconds: float
+    payload: dict = field(default_factory=dict)
+
+
+def _run(engine: QueryEngine, name: str, payload: dict) -> QueryResult:
+    result = QueryResult(
+        name=name,
+        navigation_seconds=engine.navigation_seconds,
+        payload=payload,
+    )
+    engine.reset_navigation_time()
+    return result
+
+
+def query1_referred_universities(
+    engine: QueryEngine,
+    phrase: str = "mobile networking",
+    domain: str = "stanford.edu",
+    tld: str = ".edu",
+) -> QueryResult:
+    """Analysis 1: universities that ``domain`` researchers on ``phrase``
+    refer to, weighted by normalized PageRank of the referring pages."""
+    engine.reset_navigation_time()
+    seed_pages = engine.phrase_in_domain(phrase, domain)
+    weights = {page: engine.pagerank.normalized(page) for page in seed_pages}
+    with engine.navigation_timer():
+        neighborhoods = out_neighborhood_of(engine.forward, seed_pages)
+    domain_weights: dict[str, float] = {}
+    for page, row in neighborhoods.items():
+        seen: set[str] = set()
+        for target in row:
+            target_domain = engine.domain_of(target)
+            if not target_domain.endswith(tld) or target_domain == domain:
+                continue
+            if target_domain in seen:
+                continue  # a page points to a domain once, whatever the count
+            seen.add(target_domain)
+            domain_weights[target_domain] = (
+                domain_weights.get(target_domain, 0.0) + weights[page]
+            )
+    ranked = sorted(domain_weights.items(), key=lambda kv: (-kv[1], kv[0]))
+    return _run(
+        engine,
+        "query1",
+        {"seed_pages": len(seed_pages), "domains": ranked},
+    )
+
+
+def query2_comic_popularity(
+    engine: QueryEngine,
+    comics: dict[str, tuple[tuple[str, ...], str]] | None = None,
+    domain: str = "stanford.edu",
+) -> QueryResult:
+    """Analysis 2: popularity C1 + C2 for each comic strip."""
+    comics = comics or DEFAULT_COMICS
+    engine.reset_navigation_time()
+    backward = engine.require_backward()
+    domain_pages = engine.pages_in_domain(domain)
+    popularity: dict[str, dict[str, int]] = {}
+    for comic, (words, site) in comics.items():
+        word_pages = engine.text.pages_with_at_least(words, k=2) & domain_pages
+        site_pages = engine.pages_in_domain(site)
+        with engine.navigation_timer():
+            incoming = count_links_between(backward, domain_pages, site_pages)
+        popularity[comic] = {
+            "c1_word_pages": len(word_pages),
+            "c2_links": incoming,
+            "popularity": len(word_pages) + incoming,
+        }
+    ranking = sorted(
+        popularity, key=lambda c: (-popularity[c]["popularity"], c)
+    )
+    return _run(engine, "query2", {"popularity": popularity, "ranking": ranking})
+
+
+def query3_kleinberg_base_set(
+    engine: QueryEngine,
+    phrase: str = "internet censorship",
+    top_k: int = 100,
+) -> QueryResult:
+    """Kleinberg base set of the top-``top_k`` PageRank pages matching
+    ``phrase``: root set plus out- and in-neighborhoods."""
+    engine.reset_navigation_time()
+    backward = engine.require_backward()
+    matching = engine.text.pages_with_phrase(phrase.split())
+    roots = set(engine.pagerank.top_k(matching, top_k))
+    with engine.navigation_timer():
+        forward_rows = out_neighborhood_of(engine.forward, roots)
+        backward_rows = in_neighborhood_of(backward, roots)
+    base = set(roots)
+    for row in forward_rows.values():
+        base.update(row)
+    for row in backward_rows.values():
+        base.update(row)
+    return _run(
+        engine,
+        "query3",
+        {"roots": len(roots), "base_set_size": len(base), "base_set": base},
+    )
+
+
+def query4_popular_topic_pages(
+    engine: QueryEngine,
+    phrase: str = "quantum cryptography",
+    universities: tuple[str, ...] = DEFAULT_UNIVERSITIES,
+    top_k: int = 10,
+) -> QueryResult:
+    """Ten most popular ``phrase`` pages at each university, popularity =
+    in-links from outside the page's domain."""
+    engine.reset_navigation_time()
+    backward = engine.require_backward()
+    results: dict[str, list[tuple[int, int]]] = {}
+    for university in universities:
+        pages = engine.phrase_in_domain(phrase, university)
+        domain_pages = engine.pages_in_domain(university)
+        with engine.navigation_timer():
+            backlinks = in_neighborhood_of(backward, pages)
+        scored = [
+            (
+                page,
+                sum(1 for source in row if source not in domain_pages),
+            )
+            for page, row in backlinks.items()
+        ]
+        scored.sort(key=lambda kv: (-kv[1], kv[0]))
+        results[university] = scored[:top_k]
+    return _run(engine, "query4", {"by_university": results})
+
+
+def query5_intra_set_ranking(
+    engine: QueryEngine,
+    phrase: str = "computer music synthesis",
+    tld: str = ".edu",
+    top_k: int = 10,
+) -> QueryResult:
+    """Rank phrase pages by in-links from other phrase pages; output the
+    top ``top_k`` pages whose domain ends in ``tld``."""
+    engine.reset_navigation_time()
+    pages = engine.text.pages_with_phrase(phrase.split())
+    with engine.navigation_timer():
+        counts = induced_link_counts(engine.forward, pages)
+    ranked = [
+        (page, count)
+        for page, count in counts.items()
+        if engine.domain_of(page).endswith(tld)
+    ]
+    ranked.sort(key=lambda kv: (-kv[1], kv[0]))
+    return _run(
+        engine,
+        "query5",
+        {"set_size": len(pages), "top": ranked[:top_k]},
+    )
+
+
+def query6_joint_references(
+    engine: QueryEngine,
+    phrase: str = "optical interferometry",
+    domain_a: str = "stanford.edu",
+    domain_b: str = "berkeley.edu",
+) -> QueryResult:
+    """Pages outside both domains referenced by both phrase sets, ranked by
+    total in-links from the union of the sets."""
+    engine.reset_navigation_time()
+    set_a = engine.phrase_in_domain(phrase, domain_a)
+    set_b = engine.phrase_in_domain(phrase, domain_b)
+    with engine.navigation_timer():
+        rows_a = out_neighborhood_of(engine.forward, set_a)
+        rows_b = out_neighborhood_of(engine.forward, set_b)
+    targets_a: dict[int, int] = {}
+    for row in rows_a.values():
+        for target in row:
+            targets_a[target] = targets_a.get(target, 0) + 1
+    targets_b: dict[int, int] = {}
+    for row in rows_b.values():
+        for target in row:
+            targets_b[target] = targets_b.get(target, 0) + 1
+    joint = []
+    for target in set(targets_a) & set(targets_b):
+        target_domain = engine.domain_of(target)
+        if target_domain in (domain_a, domain_b):
+            continue
+        joint.append((target, targets_a[target] + targets_b[target]))
+    joint.sort(key=lambda kv: (-kv[1], kv[0]))
+    return _run(
+        engine,
+        "query6",
+        {"set_a": len(set_a), "set_b": len(set_b), "result": joint},
+    )
+
+
+#: The Figure 11 workload in paper order.
+PAPER_QUERIES = (
+    ("query1", query1_referred_universities),
+    ("query2", query2_comic_popularity),
+    ("query3", query3_kleinberg_base_set),
+    ("query4", query4_popular_topic_pages),
+    ("query5", query5_intra_set_ranking),
+    ("query6", query6_joint_references),
+)
+
+
+def run_query(engine: QueryEngine, name: str) -> QueryResult:
+    """Run one of the six paper queries by name."""
+    for query_name, query_fn in PAPER_QUERIES:
+        if query_name == name:
+            return query_fn(engine)
+    raise QueryError(f"unknown paper query {name!r}")

@@ -1,0 +1,24 @@
+"""The S-Node representation (the paper's core contribution).
+
+Public entry points:
+
+* :func:`~repro.snode.build.build_snode` -- build a complete on-disk
+  S-Node representation from a :class:`~repro.webdata.corpus.Repository`.
+* :class:`~repro.snode.store.SNodeStore` -- query-facing access object.
+"""
+
+from repro.snode.build import BuildOptions, SNodeBuild, build_snode
+from repro.snode.model import SNodeModel, build_model
+from repro.snode.numbering import Numbering, build_numbering
+from repro.snode.store import SNodeStore
+
+__all__ = [
+    "BuildOptions",
+    "SNodeBuild",
+    "build_snode",
+    "SNodeModel",
+    "build_model",
+    "Numbering",
+    "build_numbering",
+    "SNodeStore",
+]

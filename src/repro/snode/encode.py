@@ -1,0 +1,244 @@
+"""Physical encoders for S-Node components (paper section 3.3).
+
+* The **supernode graph** is Huffman-coded: supernodes appearing often in
+  superedge lists (high in-degree) get short codes.
+* **Intranode graphs** are reference-encoded row collections over local
+  indices.
+* **Superedge graphs** store the sorted list of linked source locals
+  (gap-coded) followed by a reference-encoded row collection for exactly
+  those sources; a leading flag records the positive/negative polarity.
+
+Every payload is byte-aligned so the storage layer can concatenate them
+into index files and hand out (offset, length) pointers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import CodecError
+from repro.snode.model import SNodeModel, SuperedgeGraph
+from repro.snode.reference import (
+    DEFAULT_FULL_AFFINITY_LIMIT,
+    DEFAULT_WINDOW,
+    build_dictionary,
+    decode_rows,
+    encode_rows,
+    plan_references,
+)
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.huffman import HuffmanCodec
+from repro.util.varint import decode_gamma, encode_gamma
+
+
+# ---------------------------------------------------------------------------
+# supernode graph
+# ---------------------------------------------------------------------------
+
+
+def encode_supernode_graph(adjacency: Sequence[Sequence[int]]) -> bytes:
+    """Huffman-encode the supernode adjacency lists.
+
+    In-degree frequencies drive code assignment (paper: "supernodes with
+    high in-degree get smaller codes").  Layout: gamma(n), serialized code
+    lengths, then per supernode gamma(out-degree) + target codes.
+    """
+    n = len(adjacency)
+    frequencies = {i: 0 for i in range(n)}
+    for row in adjacency:
+        for target in row:
+            frequencies[target] += 1
+    writer = BitWriter()
+    encode_gamma(writer, n)
+    if n:
+        codec = HuffmanCodec.from_frequencies(frequencies)
+        codec.serialize_lengths(writer)
+        for row in adjacency:
+            encode_gamma(writer, len(row))
+            codec.encode_sequence(writer, row)
+    return writer.to_bytes()
+
+
+def decode_supernode_graph(data: bytes) -> list[list[int]]:
+    """Inverse of :func:`encode_supernode_graph`."""
+    reader = BitReader(data)
+    n = decode_gamma(reader)
+    if n == 0:
+        return []
+    codec = HuffmanCodec.deserialize_lengths(reader)
+    adjacency: list[list[int]] = []
+    for _ in range(n):
+        degree = decode_gamma(reader)
+        adjacency.append(codec.decode_sequence(reader, degree))
+    return adjacency
+
+
+# ---------------------------------------------------------------------------
+# intranode graphs
+# ---------------------------------------------------------------------------
+
+
+def encode_intranode(
+    rows: Sequence[Sequence[int]],
+    window: int = DEFAULT_WINDOW,
+    full_affinity_limit: int = DEFAULT_FULL_AFFINITY_LIMIT,
+    use_dictionary: bool = True,
+) -> bytes:
+    """Reference-encode one intranode graph (all locals, empties included).
+
+    A per-graph dictionary of recurring local targets (directory hubs, the
+    site's home page, ...) precedes the rows, exactly as in superedge
+    graphs.
+    """
+    writer = BitWriter()
+    dictionary = build_dictionary([list(r) for r in rows]) if use_dictionary else []
+    plan = plan_references(rows, window, full_affinity_limit, dictionary)
+    if not plan.used_dictionary:
+        dictionary = []
+    _encode_locals(writer, dictionary)
+    encode_rows(
+        writer,
+        rows,
+        plan=plan,
+        window=window,
+        full_affinity_limit=full_affinity_limit,
+        dictionary=dictionary,
+    )
+    return writer.to_bytes()
+
+
+def decode_intranode(data: bytes) -> list[list[int]]:
+    """Inverse of :func:`encode_intranode`."""
+    reader = BitReader(data)
+    dictionary = _decode_locals(reader)
+    return decode_rows(reader, dictionary=dictionary)
+
+
+# ---------------------------------------------------------------------------
+# superedge graphs
+# ---------------------------------------------------------------------------
+
+
+def encode_superedge(
+    graph: SuperedgeGraph,
+    window: int = DEFAULT_WINDOW,
+    full_affinity_limit: int = DEFAULT_FULL_AFFINITY_LIMIT,
+    use_dictionary: bool = True,
+) -> bytes:
+    """Encode one superedge graph (either polarity).
+
+    Layout: polarity bit; gamma(#linked sources); gap-coded linked source
+    locals; reference-encoded rows for exactly those sources.
+    """
+    writer = BitWriter()
+    writer.write_bit(1 if graph.negative else 0)
+    if graph.negative:
+        linked = list(graph.linked_sources)
+        rows = [list(graph.rows[local]) for local in linked]
+    else:
+        linked = [local for local, row in enumerate(graph.rows) if row]
+        rows = [list(graph.rows[local]) for local in linked]
+    _encode_locals(writer, linked)
+    dictionary = build_dictionary(rows) if use_dictionary else []
+    plan = plan_references(rows, window, full_affinity_limit, dictionary)
+    if not plan.used_dictionary:
+        dictionary = []
+    _encode_locals(writer, dictionary)
+    encode_rows(
+        writer,
+        rows,
+        plan=plan,
+        window=window,
+        full_affinity_limit=full_affinity_limit,
+        dictionary=dictionary,
+    )
+    return writer.to_bytes()
+
+
+def _encode_locals(writer: BitWriter, locals_list: list[int]) -> None:
+    """Sorted local-index list: gamma gaps or RLE bit vector, cheaper wins."""
+    from repro.util.rle import bitvector_cost, encode_bitvector
+    from repro.util.varint import gamma_cost
+
+    previous = -1
+    gaps_cost = gamma_cost(len(locals_list))
+    for local in locals_list:
+        if local <= previous:
+            raise CodecError("linked sources must be strictly increasing")
+        gaps_cost += gamma_cost(local - previous - 1)
+        previous = local
+    bits: list[int] = []
+    if locals_list:
+        bits = [0] * (locals_list[-1] + 1)
+        for local in locals_list:
+            bits[local] = 1
+    if locals_list and bitvector_cost(bits) < gaps_cost:
+        writer.write_bit(1)
+        encode_bitvector(writer, bits)
+    else:
+        writer.write_bit(0)
+        encode_gamma(writer, len(locals_list))
+        previous = -1
+        for local in locals_list:
+            encode_gamma(writer, local - previous - 1)
+            previous = local
+
+
+def _decode_locals(reader: BitReader) -> list[int]:
+    """Inverse of :func:`_encode_locals`."""
+    from repro.util.rle import decode_bitvector
+
+    if reader.read_bit():
+        bits = decode_bitvector(reader)
+        return [i for i, bit in enumerate(bits) if bit]
+    count = decode_gamma(reader)
+    locals_list: list[int] = []
+    previous = -1
+    for _ in range(count):
+        previous = previous + 1 + decode_gamma(reader)
+        locals_list.append(previous)
+    return locals_list
+
+
+def decode_superedge_payload(data: bytes) -> tuple[bool, list[int], list[list[int]]]:
+    """Decode a superedge payload to (negative?, linked locals, their rows)."""
+    reader = BitReader(data)
+    negative = bool(reader.read_bit())
+    linked = _decode_locals(reader)
+    dictionary = _decode_locals(reader)
+    rows = decode_rows(reader, dictionary=dictionary)
+    if len(rows) != len(linked):
+        raise CodecError("superedge row count mismatch")
+    return negative, linked, rows
+
+
+def positive_rows_from_payload(
+    data: bytes, source_size: int, target_size: int
+) -> list[list[int]]:
+    """Decode a superedge payload straight to positive rows (all sources)."""
+    negative, linked, rows = decode_superedge_payload(data)
+    result: list[list[int]] = [[] for _ in range(source_size)]
+    if negative:
+        for local, missing in zip(linked, rows):
+            absent = set(missing)
+            result[local] = [t for t in range(target_size) if t not in absent]
+    else:
+        for local, row in zip(linked, rows):
+            result[local] = list(row)
+    return result
+
+
+# ---------------------------------------------------------------------------
+# whole-model size accounting (drives Table 1 / Figure 10)
+# ---------------------------------------------------------------------------
+
+#: The paper's Figure 10 counts a 4-byte pointer per supernode-graph vertex
+#: and per superedge on top of the Huffman payload.
+POINTER_BYTES = 4
+
+
+def supernode_graph_size_bytes(model: SNodeModel) -> int:
+    """Huffman payload + 4-byte pointers per vertex and edge (Figure 10)."""
+    payload = len(encode_supernode_graph(model.super_adjacency))
+    pointers = POINTER_BYTES * (model.num_supernodes + model.num_superedges)
+    return payload + pointers

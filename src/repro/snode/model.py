@@ -1,0 +1,192 @@
+"""Logical S-Node model (paper section 2).
+
+Given the Web graph and a partition (via its :class:`Numbering`), this
+module materializes the three graph families of the representation:
+
+* the **supernode graph** — one vertex per partition element, a superedge
+  ``i -> j`` iff some page of i points into j;
+* one **intranode graph** per supernode — links among its own pages, over
+  local indices ``0..size-1``;
+* one **superedge graph** per superedge — either the *positive* bipartite
+  graph (links that exist) or the *negative* one (links that are absent),
+  whichever has fewer edges, as the paper's compactness heuristic dictates.
+
+Rows everywhere are indexed by the source page's local index inside its
+supernode, and row entries are the target page's local index inside the
+*target* supernode.  All ids here are *new* (post-renumbering) ids.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass, field
+
+from repro.errors import BuildError
+from repro.graph.digraph import Digraph
+from repro.snode.numbering import Numbering
+
+
+@dataclass(frozen=True)
+class SuperedgeGraph:
+    """One encoded-side superedge graph: rows over the source supernode.
+
+    ``negative=False``: ``rows[s]`` lists target locals that s links to.
+    ``negative=True``: ``rows[s]`` lists target locals that s does *not*
+    link to — but only for sources with at least one actual link into the
+    target supernode (sources with no links at all stay empty-positive,
+    matching the paper's vertex-set definition of SEdgeNeg, which only
+    contains pages involved in the superedge).
+    """
+
+    source: int
+    target: int
+    negative: bool
+    rows: tuple[tuple[int, ...], ...]
+    # Local indices (in the source supernode) of pages that have at least
+    # one link into the target supernode; only meaningful for negative
+    # graphs, where a missing row must be distinguished from a full row.
+    linked_sources: tuple[int, ...] = ()
+
+    @property
+    def num_edges(self) -> int:
+        """Number of encoded edges (positive links or negative 'holes')."""
+        return sum(len(row) for row in self.rows)
+
+
+@dataclass
+class SNodeModel:
+    """Complete logical S-Node representation (pre-serialization)."""
+
+    numbering: Numbering
+    super_adjacency: list[list[int]]  # supernode graph, i -> sorted js
+    intranode: list[list[list[int]]]  # [supernode][local source] -> locals
+    superedges: dict[tuple[int, int], SuperedgeGraph]
+    positive_count: int = 0
+    negative_count: int = 0
+
+    @property
+    def num_supernodes(self) -> int:
+        """Number of supernodes."""
+        return self.numbering.num_supernodes
+
+    @property
+    def num_superedges(self) -> int:
+        """Number of superedges in the supernode graph."""
+        return sum(len(row) for row in self.super_adjacency)
+
+    def positive_rows(self, source: int, target: int) -> list[list[int]]:
+        """Reconstruct the positive rows of superedge (source, target).
+
+        Inverts the negative encoding when needed — this is the primitive
+        both the store and the correctness tests use.
+        """
+        graph = self.superedges.get((source, target))
+        if graph is None:
+            raise BuildError(f"no superedge {source} -> {target}")
+        return decode_superedge(graph, self.numbering.supernode_size(target))
+
+
+def decode_superedge(graph: SuperedgeGraph, target_size: int) -> list[list[int]]:
+    """Positive rows of a superedge graph, whatever its stored polarity."""
+    if not graph.negative:
+        return [list(row) for row in graph.rows]
+    linked = set(graph.linked_sources)
+    positive: list[list[int]] = []
+    for local, row in enumerate(graph.rows):
+        if local not in linked:
+            positive.append([])
+            continue
+        missing = set(row)
+        positive.append([t for t in range(target_size) if t not in missing])
+    return positive
+
+
+def build_model(
+    graph: Digraph, numbering: Numbering, force_positive: bool = False
+) -> SNodeModel:
+    """Materialize the S-Node model for ``graph`` under ``numbering``.
+
+    ``graph`` must be over *old* page ids; the model is expressed in new
+    ids via the numbering.  ``force_positive`` disables the paper's
+    positive/negative superedge choice (ablation experiment).
+    """
+    if graph.num_vertices != numbering.num_pages:
+        raise BuildError("graph and numbering disagree on page count")
+    n_super = numbering.num_supernodes
+    boundaries = numbering.boundaries
+    intranode: list[list[list[int]]] = [
+        [[] for _ in range(numbering.supernode_size(i))] for i in range(n_super)
+    ]
+    positive: dict[tuple[int, int], list[list[int]]] = {}
+    super_adjacency: list[set[int]] = [set() for _ in range(n_super)]
+
+    for new_source in range(numbering.num_pages):
+        old_source = numbering.new_to_old[new_source]
+        source_super, source_local = numbering.local_index(new_source)
+        for old_target in graph.successors(old_source):
+            new_target = numbering.old_to_new[int(old_target)]
+            target_super = numbering.supernode_of(new_target)
+            target_local = new_target - boundaries[target_super]
+            if target_super == source_super:
+                intranode[source_super][source_local].append(target_local)
+            else:
+                key = (source_super, target_super)
+                rows = positive.get(key)
+                if rows is None:
+                    rows = [
+                        []
+                        for _ in range(numbering.supernode_size(source_super))
+                    ]
+                    positive[key] = rows
+                rows[source_local].append(target_local)
+                super_adjacency[source_super].add(target_super)
+
+    for rows in intranode:
+        for row in rows:
+            row.sort()
+
+    superedges: dict[tuple[int, int], SuperedgeGraph] = {}
+    positive_count = 0
+    negative_count = 0
+    for (source, target), rows in positive.items():
+        for row in rows:
+            row.sort()
+        target_size = numbering.supernode_size(target)
+        linked = [local for local, row in enumerate(rows) if row]
+        positive_edges = sum(len(rows[local]) for local in linked)
+        negative_edges = len(linked) * target_size - positive_edges
+        if negative_edges < positive_edges and not force_positive:
+            negative_rows: list[tuple[int, ...]] = []
+            for local, row in enumerate(rows):
+                if not row:
+                    negative_rows.append(())
+                    continue
+                present = set(row)
+                negative_rows.append(
+                    tuple(t for t in range(target_size) if t not in present)
+                )
+            superedges[(source, target)] = SuperedgeGraph(
+                source=source,
+                target=target,
+                negative=True,
+                rows=tuple(negative_rows),
+                linked_sources=tuple(linked),
+            )
+            negative_count += 1
+        else:
+            superedges[(source, target)] = SuperedgeGraph(
+                source=source,
+                target=target,
+                negative=False,
+                rows=tuple(tuple(row) for row in rows),
+            )
+            positive_count += 1
+
+    return SNodeModel(
+        numbering=numbering,
+        super_adjacency=[sorted(adj) for adj in super_adjacency],
+        intranode=intranode,
+        superedges=superedges,
+        positive_count=positive_count,
+        negative_count=negative_count,
+    )

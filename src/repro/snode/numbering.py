@@ -1,0 +1,104 @@
+"""Page and supernode numbering (paper section 3.3).
+
+Rules, verbatim from the paper:
+
+1. supernodes are numbered ``0..n-1`` (we order them deterministically by
+   (domain, smallest member URL) instead of "arbitrarily");
+2. pages are renumbered so that (i) pages of a lower-numbered supernode
+   come first and (ii) within a supernode pages are ordered by the
+   lexicographic ordering of their URLs.
+
+Each supernode therefore owns a *contiguous range* of new page ids, and the
+PageID index is nothing more than the sorted array of range boundaries —
+mapping a page id to its supernode is one binary search.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+from repro.errors import BuildError
+from repro.partition.partition import Partition
+from repro.webdata.corpus import Repository
+from repro.webdata.urls import lexicographic_key
+
+
+@dataclass(frozen=True)
+class Numbering:
+    """Bidirectional page renumbering plus the PageID range index."""
+
+    old_to_new: tuple[int, ...]
+    new_to_old: tuple[int, ...]
+    boundaries: tuple[int, ...]  # boundaries[i] = first new id of supernode i
+    supernode_domains: tuple[str, ...]
+
+    @property
+    def num_pages(self) -> int:
+        """Number of pages renumbered."""
+        return len(self.old_to_new)
+
+    @property
+    def num_supernodes(self) -> int:
+        """Number of supernodes."""
+        return len(self.boundaries) - 1
+
+    def supernode_of(self, new_page_id: int) -> int:
+        """PageID index lookup: supernode containing a (new) page id."""
+        if not 0 <= new_page_id < self.num_pages:
+            raise BuildError(f"page id {new_page_id} out of range")
+        return bisect.bisect_right(self.boundaries, new_page_id) - 1
+
+    def supernode_range(self, supernode: int) -> tuple[int, int]:
+        """(first, past-last) new page ids owned by ``supernode``."""
+        if not 0 <= supernode < self.num_supernodes:
+            raise BuildError(f"supernode {supernode} out of range")
+        return self.boundaries[supernode], self.boundaries[supernode + 1]
+
+    def supernode_size(self, supernode: int) -> int:
+        """Number of pages in ``supernode``."""
+        first, last = self.supernode_range(supernode)
+        return last - first
+
+    def local_index(self, new_page_id: int) -> tuple[int, int]:
+        """(supernode, index-within-supernode) of a new page id."""
+        supernode = self.supernode_of(new_page_id)
+        return supernode, new_page_id - self.boundaries[supernode]
+
+
+def build_numbering(repository: Repository, partition: Partition) -> Numbering:
+    """Apply the paper's two ordering rules to produce a :class:`Numbering`."""
+    if partition.num_pages != repository.num_pages:
+        raise BuildError("partition does not cover this repository")
+    elements = partition.elements()
+    # Deterministic supernode order: by (domain, smallest URL key inside).
+    def element_key(index: int) -> tuple[str, str]:
+        element = elements[index]
+        first_key = min(
+            lexicographic_key(repository.page(page).url) for page in element.pages
+        )
+        return (element.domain, first_key)
+
+    order = sorted(range(len(elements)), key=element_key)
+    old_to_new = [0] * repository.num_pages
+    new_to_old: list[int] = []
+    boundaries = [0]
+    domains: list[str] = []
+    for element_index in order:
+        element = elements[element_index]
+        members = sorted(
+            element.pages,
+            key=lambda page: lexicographic_key(repository.page(page).url),
+        )
+        for member in members:
+            old_to_new[member] = len(new_to_old)
+            new_to_old.append(member)
+        boundaries.append(len(new_to_old))
+        domains.append(element.domain)
+    return Numbering(
+        old_to_new=tuple(old_to_new),
+        new_to_old=tuple(new_to_old),
+        boundaries=tuple(boundaries),
+        supernode_domains=tuple(domains),
+    )

@@ -1,0 +1,281 @@
+"""On-disk organization of an S-Node representation (paper section 3.3).
+
+Directory layout::
+
+    <root>/
+      manifest.json     build metadata + file table + component sizes
+      supernode.bin     Huffman-coded supernode graph
+      pointers.bin      per-intranode and per-superedge (file, offset, len)
+      pageid.bin        PageID index: supernode boundary array
+      newid.bin         new-id -> old-id permutation (4-byte LE each)
+      domain.json       domain -> sorted list of supernode ids
+      index_000.dat ... payload files, each at most ``max_file_bytes``
+
+Payloads follow the paper's **linear ordering** (Figure 8): the intranode
+graph of supernode i is immediately followed by every superedge graph
+``(i, j)`` in ascending j, so a query touching supernode i reads one
+contiguous region.  A graph never straddles two index files ("we ensured
+that a given intranode or superedge graph was completely located within a
+single file").
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.snode.encode import encode_superedge, encode_intranode, encode_supernode_graph
+from repro.snode.model import SNodeModel
+from repro.util.varint import decode_vbyte, encode_vbyte
+
+MANIFEST_NAME = "manifest.json"
+SUPERNODE_NAME = "supernode.bin"
+POINTERS_NAME = "pointers.bin"
+PAGEID_NAME = "pageid.bin"
+NEWID_NAME = "newid.bin"
+DOMAIN_NAME = "domain.json"
+FORMAT_VERSION = 1
+
+#: Scaled-down analogue of the paper's 500 MB index-file cap.
+DEFAULT_MAX_FILE_BYTES = 4 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class GraphLocation:
+    """Where one encoded graph lives: payload file index, offset, length."""
+
+    file_index: int
+    offset: int
+    length: int
+
+
+@dataclass
+class StorageLayout:
+    """Deserialized pointer tables of a stored representation."""
+
+    intranode: list[GraphLocation]
+    superedge: dict[tuple[int, int], tuple[GraphLocation, bool]]  # +polarity
+    boundaries: list[int]
+    new_to_old: list[int]
+    domains: dict[str, list[int]]
+    super_adjacency_bytes: bytes
+    index_files: list[str]
+    manifest: dict
+
+
+class _PayloadWriter:
+    """Appends byte-aligned payloads across size-capped index files."""
+
+    def __init__(self, root: Path, max_file_bytes: int) -> None:
+        self._root = root
+        self._max = max_file_bytes
+        self._files: list[str] = []
+        self._current: bytearray = bytearray()
+
+    def _rotate(self) -> None:
+        name = f"index_{len(self._files):03d}.dat"
+        (self._root / name).write_bytes(bytes(self._current))
+        self._files.append(name)
+        self._current = bytearray()
+
+    def append(self, payload: bytes) -> GraphLocation:
+        if len(payload) > self._max:
+            # A single graph larger than the cap still gets its own file.
+            if self._current:
+                self._rotate()
+            location = GraphLocation(len(self._files), 0, len(payload))
+            self._current.extend(payload)
+            self._rotate()
+            return location
+        if len(self._current) + len(payload) > self._max and self._current:
+            self._rotate()
+        location = GraphLocation(
+            len(self._files), len(self._current), len(payload)
+        )
+        self._current.extend(payload)
+        return location
+
+    def finish(self) -> list[str]:
+        if self._current or not self._files:
+            self._rotate()
+        return self._files
+
+
+def write_snode(
+    model: SNodeModel,
+    root: Path | str,
+    max_file_bytes: int = DEFAULT_MAX_FILE_BYTES,
+    window: int = 8,
+    full_affinity_limit: int = 96,
+    use_dictionary: bool = True,
+) -> dict:
+    """Serialize ``model`` under directory ``root``; returns the manifest."""
+    root = Path(root)
+    root.mkdir(parents=True, exist_ok=True)
+    numbering = model.numbering
+    writer = _PayloadWriter(root, max_file_bytes)
+
+    intranode_locations: list[GraphLocation] = []
+    superedge_locations: dict[tuple[int, int], tuple[GraphLocation, bool]] = {}
+    payload_bytes = 0
+    intranode_bytes = 0
+    superedge_bytes = 0
+
+    for supernode in range(model.num_supernodes):
+        payload = encode_intranode(
+            model.intranode[supernode],
+            window=window,
+            full_affinity_limit=full_affinity_limit,
+            use_dictionary=use_dictionary,
+        )
+        intranode_locations.append(writer.append(payload))
+        payload_bytes += len(payload)
+        intranode_bytes += len(payload)
+        # Linear ordering: this supernode's superedge graphs come right after.
+        for target in model.super_adjacency[supernode]:
+            graph = model.superedges[(supernode, target)]
+            payload = encode_superedge(
+                graph,
+                window=window,
+                full_affinity_limit=full_affinity_limit,
+                use_dictionary=use_dictionary,
+            )
+            superedge_locations[(supernode, target)] = (
+                writer.append(payload),
+                graph.negative,
+            )
+            payload_bytes += len(payload)
+            superedge_bytes += len(payload)
+    index_files = writer.finish()
+
+    supernode_payload = encode_supernode_graph(model.super_adjacency)
+    (root / SUPERNODE_NAME).write_bytes(supernode_payload)
+
+    pointer_blob = _encode_pointers(model, intranode_locations, superedge_locations)
+    (root / POINTERS_NAME).write_bytes(pointer_blob)
+
+    boundary_blob = bytearray()
+    previous = 0
+    for boundary in numbering.boundaries:
+        boundary_blob.extend(encode_vbyte(boundary - previous))
+        previous = boundary
+    (root / PAGEID_NAME).write_bytes(bytes(boundary_blob))
+
+    (root / NEWID_NAME).write_bytes(
+        struct.pack(f"<{numbering.num_pages}I", *numbering.new_to_old)
+    )
+
+    domains: dict[str, list[int]] = {}
+    for supernode, domain in enumerate(numbering.supernode_domains):
+        domains.setdefault(domain, []).append(supernode)
+    (root / DOMAIN_NAME).write_text(json.dumps(domains, sort_keys=True))
+
+    manifest = {
+        "version": FORMAT_VERSION,
+        "num_pages": numbering.num_pages,
+        "num_supernodes": model.num_supernodes,
+        "num_superedges": model.num_superedges,
+        "positive_superedges": model.positive_count,
+        "negative_superedges": model.negative_count,
+        "index_files": index_files,
+        "payload_bytes": payload_bytes,
+        "intranode_bytes": intranode_bytes,
+        "superedge_bytes": superedge_bytes,
+        "supernode_graph_bytes": len(supernode_payload),
+        "pointer_bytes": len(pointer_blob),
+        "pageid_bytes": (root / PAGEID_NAME).stat().st_size,
+        "window": window,
+        "full_affinity_limit": full_affinity_limit,
+    }
+    (root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    return manifest
+
+
+def _encode_pointers(
+    model: SNodeModel,
+    intranode: list[GraphLocation],
+    superedge: dict[tuple[int, int], tuple[GraphLocation, bool]],
+) -> bytes:
+    blob = bytearray()
+    for location in intranode:
+        blob.extend(encode_vbyte(location.file_index))
+        blob.extend(encode_vbyte(location.offset))
+        blob.extend(encode_vbyte(location.length))
+    for source in range(model.num_supernodes):
+        for target in model.super_adjacency[source]:
+            location, negative = superedge[(source, target)]
+            blob.extend(encode_vbyte(location.file_index))
+            blob.extend(encode_vbyte(location.offset))
+            blob.extend(encode_vbyte(location.length))
+            blob.extend(encode_vbyte(1 if negative else 0))
+    return bytes(blob)
+
+
+def read_layout(root: Path | str) -> StorageLayout:
+    """Load manifest, pointer tables and indexes (not the payloads)."""
+    root = Path(root)
+    manifest_path = root / MANIFEST_NAME
+    if not manifest_path.exists():
+        raise StorageError(f"no S-Node manifest under {root}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("version") != FORMAT_VERSION:
+        raise StorageError(f"unsupported format version {manifest.get('version')}")
+
+    boundary_blob = (root / PAGEID_NAME).read_bytes()
+    boundaries: list[int] = []
+    position = 0
+    value = 0
+    while position < len(boundary_blob):
+        delta, position = decode_vbyte(boundary_blob, position)
+        value += delta
+        boundaries.append(value)
+    num_supernodes = manifest["num_supernodes"]
+    if len(boundaries) != num_supernodes + 1:
+        raise StorageError("PageID index does not match supernode count")
+
+    newid_blob = (root / NEWID_NAME).read_bytes()
+    num_pages = manifest["num_pages"]
+    new_to_old = list(struct.unpack(f"<{num_pages}I", newid_blob))
+
+    domains = {
+        domain: list(supernodes)
+        for domain, supernodes in json.loads((root / DOMAIN_NAME).read_text()).items()
+    }
+
+    super_adjacency_bytes = (root / SUPERNODE_NAME).read_bytes()
+    from repro.snode.encode import decode_supernode_graph
+
+    adjacency = decode_supernode_graph(super_adjacency_bytes)
+    pointer_blob = (root / POINTERS_NAME).read_bytes()
+    position = 0
+    intranode: list[GraphLocation] = []
+    for _ in range(num_supernodes):
+        file_index, position = decode_vbyte(pointer_blob, position)
+        offset, position = decode_vbyte(pointer_blob, position)
+        length, position = decode_vbyte(pointer_blob, position)
+        intranode.append(GraphLocation(file_index, offset, length))
+    superedge: dict[tuple[int, int], tuple[GraphLocation, bool]] = {}
+    for source in range(num_supernodes):
+        for target in adjacency[source]:
+            file_index, position = decode_vbyte(pointer_blob, position)
+            offset, position = decode_vbyte(pointer_blob, position)
+            length, position = decode_vbyte(pointer_blob, position)
+            negative, position = decode_vbyte(pointer_blob, position)
+            superedge[(source, target)] = (
+                GraphLocation(file_index, offset, length),
+                bool(negative),
+            )
+
+    return StorageLayout(
+        intranode=intranode,
+        superedge=superedge,
+        boundaries=boundaries,
+        new_to_old=new_to_old,
+        domains=domains,
+        super_adjacency_bytes=super_adjacency_bytes,
+        index_files=manifest["index_files"],
+        manifest=manifest,
+    )

@@ -1,0 +1,327 @@
+"""Query-facing access to a stored S-Node representation.
+
+An :class:`SNodeStore` mirrors the paper's runtime organization:
+
+* the supernode graph, PageID index and domain index are loaded once and
+  *pinned* in memory ("akin to the root node of B-tree indexes");
+* intranode and superedge graphs are loaded and decoded on demand through
+  a byte-budgeted LRU buffer manager;
+* every load/unload is appended to an instrumentation log — the paper's
+  section 4.3 analysis ("Query 1 required access to only 8 intranode
+  graphs and 32 superedge graphs") is reproduced from this log;
+* disk seeks are counted: a read that does not continue exactly where the
+  previous read on the same file ended counts as one seek, which is how
+  the benefit of the linear ordering (Figure 8) becomes measurable.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.snode.encode import decode_intranode, decode_supernode_graph, positive_rows_from_payload
+from repro.snode.storage import GraphLocation, StorageLayout, read_layout
+from repro.util.lru import LRUCache
+
+#: Default buffer budget, a scaled analogue of the paper's 325 MB bound.
+DEFAULT_BUFFER_BYTES = 8 * 1024 * 1024
+
+# Cost model for decoded graphs held in the buffer: 8 bytes per edge entry
+# plus 4 bytes per row, approximating compact array storage.
+_EDGE_COST = 8
+_ROW_COST = 4
+
+
+@dataclass
+class StoreStats:
+    """Counters + event log accumulated while serving queries."""
+
+    graphs_loaded: int = 0
+    graphs_evicted: int = 0
+    intranode_loads: int = 0
+    superedge_loads: int = 0
+    bytes_read: int = 0
+    disk_seeks: int = 0
+    buffer_hits: int = 0
+    events: list[tuple[str, tuple]] = field(default_factory=list)
+
+    def reset(self) -> None:
+        """Zero every counter and clear the event log."""
+        self.graphs_loaded = 0
+        self.graphs_evicted = 0
+        self.intranode_loads = 0
+        self.superedge_loads = 0
+        self.bytes_read = 0
+        self.disk_seeks = 0
+        self.buffer_hits = 0
+        self.events.clear()
+
+    def distinct_loaded(self) -> tuple[int, int]:
+        """(#distinct intranode, #distinct superedge) graphs ever loaded."""
+        intranode = {key for kind, key in self.events if kind == "load-intra"}
+        superedge = {key for kind, key in self.events if kind == "load-super"}
+        return len(intranode), len(superedge)
+
+
+class SNodeStore:
+    """Random access to adjacency lists of a stored S-Node representation."""
+
+    def __init__(
+        self,
+        root: Path | str,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        record_events: bool = True,
+        cache_decoded: bool = True,
+    ) -> None:
+        """Open a stored representation.
+
+        ``cache_decoded=True`` (default) buffers decoded graphs — the
+        query-serving configuration.  ``cache_decoded=False`` buffers the
+        *encoded* payload bytes instead and decodes on every access; this
+        is the Table 2 protocol ("time to decode and extract adjacency
+        lists assuming the graph representation has already been loaded
+        into memory").
+        """
+        self._root = Path(root)
+        self._layout: StorageLayout = read_layout(self._root)
+        self._super_adjacency = decode_supernode_graph(
+            self._layout.super_adjacency_bytes
+        )
+        self._boundaries = self._layout.boundaries
+        self._record_events = record_events
+        self._cache_decoded = cache_decoded
+        self.stats = StoreStats()
+        self._cache: LRUCache = LRUCache(buffer_bytes, on_evict=self._on_evict)
+        self._handles: dict[int, object] = {}
+        self._last_read_end: dict[int, int] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Close open payload file handles."""
+        for handle in self._handles.values():
+            handle.close()  # type: ignore[attr-defined]
+        self._handles.clear()
+
+    def __enter__(self) -> "SNodeStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- pinned structures ---------------------------------------------------
+
+    @property
+    def num_pages(self) -> int:
+        """Total pages represented."""
+        return self._layout.manifest["num_pages"]
+
+    @property
+    def num_supernodes(self) -> int:
+        """Supernode count."""
+        return len(self._boundaries) - 1
+
+    @property
+    def super_adjacency(self) -> list[list[int]]:
+        """The pinned supernode graph (decoded adjacency lists)."""
+        return self._super_adjacency
+
+    @property
+    def manifest(self) -> dict:
+        """Build manifest (sizes, counts)."""
+        return self._layout.manifest
+
+    @property
+    def new_to_old(self) -> list[int]:
+        """Permutation mapping new (stored) page ids to repository ids."""
+        return self._layout.new_to_old
+
+    def supernode_of(self, page: int) -> int:
+        """PageID-index lookup."""
+        if not 0 <= page < self.num_pages:
+            raise StorageError(f"page {page} out of range")
+        return bisect.bisect_right(self._boundaries, page) - 1
+
+    def supernode_range(self, supernode: int) -> tuple[int, int]:
+        """(first, past-last) page ids of ``supernode``."""
+        return self._boundaries[supernode], self._boundaries[supernode + 1]
+
+    def supernodes_of_domain(self, domain: str) -> list[int]:
+        """Domain-index lookup: supernodes holding pages of ``domain``."""
+        return list(self._layout.domains.get(domain.lower(), []))
+
+    # -- buffer manager ---------------------------------------------------------
+
+    def _on_evict(self, key, value) -> None:
+        self.stats.graphs_evicted += 1
+        if self._record_events:
+            self.stats.events.append(("unload", key))
+
+    def _read_payload(self, location: GraphLocation) -> bytes:
+        handle = self._handles.get(location.file_index)
+        if handle is None:
+            name = self._layout.index_files[location.file_index]
+            handle = open(self._root / name, "rb")
+            self._handles[location.file_index] = handle
+        if self._last_read_end.get(location.file_index) != location.offset:
+            self.stats.disk_seeks += 1
+        handle.seek(location.offset)  # type: ignore[attr-defined]
+        payload = handle.read(location.length)  # type: ignore[attr-defined]
+        if len(payload) != location.length:
+            raise StorageError("short read from index file")
+        self._last_read_end[location.file_index] = location.offset + location.length
+        self.stats.bytes_read += location.length
+        return payload
+
+    def _graph_cost(self, rows: list[list[int]]) -> int:
+        return _ROW_COST * len(rows) + _EDGE_COST * sum(len(r) for r in rows)
+
+    def intranode_rows(self, supernode: int) -> list[list[int]]:
+        """Decoded intranode graph of ``supernode`` (local target indices)."""
+        key = ("intra", supernode)
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.buffer_hits += 1
+            if not self._cache_decoded:
+                return decode_intranode(cached)
+            return cached
+        payload = self._read_payload(self._layout.intranode[supernode])
+        rows = decode_intranode(payload)
+        if self._cache_decoded:
+            self._cache.put(key, rows, self._graph_cost(rows))
+        else:
+            self._cache.put(key, payload, len(payload))
+        self.stats.graphs_loaded += 1
+        self.stats.intranode_loads += 1
+        if self._record_events:
+            self.stats.events.append(("load-intra", (supernode,)))
+        return rows
+
+    def superedge_rows(self, source: int, target: int) -> list[list[int]]:
+        """Positive rows of superedge (source, target), decoded on demand."""
+        key = ("super", source, target)
+        source_size = self._boundaries[source + 1] - self._boundaries[source]
+        target_size = self._boundaries[target + 1] - self._boundaries[target]
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.stats.buffer_hits += 1
+            if not self._cache_decoded:
+                return positive_rows_from_payload(cached, source_size, target_size)
+            return cached
+        entry = self._layout.superedge.get((source, target))
+        if entry is None:
+            raise StorageError(f"no superedge {source} -> {target}")
+        location, _negative = entry
+        payload = self._read_payload(location)
+        rows = positive_rows_from_payload(payload, source_size, target_size)
+        if self._cache_decoded:
+            self._cache.put(key, rows, self._graph_cost(rows))
+        else:
+            self._cache.put(key, payload, len(payload))
+        self.stats.graphs_loaded += 1
+        self.stats.superedge_loads += 1
+        if self._record_events:
+            self.stats.events.append(("load-super", (source, target)))
+        return rows
+
+    # -- adjacency access ---------------------------------------------------------
+
+    def out_neighbors(self, page: int) -> list[int]:
+        """Complete adjacency list of ``page`` in (new) page-id space.
+
+        Assembles the list from the intranode graph plus every outgoing
+        superedge graph of the page's supernode, exactly the paper's
+        "adjacency lists are partitioned across multiple smaller graphs".
+        """
+        supernode = self.supernode_of(page)
+        first = self._boundaries[supernode]
+        local = page - first
+        result = [first + t for t in self.intranode_rows(supernode)[local]]
+        for target_super in self._super_adjacency[supernode]:
+            rows = self.superedge_rows(supernode, target_super)
+            base = self._boundaries[target_super]
+            result.extend(base + t for t in rows[local])
+        result.sort()
+        return result
+
+    def out_neighbors_many(self, pages: list[int]) -> dict[int, list[int]]:
+        """Adjacency lists for several pages, grouped to reuse loads.
+
+        Pages are processed supernode-by-supernode so each intranode /
+        superedge graph is decoded once per group rather than per page.
+        """
+        by_super: dict[int, list[int]] = {}
+        for page in pages:
+            by_super.setdefault(self.supernode_of(page), []).append(page)
+        result: dict[int, list[int]] = {}
+        for supernode in sorted(by_super):
+            first = self._boundaries[supernode]
+            intra = self.intranode_rows(supernode)
+            super_rows = [
+                (self._boundaries[t], self.superedge_rows(supernode, t))
+                for t in self._super_adjacency[supernode]
+            ]
+            for page in by_super[supernode]:
+                local = page - first
+                row = [first + t for t in intra[local]]
+                for base, rows in super_rows:
+                    row.extend(base + t for t in rows[local])
+                row.sort()
+                result[page] = row
+        return result
+
+    def iterate_all(self):
+        """Yield (page, adjacency list) for every page in id order.
+
+        Sequential-access path used by the Table 2 experiment; walks
+        supernodes in order so payload reads follow the linear layout.
+        """
+        for supernode in range(self.num_supernodes):
+            first = self._boundaries[supernode]
+            size = self._boundaries[supernode + 1] - first
+            intra = self.intranode_rows(supernode)
+            super_rows = [
+                (self._boundaries[t], self.superedge_rows(supernode, t))
+                for t in self._super_adjacency[supernode]
+            ]
+            for local in range(size):
+                row = [first + t for t in intra[local]]
+                for base, rows in super_rows:
+                    row.extend(base + t for t in rows[local])
+                row.sort()
+                yield first + local, row
+
+    def load_digraph(self):
+        """Decode the entire representation into an in-memory CSR graph.
+
+        This is the paper's *global access* path: the compressed
+        representation is small enough to stream into memory wholesale,
+        after which PageRank / SCC / trawling run on plain arrays.  Vertex
+        ids are the store's (new) page ids; translate through
+        :attr:`new_to_old` when repository ids are needed.
+        """
+        from repro.graph.digraph import GraphBuilder
+
+        builder = GraphBuilder(self.num_pages)
+        for page, row in self.iterate_all():
+            for target in row:
+                builder.add_edge(page, target)
+        return builder.build()
+
+    # -- maintenance ---------------------------------------------------------
+
+    def drop_buffers(self) -> None:
+        """Empty the buffer manager (cold-cache experiment resets)."""
+        self._cache.clear()
+        self._last_read_end.clear()
+
+    def set_buffer_bytes(self, buffer_bytes: int) -> None:
+        """Reconfigure the buffer budget (Figure 12 sweep)."""
+        self._cache = LRUCache(buffer_bytes, on_evict=self._on_evict)
+        self._last_read_end.clear()
+
+    def buffer_stats(self) -> dict[str, int]:
+        """Buffer-manager counters."""
+        return self._cache.stats()

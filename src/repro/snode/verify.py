@@ -1,0 +1,162 @@
+"""Integrity verification for a stored S-Node representation.
+
+``verify_snode`` checks everything short of re-deriving the original Web
+graph: manifest consistency, pointer-table sanity (extents inside their
+files, the Figure-8 linear ordering), PageID-index monotonicity, and —
+optionally — that every intranode and superedge payload actually decodes
+and has rows matching its supernode's size.
+
+Returns a :class:`VerificationReport`; ``report.ok`` is True when no
+problem was found.  This is the tool a repository operator runs after
+copying index files between machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from struct import error as struct_error
+
+from repro.errors import ReproError, StorageError
+from repro.snode.encode import decode_intranode, decode_superedge_payload
+from repro.snode.storage import StorageLayout, read_layout
+
+
+@dataclass
+class VerificationReport:
+    """Findings of one verification pass."""
+
+    problems: list[str] = field(default_factory=list)
+    graphs_checked: int = 0
+
+    @property
+    def ok(self) -> bool:
+        """True when no problem was found."""
+        return not self.problems
+
+    def add(self, problem: str) -> None:
+        """Record one problem."""
+        self.problems.append(problem)
+
+
+def verify_snode(root: Path | str, decode_payloads: bool = True) -> VerificationReport:
+    """Verify the representation stored under ``root``."""
+    root = Path(root)
+    report = VerificationReport()
+    try:
+        layout = read_layout(root)
+    except (ReproError, OSError, ValueError, KeyError, struct_error) as exc:
+        report.add(f"layout unreadable: {exc!r}")
+        return report
+
+    _check_boundaries(layout, report)
+    file_sizes = _check_files(root, layout, report)
+    _check_pointers(layout, file_sizes, report)
+    if decode_payloads and report.ok:
+        _check_payloads(root, layout, report)
+    return report
+
+
+def _check_boundaries(layout: StorageLayout, report: VerificationReport) -> None:
+    boundaries = layout.boundaries
+    if boundaries[0] != 0:
+        report.add("PageID index does not start at 0")
+    if any(b > a for a, b in zip(boundaries[1:], boundaries)):
+        report.add("PageID index is not non-decreasing")
+    if boundaries[-1] != layout.manifest["num_pages"]:
+        report.add(
+            f"PageID index covers {boundaries[-1]} pages, manifest says "
+            f"{layout.manifest['num_pages']}"
+        )
+    if sorted(layout.new_to_old) != list(range(layout.manifest["num_pages"])):
+        report.add("new-id map is not a permutation of the page ids")
+
+
+def _check_files(
+    root: Path, layout: StorageLayout, report: VerificationReport
+) -> list[int]:
+    sizes = []
+    for name in layout.index_files:
+        path = root / name
+        if not path.exists():
+            report.add(f"missing index file {name}")
+            sizes.append(0)
+        else:
+            sizes.append(path.stat().st_size)
+    total = sum(sizes)
+    if total != layout.manifest["payload_bytes"]:
+        report.add(
+            f"index files hold {total} bytes, manifest says "
+            f"{layout.manifest['payload_bytes']}"
+        )
+    return sizes
+
+
+def _check_pointers(
+    layout: StorageLayout, file_sizes: list[int], report: VerificationReport
+) -> None:
+    sequence = []
+    for supernode, location in enumerate(layout.intranode):
+        sequence.append(("intranode", supernode, location))
+    for key, (location, _negative) in layout.superedge.items():
+        sequence.append(("superedge", key, location))
+    for kind, key, location in sequence:
+        if location.file_index >= len(file_sizes):
+            report.add(f"{kind} {key} points at missing file {location.file_index}")
+            continue
+        if location.offset + location.length > file_sizes[location.file_index]:
+            report.add(
+                f"{kind} {key} extent [{location.offset}, "
+                f"{location.offset + location.length}) exceeds file "
+                f"{location.file_index} of {file_sizes[location.file_index]} bytes"
+            )
+
+
+def _check_payloads(
+    root: Path, layout: StorageLayout, report: VerificationReport
+) -> None:
+    handles = {
+        index: open(root / name, "rb")
+        for index, name in enumerate(layout.index_files)
+    }
+    try:
+        for supernode, location in enumerate(layout.intranode):
+            handle = handles[location.file_index]
+            handle.seek(location.offset)
+            payload = handle.read(location.length)
+            size = layout.boundaries[supernode + 1] - layout.boundaries[supernode]
+            try:
+                rows = decode_intranode(payload)
+            except Exception as exc:  # noqa: BLE001 - report, don't crash
+                report.add(f"intranode {supernode} does not decode: {exc}")
+                continue
+            if len(rows) != size:
+                report.add(
+                    f"intranode {supernode} has {len(rows)} rows, supernode "
+                    f"holds {size} pages"
+                )
+            report.graphs_checked += 1
+        for (source, target), (location, negative) in layout.superedge.items():
+            handle = handles[location.file_index]
+            handle.seek(location.offset)
+            payload = handle.read(location.length)
+            try:
+                decoded_negative, linked, _rows = decode_superedge_payload(payload)
+            except Exception as exc:  # noqa: BLE001
+                report.add(f"superedge {source}->{target} does not decode: {exc}")
+                continue
+            if decoded_negative != negative:
+                report.add(
+                    f"superedge {source}->{target} polarity flag disagrees "
+                    "with pointer table"
+                )
+            source_size = layout.boundaries[source + 1] - layout.boundaries[source]
+            if linked and linked[-1] >= source_size:
+                report.add(
+                    f"superedge {source}->{target} lists source local "
+                    f"{linked[-1]} beyond supernode size {source_size}"
+                )
+            report.graphs_checked += 1
+    finally:
+        for handle in handles.values():
+            handle.close()

@@ -1,0 +1,253 @@
+"""Integer codes used throughout the compressed representations.
+
+The paper's encoders lean on a small toolbox of classical codes
+("Managing Gigabytes", Witten/Moffat/Bell):
+
+* unary            - tiny values (flags, short runs)
+* Elias gamma      - gap-encoded adjacency lists (the workhorse)
+* Elias delta      - larger gaps / lengths
+* Golomb/Rice      - runs with a known density (RLE bit vectors)
+* variable-byte    - byte-aligned offsets in index files
+* nybble           - the 4-bit-at-a-time code used by the Link3 scheme
+* minimal binary   - values with a known exclusive upper bound
+
+All codes here operate on *non-negative* integers.  Gamma and delta cannot
+represent 0 natively, so the encode/decode pair applies a +1/-1 shift: the
+caller works with values >= 0.
+"""
+
+from __future__ import annotations
+
+from repro.errors import CodecError
+from repro.util.bitio import BitReader, BitWriter
+
+# ---------------------------------------------------------------------------
+# unary
+# ---------------------------------------------------------------------------
+
+
+def encode_unary(writer: BitWriter, value: int) -> None:
+    """Write ``value`` as a unary code (value zero bits then a one bit)."""
+    if value < 0:
+        raise CodecError(f"unary cannot encode {value}")
+    writer.write_unary(value)
+
+
+def decode_unary(reader: BitReader) -> int:
+    """Read a unary code."""
+    return reader.read_unary()
+
+
+# ---------------------------------------------------------------------------
+# Elias gamma
+# ---------------------------------------------------------------------------
+
+
+def encode_gamma(writer: BitWriter, value: int) -> None:
+    """Write ``value >= 0`` as an Elias gamma code (internally shifted +1)."""
+    if value < 0:
+        raise CodecError(f"gamma cannot encode {value}")
+    shifted = value + 1
+    width = shifted.bit_length()
+    writer.write_unary(width - 1)
+    # The leading 1 bit is implied by the unary prefix; write the rest.
+    writer.write_bits(shifted - (1 << (width - 1)), width - 1)
+
+
+def decode_gamma(reader: BitReader) -> int:
+    """Read an Elias gamma code written by :func:`encode_gamma`."""
+    width = reader.read_unary()
+    rest = reader.read_bits(width) if width else 0
+    return (1 << width) + rest - 1
+
+
+def gamma_cost(value: int) -> int:
+    """Number of bits :func:`encode_gamma` uses for ``value`` (>= 0)."""
+    if value < 0:
+        raise CodecError(f"gamma cannot encode {value}")
+    return 2 * (value + 1).bit_length() - 1
+
+
+# ---------------------------------------------------------------------------
+# Elias delta
+# ---------------------------------------------------------------------------
+
+
+def encode_delta(writer: BitWriter, value: int) -> None:
+    """Write ``value >= 0`` as an Elias delta code (internally shifted +1)."""
+    if value < 0:
+        raise CodecError(f"delta cannot encode {value}")
+    shifted = value + 1
+    width = shifted.bit_length()
+    encode_gamma(writer, width - 1)
+    writer.write_bits(shifted - (1 << (width - 1)), width - 1)
+
+
+def decode_delta(reader: BitReader) -> int:
+    """Read an Elias delta code written by :func:`encode_delta`."""
+    width = decode_gamma(reader)
+    rest = reader.read_bits(width) if width else 0
+    return (1 << width) + rest - 1
+
+
+def delta_cost(value: int) -> int:
+    """Number of bits :func:`encode_delta` uses for ``value`` (>= 0)."""
+    if value < 0:
+        raise CodecError(f"delta cannot encode {value}")
+    width = (value + 1).bit_length()
+    return gamma_cost(width - 1) + width - 1
+
+
+# ---------------------------------------------------------------------------
+# Golomb / Rice
+# ---------------------------------------------------------------------------
+
+
+def encode_golomb(writer: BitWriter, value: int, modulus: int) -> None:
+    """Write ``value >= 0`` with Golomb parameter ``modulus >= 1``."""
+    if value < 0:
+        raise CodecError(f"golomb cannot encode {value}")
+    if modulus < 1:
+        raise CodecError(f"golomb modulus must be >= 1, got {modulus}")
+    quotient, remainder = divmod(value, modulus)
+    writer.write_unary(quotient)
+    encode_minimal_binary(writer, remainder, modulus)
+
+
+def decode_golomb(reader: BitReader, modulus: int) -> int:
+    """Read a Golomb code with parameter ``modulus``."""
+    if modulus < 1:
+        raise CodecError(f"golomb modulus must be >= 1, got {modulus}")
+    quotient = reader.read_unary()
+    remainder = decode_minimal_binary(reader, modulus)
+    return quotient * modulus + remainder
+
+
+def golomb_parameter(density: float) -> int:
+    """Choose the Golomb modulus for gaps with Bernoulli density ``density``.
+
+    Classic rule: b ~= 0.69 * mean_gap.  Clamped to >= 1.
+    """
+    if not 0.0 < density < 1.0:
+        return 1
+    return max(1, int(round(0.69 / density)))
+
+
+# ---------------------------------------------------------------------------
+# minimal binary (truncated binary)
+# ---------------------------------------------------------------------------
+
+
+def encode_minimal_binary(writer: BitWriter, value: int, bound: int) -> None:
+    """Write ``0 <= value < bound`` using ceil(log2 bound) or one fewer bits."""
+    if bound < 1:
+        raise CodecError(f"minimal binary bound must be >= 1, got {bound}")
+    if not 0 <= value < bound:
+        raise CodecError(f"value {value} outside [0, {bound})")
+    if bound == 1:
+        return  # zero bits needed: the only possible value is 0
+    width = (bound - 1).bit_length()
+    cutoff = (1 << width) - bound
+    if value < cutoff:
+        writer.write_bits(value, width - 1)
+    else:
+        writer.write_bits(value + cutoff, width)
+
+
+def decode_minimal_binary(reader: BitReader, bound: int) -> int:
+    """Read a value written with :func:`encode_minimal_binary`."""
+    if bound < 1:
+        raise CodecError(f"minimal binary bound must be >= 1, got {bound}")
+    if bound == 1:
+        return 0
+    width = (bound - 1).bit_length()
+    cutoff = (1 << width) - bound
+    value = reader.read_bits(width - 1) if width > 1 else 0
+    if value < cutoff:
+        return value
+    value = (value << 1) | reader.read_bit()
+    return value - cutoff
+
+
+# ---------------------------------------------------------------------------
+# variable-byte (byte-aligned, used for file offsets)
+# ---------------------------------------------------------------------------
+
+
+def encode_vbyte(value: int) -> bytes:
+    """Encode ``value >= 0`` into a little-endian 7-bit-per-byte varint."""
+    if value < 0:
+        raise CodecError(f"vbyte cannot encode {value}")
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_vbyte(data: bytes, offset: int = 0) -> tuple[int, int]:
+    """Decode a varint from ``data[offset:]``; returns (value, next_offset)."""
+    value = 0
+    shift = 0
+    pos = offset
+    while True:
+        if pos >= len(data):
+            raise CodecError("truncated vbyte")
+        byte = data[pos]
+        pos += 1
+        value |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return value, pos
+        shift += 7
+
+
+# ---------------------------------------------------------------------------
+# nybble code (Link3's 4-bit groups: 3 data bits + 1 continuation bit)
+# ---------------------------------------------------------------------------
+
+
+def encode_nibble(writer: BitWriter, value: int) -> None:
+    """Write ``value >= 0`` in 4-bit groups, 3 data bits + continuation bit.
+
+    This is the code the Connectivity Server's Link3 database uses for its
+    gap and counter fields (Randall et al., DCC 2002).
+    """
+    if value < 0:
+        raise CodecError(f"nibble cannot encode {value}")
+    groups = [value & 0b111]
+    value >>= 3
+    while value:
+        groups.append(value & 0b111)
+        value >>= 3
+    for index in range(len(groups) - 1, 0, -1):
+        writer.write_bits(groups[index], 3)
+        writer.write_bit(1)  # continuation
+    writer.write_bits(groups[0], 3)
+    writer.write_bit(0)  # terminator
+
+
+def decode_nibble(reader: BitReader) -> int:
+    """Read a nybble code written by :func:`encode_nibble`."""
+    value = 0
+    while True:
+        group = reader.read_bits(3)
+        more = reader.read_bit()
+        value = (value << 3) | group
+        if not more:
+            return value
+
+
+def nibble_cost(value: int) -> int:
+    """Number of bits :func:`encode_nibble` uses for ``value`` (>= 0)."""
+    if value < 0:
+        raise CodecError(f"nibble cannot encode {value}")
+    groups = 1
+    value >>= 3
+    while value:
+        groups += 1
+        value >>= 3
+    return 4 * groups

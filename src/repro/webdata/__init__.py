@@ -1,0 +1,23 @@
+"""Web-repository substrate: URLs, page corpus, synthetic crawl generator."""
+
+from repro.webdata.corpus import Page, Repository
+from repro.webdata.generator import GeneratorConfig, generate_web
+from repro.webdata.urls import (
+    host_of,
+    lexicographic_key,
+    registered_domain,
+    url_prefix,
+    url_prefix_depth,
+)
+
+__all__ = [
+    "Page",
+    "Repository",
+    "GeneratorConfig",
+    "generate_web",
+    "host_of",
+    "registered_domain",
+    "url_prefix",
+    "url_prefix_depth",
+    "lexicographic_key",
+]

@@ -1,0 +1,102 @@
+"""URL parsing helpers.
+
+The partition pipeline needs three things from a URL:
+
+* its *registered domain* (top two DNS levels — the paper's initial
+  partition P0 groups ``cs.stanford.edu`` and ``ee.stanford.edu`` together
+  under ``stanford.edu``);
+* its *host* (full DNS name);
+* its *path prefix at depth k* (URL split discriminates on one more
+  directory level per application, up to depth 3).
+
+URLs here are plain ``http://host/dir1/dir2/page.html`` strings; no query
+strings or fragments are modelled because the paper's splits never use them.
+"""
+
+from __future__ import annotations
+
+from repro.errors import QueryError
+
+_SCHEME = "http://"
+
+
+def _split(url: str) -> tuple[str, str]:
+    """Return (host, path) for a URL; path has no leading slash."""
+    if url.startswith(_SCHEME):
+        rest = url[len(_SCHEME) :]
+    elif "://" in url:
+        rest = url.split("://", 1)[1]
+    else:
+        rest = url
+    if "/" in rest:
+        host, path = rest.split("/", 1)
+    else:
+        host, path = rest, ""
+    if not host:
+        raise QueryError(f"URL {url!r} has no host")
+    return host.lower(), path
+
+
+def host_of(url: str) -> str:
+    """Full host name of ``url`` (e.g. ``cs.stanford.edu``)."""
+    return _split(url)[0]
+
+
+def registered_domain(url_or_host: str) -> str:
+    """Top two DNS levels (e.g. ``stanford.edu`` for ``cs.stanford.edu``).
+
+    This is the paper's domain notion for partition P0 and for the domain
+    index: "we only use the top two levels of the DNS naming hierarchy".
+    """
+    host = host_of(url_or_host) if "/" in url_or_host or "://" in url_or_host else url_or_host.lower()
+    labels = host.split(".")
+    if len(labels) < 2:
+        return host
+    return ".".join(labels[-2:])
+
+
+def url_prefix(url: str, depth: int) -> str:
+    """Host plus the first ``depth`` path directories of ``url``.
+
+    ``depth=0`` returns just the host; directories beyond what the URL has
+    saturate (the full directory part is returned, excluding the leaf page).
+    URL split keys elements on this value.
+    """
+    if depth < 0:
+        raise QueryError(f"prefix depth must be >= 0, got {depth}")
+    host, path = _split(url)
+    segments = [s for s in path.split("/") if s]
+    # The last segment is the page name unless the path ends with '/'.
+    directories = segments[:-1] if segments and not path.endswith("/") else segments
+    chosen = directories[: depth]
+    if not chosen:
+        return host
+    return host + "/" + "/".join(chosen)
+
+
+def url_prefix_depth(url: str) -> int:
+    """Number of directory levels in ``url``'s path."""
+    host, path = _split(url)
+    del host
+    segments = [s for s in path.split("/") if s]
+    directories = segments[:-1] if segments and not path.endswith("/") else segments
+    return len(directories)
+
+
+def lexicographic_key(url: str) -> str:
+    """Sort key placing lexicographically-close URLs next to each other.
+
+    Host first (reversed-label order so sibling hosts of one domain sort
+    together), then path — this is the ordering both Link3 and the S-Node
+    intra-supernode numbering use.
+    """
+    host, path = _split(url)
+    reversed_host = ".".join(reversed(host.split(".")))
+    return f"{reversed_host}/{path}"
+
+
+def in_domain(url: str, domain: str) -> bool:
+    """True iff ``url``'s host is ``domain`` or a subdomain of it."""
+    host = host_of(url)
+    domain = domain.lower()
+    return host == domain or host.endswith("." + domain)

@@ -1,0 +1,141 @@
+"""WebBase-style bulk repository stream.
+
+The paper describes research repositories as offering a "bulk access"
+interface that ships the entire collection "as a stream of pages over the
+network" (section 1.1).  This module implements that interface for our
+repositories: a compact, seekable, length-prefixed binary stream holding
+every page's URL, terms and out-links in crawl order.
+
+The format is deliberately simple and self-contained::
+
+    header:  magic  u32 | version u32 | num_pages u64
+    record:  record_length vbyte
+             url_length    vbyte | url bytes (utf-8)
+             num_terms     vbyte | per term: length vbyte + utf-8 bytes
+             num_links     vbyte | links as vbyte deltas (sorted targets)
+
+Readers can stream page-by-page (``read_stream``) — the access pattern a
+crawl-processing pipeline uses — or rebuild a full
+:class:`~repro.webdata.corpus.Repository` (``read_repository``).  Reading
+the first *n* pages of a stream and dropping dangling links reproduces the
+paper's crawl-prefix datasets without materializing the full repository.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+from pathlib import Path
+
+from repro.errors import StorageError
+from repro.graph.digraph import GraphBuilder
+from repro.util.varint import decode_vbyte, encode_vbyte
+from repro.webdata.corpus import Page, Repository
+
+_MAGIC = 0x5742_4153  # "WBAS"
+_VERSION = 1
+_HEADER = struct.Struct("<IIQ")
+
+
+def write_stream(repository: Repository, path: Path | str) -> int:
+    """Serialize ``repository`` to ``path``; returns bytes written."""
+    path = Path(path)
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(_MAGIC, _VERSION, repository.num_pages))
+        for page in repository.pages:
+            record = _encode_record(page, repository)
+            handle.write(encode_vbyte(len(record)))
+            handle.write(record)
+    return path.stat().st_size
+
+
+def _encode_record(page: Page, repository: Repository) -> bytes:
+    out = bytearray()
+    url_bytes = page.url.encode("utf-8")
+    out += encode_vbyte(len(url_bytes))
+    out += url_bytes
+    out += encode_vbyte(len(page.terms))
+    for term in page.terms:
+        term_bytes = term.encode("utf-8")
+        out += encode_vbyte(len(term_bytes))
+        out += term_bytes
+    links = repository.graph.successors_list(page.page_id)
+    out += encode_vbyte(len(links))
+    previous = -1
+    for target in links:
+        out += encode_vbyte(target - previous - 1)
+        previous = target
+    return bytes(out)
+
+
+def _decode_record(record: bytes) -> tuple[str, tuple[str, ...], list[int]]:
+    position = 0
+    url_length, position = decode_vbyte(record, position)
+    url = record[position : position + url_length].decode("utf-8")
+    position += url_length
+    term_count, position = decode_vbyte(record, position)
+    terms = []
+    for _ in range(term_count):
+        term_length, position = decode_vbyte(record, position)
+        terms.append(record[position : position + term_length].decode("utf-8"))
+        position += term_length
+    link_count, position = decode_vbyte(record, position)
+    links = []
+    previous = -1
+    for _ in range(link_count):
+        delta, position = decode_vbyte(record, position)
+        previous = previous + 1 + delta
+        links.append(previous)
+    return url, tuple(terms), links
+
+
+def read_stream(
+    path: Path | str, limit: int | None = None
+) -> Iterator[tuple[int, str, tuple[str, ...], list[int]]]:
+    """Stream (page_id, url, terms, out-links) records in crawl order.
+
+    ``limit`` stops after the first *n* pages (the paper's prefix subsets);
+    links pointing past the limit are still reported — the caller decides
+    whether to drop them (``read_repository`` does).
+    """
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+        if len(header) != _HEADER.size:
+            raise StorageError(f"{path} is not a WebBase stream (short header)")
+        magic, version, num_pages = _HEADER.unpack(header)
+        if magic != _MAGIC:
+            raise StorageError(f"{path} is not a WebBase stream (bad magic)")
+        if version != _VERSION:
+            raise StorageError(f"unsupported stream version {version}")
+        count = num_pages if limit is None else min(limit, num_pages)
+        for page_id in range(count):
+            length_bytes = bytearray()
+            while True:
+                byte = handle.read(1)
+                if not byte:
+                    raise StorageError("truncated stream record header")
+                length_bytes += byte
+                if not byte[0] & 0x80:
+                    break
+            record_length, _ = decode_vbyte(bytes(length_bytes))
+            record = handle.read(record_length)
+            if len(record) != record_length:
+                raise StorageError("truncated stream record body")
+            url, terms, links = _decode_record(record)
+            yield page_id, url, terms, links
+
+
+def read_repository(path: Path | str, limit: int | None = None) -> Repository:
+    """Rebuild a repository (optionally a crawl-prefix) from a stream."""
+    pages: list[Page] = []
+    rows: list[list[int]] = []
+    for page_id, url, terms, links in read_stream(path, limit):
+        pages.append(Page(page_id=page_id, url=url, terms=terms))
+        rows.append(links)
+    builder = GraphBuilder(len(pages))
+    for source, links in enumerate(rows):
+        for target in links:
+            if target < len(pages):  # drop links that leave the prefix
+                builder.add_edge(source, target)
+    return Repository(pages=pages, graph=builder.build())

@@ -1,0 +1,150 @@
+"""Tests for the disk-backed B+tree."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.btree import PAGE_SIZE, BPlusTree, MAX_VALUE_BYTES
+from repro.errors import StorageError
+
+
+def build_tree(tmp_path, pairs):
+    return BPlusTree.bulk_build(tmp_path / "tree.bt", iter(pairs))
+
+
+class TestBulkBuild:
+    def test_empty_tree(self, tmp_path):
+        tree = build_tree(tmp_path, [])
+        assert tree.get(5) is None
+        assert list(tree.scan()) == []
+
+    def test_single_entry(self, tmp_path):
+        tree = build_tree(tmp_path, [(7, b"seven")])
+        assert tree.get(7) == b"seven"
+        assert tree.get(8) is None
+
+    def test_many_entries_lookup(self, tmp_path):
+        pairs = [(i * 3, str(i).encode()) for i in range(5000)]
+        tree = build_tree(tmp_path, pairs)
+        assert tree.height >= 2
+        rng = random.Random(0)
+        for key, value in rng.sample(pairs, 200):
+            assert tree.get(key) == value
+        assert tree.get(1) is None  # between keys
+
+    def test_unsorted_input_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            build_tree(tmp_path, [(2, b"a"), (1, b"b")])
+
+    def test_duplicate_keys_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            build_tree(tmp_path, [(1, b"a"), (1, b"b")])
+
+    def test_oversized_value_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            build_tree(tmp_path, [(1, b"x" * (MAX_VALUE_BYTES + 1))])
+
+    def test_file_is_page_aligned(self, tmp_path):
+        tree = build_tree(tmp_path, [(i, b"v") for i in range(100)])
+        assert tree.size_bytes() % PAGE_SIZE == 0
+
+
+class TestScan:
+    def test_full_scan_sorted(self, tmp_path):
+        pairs = [(i, str(i).encode()) for i in range(0, 2000, 2)]
+        tree = build_tree(tmp_path, pairs)
+        assert list(tree.scan()) == pairs
+
+    def test_range_scan(self, tmp_path):
+        pairs = [(i, b"v") for i in range(100)]
+        tree = build_tree(tmp_path, pairs)
+        result = [k for k, _ in tree.scan(10, 20)]
+        assert result == list(range(10, 21))
+
+    def test_range_scan_between_keys(self, tmp_path):
+        pairs = [(i * 10, b"v") for i in range(50)]
+        tree = build_tree(tmp_path, pairs)
+        result = [k for k, _ in tree.scan(15, 35)]
+        assert result == [20, 30]
+
+    def test_len(self, tmp_path):
+        tree = build_tree(tmp_path, [(i, b"v") for i in range(321)])
+        assert len(tree) == 321
+
+
+class TestInsert:
+    def test_insert_into_empty(self, tmp_path):
+        tree = build_tree(tmp_path, [])
+        tree.insert(5, b"five")
+        assert tree.get(5) == b"five"
+
+    def test_insert_overwrites(self, tmp_path):
+        tree = build_tree(tmp_path, [(1, b"old")])
+        tree.insert(1, b"new")
+        assert tree.get(1) == b"new"
+        assert len(tree) == 1
+
+    def test_inserts_force_leaf_splits(self, tmp_path):
+        tree = build_tree(tmp_path, [])
+        values = list(range(3000))
+        random.Random(1).shuffle(values)
+        for key in values:
+            tree.insert(key, f"value-{key}".encode())
+        assert tree.height >= 2
+        for key in (0, 1234, 2999):
+            assert tree.get(key) == f"value-{key}".encode()
+        assert [k for k, _ in tree.scan()] == list(range(3000))
+
+    def test_insert_then_reopen(self, tmp_path):
+        tree = build_tree(tmp_path, [(1, b"a")])
+        tree.insert(2, b"b")
+        reopened = BPlusTree(tmp_path / "tree.bt")
+        assert reopened.get(2) == b"b"
+
+
+class TestFileFormat:
+    def test_bad_magic_rejected(self, tmp_path):
+        path = tmp_path / "bad.bt"
+        path.write_bytes(b"\x00" * PAGE_SIZE)
+        with pytest.raises(StorageError):
+            BPlusTree(path)
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(StorageError):
+            BPlusTree(tmp_path / "absent.bt")
+
+    def test_custom_page_reader_used(self, tmp_path):
+        pairs = [(i, b"v") for i in range(500)]
+        build_tree(tmp_path, pairs)
+        reads = []
+
+        def reader(page_number):
+            reads.append(page_number)
+            with open(tmp_path / "tree.bt", "rb") as handle:
+                handle.seek(page_number * PAGE_SIZE)
+                return handle.read(PAGE_SIZE)
+
+        tree = BPlusTree(tmp_path / "tree.bt", page_reader=reader)
+        tree.get(100)
+        assert reads  # all I/O went through the injected reader
+
+
+@settings(deadline=None, max_examples=20)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 10**6), st.binary(max_size=40)),
+        max_size=300,
+        unique_by=lambda kv: kv[0],
+    )
+)
+def test_property_bulk_build_then_get(tmp_path_factory, pairs):
+    pairs = sorted(pairs)
+    tree = BPlusTree.bulk_build(
+        tmp_path_factory.mktemp("prop") / "t.bt", iter(pairs)
+    )
+    for key, value in pairs:
+        assert tree.get(key) == value
+    assert list(tree.scan()) == pairs

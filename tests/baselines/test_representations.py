@@ -1,0 +1,183 @@
+"""Cross-scheme tests: every representation must agree with the graph.
+
+Each concrete scheme also gets its scheme-specific checks (compression
+relations, I/O counters, buffer behavior).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines import (
+    FlatFileRepresentation,
+    HuffmanRepresentation,
+    Link3Representation,
+    RelationalRepresentation,
+    SNodeRepresentation,
+)
+from repro.errors import GraphError
+
+
+@pytest.fixture(scope="module")
+def repo():
+    from repro.webdata.generator import GeneratorConfig, generate_web
+
+    return generate_web(GeneratorConfig(num_pages=800, seed=41))
+
+
+@pytest.fixture(scope="module")
+def representations(repo, tmp_path_factory, request):
+    base = tmp_path_factory.mktemp("reps")
+    from repro.partition.clustered_split import ClusteredSplitConfig
+    from repro.partition.refine import RefinementConfig
+    from repro.snode.build import BuildOptions, build_snode
+
+    refinement = RefinementConfig(
+        seed=2,
+        min_element_size=48,
+        min_url_group_size=16,
+        min_abortmax=32,
+        clustered=ClusteredSplitConfig(min_cluster_size=16),
+    )
+    build = build_snode(repo, base / "snode", BuildOptions(refinement=refinement))
+    reps = [
+        HuffmanRepresentation(repo.graph),
+        Link3Representation(repo, base / "link3"),
+        RelationalRepresentation(repo, base / "relational"),
+        FlatFileRepresentation(repo.graph, base / "flat"),
+        SNodeRepresentation(build),
+    ]
+    yield reps
+    for rep in reps:
+        rep.close()
+
+
+class TestEquivalence:
+    def test_random_access_matches_graph(self, repo, representations):
+        rng = random.Random(5)
+        sample = rng.sample(range(repo.num_pages), 120)
+        for rep in representations:
+            for page in sample:
+                assert rep.out_neighbors(page) == repo.graph.successors_list(
+                    page
+                ), rep.name
+
+    def test_bulk_access_matches_single(self, repo, representations):
+        pages = list(range(0, repo.num_pages, 31))
+        for rep in representations:
+            bulk = rep.out_neighbors_many(pages)
+            for page in pages:
+                assert bulk[page] == rep.out_neighbors(page), rep.name
+
+    def test_iterate_all_is_complete_and_correct(self, repo, representations):
+        for rep in representations:
+            seen = {}
+            for page, row in rep.iterate_all():
+                seen[page] = row
+            assert len(seen) == repo.num_pages, rep.name
+            for page in range(0, repo.num_pages, 53):
+                assert seen[page] == repo.graph.successors_list(page), rep.name
+
+    def test_counts_agree(self, repo, representations):
+        for rep in representations:
+            assert rep.num_pages == repo.num_pages, rep.name
+            assert rep.num_edges == repo.num_links, rep.name
+
+    def test_out_of_range_rejected(self, representations):
+        for rep in representations:
+            with pytest.raises(Exception):
+                rep.out_neighbors(10**9)
+
+
+class TestCompressionRelations:
+    def test_compressed_schemes_beat_flat_file(self, representations):
+        by_name = {rep.name: rep for rep in representations}
+        flat = by_name["flat-file"].bits_per_edge()
+        for name in ("plain-huffman", "link3", "s-node"):
+            assert by_name[name].bits_per_edge() < flat
+
+    def test_link3_and_snode_beat_huffman(self, representations):
+        by_name = {rep.name: rep for rep in representations}
+        huffman = by_name["plain-huffman"].bits_per_edge()
+        assert by_name["link3"].bits_per_edge() < huffman
+        assert by_name["s-node"].bits_per_edge() < huffman
+
+    def test_relational_is_heaviest(self, representations):
+        # A page-structured DB with indexes has the most overhead.
+        by_name = {rep.name: rep for rep in representations}
+        assert (
+            by_name["relational"].bits_per_edge()
+            > by_name["plain-huffman"].bits_per_edge()
+        )
+
+
+class TestIOInstrumentation:
+    def test_disk_schemes_count_io(self, repo, representations):
+        # Probe a page that actually has out-links (page 0 often has none).
+        probe = next(
+            page
+            for page in range(repo.num_pages)
+            if repo.graph.out_degree(page) > 0
+        )
+        for rep in representations:
+            if rep.name == "plain-huffman":
+                continue
+            rep.drop_caches()
+            rep.reset_io_stats()
+            rep.out_neighbors(probe)
+            stats = rep.io_stats()
+            assert stats.get("bytes_read", 0) > 0, rep.name
+
+    def test_reset_zeroes_counters(self, representations):
+        for rep in representations:
+            rep.out_neighbors(0)
+            rep.reset_io_stats()
+            stats = rep.io_stats()
+            assert stats.get("bytes_read", 0) == 0, rep.name
+
+    def test_warm_cache_avoids_io(self, representations):
+        for rep in representations:
+            if rep.name in ("plain-huffman", "flat-file"):
+                continue  # no cache / always reads
+            rep.drop_caches()
+            rep.out_neighbors(0)
+            rep.reset_io_stats()
+            rep.out_neighbors(0)
+            assert rep.io_stats().get("bytes_read", 0) == 0, rep.name
+
+
+class TestRelationalSpecific:
+    def test_domain_index(self, repo, representations):
+        relational = next(r for r in representations if r.name == "relational")
+        for domain in list(repo.domains())[:5]:
+            assert sorted(relational.pages_in_domain(domain)) == sorted(
+                repo.pages_in_domain(domain)
+            )
+
+    def test_unknown_domain(self, representations):
+        relational = next(r for r in representations if r.name == "relational")
+        assert relational.pages_in_domain("missing.example") == []
+
+    def test_buffer_resize(self, representations):
+        relational = next(r for r in representations if r.name == "relational")
+        relational.set_buffer_bytes(8192)
+        assert relational.out_neighbors(1)  # still serves queries
+
+
+class TestLink3Specific:
+    def test_reference_chains_bounded(self, repo, tmp_path):
+        # With max_chain=1, a referenced row's parent must be plain.
+        rep = Link3Representation(repo, tmp_path / "l3", max_chain=1)
+        rng = random.Random(7)
+        for page in rng.sample(range(repo.num_pages), 60):
+            assert rep.out_neighbors(page) == repo.graph.successors_list(page)
+        rep.close()
+
+    def test_deeper_chains_compress_better(self, repo, tmp_path):
+        shallow = Link3Representation(repo, tmp_path / "s", max_chain=1)
+        deep = Link3Representation(repo, tmp_path / "d", max_chain=8)
+        assert deep.size_bytes() <= shallow.size_bytes()
+        shallow.close()
+        deep.close()

@@ -1,0 +1,56 @@
+"""Shared fixtures: small deterministic repositories and built artifacts.
+
+Expensive artifacts (generated repositories, S-Node builds, indexes) are
+session-scoped so the suite stays fast while many test modules share them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.partition.clustered_split import ClusteredSplitConfig
+from repro.partition.refine import RefinementConfig
+from repro.webdata.generator import GeneratorConfig, generate_web
+
+
+@pytest.fixture(scope="session")
+def small_repo():
+    """A ~1200-page synthetic repository (fast to build, non-trivial)."""
+    return generate_web(GeneratorConfig(num_pages=1200, seed=99))
+
+
+@pytest.fixture(scope="session")
+def tiny_repo():
+    """A ~300-page repository for the most expensive per-test operations."""
+    return generate_web(GeneratorConfig(num_pages=300, seed=17))
+
+
+@pytest.fixture(scope="session")
+def test_refinement_config():
+    """Refinement settings scaled for the small test repositories."""
+    return RefinementConfig(
+        seed=3,
+        min_element_size=64,
+        min_url_group_size=24,
+        min_abortmax=24,
+        clustered=ClusteredSplitConfig(min_cluster_size=24),
+    )
+
+
+@pytest.fixture(scope="session")
+def small_build(small_repo, test_refinement_config, tmp_path_factory):
+    """A complete S-Node build over ``small_repo`` (shared, read-only)."""
+    from repro.snode.build import BuildOptions, build_snode
+
+    root = tmp_path_factory.mktemp("snode_small")
+    return build_snode(
+        small_repo, root, BuildOptions(refinement=test_refinement_config)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_partition(small_repo, test_refinement_config):
+    """The refined partition of ``small_repo``."""
+    from repro.partition.refine import refine_partition
+
+    return refine_partition(small_repo, test_refinement_config).partition

@@ -1,0 +1,124 @@
+"""Tests for community trawling and diameter estimation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.communities import (
+    BipartiteCore,
+    effective_diameter,
+    reachability_profile,
+    trawl_bipartite_cores,
+)
+from repro.graph.digraph import Digraph, GraphBuilder
+
+
+def planted_core_graph() -> Digraph:
+    """Pages 0-3 (fans) all link to 10-12 (centers), plus noise."""
+    builder = GraphBuilder(20)
+    for fan in range(4):
+        for center in (10, 11, 12):
+            builder.add_edge(fan, center)
+    # noise edges
+    builder.add_edges([(5, 6), (6, 7), (7, 5), (8, 13), (9, 14)])
+    return builder.build()
+
+
+class TestTrawling:
+    def test_finds_planted_core(self):
+        cores = trawl_bipartite_cores(planted_core_graph(), fans=3, centers=3)
+        assert any(
+            set(core.centers) == {10, 11, 12} and len(core.fans) >= 3
+            for core in cores
+        )
+
+    def test_noise_does_not_produce_cores(self):
+        builder = GraphBuilder(10)
+        builder.add_edges([(0, 5), (1, 6), (2, 7), (3, 8)])
+        cores = trawl_bipartite_cores(builder.build(), fans=2, centers=2)
+        assert cores == []
+
+    def test_pruning_removes_low_degree_pages(self):
+        # A fan with out-degree below `centers` can never participate.
+        graph = planted_core_graph()
+        cores = trawl_bipartite_cores(graph, fans=3, centers=3)
+        for core in cores:
+            assert 5 not in core.fans
+
+    def test_max_cores_bound(self):
+        # A dense bipartite block yields many (2,2) cores; the bound holds.
+        builder = GraphBuilder(12)
+        for fan in range(6):
+            for center in range(6, 12):
+                builder.add_edge(fan, center)
+        cores = trawl_bipartite_cores(builder.build(), fans=2, centers=2, max_cores=7)
+        assert len(cores) == 7
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(GraphError):
+            trawl_bipartite_cores(planted_core_graph(), fans=0, centers=2)
+
+    def test_core_is_actually_complete(self):
+        graph = planted_core_graph()
+        for core in trawl_bipartite_cores(graph, fans=3, centers=3):
+            for fan in core.fans:
+                for center in core.centers:
+                    assert graph.has_edge(fan, center)
+
+    def test_on_generated_web(self, tiny_repo):
+        # Link copying plants (i, j) cores; the trawler should find some.
+        cores = trawl_bipartite_cores(
+            tiny_repo.graph, fans=3, centers=3, max_cores=50
+        )
+        assert isinstance(cores, list)
+        for core in cores[:5]:
+            assert isinstance(core, BipartiteCore)
+            for fan in core.fans:
+                for center in core.centers:
+                    assert tiny_repo.graph.has_edge(fan, center)
+
+
+class TestDiameter:
+    def test_path_graph_diameter(self):
+        graph = Digraph.from_edges(6, [(i, i + 1) for i in range(5)])
+        assert effective_diameter(graph, percentile=1.0, samples=6) == 5.0
+
+    def test_cycle_diameter(self):
+        graph = Digraph.from_edges(5, [(i, (i + 1) % 5) for i in range(5)])
+        assert effective_diameter(graph, percentile=1.0, samples=5) == 4.0
+
+    def test_effective_below_max(self):
+        graph = Digraph.from_edges(6, [(i, i + 1) for i in range(5)])
+        assert effective_diameter(graph, percentile=0.5, samples=6) <= 5.0
+
+    def test_empty_and_edgeless(self):
+        assert effective_diameter(Digraph.from_edges(0, [])) == 0.0
+        assert effective_diameter(Digraph.from_edges(4, [])) == 0.0
+
+    def test_invalid_percentile(self):
+        with pytest.raises(GraphError):
+            effective_diameter(Digraph.from_edges(2, [(0, 1)]), percentile=0.0)
+
+    def test_deterministic_under_seed(self, tiny_repo):
+        a = effective_diameter(tiny_repo.graph, samples=8, seed=5)
+        b = effective_diameter(tiny_repo.graph, samples=8, seed=5)
+        assert a == b
+
+
+class TestReachability:
+    def test_strongly_connected_graph_reaches_everything(self):
+        graph = Digraph.from_edges(4, [(i, (i + 1) % 4) for i in range(4)])
+        profile = reachability_profile(graph, samples=4)
+        assert profile["forward_reach"] == pytest.approx(1.0)
+        assert profile["backward_reach"] == pytest.approx(1.0)
+
+    def test_generated_web_has_giant_component(self, small_repo):
+        profile = reachability_profile(small_repo.graph, samples=16)
+        # Reciprocal links give the generator a bow-tie: a random page
+        # reaches a sizable fraction of the web.
+        assert profile["forward_reach"] > 0.2
+
+    def test_empty_graph(self):
+        profile = reachability_profile(Digraph.from_edges(0, []))
+        assert profile == {"forward_reach": 0.0, "backward_reach": 0.0}

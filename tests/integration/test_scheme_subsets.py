@@ -1,0 +1,42 @@
+"""The Figure 11 driver honors scheme subsets and custom disk models."""
+
+from __future__ import annotations
+
+from repro.experiments import queries
+from repro.query.workload import PAPER_QUERIES
+
+
+class TestSchemeSubsets:
+    def test_single_scheme_run(self):
+        experiment = queries.run(
+            size=600,
+            trials=1,
+            schemes=("flat-file",),
+            buffer_bytes=64 * 1024,
+        )
+        assert set(key[0] for key in experiment.timings) == {"flat-file"}
+        assert len(experiment.timings) == len(PAPER_QUERIES)
+
+    def test_pure_wall_time_mode(self):
+        experiment = queries.run(
+            size=600,
+            trials=1,
+            schemes=("flat-file",),
+            seek_ms=0.0,
+            mbps=float("inf"),
+            cpu_scale=1.0,
+        )
+        for timing in experiment.timings.values():
+            assert timing.simulated_ms == timing.wall_ms
+
+    def test_seek_cost_dominates_when_configured(self):
+        experiment = queries.run(
+            size=600,
+            trials=1,
+            schemes=("flat-file",),
+            seek_ms=1000.0,
+            mbps=float("inf"),
+            cpu_scale=0.0,
+        )
+        timing = experiment.timings[("flat-file", "query1")]
+        assert timing.simulated_ms == timing.disk_seeks * 1000.0

@@ -1,0 +1,87 @@
+"""Tests for the time-bounded binary k-means."""
+
+from __future__ import annotations
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.kmeans import kmeans_binary
+
+
+def separable_data(rng: random.Random, per_cluster: int = 30) -> np.ndarray:
+    """Three well-separated binary clusters in 9 dimensions."""
+    rows = []
+    for cluster in range(3):
+        base = np.zeros(9, dtype=np.int8)
+        base[cluster * 3 : cluster * 3 + 3] = 1
+        for _ in range(per_cluster):
+            row = base.copy()
+            flip = rng.randrange(9)
+            if rng.random() < 0.1:
+                row[flip] ^= 1
+            rows.append(row)
+    return np.array(rows)
+
+
+class TestKMeans:
+    def test_recovers_separable_clusters(self):
+        rng = random.Random(0)
+        data = separable_data(rng)
+        result = kmeans_binary(data, k=3, rng=rng, time_bound_seconds=5.0)
+        assert result.converged
+        # Pages of the same true cluster should mostly share a label.
+        for cluster in range(3):
+            labels = result.labels[cluster * 30 : (cluster + 1) * 30]
+            dominant = np.bincount(labels).max()
+            assert dominant >= 24
+
+    def test_k_equals_one(self):
+        rng = random.Random(1)
+        data = separable_data(rng)
+        result = kmeans_binary(data, k=1, rng=rng)
+        assert result.converged
+        assert set(result.labels) == {0}
+
+    def test_k_equals_n(self):
+        rng = random.Random(2)
+        data = np.eye(6, dtype=np.int8)
+        result = kmeans_binary(data, k=6, rng=rng, time_bound_seconds=5.0)
+        assert result.converged
+        assert len(set(result.labels.tolist())) == 6
+
+    def test_invalid_k(self):
+        data = np.zeros((4, 2), dtype=np.int8)
+        with pytest.raises(PartitionError):
+            kmeans_binary(data, k=0, rng=random.Random(0))
+        with pytest.raises(PartitionError):
+            kmeans_binary(data, k=5, rng=random.Random(0))
+
+    def test_invalid_shape(self):
+        with pytest.raises(PartitionError):
+            kmeans_binary(np.zeros(5), k=1, rng=random.Random(0))
+
+    def test_time_bound_reports_non_convergence(self):
+        rng = random.Random(3)
+        data = np.array(
+            [[rng.randrange(2) for _ in range(24)] for _ in range(400)],
+            dtype=np.int8,
+        )
+        result = kmeans_binary(
+            data, k=12, rng=rng, time_bound_seconds=0.0, max_iterations=500
+        )
+        assert not result.converged
+
+    def test_deterministic_under_seed(self):
+        data = separable_data(random.Random(4))
+        a = kmeans_binary(data, k=3, rng=random.Random(7), time_bound_seconds=5.0)
+        b = kmeans_binary(data, k=3, rng=random.Random(7), time_bound_seconds=5.0)
+        assert np.array_equal(a.labels, b.labels)
+
+    def test_inertia_decreases_with_more_clusters(self):
+        data = separable_data(random.Random(5))
+        one = kmeans_binary(data, k=1, rng=random.Random(0), time_bound_seconds=5.0)
+        three = kmeans_binary(data, k=3, rng=random.Random(0), time_bound_seconds=5.0)
+        assert three.inertia < one.inertia

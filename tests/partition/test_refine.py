@@ -1,0 +1,85 @@
+"""Tests for the iterative refinement driver."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PartitionError
+from repro.partition.clustered_split import ClusteredSplitConfig
+from repro.partition.refine import RefinementConfig, refine_partition
+
+
+def fast_config(**overrides) -> RefinementConfig:
+    defaults = dict(
+        seed=3,
+        min_element_size=32,
+        min_url_group_size=12,
+        min_abortmax=48,
+        clustered=ClusteredSplitConfig(min_cluster_size=12),
+    )
+    defaults.update(overrides)
+    return RefinementConfig(**defaults)
+
+
+class TestRefinement:
+    def test_produces_valid_partition(self, small_repo):
+        result = refine_partition(small_repo, fast_config())
+        partition = result.partition
+        assert partition.num_pages == small_repo.num_pages
+        covered = sorted(
+            page for element in partition.elements() for page in element.pages
+        )
+        assert covered == list(range(small_repo.num_pages))
+
+    def test_property2_same_domain_per_element(self, small_repo):
+        # Paper Property 2: every element's pages share one domain.
+        result = refine_partition(small_repo, fast_config())
+        for element in result.partition.elements():
+            domains = {small_repo.page(p).domain for p in element.pages}
+            assert len(domains) == 1
+            assert element.domain in domains
+
+    def test_refines_beyond_domain_partition(self, small_repo):
+        result = refine_partition(small_repo, fast_config())
+        num_domains = len(small_repo.domains())
+        assert result.partition.num_elements >= num_domains
+        assert result.url_splits > 0
+
+    def test_deterministic_under_seed(self, small_repo):
+        a = refine_partition(small_repo, fast_config())
+        b = refine_partition(small_repo, fast_config())
+        assert [e.pages for e in a.partition.elements()] == [
+            e.pages for e in b.partition.elements()
+        ]
+
+    def test_largest_policy_also_terminates(self, small_repo):
+        result = refine_partition(small_repo, fast_config(policy="largest"))
+        assert result.stop_reason
+        assert result.partition.num_pages == small_repo.num_pages
+
+    def test_policies_produce_comparable_granularity(self, small_repo):
+        # The paper found random vs largest-first "almost identical".
+        random_result = refine_partition(small_repo, fast_config())
+        largest_result = refine_partition(small_repo, fast_config(policy="largest"))
+        ratio = random_result.num_elements / max(1, largest_result.num_elements)
+        assert 0.4 <= ratio <= 2.5
+
+    def test_unknown_policy_rejected(self, small_repo):
+        with pytest.raises(PartitionError):
+            refine_partition(small_repo, fast_config(policy="sideways"))
+
+    def test_stop_reason_recorded(self, small_repo):
+        result = refine_partition(small_repo, fast_config())
+        assert "abort" in result.stop_reason or "unsplittable" in result.stop_reason
+
+    def test_iteration_cap(self, small_repo):
+        result = refine_partition(small_repo, fast_config(max_iterations=5))
+        assert result.iterations <= 5
+        assert result.stop_reason == "iteration cap reached"
+
+    def test_initial_partition_respected(self, small_repo):
+        from repro.partition.partition import Partition
+
+        initial = Partition.by_domain([p.domain for p in small_repo.pages])
+        result = refine_partition(small_repo, fast_config(), initial=initial)
+        assert result.partition.num_elements >= initial.num_elements

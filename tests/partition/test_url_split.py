@@ -1,0 +1,68 @@
+"""Tests for URL split."""
+
+from __future__ import annotations
+
+from repro.partition.partition import Element
+from repro.partition.url_split import (
+    MAX_URL_SPLIT_DEPTH,
+    mark_url_exhausted,
+    url_split,
+)
+
+URLS = [
+    "http://a.com/x/p0.html",      # 0
+    "http://a.com/x/p1.html",      # 1
+    "http://a.com/y/p2.html",      # 2
+    "http://a.com/y/q/p3.html",    # 3
+    "http://a.com/y/q/p4.html",    # 4
+    "http://a.com/p5.html",        # 5
+]
+
+
+def element_of_all(url_depth: int = 0) -> Element:
+    return Element(pages=tuple(range(6)), domain="a.com", url_depth=url_depth)
+
+
+class TestUrlSplit:
+    def test_splits_on_first_directory_level(self):
+        children = url_split(element_of_all(), URLS)
+        assert children is not None
+        groups = sorted(tuple(c.pages) for c in children)
+        # prefix "a.com" (root pages), "a.com/x", "a.com/y"
+        assert groups == [(0, 1), (2, 3, 4), (5,)]
+
+    def test_children_record_deeper_depth(self):
+        children = url_split(element_of_all(), URLS)
+        assert all(c.url_depth == 1 for c in children)
+
+    def test_single_group_returns_none(self):
+        element = Element(pages=(0, 1), domain="a.com", url_depth=1)
+        assert url_split(element, URLS) is None  # both under a.com/x
+
+    def test_depth_three_marks_exhausted(self):
+        urls = [
+            "http://a.com/l1/l2/l3a/p.html",
+            "http://a.com/l1/l2/l3b/p.html",
+        ]
+        element = Element(pages=(0, 1), domain="a.com", url_depth=2)
+        children = url_split(element, urls)
+        assert children is not None
+        assert all(c.url_split_exhausted for c in children)
+        assert all(c.url_depth == MAX_URL_SPLIT_DEPTH for c in children)
+
+    def test_coalescing_merges_small_groups(self):
+        children = url_split(element_of_all(), URLS, min_group_size=3)
+        assert children is not None
+        assert all(len(c.pages) >= 3 for c in children[:-1])
+        total = sorted(p for c in children for p in c.pages)
+        assert total == list(range(6))
+
+    def test_coalescing_to_single_group_returns_none(self):
+        children = url_split(element_of_all(), URLS, min_group_size=100)
+        assert children is None
+
+    def test_mark_url_exhausted(self):
+        element = element_of_all()
+        marked = mark_url_exhausted(element)
+        assert marked.url_split_exhausted
+        assert marked.pages == element.pages

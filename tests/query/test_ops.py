@@ -1,0 +1,75 @@
+"""Tests for graph-navigation primitives over representations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FlatFileRepresentation
+from repro.graph.digraph import Digraph
+from repro.query.ops import (
+    count_links_between,
+    in_neighborhood_of,
+    induced_link_counts,
+    out_neighborhood_of,
+)
+
+
+@pytest.fixture()
+def reps(tmp_path):
+    graph = Digraph.from_adjacency(
+        [
+            [1, 2],      # 0
+            [2, 3],      # 1
+            [3],         # 2
+            [0],         # 3
+            [0, 1, 2],   # 4
+        ]
+    )
+    forward = FlatFileRepresentation(graph, tmp_path / "f")
+    backward = FlatFileRepresentation(graph.transpose(), tmp_path / "b")
+    yield forward, backward
+    forward.close()
+    backward.close()
+
+
+class TestNeighborhoods:
+    def test_out_neighborhood(self, reps):
+        forward, _ = reps
+        rows = out_neighborhood_of(forward, [0, 1])
+        assert rows == {0: [1, 2], 1: [2, 3]}
+
+    def test_in_neighborhood(self, reps):
+        _, backward = reps
+        rows = in_neighborhood_of(backward, [0])
+        assert rows == {0: [3, 4]}
+
+    def test_empty_set(self, reps):
+        forward, _ = reps
+        assert out_neighborhood_of(forward, []) == {}
+
+
+class TestLinkCounting:
+    def test_count_links_between(self, reps):
+        _, backward = reps
+        # links from {0, 1} into {2, 3}: 0->2, 1->2, 1->3, 2->3 (2 not src)
+        count = count_links_between(backward, {0, 1}, [2, 3])
+        assert count == 3
+
+    def test_no_links(self, reps):
+        _, backward = reps
+        assert count_links_between(backward, {3}, [4]) == 0
+
+
+class TestInducedCounts:
+    def test_counts_within_set(self, reps):
+        forward, _ = reps
+        counts = induced_link_counts(forward, {0, 1, 2})
+        # inside {0,1,2}: 0->1, 0->2, 1->2  (2->3 leaves the set)
+        assert counts == {0: 0, 1: 1, 2: 2}
+
+    def test_self_loops_ignored(self, tmp_path):
+        graph = Digraph.from_adjacency([[0, 1], [0]])
+        forward = FlatFileRepresentation(graph, tmp_path / "s")
+        counts = induced_link_counts(forward, {0, 1})
+        assert counts == {0: 1, 1: 1}
+        forward.close()

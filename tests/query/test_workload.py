@@ -1,0 +1,254 @@
+"""Tests for the six paper queries on a hand-crafted repository with
+fully known answers, plus cross-representation result equivalence."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import FlatFileRepresentation
+from repro.errors import QueryError
+from repro.index.pagerank_index import PageRankIndex
+from repro.index.textindex import TextIndex
+from repro.query.engine import QueryEngine
+from repro.query.workload import (
+    query1_referred_universities,
+    query2_comic_popularity,
+    query3_kleinberg_base_set,
+    query4_popular_topic_pages,
+    query5_intra_set_ranking,
+    query6_joint_references,
+    run_query,
+)
+from repro.webdata.corpus import Repository
+
+# A miniature Web with every feature the six queries touch:
+#  0 www.stanford.edu/p0    "mobile networking"  -> 1, 4, 6
+#  1 cs.stanford.edu/p1     "mobile networking"  -> 4
+#  2 www.stanford.edu/p2    "dilbert dogbert"    -> 8
+#  3 www.stanford.edu/p3    "optical interferometry" -> 9
+#  4 www.mit.edu/p4         "quantum cryptography"   -> 0
+#  5 www.berkeley.edu/p5    "optical interferometry" -> 9
+#  6 www.caltech.edu/p6     (plain)              -> 0
+#  7 www.stanford.edu/p7    "internet censorship"-> 0
+#  8 www.dilbert.com/p8     "dilbert"            -> []
+#  9 www.archive.org/p9     "computer music synthesis" -> 3
+URLS = [
+    "http://www.stanford.edu/p0.html",
+    "http://cs.stanford.edu/p1.html",
+    "http://www.stanford.edu/p2.html",
+    "http://www.stanford.edu/p3.html",
+    "http://www.mit.edu/p4.html",
+    "http://www.berkeley.edu/p5.html",
+    "http://www.caltech.edu/p6.html",
+    "http://www.stanford.edu/p7.html",
+    "http://www.dilbert.com/p8.html",
+    "http://www.archive.org/p9.html",
+]
+TERMS = [
+    ("mobile", "networking"),
+    ("mobile", "networking", "lab"),
+    ("dilbert", "dogbert"),
+    ("optical", "interferometry"),
+    ("quantum", "cryptography"),
+    ("optical", "interferometry"),
+    ("plain",),
+    ("internet", "censorship"),
+    ("dilbert",),
+    ("computer", "music", "synthesis"),
+]
+EDGES = [
+    (0, 1), (0, 4), (0, 6),
+    (1, 4),
+    (2, 8),
+    (3, 9),
+    (4, 0),
+    (5, 9),
+    (6, 0),
+    (7, 0),
+    (9, 3),
+]
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory):
+    repo = Repository.from_parts(URLS, EDGES, TERMS)
+    base = tmp_path_factory.mktemp("workload")
+    forward = FlatFileRepresentation(repo.graph, base / "f")
+    backward = FlatFileRepresentation(repo.graph.transpose(), base / "b")
+    yield QueryEngine(repo, TextIndex(repo), PageRankIndex(repo), forward, backward)
+    forward.close()
+    backward.close()
+
+
+class TestQuery1:
+    def test_finds_referred_edu_domains(self, engine):
+        result = query1_referred_universities(engine)
+        domains = dict(result.payload["domains"])
+        # Seed = pages 0 and 1; out-links to mit.edu (0,1) and caltech (0).
+        assert set(domains) == {"mit.edu", "caltech.edu"}
+        assert domains["mit.edu"] > domains["caltech.edu"]
+
+    def test_excludes_source_domain(self, engine):
+        result = query1_referred_universities(engine)
+        assert "stanford.edu" not in dict(result.payload["domains"])
+
+    def test_navigation_time_recorded(self, engine):
+        result = query1_referred_universities(engine)
+        assert result.navigation_seconds >= 0.0
+
+
+class TestQuery2:
+    def test_counts_words_and_links(self, engine):
+        result = query2_comic_popularity(engine)
+        dilbert = result.payload["popularity"]["Dilbert"]
+        # Page 2 has two Dilbert words; link 2 -> 8 is the one site link.
+        assert dilbert["c1_word_pages"] == 1
+        assert dilbert["c2_links"] == 1
+        assert dilbert["popularity"] == 2
+
+    def test_ranking_puts_dilbert_first(self, engine):
+        result = query2_comic_popularity(engine)
+        assert result.payload["ranking"][0] == "Dilbert"
+
+
+class TestQuery3:
+    def test_base_set_contains_root_and_neighbors(self, engine):
+        result = query3_kleinberg_base_set(engine)
+        # Root = {7}; out = {0}; in = {} -> base = {7, 0}
+        assert result.payload["base_set"] == {7, 0}
+
+
+class TestQuery4:
+    def test_popularity_counts_external_inlinks(self, engine):
+        result = query4_popular_topic_pages(engine)
+        mit = dict(result.payload["by_university"]["mit.edu"])
+        # Page 4's in-links: 0, 1 (both stanford = external to mit.edu).
+        assert mit[4] == 2
+
+    def test_universities_without_matches_empty(self, engine):
+        result = query4_popular_topic_pages(engine)
+        assert result.payload["by_university"]["caltech.edu"] == []
+
+
+class TestQuery5:
+    def test_in_set_ranking(self, engine):
+        result = query5_intra_set_ranking(engine, tld="")
+        # Set = {9}; no internal links -> count 0, page 9 listed.
+        assert result.payload["top"] == [(9, 0)]
+
+    def test_tld_filter(self, engine):
+        result = query5_intra_set_ranking(engine, tld=".edu")
+        assert result.payload["top"] == []  # page 9 is .org
+
+
+class TestQuery6:
+    def test_joint_targets(self, engine):
+        result = query6_joint_references(engine)
+        # S1 = {3}, S2 = {5}; both point to page 9 -> rank 2.
+        assert result.payload["result"] == [(9, 2)]
+
+    def test_excludes_pages_in_either_domain(self, engine):
+        result = query6_joint_references(engine)
+        targets = [page for page, _count in result.payload["result"]]
+        domains = {engine.domain_of(p) for p in targets}
+        assert "stanford.edu" not in domains
+        assert "berkeley.edu" not in domains
+
+
+class TestRunQuery:
+    def test_dispatch_by_name(self, engine):
+        result = run_query(engine, "query3")
+        assert result.name == "query3"
+
+    def test_unknown_name(self, engine):
+        with pytest.raises(QueryError):
+            run_query(engine, "query99")
+
+
+class TestEngine:
+    def test_requires_backward_for_backlink_queries(self, tmp_path):
+        repo = Repository.from_parts(URLS, EDGES, TERMS)
+        forward = FlatFileRepresentation(repo.graph, tmp_path / "f")
+        engine = QueryEngine(
+            repo, TextIndex(repo), PageRankIndex(repo), forward, backward=None
+        )
+        with pytest.raises(QueryError):
+            query2_comic_popularity(engine)
+        forward.close()
+
+    def test_mismatched_representation_rejected(self, tmp_path):
+        repo = Repository.from_parts(URLS, EDGES, TERMS)
+        from repro.graph.digraph import GraphBuilder
+
+        other = FlatFileRepresentation(GraphBuilder(3).build(), tmp_path / "x")
+        with pytest.raises(QueryError):
+            QueryEngine(repo, TextIndex(repo), PageRankIndex(repo), other)
+        other.close()
+
+    def test_navigation_timer_accumulates(self, engine):
+        engine.reset_navigation_time()
+        with engine.navigation_timer():
+            pass
+        with engine.navigation_timer():
+            pass
+        assert engine.navigation_seconds >= 0.0
+        engine.reset_navigation_time()
+        assert engine.navigation_seconds == 0.0
+
+
+class TestCrossRepresentationResults:
+    def test_all_schemes_same_query_answers(self, tmp_path_factory):
+        """The paper's queries must return identical results regardless of
+        which representation executes the navigation."""
+        from repro.baselines import (
+            Link3Representation,
+            RelationalRepresentation,
+            SNodeRepresentation,
+        )
+        from repro.query.workload import PAPER_QUERIES
+        from repro.snode.build import build_snode
+
+        repo = Repository.from_parts(URLS, EDGES, TERMS)
+        base = tmp_path_factory.mktemp("xrep")
+        transpose = repo.graph.transpose()
+        text = TextIndex(repo)
+        pagerank = PageRankIndex(repo)
+        build_f = build_snode(repo, base / "snf")
+        build_b = build_snode(
+            repo,
+            base / "snb",
+            __import__("repro.snode.build", fromlist=["BuildOptions"]).BuildOptions(
+                transpose=True
+            ),
+        )
+        pairs = {
+            "flat": (
+                FlatFileRepresentation(repo.graph, base / "ff"),
+                FlatFileRepresentation(transpose, base / "fb"),
+            ),
+            "rel": (
+                RelationalRepresentation(repo, base / "rf"),
+                RelationalRepresentation(repo, base / "rb", graph=transpose),
+            ),
+            "link3": (
+                Link3Representation(repo, base / "lf"),
+                Link3Representation(repo, base / "lb", graph=transpose),
+            ),
+            "snode": (
+                SNodeRepresentation(build_f),
+                SNodeRepresentation(build_b),
+            ),
+        }
+        baseline_payloads = None
+        for name, (forward, backward) in pairs.items():
+            engine = QueryEngine(repo, text, pagerank, forward, backward)
+            payloads = {
+                qname: qfn(engine).payload for qname, qfn in PAPER_QUERIES
+            }
+            if baseline_payloads is None:
+                baseline_payloads = payloads
+            else:
+                assert payloads == baseline_payloads, name
+        for forward, backward in pairs.values():
+            forward.close()
+            backward.close()

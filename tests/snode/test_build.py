@@ -1,0 +1,113 @@
+"""End-to-end tests of the S-Node build pipeline."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.snode.build import BuildOptions, build_snode
+
+
+class TestBuild:
+    def test_roundtrip_full_graph(self, small_repo, small_build):
+        for old in range(0, small_repo.num_pages, 13):
+            assert small_build.translate_out(old) == small_repo.graph.successors_list(
+                old
+            )
+
+    def test_total_edges_matches_graph(self, small_repo, small_build):
+        assert small_build.total_edges() == small_repo.num_links
+
+    def test_bits_per_edge_positive_and_sane(self, small_build):
+        assert 1.0 < small_build.bits_per_edge < 64.0
+
+    def test_manifest_counts(self, small_build):
+        manifest = small_build.manifest
+        assert manifest["num_supernodes"] == small_build.model.num_supernodes
+        assert (
+            manifest["positive_superedges"] + manifest["negative_superedges"]
+            == small_build.model.num_superedges
+        )
+
+    def test_refinement_stats_attached(self, small_build):
+        assert small_build.refinement is not None
+        assert small_build.refinement.iterations > 0
+
+    def test_reopen_from_disk(self, small_repo, small_build):
+        from repro.snode.store import SNodeStore
+
+        store = SNodeStore(small_build.root)
+        numbering = small_build.numbering
+        for old in random.Random(2).sample(range(small_repo.num_pages), 40):
+            new = numbering.old_to_new[old]
+            got = sorted(numbering.new_to_old[t] for t in store.out_neighbors(new))
+            assert got == small_repo.graph.successors_list(old)
+        store.close()
+
+    def test_transpose_build(self, small_repo, test_refinement_config, tmp_path):
+        build = build_snode(
+            small_repo,
+            tmp_path,
+            BuildOptions(refinement=test_refinement_config, transpose=True),
+        )
+        transpose = small_repo.graph.transpose()
+        for old in random.Random(3).sample(range(small_repo.num_pages), 40):
+            assert build.translate_out(old) == [
+                int(t) for t in transpose.successors(old)
+            ]
+        build.store.close()
+
+    def test_explicit_partition_used(self, tiny_repo, tmp_path):
+        from repro.partition.partition import Partition
+
+        partition = Partition.by_domain([p.domain for p in tiny_repo.pages])
+        build = build_snode(tiny_repo, tmp_path, partition=partition)
+        assert build.model.num_supernodes == partition.num_elements
+        assert build.refinement is None
+        build.store.close()
+
+    def test_partition_size_mismatch_rejected(self, tiny_repo, tmp_path):
+        from repro.errors import BuildError
+        from repro.partition.partition import Partition
+
+        with pytest.raises(BuildError):
+            build_snode(
+                tiny_repo, tmp_path, partition=Partition.trivial(3)
+            )
+
+    def test_no_reference_encoding_still_correct(self, tiny_repo, tmp_path):
+        build = build_snode(
+            tiny_repo,
+            tmp_path,
+            BuildOptions(
+                reference_window=0, full_affinity_limit=0, use_dictionary=False
+            ),
+        )
+        for old in range(0, tiny_repo.num_pages, 7):
+            assert build.translate_out(old) == tiny_repo.graph.successors_list(old)
+        build.store.close()
+
+    def test_force_positive_still_correct(self, tiny_repo, tmp_path):
+        build = build_snode(
+            tiny_repo, tmp_path, BuildOptions(force_positive_superedges=True)
+        )
+        assert build.model.negative_count == 0
+        for old in range(0, tiny_repo.num_pages, 7):
+            assert build.translate_out(old) == tiny_repo.graph.successors_list(old)
+        build.store.close()
+
+
+@settings(deadline=None, max_examples=5)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_build_equivalence_random_webs(seed, tmp_path_factory):
+    """The representation is lossless for arbitrary generated webs."""
+    from repro.webdata.generator import GeneratorConfig, generate_web
+
+    repo = generate_web(GeneratorConfig(num_pages=150, seed=seed))
+    root = tmp_path_factory.mktemp(f"prop_{seed}")
+    build = build_snode(repo, root)
+    for old in range(repo.num_pages):
+        assert build.translate_out(old) == repo.graph.successors_list(old)
+    build.store.close()

@@ -1,0 +1,67 @@
+"""Edge cases of the local-index list codec and Link3 helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.baselines.link3 import _unzigzag, _zigzag
+from repro.errors import CodecError
+from repro.snode.encode import _decode_locals, _encode_locals
+from repro.util.bitio import BitReader, BitWriter
+
+
+class TestLocalsCodec:
+    @pytest.mark.parametrize(
+        "locals_list",
+        [
+            [],
+            [0],
+            [5],
+            [0, 1, 2, 3],           # dense run -> RLE bit vector wins
+            [0, 100],               # sparse -> gamma gaps win
+            list(range(0, 200, 2)),  # alternating
+            list(range(64)),
+        ],
+    )
+    def test_roundtrip(self, locals_list):
+        writer = BitWriter()
+        _encode_locals(writer, locals_list)
+        assert _decode_locals(BitReader(writer.to_bytes())) == locals_list
+
+    def test_unsorted_rejected(self):
+        with pytest.raises(CodecError):
+            _encode_locals(BitWriter(), [3, 1])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(CodecError):
+            _encode_locals(BitWriter(), [2, 2])
+
+    @given(st.lists(st.integers(0, 300), max_size=60, unique=True).map(sorted))
+    def test_property_roundtrip(self, locals_list):
+        writer = BitWriter()
+        _encode_locals(writer, locals_list)
+        assert _decode_locals(BitReader(writer.to_bytes())) == locals_list
+
+    def test_dense_run_smaller_than_gaps(self):
+        dense = list(range(120))
+        sparse = list(range(0, 120 * 17, 17))[:120]
+        dense_writer = BitWriter()
+        _encode_locals(dense_writer, dense)
+        sparse_writer = BitWriter()
+        _encode_locals(sparse_writer, sparse)
+        assert len(dense_writer) < len(sparse_writer)
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("value", [0, 1, -1, 5, -5, 1000, -1000])
+    def test_roundtrip(self, value):
+        assert _unzigzag(_zigzag(value)) == value
+
+    def test_non_negative_output(self):
+        for value in (-10, -1, 0, 1, 10):
+            assert _zigzag(value) >= 0
+
+    @given(st.integers(min_value=-(2**40), max_value=2**40))
+    def test_property_roundtrip(self, value):
+        assert _unzigzag(_zigzag(value)) == value

@@ -1,0 +1,98 @@
+"""Tests for page/supernode numbering and the PageID index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BuildError
+from repro.partition.partition import Element, Partition
+from repro.snode.numbering import build_numbering
+from repro.webdata.corpus import Repository
+from repro.webdata.urls import lexicographic_key
+
+
+def make_setup():
+    urls = [
+        "http://b.com/z.html",   # 0
+        "http://a.com/x.html",   # 1
+        "http://a.com/a.html",   # 2
+        "http://b.com/a.html",   # 3
+    ]
+    repo = Repository.from_parts(urls, [(0, 1), (1, 2)])
+    partition = Partition(
+        4,
+        [
+            Element(pages=(1, 2), domain="a.com"),
+            Element(pages=(0, 3), domain="b.com"),
+        ],
+    )
+    return repo, partition
+
+
+class TestNumbering:
+    def test_supernode_ranges_contiguous(self):
+        repo, partition = make_setup()
+        numbering = build_numbering(repo, partition)
+        assert numbering.boundaries[0] == 0
+        assert numbering.boundaries[-1] == 4
+        assert numbering.num_supernodes == 2
+
+    def test_pages_sorted_by_url_within_supernode(self):
+        repo, partition = make_setup()
+        numbering = build_numbering(repo, partition)
+        for supernode in range(numbering.num_supernodes):
+            first, last = numbering.supernode_range(supernode)
+            keys = [
+                lexicographic_key(repo.page(numbering.new_to_old[n]).url)
+                for n in range(first, last)
+            ]
+            assert keys == sorted(keys)
+
+    def test_supernodes_ordered_by_domain(self):
+        repo, partition = make_setup()
+        numbering = build_numbering(repo, partition)
+        assert list(numbering.supernode_domains) == ["a.com", "b.com"]
+
+    def test_permutation_is_bijective(self):
+        repo, partition = make_setup()
+        numbering = build_numbering(repo, partition)
+        assert sorted(numbering.old_to_new) == list(range(4))
+        for old in range(4):
+            assert numbering.new_to_old[numbering.old_to_new[old]] == old
+
+    def test_supernode_of_binary_search(self):
+        repo, partition = make_setup()
+        numbering = build_numbering(repo, partition)
+        for new_page in range(4):
+            supernode = numbering.supernode_of(new_page)
+            first, last = numbering.supernode_range(supernode)
+            assert first <= new_page < last
+
+    def test_local_index(self):
+        repo, partition = make_setup()
+        numbering = build_numbering(repo, partition)
+        supernode, local = numbering.local_index(1)
+        assert numbering.boundaries[supernode] + local == 1
+
+    def test_out_of_range_rejected(self):
+        repo, partition = make_setup()
+        numbering = build_numbering(repo, partition)
+        with pytest.raises(BuildError):
+            numbering.supernode_of(4)
+        with pytest.raises(BuildError):
+            numbering.supernode_range(2)
+
+    def test_partition_size_mismatch(self):
+        repo, _ = make_setup()
+        wrong = Partition(2, [Element(pages=(0, 1), domain="x")])
+        with pytest.raises(BuildError):
+            build_numbering(repo, wrong)
+
+    def test_numbering_on_generated_repo(self, small_repo, small_partition):
+        numbering = build_numbering(small_repo, small_partition)
+        assert numbering.num_pages == small_repo.num_pages
+        assert numbering.num_supernodes == small_partition.num_elements
+        sizes = [
+            numbering.supernode_size(s) for s in range(numbering.num_supernodes)
+        ]
+        assert sum(sizes) == small_repo.num_pages

@@ -1,0 +1,239 @@
+"""Tests for reference encoding: costs, plans, Edmonds, serialization."""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import CodecError
+from repro.snode.reference import (
+    DICTIONARY_PARENT,
+    EncodingPlan,
+    build_dictionary,
+    decode_rows,
+    direct_cost,
+    encode_rows,
+    minimum_arborescence,
+    plan_references,
+    reference_cost,
+)
+from repro.util.bitio import BitReader, BitWriter
+
+
+def rows_strategy():
+    """Random row collections over a shared small target space."""
+    return st.integers(min_value=1, max_value=40).flatmap(
+        lambda space: st.lists(
+            st.lists(
+                st.integers(0, space - 1), max_size=10, unique=True
+            ).map(sorted),
+            max_size=20,
+        )
+    )
+
+
+class TestCosts:
+    def test_direct_cost_matches_encoding(self):
+        rows = [[0, 3, 7], [], [1]]
+        plan = EncodingPlan(parents=[-1, -1, -1], total_bits=0)
+        writer = BitWriter()
+        encode_rows(writer, rows, plan=plan)
+        from repro.util.varint import gamma_cost
+
+        expected = gamma_cost(len(rows)) + sum(direct_cost(r) for r in rows)
+        assert len(writer) == expected
+
+    def test_reference_cost_cheap_for_identical_rows(self):
+        row = list(range(0, 30, 2))
+        assert reference_cost(row, row, 1) < direct_cost(row)
+
+    def test_reference_cost_counts_extras(self):
+        base = [0, 2, 4]
+        more = [0, 2, 4, 30]
+        assert reference_cost(more, base, 1) > reference_cost(base, base, 1)
+
+
+class TestArborescence:
+    def test_star_from_root(self):
+        edges = [(3, 0, 1.0), (3, 1, 1.0), (3, 2, 1.0)]
+        parents = minimum_arborescence(4, edges, 3)
+        assert parents == {0: 3, 1: 3, 2: 3}
+
+    def test_prefers_cheap_chain(self):
+        edges = [(2, 0, 1.0), (0, 1, 1.0), (2, 1, 5.0)]
+        parents = minimum_arborescence(3, edges, 2)
+        assert parents == {0: 2, 1: 0}
+
+    def test_cycle_contraction(self):
+        # 0 -> 1 -> 0 cheap cycle; root can only enter through 0.
+        edges = [(2, 0, 10.0), (0, 1, 1.0), (1, 0, 1.0), (2, 1, 10.0)]
+        parents = minimum_arborescence(3, edges, 2)
+        assert parents[1] == 0 or parents[0] == 1
+        total = 0.0
+        for target, source in parents.items():
+            total += next(w for s, t, w in edges if s == source and t == target)
+        assert total == pytest.approx(11.0)
+
+    def test_unreachable_node_raises(self):
+        with pytest.raises(CodecError):
+            minimum_arborescence(3, [(2, 0, 1.0)], 2)
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.data())
+    def test_property_matches_brute_force(self, data):
+        n = data.draw(st.integers(min_value=2, max_value=5))
+        root = n - 1
+        weights = {}
+        for source in range(n):
+            for target in range(n - 1):  # root has no incoming edges
+                if source == target:
+                    continue
+                weights[(source, target)] = data.draw(
+                    st.integers(min_value=1, max_value=9)
+                )
+        edges = [(s, t, float(w)) for (s, t), w in weights.items()]
+        parents = minimum_arborescence(n, edges, root)
+        got = sum(weights[(parents[t], t)] for t in range(n - 1))
+        # Brute force: every node picks any parent; keep assignments that
+        # form an arborescence (no cycles, all reachable from root).
+        best = None
+        non_roots = list(range(n - 1))
+        choices = [
+            [s for s in range(n) if s != t and (s, t) in weights]
+            for t in non_roots
+        ]
+        for assignment in itertools.product(*choices):
+            parent_of = dict(zip(non_roots, assignment))
+            # check acyclic/reachable
+            valid = True
+            for node in non_roots:
+                seen = set()
+                cursor = node
+                while cursor != root:
+                    if cursor in seen:
+                        valid = False
+                        break
+                    seen.add(cursor)
+                    cursor = parent_of[cursor]
+                if not valid:
+                    break
+            if not valid:
+                continue
+            cost = sum(weights[(parent_of[t], t)] for t in non_roots)
+            best = cost if best is None else min(best, cost)
+        assert got == pytest.approx(best)
+
+
+class TestPlans:
+    def test_empty_collection(self):
+        plan = plan_references([])
+        assert plan.parents == []
+        assert plan.total_bits == 0
+
+    def test_similar_rows_get_references(self):
+        base = list(range(0, 40, 2))
+        rows = [base, base, base, sorted(base[:-1] + [39])]
+        plan = plan_references(rows)
+        assert sum(1 for p in plan.parents if p != -1) >= 2
+
+    def test_windowed_mode_references_backward_only(self):
+        rows = [[i % 5] for i in range(50)]
+        plan = plan_references(rows, window=4, full_affinity_limit=10)
+        for y, parent in enumerate(plan.parents):
+            if parent >= 0:
+                assert y - 4 <= parent < y
+
+    def test_full_mode_beats_or_ties_windowed(self):
+        rng = random.Random(0)
+        base = sorted(rng.sample(range(100), 12))
+        rows = [sorted(set(base) | {rng.randrange(100)}) for _ in range(30)]
+        rng.shuffle(rows)
+        full = plan_references(rows, full_affinity_limit=100)
+        windowed = plan_references(rows, window=4, full_affinity_limit=0)
+        assert full.total_bits <= windowed.total_bits
+
+    def test_dictionary_plan_flags_usage(self):
+        rows = [[7]] * 20
+        dictionary = build_dictionary(rows)
+        plan = plan_references(rows, dictionary=dictionary)
+        assert plan.used_dictionary
+        assert DICTIONARY_PARENT in plan.parents
+
+    def test_dictionary_rejected_when_useless(self):
+        rows = [[i] for i in range(20)]  # no repeated targets
+        dictionary = build_dictionary(rows)
+        assert dictionary == []
+        plan = plan_references(rows, dictionary=dictionary)
+        assert not plan.used_dictionary
+
+
+class TestBuildDictionary:
+    def test_frequent_targets_only(self):
+        rows = [[1, 2], [2, 3], [2], [9]]
+        assert build_dictionary(rows) == [2]
+
+    def test_cap_keeps_most_frequent(self):
+        rows = [[i, 99] for i in range(50)] + [[i, 99] for i in range(50)]
+        dictionary = build_dictionary(rows, max_entries=3)
+        assert 99 in dictionary
+        assert len(dictionary) == 3
+
+    def test_sorted_output(self):
+        rows = [[5, 1], [5, 1], [3], [3]]
+        assert build_dictionary(rows) == [1, 3, 5]
+
+
+class TestSerialization:
+    @settings(deadline=None, max_examples=60)
+    @given(rows_strategy())
+    def test_property_roundtrip_plain(self, rows):
+        writer = BitWriter()
+        encode_rows(writer, rows)
+        assert decode_rows(BitReader(writer.to_bytes())) == rows
+
+    @settings(deadline=None, max_examples=60)
+    @given(rows_strategy())
+    def test_property_roundtrip_with_dictionary(self, rows):
+        dictionary = build_dictionary(rows)
+        plan = plan_references(rows, dictionary=dictionary)
+        stored = dictionary if plan.used_dictionary else []
+        writer = BitWriter()
+        encode_rows(writer, rows, plan=plan, dictionary=stored)
+        assert decode_rows(BitReader(writer.to_bytes()), dictionary=stored) == rows
+
+    @settings(deadline=None, max_examples=40)
+    @given(rows_strategy())
+    def test_property_windowed_roundtrip(self, rows):
+        writer = BitWriter()
+        encode_rows(writer, rows, window=3, full_affinity_limit=2)
+        assert decode_rows(BitReader(writer.to_bytes())) == rows
+
+    def test_plan_mismatch_rejected(self):
+        with pytest.raises(CodecError):
+            encode_rows(
+                BitWriter(),
+                [[0], [1]],
+                plan=EncodingPlan(parents=[-1], total_bits=0),
+            )
+
+    def test_forward_references_resolve(self):
+        # Force row 0 to reference row 1 (a forward reference).
+        rows = [[0, 1, 2], [0, 1, 2]]
+        plan = EncodingPlan(parents=[1, -1], total_bits=0)
+        writer = BitWriter()
+        encode_rows(writer, rows, plan=plan)
+        assert decode_rows(BitReader(writer.to_bytes())) == rows
+
+    def test_total_bits_matches_actual_encoding(self):
+        rng = random.Random(1)
+        rows = [sorted(rng.sample(range(60), 8)) for _ in range(25)]
+        rows[1] = rows[0]
+        plan = plan_references(rows)
+        writer = BitWriter()
+        encode_rows(writer, rows, plan=plan)
+        from repro.util.varint import gamma_cost
+
+        assert len(writer) == plan.total_bits + gamma_cost(len(rows))

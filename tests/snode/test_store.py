@@ -1,0 +1,166 @@
+"""Tests for SNodeStore: adjacency access, buffer manager, instrumentation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import StorageError
+from repro.snode.store import SNodeStore
+
+
+class TestAdjacency:
+    def test_out_neighbors_match_ground_truth(self, small_repo, small_build):
+        store = small_build.store
+        numbering = small_build.numbering
+        rng = random.Random(0)
+        for old in rng.sample(range(small_repo.num_pages), 150):
+            new = numbering.old_to_new[old]
+            got = sorted(numbering.new_to_old[t] for t in store.out_neighbors(new))
+            assert got == small_repo.graph.successors_list(old)
+
+    def test_out_neighbors_many_matches_single(self, small_repo, small_build):
+        store = small_build.store
+        pages = list(range(0, small_repo.num_pages, 37))
+        bulk = store.out_neighbors_many(pages)
+        for page in pages:
+            assert bulk[page] == store.out_neighbors(page)
+
+    def test_iterate_all_covers_every_page(self, small_repo, small_build):
+        store = small_build.store
+        seen = {}
+        for page, row in store.iterate_all():
+            seen[page] = row
+        assert len(seen) == small_repo.num_pages
+        sample = random.Random(1).sample(range(small_repo.num_pages), 50)
+        for page in sample:
+            assert seen[page] == store.out_neighbors(page)
+
+    def test_page_out_of_range(self, small_build):
+        with pytest.raises(StorageError):
+            small_build.store.out_neighbors(10**9)
+
+    def test_missing_superedge_rejected(self, small_build):
+        store = small_build.store
+        source = 0
+        missing = next(
+            t
+            for t in range(store.num_supernodes)
+            if t not in store.super_adjacency[source] and t != source
+        )
+        with pytest.raises(StorageError):
+            store.superedge_rows(source, missing)
+
+
+class TestIndexes:
+    def test_pageid_index(self, small_build):
+        store = small_build.store
+        for supernode in range(store.num_supernodes):
+            first, last = store.supernode_range(supernode)
+            assert store.supernode_of(first) == supernode
+            assert store.supernode_of(last - 1) == supernode
+
+    def test_domain_index(self, small_repo, small_build):
+        store = small_build.store
+        numbering = small_build.numbering
+        domain = small_repo.page(0).domain
+        supernodes = store.supernodes_of_domain(domain)
+        assert supernodes
+        for supernode in supernodes:
+            assert numbering.supernode_domains[supernode] == domain
+
+    def test_unknown_domain_empty(self, small_build):
+        assert small_build.store.supernodes_of_domain("nowhere.example") == []
+
+
+class TestBufferManager:
+    def test_small_buffer_causes_evictions(self, small_repo, small_build, tmp_path):
+        store = SNodeStore(small_build.root, buffer_bytes=2048)
+        for page in range(0, small_repo.num_pages, 11):
+            store.out_neighbors(page)
+        assert store.stats.graphs_evicted > 0
+        assert store.buffer_stats()["used_bytes"] <= 2048 * 4  # oversize slack
+        store.close()
+
+    def test_warm_buffer_hits(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.out_neighbors(0)
+        loaded_before = store.stats.graphs_loaded
+        store.out_neighbors(0)
+        assert store.stats.graphs_loaded == loaded_before
+        assert store.stats.buffer_hits > 0
+        store.close()
+
+    def test_drop_buffers_forces_reload(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.out_neighbors(0)
+        store.drop_buffers()
+        before = store.stats.graphs_loaded
+        store.out_neighbors(0)
+        assert store.stats.graphs_loaded > before
+        store.close()
+
+    def test_set_buffer_bytes_resets(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.out_neighbors(0)
+        store.set_buffer_bytes(4096)
+        assert store.buffer_stats()["capacity_bytes"] == 4096
+        store.close()
+
+
+class TestLoadDigraph:
+    def test_reconstructs_whole_graph(self, small_repo, small_build):
+        graph = small_build.store.load_digraph()
+        numbering = small_build.numbering
+        expected = {
+            (numbering.old_to_new[s], numbering.old_to_new[t])
+            for s, t in small_repo.graph.edges()
+        }
+        assert set(graph.edges()) == expected
+
+    def test_global_algorithms_run_on_loaded_graph(self, small_build):
+        from repro.graph.algorithms import pagerank
+
+        graph = small_build.store.load_digraph()
+        scores = pagerank(graph)
+        assert abs(scores.sum() - 1.0) < 1e-6
+
+
+class TestInstrumentation:
+    def test_events_recorded(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.stats.reset()
+        store.out_neighbors(0)
+        kinds = {kind for kind, _ in store.stats.events}
+        assert "load-intra" in kinds
+        store.close()
+
+    def test_distinct_loaded_counts(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.stats.reset()
+        first, last = store.supernode_range(0)
+        for page in range(first, last):
+            store.out_neighbors(page)
+        intranode, superedge = store.stats.distinct_loaded()
+        assert intranode == 1
+        assert superedge == len(store.super_adjacency[0])
+        store.close()
+
+    def test_seeks_counted(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.stats.reset()
+        store.out_neighbors(0)
+        last_page = store.num_pages - 1
+        store.out_neighbors(last_page)
+        assert store.stats.disk_seeks >= 1
+        assert store.stats.bytes_read > 0
+        store.close()
+
+    def test_reset_clears_counters(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.out_neighbors(0)
+        store.stats.reset()
+        assert store.stats.graphs_loaded == 0
+        assert store.stats.events == []
+        store.close()

@@ -1,0 +1,79 @@
+"""Failure-injection tests: verify_snode catches storage corruption."""
+
+from __future__ import annotations
+
+import json
+import shutil
+
+import pytest
+
+from repro.snode.storage import MANIFEST_NAME
+from repro.snode.verify import verify_snode
+
+
+@pytest.fixture()
+def copy_of_build(small_build, tmp_path):
+    target = tmp_path / "copy"
+    shutil.copytree(small_build.root, target)
+    return target
+
+
+class TestCleanBuild:
+    def test_fresh_build_verifies(self, small_build):
+        report = verify_snode(small_build.root)
+        assert report.ok, report.problems
+        assert report.graphs_checked > 0
+
+    def test_structure_only_pass(self, small_build):
+        report = verify_snode(small_build.root, decode_payloads=False)
+        assert report.ok
+        assert report.graphs_checked == 0
+
+
+class TestCorruption:
+    def test_missing_manifest(self, copy_of_build):
+        (copy_of_build / MANIFEST_NAME).unlink()
+        report = verify_snode(copy_of_build)
+        assert not report.ok
+
+    def test_missing_index_file(self, copy_of_build):
+        manifest = json.loads((copy_of_build / MANIFEST_NAME).read_text())
+        (copy_of_build / manifest["index_files"][0]).unlink()
+        report = verify_snode(copy_of_build)
+        assert not report.ok
+        assert any("missing index file" in p for p in report.problems)
+
+    def test_truncated_index_file(self, copy_of_build):
+        manifest = json.loads((copy_of_build / MANIFEST_NAME).read_text())
+        path = copy_of_build / manifest["index_files"][-1]
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        report = verify_snode(copy_of_build)
+        assert not report.ok
+
+    def test_flipped_payload_bytes(self, copy_of_build):
+        # Corrupt payload bits: decoding should fail or row counts break.
+        manifest = json.loads((copy_of_build / MANIFEST_NAME).read_text())
+        path = copy_of_build / manifest["index_files"][0]
+        data = bytearray(path.read_bytes())
+        for position in range(0, min(len(data), 400), 7):
+            data[position] ^= 0xFF
+        path.write_bytes(bytes(data))
+        report = verify_snode(copy_of_build)
+        assert not report.ok
+
+    def test_corrupt_pageid_index(self, copy_of_build):
+        path = copy_of_build / "pageid.bin"
+        payload = bytearray(path.read_bytes())
+        payload[0] = 0x7F  # first boundary != 0
+        path.write_bytes(bytes(payload))
+        report = verify_snode(copy_of_build, decode_payloads=False)
+        assert not report.ok
+
+    def test_manifest_size_mismatch(self, copy_of_build):
+        manifest = json.loads((copy_of_build / MANIFEST_NAME).read_text())
+        manifest["payload_bytes"] += 1000
+        (copy_of_build / MANIFEST_NAME).write_text(json.dumps(manifest))
+        report = verify_snode(copy_of_build, decode_payloads=False)
+        assert not report.ok
+        assert any("manifest says" in p for p in report.problems)

@@ -1,0 +1,113 @@
+"""Tests for the ``repro`` command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture()
+def stream(tmp_path):
+    path = tmp_path / "crawl.wb"
+    assert main(["generate", "--pages", "250", "--seed", "4", "--out", str(path)]) == 0
+    return path
+
+
+@pytest.fixture()
+def built(stream, tmp_path):
+    root = tmp_path / "snode"
+    assert main(["build", "--stream", str(stream), "--out", str(root)]) == 0
+    return root
+
+
+class TestGenerate:
+    def test_creates_stream(self, stream, capsys):
+        assert stream.exists()
+
+    def test_output_mentions_counts(self, tmp_path, capsys):
+        path = tmp_path / "c.wb"
+        main(["generate", "--pages", "100", "--out", str(path)])
+        out = capsys.readouterr().out
+        assert "100 pages" in out
+
+
+class TestBuild:
+    def test_build_and_stats(self, built, capsys):
+        assert main(["stats", str(built)]) == 0
+        out = capsys.readouterr().out
+        assert "num_supernodes" in out
+        assert "payload_bytes" in out
+
+    def test_build_with_limit(self, stream, tmp_path, capsys):
+        root = tmp_path / "prefix"
+        assert (
+            main(
+                ["build", "--stream", str(stream), "--out", str(root), "--limit", "100"]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "bits/edge" in out
+
+    def test_build_transpose(self, stream, tmp_path, capsys):
+        root = tmp_path / "wgt"
+        assert (
+            main(["build", "--stream", str(stream), "--out", str(root), "--transpose"])
+            == 0
+        )
+        assert "WGT" in capsys.readouterr().out
+
+
+class TestVerify:
+    def test_verify_clean(self, built, capsys):
+        assert main(["verify", str(built)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_fast(self, built, capsys):
+        assert main(["verify", str(built), "--fast"]) == 0
+
+    def test_verify_corrupt(self, built, capsys):
+        (built / "pointers.bin").write_bytes(b"\x00\x01")
+        assert main(["verify", str(built)]) == 1
+        assert "PROBLEM" in capsys.readouterr().out
+
+
+class TestNeighbors:
+    def test_neighbors_match_stream(self, stream, built, capsys):
+        from repro.webdata.webbase import read_repository
+
+        repository = read_repository(stream)
+        page = next(
+            p for p in range(repository.num_pages)
+            if repository.graph.out_degree(p) > 0
+        )
+        assert main(["neighbors", str(built), str(page)]) == 0
+        printed = [int(x) for x in capsys.readouterr().out.split()]
+        assert printed == repository.graph.successors_list(page)
+
+    def test_unknown_page(self, built, capsys):
+        assert main(["neighbors", str(built), "999999"]) == 1
+
+
+class TestStats:
+    def test_missing_root(self, tmp_path, capsys):
+        assert main(["stats", str(tmp_path / "nope")]) == 1
+
+
+class TestExperimentDispatch:
+    def test_unknown_experiment(self, capsys):
+        assert main(["experiment", "frobnicate"]) == 1
+
+    def test_known_experiment_runs(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        # Clear harness caches so the tiny scale takes effect.
+        from repro.experiments import harness
+
+        harness.master_repository.cache_clear()
+        harness.dataset.cache_clear()
+        assert main(["experiment", "scalability"]) == 0
+        out = capsys.readouterr().out
+        assert "supernodes" in out
+        harness.master_repository.cache_clear()
+        harness.dataset.cache_clear()

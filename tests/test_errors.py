@@ -1,0 +1,34 @@
+"""The exception hierarchy: everything derives from ReproError."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exception_type",
+    [
+        errors.CodecError,
+        errors.BitStreamError,
+        errors.GraphError,
+        errors.PartitionError,
+        errors.StorageError,
+        errors.QueryError,
+        errors.BuildError,
+    ],
+)
+def test_all_derive_from_repro_error(exception_type):
+    assert issubclass(exception_type, errors.ReproError)
+
+
+def test_bitstream_error_is_codec_error():
+    assert issubclass(errors.BitStreamError, errors.CodecError)
+
+
+def test_catching_base_catches_library_errors(tmp_path):
+    from repro.snode.store import SNodeStore
+
+    with pytest.raises(errors.ReproError):
+        SNodeStore(tmp_path / "missing")

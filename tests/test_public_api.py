@@ -1,0 +1,31 @@
+"""The package's top-level public surface stays importable and complete."""
+
+from __future__ import annotations
+
+import repro
+
+
+def test_version_string():
+    assert isinstance(repro.__version__, str)
+    assert repro.__version__.count(".") == 2
+
+
+def test_all_names_resolve():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_end_to_end_through_public_api(tmp_path):
+    repository = repro.generate_web(num_pages=200, seed=1)
+    build = repro.build_snode(repository, tmp_path, repro.BuildOptions())
+    representation = repro.SNodeRepresentation(build)
+    assert representation.num_pages == 200
+    assert representation.out_neighbors(5) == repository.graph.successors_list(5)
+    engine = repro.QueryEngine(
+        repository,
+        repro.TextIndex(repository),
+        repro.PageRankIndex(repository),
+        representation,
+    )
+    assert engine.pages_in_domain("stanford.edu") is not None
+    representation.close()

@@ -1,0 +1,104 @@
+"""Tests for the byte-budgeted LRU cache."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.lru import LRUCache
+
+
+class TestLRUCache:
+    def test_get_miss_returns_none(self):
+        cache = LRUCache(100)
+        assert cache.get("x") is None
+        assert cache.misses == 1
+
+    def test_put_then_get(self):
+        cache = LRUCache(100)
+        cache.put("x", 42, 10)
+        assert cache.get("x") == 42
+        assert cache.hits == 1
+
+    def test_eviction_respects_budget(self):
+        cache = LRUCache(30)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.put("c", 3, 10)
+        cache.put("d", 4, 10)  # evicts "a"
+        assert cache.get("a") is None
+        assert cache.get("d") == 4
+        assert cache.used_bytes <= 30
+
+    def test_lru_order_updated_on_get(self):
+        cache = LRUCache(20)
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.get("a")  # "a" now most recent
+        cache.put("c", 3, 10)  # should evict "b"
+        assert cache.get("a") == 1
+        assert cache.get("b") is None
+
+    def test_eviction_callback_fires(self):
+        evicted = []
+        cache = LRUCache(10, on_evict=lambda k, v: evicted.append((k, v)))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        assert evicted == [("a", 1)]
+
+    def test_oversized_entry_admitted_alone(self):
+        cache = LRUCache(10)
+        cache.put("big", 1, 100)
+        assert cache.get("big") == 1  # admitted even though over budget
+        cache.put("next", 2, 5)
+        assert cache.get("big") is None  # evicted by the next insert
+
+    def test_replace_updates_size(self):
+        cache = LRUCache(100)
+        cache.put("a", 1, 60)
+        cache.put("a", 2, 10)
+        assert cache.used_bytes == 10
+        assert cache.get("a") == 2
+
+    def test_pop_skips_callback(self):
+        evicted = []
+        cache = LRUCache(100, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        assert cache.pop("a") == 1
+        assert evicted == []
+        assert cache.pop("missing") is None
+
+    def test_clear_fires_callbacks(self):
+        evicted = []
+        cache = LRUCache(100, on_evict=lambda k, v: evicted.append(k))
+        cache.put("a", 1, 10)
+        cache.put("b", 2, 10)
+        cache.clear()
+        assert sorted(evicted) == ["a", "b"]
+        assert len(cache) == 0
+        assert cache.used_bytes == 0
+
+    def test_stats_shape(self):
+        cache = LRUCache(50)
+        cache.put("a", 1, 10)
+        cache.get("a")
+        cache.get("zz")
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1
+        assert stats["used_bytes"] == 10
+        assert stats["capacity_bytes"] == 50
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(-1)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            LRUCache(10).put("a", 1, -5)
+
+    def test_keys_in_lru_order(self):
+        cache = LRUCache(100)
+        cache.put("a", 1, 1)
+        cache.put("b", 2, 1)
+        cache.get("a")
+        assert cache.keys() == ["b", "a"]

@@ -1,0 +1,77 @@
+"""Stateful model test: LRUCache against a reference implementation."""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.util.lru import LRUCache
+
+CAPACITY = 64
+
+
+class _ModelLRU:
+    """Straightforward reference LRU with the same admission rules."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: OrderedDict[int, tuple[int, int]] = OrderedDict()
+        self.used = 0
+
+    def get(self, key: int):
+        if key not in self.entries:
+            return None
+        self.entries.move_to_end(key)
+        return self.entries[key][0]
+
+    def put(self, key: int, value: int, size: int) -> None:
+        if key in self.entries:
+            self.used -= self.entries.pop(key)[1]
+        self.entries[key] = (value, size)
+        self.used += size
+        while self.used > self.capacity and len(self.entries) > 1:
+            old_key, (old_value, old_size) = self.entries.popitem(last=False)
+            if old_key == key and self.entries:
+                self.entries[old_key] = (old_value, old_size)
+                self.entries.move_to_end(old_key, last=False)
+                old_key, (old_value, old_size) = self.entries.popitem(last=False)
+            self.used -= old_size
+
+    def pop(self, key: int):
+        entry = self.entries.pop(key, None)
+        if entry is None:
+            return None
+        self.used -= entry[1]
+        return entry[0]
+
+
+class LRUMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.cache: LRUCache = LRUCache(CAPACITY)
+        self.model = _ModelLRU(CAPACITY)
+
+    @rule(key=st.integers(0, 20), value=st.integers(), size=st.integers(0, 40))
+    def put(self, key, value, size):
+        self.cache.put(key, value, size)
+        self.model.put(key, value, size)
+
+    @rule(key=st.integers(0, 20))
+    def get(self, key):
+        assert self.cache.get(key) == self.model.get(key)
+
+    @rule(key=st.integers(0, 20))
+    def pop(self, key):
+        assert self.cache.pop(key) == self.model.pop(key)
+
+    @invariant()
+    def same_contents(self):
+        assert self.cache.keys() == list(self.model.entries)
+        assert self.cache.used_bytes == self.model.used
+
+
+TestLRUStateful = LRUMachine.TestCase
+TestLRUStateful.settings = settings(max_examples=40, stateful_step_count=40)

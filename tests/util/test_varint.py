@@ -1,0 +1,175 @@
+"""Tests for the integer codes (unary, gamma, delta, Golomb, vbyte, nybble,
+minimal binary)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import CodecError
+from repro.util.bitio import BitReader, BitWriter
+from repro.util.varint import (
+    decode_delta,
+    decode_gamma,
+    decode_golomb,
+    decode_minimal_binary,
+    decode_nibble,
+    decode_unary,
+    decode_vbyte,
+    delta_cost,
+    encode_delta,
+    encode_gamma,
+    encode_golomb,
+    encode_minimal_binary,
+    encode_nibble,
+    encode_unary,
+    encode_vbyte,
+    gamma_cost,
+    golomb_parameter,
+    nibble_cost,
+)
+
+VALUES = [0, 1, 2, 3, 7, 8, 63, 64, 100, 1023, 1024, 10**6]
+
+
+@pytest.mark.parametrize("value", VALUES)
+def test_gamma_roundtrip(value):
+    writer = BitWriter()
+    encode_gamma(writer, value)
+    assert decode_gamma(BitReader(writer.to_bytes())) == value
+
+
+@pytest.mark.parametrize("value", VALUES)
+def test_delta_roundtrip(value):
+    writer = BitWriter()
+    encode_delta(writer, value)
+    assert decode_delta(BitReader(writer.to_bytes())) == value
+
+
+@pytest.mark.parametrize("value", VALUES)
+def test_gamma_cost_is_exact(value):
+    writer = BitWriter()
+    encode_gamma(writer, value)
+    assert len(writer) == gamma_cost(value)
+
+
+@pytest.mark.parametrize("value", VALUES)
+def test_delta_cost_is_exact(value):
+    writer = BitWriter()
+    encode_delta(writer, value)
+    assert len(writer) == delta_cost(value)
+
+
+@pytest.mark.parametrize("value", VALUES)
+def test_nibble_cost_is_exact(value):
+    writer = BitWriter()
+    encode_nibble(writer, value)
+    assert len(writer) == nibble_cost(value)
+
+
+def test_gamma_rejects_negative():
+    with pytest.raises(CodecError):
+        encode_gamma(BitWriter(), -1)
+    with pytest.raises(CodecError):
+        gamma_cost(-1)
+
+
+def test_unary_roundtrip_sequence():
+    writer = BitWriter()
+    for value in (0, 3, 1, 7):
+        encode_unary(writer, value)
+    reader = BitReader(writer.to_bytes())
+    assert [decode_unary(reader) for _ in range(4)] == [0, 3, 1, 7]
+
+
+class TestGolomb:
+    @pytest.mark.parametrize("modulus", [1, 2, 3, 7, 8, 64])
+    @pytest.mark.parametrize("value", [0, 1, 5, 100, 1000])
+    def test_roundtrip(self, modulus, value):
+        writer = BitWriter()
+        encode_golomb(writer, value, modulus)
+        assert decode_golomb(BitReader(writer.to_bytes()), modulus) == value
+
+    def test_invalid_modulus(self):
+        with pytest.raises(CodecError):
+            encode_golomb(BitWriter(), 1, 0)
+        with pytest.raises(CodecError):
+            decode_golomb(BitReader(b"\xff"), 0)
+
+    def test_parameter_heuristic(self):
+        assert golomb_parameter(0.5) == 1
+        assert golomb_parameter(0.01) == 69
+        assert golomb_parameter(1.5) == 1  # degenerate densities clamp
+
+
+class TestMinimalBinary:
+    @pytest.mark.parametrize("bound", [1, 2, 3, 5, 8, 13, 256])
+    def test_roundtrip_all_values(self, bound):
+        for value in range(bound):
+            writer = BitWriter()
+            encode_minimal_binary(writer, value, bound)
+            assert decode_minimal_binary(BitReader(writer.to_bytes()), bound) == value
+
+    def test_bound_one_uses_zero_bits(self):
+        writer = BitWriter()
+        encode_minimal_binary(writer, 0, 1)
+        assert len(writer) == 0
+
+    def test_non_power_of_two_uses_short_codes(self):
+        # bound 5 -> values 0..2 get 2 bits, 3..4 get 3 bits
+        writer = BitWriter()
+        encode_minimal_binary(writer, 0, 5)
+        assert len(writer) == 2
+        writer = BitWriter()
+        encode_minimal_binary(writer, 4, 5)
+        assert len(writer) == 3
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(CodecError):
+            encode_minimal_binary(BitWriter(), 5, 5)
+
+
+class TestVByte:
+    @pytest.mark.parametrize("value", VALUES + [2**35])
+    def test_roundtrip(self, value):
+        data = encode_vbyte(value)
+        decoded, offset = decode_vbyte(data)
+        assert decoded == value
+        assert offset == len(data)
+
+    def test_concatenated_stream(self):
+        blob = b"".join(encode_vbyte(v) for v in VALUES)
+        position = 0
+        out = []
+        while position < len(blob):
+            value, position = decode_vbyte(blob, position)
+            out.append(value)
+        assert out == VALUES
+
+    def test_truncated_raises(self):
+        with pytest.raises(CodecError):
+            decode_vbyte(b"\x80")
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**30), max_size=50))
+def test_property_gamma_stream(values):
+    writer = BitWriter()
+    for value in values:
+        encode_gamma(writer, value)
+    reader = BitReader(writer.to_bytes())
+    assert [decode_gamma(reader) for _ in values] == values
+
+
+@given(st.lists(st.integers(min_value=0, max_value=2**30), max_size=50))
+def test_property_nibble_stream(values):
+    writer = BitWriter()
+    for value in values:
+        encode_nibble(writer, value)
+    reader = BitReader(writer.to_bytes())
+    assert [decode_nibble(reader) for _ in values] == values
+
+
+@given(st.integers(min_value=0, max_value=2**20))
+def test_property_gamma_monotone_cost(value):
+    # gamma codes never shrink when the value grows by an order of magnitude
+    assert gamma_cost(value * 2 + 1) >= gamma_cost(value)

@@ -1,0 +1,104 @@
+"""Tests for Repository and Page."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webdata.corpus import Page, Repository
+
+
+def make_repository() -> Repository:
+    urls = [
+        "http://www.stanford.edu/a.html",
+        "http://cs.stanford.edu/b.html",
+        "http://www.amazon.com/c.html",
+        "http://www.stanford.edu/d.html",
+    ]
+    edges = [(0, 1), (0, 2), (1, 3), (2, 0)]
+    terms = [("hello", "world"), ("mobile", "networking"), (), ("hello",)]
+    return Repository.from_parts(urls, edges, terms)
+
+
+class TestRepository:
+    def test_basic_counts(self):
+        repo = make_repository()
+        assert repo.num_pages == 4
+        assert repo.num_links == 4
+
+    def test_page_lookup(self):
+        repo = make_repository()
+        page = repo.page(1)
+        assert page.host == "cs.stanford.edu"
+        assert page.domain == "stanford.edu"
+
+    def test_page_by_url(self):
+        repo = make_repository()
+        assert repo.page_by_url("http://www.amazon.com/c.html").page_id == 2
+        assert repo.page_by_url("http://nowhere.org/") is None
+
+    def test_page_out_of_range(self):
+        with pytest.raises(QueryError):
+            make_repository().page(10)
+
+    def test_domains(self):
+        repo = make_repository()
+        assert repo.domains() == ["amazon.com", "stanford.edu"]
+
+    def test_pages_in_domain_includes_subdomains(self):
+        repo = make_repository()
+        assert repo.pages_in_domain("stanford.edu") == [0, 1, 3]
+
+    def test_pages_in_unknown_domain(self):
+        assert make_repository().pages_in_domain("nothing.net") == []
+
+    def test_transpose_cached(self):
+        repo = make_repository()
+        assert repo.transpose() is repo.transpose()
+        assert sorted(repo.transpose().edges()) == sorted(
+            (t, s) for s, t in repo.graph.edges()
+        )
+
+    def test_non_dense_page_ids_rejected(self):
+        pages = [Page(page_id=1, url="http://a.com/x")]
+        from repro.graph.digraph import Digraph
+        import numpy as np
+
+        with pytest.raises(QueryError):
+            Repository(
+                pages=pages,
+                graph=Digraph(np.array([0, 0]), np.array([], dtype=np.int64)),
+            )
+
+    def test_page_graph_mismatch_rejected(self):
+        from repro.graph.digraph import GraphBuilder
+
+        with pytest.raises(QueryError):
+            Repository(pages=[], graph=GraphBuilder(2).build())
+
+
+class TestCrawlPrefix:
+    def test_prefix_drops_external_links(self):
+        repo = make_repository()
+        prefix = repo.crawl_prefix(2)
+        assert prefix.num_pages == 2
+        # edge (0,1) survives; (0,2) and (1,3) point outside the prefix
+        assert sorted(prefix.graph.edges()) == [(0, 1)]
+
+    def test_full_prefix_is_identity(self):
+        repo = make_repository()
+        prefix = repo.crawl_prefix(repo.num_pages)
+        assert prefix.num_pages == repo.num_pages
+        assert sorted(prefix.graph.edges()) == sorted(repo.graph.edges())
+
+    def test_invalid_prefix_size(self):
+        with pytest.raises(QueryError):
+            make_repository().crawl_prefix(99)
+
+    def test_prefix_is_monotone(self, small_repo):
+        smaller = small_repo.crawl_prefix(200)
+        larger = small_repo.crawl_prefix(400)
+        # Every link of the smaller prefix exists in the larger one.
+        small_edges = set(smaller.graph.edges())
+        large_edges = set(larger.graph.edges())
+        assert small_edges <= large_edges

@@ -1,0 +1,75 @@
+"""Generator configuration knobs have the documented structural effects."""
+
+from __future__ import annotations
+
+from repro.graph.algorithms import strongly_connected_components
+from repro.webdata.generator import GeneratorConfig, generate_web
+from repro.webdata.urls import host_of
+
+
+class TestReciprocalLinks:
+    def test_zero_probability_gives_acyclic_graph(self):
+        repo = generate_web(
+            GeneratorConfig(num_pages=600, seed=9, reciprocal_link_probability=0.0)
+        )
+        # Evolving copying model without reciprocation: edges only point
+        # backward in creation order -> no cycles.
+        components = strongly_connected_components(repo.graph)
+        assert max(len(c) for c in components) == 1
+
+    def test_default_gives_giant_scc(self):
+        repo = generate_web(GeneratorConfig(num_pages=600, seed=9))
+        components = strongly_connected_components(repo.graph)
+        assert max(len(c) for c in components) > 0.3 * repo.num_pages
+
+
+class TestLocalityKnob:
+    def test_higher_fraction_raises_intra_host_share(self):
+        def intra_share(fraction: float) -> float:
+            repo = generate_web(
+                GeneratorConfig(
+                    num_pages=1200, seed=5, intra_host_fraction=fraction
+                )
+            )
+            intra = sum(
+                1
+                for s, t in repo.graph.edges()
+                if host_of(repo.page(s).url) == host_of(repo.page(t).url)
+            )
+            return intra / repo.num_links
+
+        assert intra_share(0.95) > intra_share(0.4) + 0.1
+
+
+class TestDegreeKnob:
+    def test_mean_degree_tracks_target(self):
+        low = generate_web(GeneratorConfig(num_pages=800, seed=6, mean_out_degree=5))
+        high = generate_web(GeneratorConfig(num_pages=800, seed=6, mean_out_degree=20))
+        assert high.graph.mean_out_degree() > low.graph.mean_out_degree() + 4
+
+
+class TestHostGrowthKnob:
+    def test_higher_rate_creates_more_hosts(self):
+        few = generate_web(GeneratorConfig(num_pages=800, seed=8, new_host_rate=0.2))
+        many = generate_web(GeneratorConfig(num_pages=800, seed=8, new_host_rate=4.0))
+        hosts_few = len({host_of(p.url) for p in few.pages})
+        hosts_many = len({host_of(p.url) for p in many.pages})
+        assert hosts_many > hosts_few
+
+
+class TestTopicsKnob:
+    def test_custom_topics_injected(self):
+        topics = ((("purple", "zebra"), "stanford.edu", 0.5),)
+        repo = generate_web(
+            GeneratorConfig(num_pages=800, seed=2, topics=topics)
+        )
+        hits = [
+            p
+            for p in repo.pages
+            if p.domain == "stanford.edu" and "purple" in p.terms
+        ]
+        assert hits
+
+    def test_no_topics_means_no_phrases(self):
+        repo = generate_web(GeneratorConfig(num_pages=300, seed=2, topics=()))
+        assert not any("dilbert" in p.terms for p in repo.pages)

@@ -1,0 +1,104 @@
+"""Tests for URL parsing helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import QueryError
+from repro.webdata.urls import (
+    host_of,
+    in_domain,
+    lexicographic_key,
+    registered_domain,
+    url_prefix,
+    url_prefix_depth,
+)
+
+
+class TestHostAndDomain:
+    def test_host_of_simple(self):
+        assert host_of("http://www.stanford.edu/a/b.html") == "www.stanford.edu"
+
+    def test_host_is_lowercased(self):
+        assert host_of("http://WWW.Stanford.EDU/x") == "www.stanford.edu"
+
+    def test_host_without_scheme(self):
+        assert host_of("cs.stanford.edu/page.html") == "cs.stanford.edu"
+
+    def test_empty_host_rejected(self):
+        with pytest.raises(QueryError):
+            host_of("http:///nothing")
+
+    def test_registered_domain_collapses_subdomains(self):
+        assert registered_domain("http://cs.stanford.edu/x") == "stanford.edu"
+        assert registered_domain("ee.stanford.edu") == "stanford.edu"
+
+    def test_registered_domain_of_two_label_host(self):
+        assert registered_domain("dilbert.com") == "dilbert.com"
+
+    def test_single_label_host(self):
+        assert registered_domain("localhost") == "localhost"
+
+
+class TestPrefix:
+    URL = "http://www.stanford.edu/students/grad/page1.html"
+
+    def test_depth_zero_is_host(self):
+        assert url_prefix(self.URL, 0) == "www.stanford.edu"
+
+    def test_depth_one(self):
+        assert url_prefix(self.URL, 1) == "www.stanford.edu/students"
+
+    def test_depth_two(self):
+        assert url_prefix(self.URL, 2) == "www.stanford.edu/students/grad"
+
+    def test_depth_saturates(self):
+        assert url_prefix(self.URL, 9) == "www.stanford.edu/students/grad"
+
+    def test_leaf_page_not_a_directory(self):
+        assert url_prefix("http://a.com/page.html", 1) == "a.com"
+
+    def test_trailing_slash_counts_as_directory(self):
+        assert url_prefix("http://a.com/dir/", 1) == "a.com/dir"
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(QueryError):
+            url_prefix(self.URL, -1)
+
+    def test_prefix_depth(self):
+        assert url_prefix_depth(self.URL) == 2
+        assert url_prefix_depth("http://a.com/x.html") == 0
+
+
+class TestLexicographicKey:
+    def test_same_host_sorts_by_path(self):
+        key_a = lexicographic_key("http://a.com/alpha.html")
+        key_b = lexicographic_key("http://a.com/beta.html")
+        assert key_a < key_b
+
+    def test_sibling_hosts_of_domain_adjacent(self):
+        # cs.stanford.edu and ee.stanford.edu share the reversed prefix
+        # edu.stanford and must sort between each other, not apart.
+        keys = sorted(
+            [
+                lexicographic_key("http://cs.stanford.edu/x"),
+                lexicographic_key("http://www.amazon.com/y"),
+                lexicographic_key("http://ee.stanford.edu/z"),
+            ]
+        )
+        assert "stanford" in keys[1]
+        assert "stanford" in keys[2]
+
+
+class TestInDomain:
+    def test_exact_host(self):
+        assert in_domain("http://stanford.edu/x", "stanford.edu")
+
+    def test_subdomain(self):
+        assert in_domain("http://cs.stanford.edu/x", "stanford.edu")
+
+    def test_case_insensitive(self):
+        assert in_domain("http://cs.stanford.edu/x", "STANFORD.EDU")
+
+    def test_suffix_confusion_rejected(self):
+        assert not in_domain("http://notstanford.edu/x", "stanford.edu")

@@ -1,0 +1,65 @@
+"""Tests for the WebBase-style bulk stream format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.webdata.webbase import read_repository, read_stream, write_stream
+
+
+class TestRoundtrip:
+    def test_full_roundtrip(self, tiny_repo, tmp_path):
+        path = tmp_path / "crawl.wb"
+        size = write_stream(tiny_repo, path)
+        assert size == path.stat().st_size
+        restored = read_repository(path)
+        assert restored.num_pages == tiny_repo.num_pages
+        assert [p.url for p in restored.pages] == [p.url for p in tiny_repo.pages]
+        assert [p.terms for p in restored.pages] == [
+            p.terms for p in tiny_repo.pages
+        ]
+        assert sorted(restored.graph.edges()) == sorted(tiny_repo.graph.edges())
+
+    def test_streaming_order_and_ids(self, tiny_repo, tmp_path):
+        path = tmp_path / "crawl.wb"
+        write_stream(tiny_repo, path)
+        for page_id, url, _terms, links in read_stream(path, limit=50):
+            assert url == tiny_repo.page(page_id).url
+            assert links == tiny_repo.graph.successors_list(page_id)
+
+    def test_prefix_read_matches_crawl_prefix(self, tiny_repo, tmp_path):
+        path = tmp_path / "crawl.wb"
+        write_stream(tiny_repo, path)
+        prefix = read_repository(path, limit=100)
+        expected = tiny_repo.crawl_prefix(100)
+        assert prefix.num_pages == 100
+        assert sorted(prefix.graph.edges()) == sorted(expected.graph.edges())
+
+    def test_limit_beyond_size_is_clamped(self, tiny_repo, tmp_path):
+        path = tmp_path / "crawl.wb"
+        write_stream(tiny_repo, path)
+        restored = read_repository(path, limit=10**9)
+        assert restored.num_pages == tiny_repo.num_pages
+
+
+class TestFormatErrors:
+    def test_bad_magic(self, tmp_path):
+        path = tmp_path / "junk.wb"
+        path.write_bytes(b"\x00" * 64)
+        with pytest.raises(StorageError):
+            list(read_stream(path))
+
+    def test_short_header(self, tmp_path):
+        path = tmp_path / "short.wb"
+        path.write_bytes(b"\x01\x02")
+        with pytest.raises(StorageError):
+            list(read_stream(path))
+
+    def test_truncated_record(self, tiny_repo, tmp_path):
+        path = tmp_path / "crawl.wb"
+        write_stream(tiny_repo, path)
+        data = path.read_bytes()
+        path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(StorageError):
+            list(read_stream(path))
