@@ -13,6 +13,8 @@ from __future__ import annotations
 import abc
 from collections.abc import Iterable, Iterator
 
+from repro.storage.metrics import MetricsRegistry
+
 
 class GraphRepresentation(abc.ABC):
     """Adjacency-list access to one stored Web graph."""
@@ -53,17 +55,39 @@ class GraphRepresentation(abc.ABC):
             return 0.0
         return self.size_bytes() * 8.0 / self.num_edges
 
-    # -- instrumentation hooks (no-ops for purely in-memory schemes) --------
+    # -- shared storage-engine protocol -------------------------------------
+    #
+    # Every scheme owns (or shares) a repro.storage.metrics.MetricsRegistry;
+    # disk-backed schemes charge their devices and buffer pool against it,
+    # purely in-memory schemes simply report an empty one.  Experiments are
+    # written against these five methods only — no per-scheme branches.
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The scheme's metrics registry (created empty on first use)."""
+        registry = getattr(self, "_metrics", None)
+        if registry is None:
+            registry = self._metrics = MetricsRegistry()
+        return registry
 
     def reset_io_stats(self) -> None:
         """Zero I/O counters before a measured run."""
+        self.metrics.reset()
 
     def io_stats(self) -> dict[str, int]:
-        """Bytes read / seeks performed since the last reset."""
-        return {}
+        """All metered counters since the last reset (``bytes_read``,
+        ``disk_seeks``, buffer hits/misses/evictions, loads by kind)."""
+        return self.metrics.io_stats()
 
     def drop_caches(self) -> None:
         """Forget buffered data so the next access is cold."""
+
+    def set_buffer_bytes(self, buffer_bytes: int) -> None:
+        """Rebound the scheme's buffer budget (Figure 12 sweep protocol).
+
+        No-op for schemes without a buffer manager (flat file, in-memory
+        Huffman): their cost model has nothing to rebound.
+        """
 
     def close(self) -> None:
         """Release file handles."""
@@ -134,21 +158,24 @@ class SNodeRepresentation(GraphRepresentation):
     def num_edges(self) -> int:
         return self._build.total_edges()
 
-    def reset_io_stats(self) -> None:
-        self._store.stats.reset()
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._store.metrics
 
     def io_stats(self) -> dict[str, int]:
         stats = self._store.stats
         return {
-            "bytes_read": stats.bytes_read,
-            "disk_seeks": stats.disk_seeks,
+            **self._store.metrics.io_stats(),
+            # Historical aliases, derived from the same registry.
             "graphs_loaded": stats.graphs_loaded,
             "graphs_evicted": stats.graphs_evicted,
-            "buffer_hits": stats.buffer_hits,
         }
 
     def drop_caches(self) -> None:
         self._store.drop_buffers()
+
+    def set_buffer_bytes(self, buffer_bytes: int) -> None:
+        self._store.set_buffer_bytes(buffer_bytes)
 
     def close(self) -> None:
         self._store.close()

@@ -4,8 +4,12 @@ Keys are unsigned 64-bit integers; values are small byte strings (at most
 :data:`MAX_VALUE_BYTES`).  The tree supports bulk building from sorted
 pairs (how the relational baseline creates its indexes), point lookups,
 point inserts (leaf/internal splits, no deletes) and ascending range
-scans.  Pages are read through a caller-supplied page cache so the
-relational layer can charge index I/O against its buffer pool.
+scans.  Pages are read through a :class:`repro.storage.device.PageDevice`
+(optionally behind a shared :class:`repro.storage.bufferpool.BufferPool`),
+so index I/O is metered by the same counted-seek rule as every other
+access path — a standalone probe shows up in ``io_stats()`` instead of
+being an invisible raw ``seek()``.  The meta page is pinned in the pool,
+"akin to the root node of B-tree indexes".
 
 Page layout (4096 bytes)::
 
@@ -23,9 +27,14 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.storage.bufferpool import BufferPool
+from repro.storage.device import PageDevice
+from repro.storage.metrics import MetricsRegistry
 
 PAGE_SIZE = 4096
 MAX_VALUE_BYTES = 1024
+#: Page-cache budget of a standalone tree (one not sharing an owner's pool).
+DEFAULT_STANDALONE_POOL_BYTES = 64 * PAGE_SIZE
 
 _META = struct.Struct("<IIII")
 _MAGIC = 0xB7EE0001
@@ -132,14 +141,46 @@ def _parse(data: bytes) -> _Leaf | _Internal:
 
 
 class BPlusTree:
-    """A single-file B+tree.  Open an existing file or bulk-build a new one."""
+    """A single-file B+tree.  Open an existing file or bulk-build a new one.
 
-    def __init__(self, path: Path | str, page_reader=None) -> None:
+    ``device`` supplies counted page I/O (a private
+    :class:`~repro.storage.device.PageDevice` is created when omitted, so
+    even a standalone tree meters its reads); ``pool`` optionally caches
+    pages in a shared buffer pool, as the relational baseline does for its
+    heap and both indexes.  ``page_reader`` injects a raw read function
+    and bypasses both (test hook).
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        page_reader=None,
+        device: PageDevice | None = None,
+        pool: BufferPool | None = None,
+    ) -> None:
         self._path = Path(path)
         if not self._path.exists():
             raise StorageError(f"no B+tree file at {self._path}")
-        self._read_page_raw = page_reader or self._default_reader
-        meta = self._read_meta()
+        if page_reader is None and device is None:
+            device = PageDevice(self._path, PAGE_SIZE, MetricsRegistry())
+        if page_reader is None and pool is None:
+            # Standalone trees get a private page cache charged against the
+            # device registry, so repeated descents over the same hot path
+            # are buffer hits, exactly as under the relational baseline's
+            # shared pool.
+            pool = BufferPool(
+                DEFAULT_STANDALONE_POOL_BYTES, registry=device.registry
+            )
+        self._device = device
+        self._pool = pool
+        self._page_reader = page_reader
+        self._cache_tag = ("btree", str(self._path))
+        meta_page = self._read_page_raw(0)
+        if self._pool is not None:
+            # Keep the meta page resident: it is re-read on every reopen
+            # and anchors every descent.
+            self._pool.pin((*self._cache_tag, 0), meta_page, PAGE_SIZE)
+        meta = self._parse_meta(meta_page)
         self._root = meta[1]
         self._height = meta[2]
         self._num_pages = meta[3]
@@ -217,16 +258,20 @@ class BPlusTree:
 
     # -- page I/O ----------------------------------------------------------
 
-    def _default_reader(self, page_number: int) -> bytes:
-        with open(self._path, "rb") as handle:
-            handle.seek(page_number * PAGE_SIZE)
-            data = handle.read(PAGE_SIZE)
-        if len(data) != PAGE_SIZE:
-            raise StorageError("short B+tree page read")
-        return data
+    def _read_page_raw(self, page_number: int) -> bytes:
+        if self._page_reader is not None:
+            return self._page_reader(page_number)
+        if self._pool is not None:
+            return self._pool.get_or_load(
+                (*self._cache_tag, page_number),
+                lambda: self._device.read_page(page_number),
+                cost=PAGE_SIZE,
+                kind="index_page",
+            )
+        return self._device.read_page(page_number)
 
-    def _read_meta(self) -> tuple[int, int, int, int]:
-        data = self._read_page_raw(0)
+    @staticmethod
+    def _parse_meta(data: bytes) -> tuple[int, int, int, int]:
         meta = _META.unpack_from(data, 0)
         if meta[0] != _MAGIC:
             raise StorageError("not a B+tree file (bad magic)")
@@ -234,6 +279,21 @@ class BPlusTree:
 
     def _node(self, page_number: int) -> _Leaf | _Internal:
         return _parse(self._read_page_raw(page_number))
+
+    @property
+    def device(self) -> PageDevice | None:
+        """The counted page device (None with an injected ``page_reader``)."""
+        return self._device
+
+    @property
+    def metrics(self) -> MetricsRegistry | None:
+        """The registry charged for this tree's page I/O (None when an
+        injected ``page_reader`` bypasses the device layer)."""
+        return self._device.registry if self._device is not None else None
+
+    def io_stats(self) -> dict[str, int]:
+        """Bytes read / seeks performed through the tree's device."""
+        return self.metrics.io_stats() if self.metrics is not None else {}
 
     # -- queries ----------------------------------------------------------
 
@@ -348,13 +408,21 @@ class BPlusTree:
         return up_key, right_page
 
     def _write_page(self, page_number: int, data: bytes) -> None:
-        with open(self._path, "r+b") as handle:
-            handle.seek(page_number * PAGE_SIZE)
-            handle.write(data)
+        if self._device is not None:
+            self._device.write_page(page_number, data)
+        else:
+            with open(self._path, "r+b") as handle:
+                handle.seek(page_number * PAGE_SIZE)
+                handle.write(data)
+        if self._pool is not None:
+            self._pool.invalidate((*self._cache_tag, page_number))
 
     def _append_page(self, data: bytes) -> int:
-        with open(self._path, "ab") as handle:
-            handle.write(data)
+        if self._device is not None:
+            self._device.append_page(data)
+        else:
+            with open(self._path, "ab") as handle:
+                handle.write(data)
         page_number = self._num_pages
         self._num_pages += 1
         self._write_meta()
@@ -364,6 +432,13 @@ class BPlusTree:
         meta = bytearray(PAGE_SIZE)
         _META.pack_into(meta, 0, _MAGIC, self._root, self._height, self._num_pages)
         self._write_page(0, bytes(meta))
+        if self._pool is not None:
+            self._pool.pin((*self._cache_tag, 0), bytes(meta), PAGE_SIZE)
+
+    def close(self) -> None:
+        """Close the tree's page device (no-op with an injected reader)."""
+        if self._device is not None:
+            self._device.close()
 
 
 def _lower_bound(keys: list[int], key: int) -> int:

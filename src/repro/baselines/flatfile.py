@@ -3,8 +3,9 @@
 Adjacency lists are stored verbatim as 4-byte little-endian integers in a
 single data file; an in-memory offset array (the page-ID index) gives the
 byte range of each list.  Every ``out_neighbors`` call is a fresh
-seek+read — deliberately naive, as in the paper, where this scheme is
-"consistently the worst, often 15 times slower than S-Node".
+seek+read through a :class:`repro.storage.device.CountedFile` —
+deliberately naive, as in the paper, where this scheme is "consistently
+the worst, often 15 times slower than S-Node".
 """
 
 from __future__ import annotations
@@ -14,10 +15,9 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from repro.baselines.base import GraphRepresentation
-from repro.errors import GraphError, StorageError
+from repro.errors import GraphError
 from repro.graph.digraph import Digraph
-
-_ENTRY = struct.Struct("<I")
+from repro.storage.device import CountedFile
 
 
 class FlatFileRepresentation(GraphRepresentation):
@@ -37,10 +37,7 @@ class FlatFileRepresentation(GraphRepresentation):
                 handle.write(struct.pack(f"<{len(row)}I", *(int(t) for t in row)))
                 offsets.append(offsets[-1] + 4 * len(row))
         self._offsets = offsets
-        self._handle = open(self._path, "rb")
-        self.bytes_read = 0
-        self.disk_seeks = 0
-        self._last_read_end = -1
+        self._file = CountedFile(self._path, registry=self.metrics)
 
     @property
     def _path(self) -> Path:
@@ -50,15 +47,7 @@ class FlatFileRepresentation(GraphRepresentation):
         if not 0 <= page < self._num_pages:
             raise GraphError(f"page {page} out of range")
         start = self._offsets[page]
-        end = self._offsets[page + 1]
-        if self._last_read_end != start:
-            self.disk_seeks += 1
-        self._handle.seek(start)
-        data = self._handle.read(end - start)
-        if len(data) != end - start:
-            raise StorageError("short read from flat adjacency file")
-        self._last_read_end = end
-        self.bytes_read += len(data)
+        data = self._file.read_at(start, self._offsets[page + 1] - start)
         return list(struct.unpack(f"<{len(data) // 4}I", data))
 
     def iterate_all(self) -> Iterator[tuple[int, list[int]]]:
@@ -77,15 +66,8 @@ class FlatFileRepresentation(GraphRepresentation):
     def num_edges(self) -> int:
         return self._num_edges
 
-    def reset_io_stats(self) -> None:
-        self.bytes_read = 0
-        self.disk_seeks = 0
-
-    def io_stats(self) -> dict[str, int]:
-        return {"bytes_read": self.bytes_read, "disk_seeks": self.disk_seeks}
-
     def drop_caches(self) -> None:
-        self._last_read_end = -1
+        self._file.forget_position()
 
     def close(self) -> None:
-        self._handle.close()
+        self._file.close()

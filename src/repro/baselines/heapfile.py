@@ -16,6 +16,7 @@ import struct
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.storage.device import PageDevice
 
 PAGE_SIZE = 4096
 _HEADER = struct.Struct("<HH")
@@ -99,15 +100,19 @@ class HeapPage:
 class HeapFile:
     """Append-oriented heap file of slotted pages.
 
-    The caller supplies page I/O through a buffer pool (see
-    :mod:`repro.baselines.relational`); this class only tracks the page
-    count and the current fill frontier.
+    Page I/O flows through a :class:`~repro.storage.device.PageDevice`
+    (supply one sharing a metrics registry/buffer pool, as the relational
+    layer does, or let the file create a private device); this class only
+    tracks the page count and the current fill frontier.
     """
 
-    def __init__(self, path: Path | str) -> None:
+    def __init__(self, path: Path | str, device: PageDevice | None = None) -> None:
         self._path = Path(path)
         if not self._path.exists():
             self._path.write_bytes(b"")
+        self._device = (
+            device if device is not None else PageDevice(self._path, PAGE_SIZE)
+        )
         size = self._path.stat().st_size
         if size % PAGE_SIZE:
             raise StorageError("heap file size is not page-aligned")
@@ -119,6 +124,11 @@ class HeapFile:
         return self._path
 
     @property
+    def device(self) -> PageDevice:
+        """The counted page device carrying this file's I/O."""
+        return self._device
+
+    @property
     def num_pages(self) -> int:
         """Pages currently in the file."""
         return self._num_pages
@@ -127,28 +137,24 @@ class HeapFile:
         """Read one page image from disk."""
         if not 0 <= page_number < self._num_pages:
             raise StorageError(f"heap page {page_number} out of range")
-        with open(self._path, "rb") as handle:
-            handle.seek(page_number * PAGE_SIZE)
-            data = handle.read(PAGE_SIZE)
-        if len(data) != PAGE_SIZE:
-            raise StorageError("short heap page read")
-        return HeapPage(bytearray(data))
+        return HeapPage(bytearray(self._device.read_page(page_number)))
 
     def write_page(self, page_number: int, page: HeapPage) -> None:
         """Write one page image back to disk."""
         if not 0 <= page_number < self._num_pages:
             raise StorageError(f"heap page {page_number} out of range")
-        with open(self._path, "r+b") as handle:
-            handle.seek(page_number * PAGE_SIZE)
-            handle.write(page.to_bytes())
+        self._device.write_page(page_number, page.to_bytes())
 
     def append_page(self, page: HeapPage) -> int:
         """Append a fresh page; returns its number."""
-        with open(self._path, "ab") as handle:
-            handle.write(page.to_bytes())
+        self._device.append_page(page.to_bytes())
         self._num_pages += 1
         return self._num_pages - 1
 
     def size_bytes(self) -> int:
         """Total file size."""
         return self._num_pages * PAGE_SIZE
+
+    def close(self) -> None:
+        """Close the page device."""
+        self._device.close()

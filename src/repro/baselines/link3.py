@@ -15,9 +15,11 @@ Reimplemented from the published description:
   of disk transfer and of buffer-manager caching.
 
 The block directory and id maps are held in memory (they are small); block
-payloads live in a single file accessed through an LRU of decoded blocks,
-so the scheme runs both fully in-memory (Table 2) and under a bounded
-buffer against disk (Figure 11).
+payloads live in a single file read through the shared storage engine (a
+counted device behind a :class:`repro.storage.bufferpool.BufferPool` of
+raw blocks), so the scheme runs both fully in-memory (Table 2) and under
+a bounded buffer against disk (Figure 11) with the same metered cost
+model as every other representation.
 """
 
 from __future__ import annotations
@@ -26,10 +28,11 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from repro.baselines.base import GraphRepresentation
-from repro.errors import GraphError, StorageError
+from repro.errors import GraphError
 from repro.graph.digraph import Digraph
+from repro.storage.bufferpool import BufferPool
+from repro.storage.device import CountedFile
 from repro.util.bitio import BitReader, BitWriter
-from repro.util.lru import LRUCache
 from repro.util.varint import decode_nibble, encode_nibble
 from repro.webdata.corpus import Repository
 from repro.webdata.urls import lexicographic_key
@@ -120,11 +123,8 @@ class Link3Representation(GraphRepresentation):
         # published bits/link figures, and of ours.
         self._row_bit_offsets: list[int] = []
         self._write_blocks(graph)
-        self._handle = open(self._payload_path, "rb")
-        self._cache: LRUCache = LRUCache(buffer_bytes)
-        self.bytes_read = 0
-        self.disk_seeks = 0
-        self._last_read_end = -1
+        self._file = CountedFile(self._payload_path, registry=self.metrics)
+        self._pool = BufferPool(buffer_bytes, registry=self.metrics)
 
     @property
     def _payload_path(self) -> Path:
@@ -223,21 +223,13 @@ class Link3Representation(GraphRepresentation):
 
     def _load_block_bytes(self, block: int) -> bytes:
         """Raw block payload via the buffer cache (unit of disk transfer)."""
-        cached = self._cache.get(block)
-        if cached is not None:
-            return cached
         start = self._block_offsets[block]
         end = self._block_offsets[block + 1]
-        if self._last_read_end != start:
-            self.disk_seeks += 1
-        self._handle.seek(start)
-        data = self._handle.read(end - start)
-        if len(data) != end - start:
-            raise StorageError("short read from Link3 payload")
-        self._last_read_end = end
-        self.bytes_read += len(data)
-        self._cache.put(block, data, len(data))
-        return data
+        return self._pool.get_or_load(
+            block,
+            lambda: self._file.read_at(start, end - start),
+            kind="block",
+        )
 
     # -- public access ------------------------------------------------------------
 
@@ -314,21 +306,18 @@ class Link3Representation(GraphRepresentation):
     def num_edges(self) -> int:
         return self._num_edges
 
-    def reset_io_stats(self) -> None:
-        self.bytes_read = 0
-        self.disk_seeks = 0
-
-    def io_stats(self) -> dict[str, int]:
-        return {"bytes_read": self.bytes_read, "disk_seeks": self.disk_seeks}
-
     def drop_caches(self) -> None:
-        self._cache.clear()
-        self._last_read_end = -1
+        self._pool.clear(record=False)
+        self._file.forget_position()
 
     def set_buffer_bytes(self, buffer_bytes: int) -> None:
         """Reconfigure the block cache budget."""
-        self._cache = LRUCache(buffer_bytes)
-        self._last_read_end = -1
+        self._pool.set_buffer_bytes(buffer_bytes)
+        self._file.forget_position()
+
+    def buffer_stats(self) -> dict[str, int]:
+        """Block-cache counters."""
+        return self._pool.stats()
 
     def close(self) -> None:
-        self._handle.close()
+        self._file.close()

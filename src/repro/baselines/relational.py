@@ -3,9 +3,11 @@
 Adjacency lists are rows of a table ``links(page_id, targets)`` stored in
 a slotted-page heap file; a B+tree on ``page_id`` and a B+tree domain
 index provide the access paths, and all page I/O (heap and index alike)
-flows through one byte-budgeted LRU buffer pool — the same architecture
-the paper exercises through PostgreSQL with a bounded shared-buffer
-setting.
+flows through one shared :class:`repro.storage.bufferpool.BufferPool` —
+the same architecture the paper exercises through PostgreSQL with a
+bounded shared-buffer setting.  Every seek and byte is metered by the
+storage layer's counted devices, so the relational baseline's Table 2 /
+Figure 11 numbers use the identical cost model as S-Node's.
 
 Rows larger than a heap page are chunked across several records; the
 page-id index stores the full RID list for each page.
@@ -23,7 +25,9 @@ from repro.baselines.btree import PAGE_SIZE, BPlusTree
 from repro.baselines.heapfile import HeapFile, HeapPage
 from repro.errors import GraphError, StorageError
 from repro.graph.digraph import Digraph
-from repro.util.lru import LRUCache
+from repro.storage.bufferpool import BufferPool
+from repro.storage.device import PageDevice
+from repro.storage.metrics import MetricsRegistry
 from repro.webdata.corpus import Repository
 
 DEFAULT_BUFFER_BYTES = 8 * 1024 * 1024
@@ -33,42 +37,6 @@ _RECORD_HEADER = struct.Struct("<IH")  # (page_id, chunk_sequence)
 
 # Leave room for the record header and the slot entry.
 _MAX_TARGETS_PER_CHUNK = (HeapPage.usable_space() - _RECORD_HEADER.size - 64) // 4
-
-
-class _BufferPool:
-    """One LRU over 4-KiB pages of several files, with I/O counters."""
-
-    def __init__(self, capacity_bytes: int) -> None:
-        self._cache: LRUCache = LRUCache(capacity_bytes)
-        self.bytes_read = 0
-        self.disk_seeks = 0
-        self._last_position: dict[str, int] = {}
-
-    def read(self, path: Path, page_number: int) -> bytes:
-        key = (str(path), page_number)
-        cached = self._cache.get(key)
-        if cached is not None:
-            return cached
-        offset = page_number * PAGE_SIZE
-        if self._last_position.get(str(path)) != offset:
-            self.disk_seeks += 1
-        with open(path, "rb") as handle:
-            handle.seek(offset)
-            data = handle.read(PAGE_SIZE)
-        if len(data) != PAGE_SIZE:
-            raise StorageError(f"short page read from {path}")
-        self._last_position[str(path)] = offset + PAGE_SIZE
-        self.bytes_read += PAGE_SIZE
-        self._cache.put(key, data, PAGE_SIZE)
-        return data
-
-    def clear(self) -> None:
-        self._cache.clear()
-        self._last_position.clear()
-
-    def resize(self, capacity_bytes: int) -> None:
-        self._cache = LRUCache(capacity_bytes)
-        self._last_position.clear()
 
 
 class RelationalRepresentation(GraphRepresentation):
@@ -88,16 +56,22 @@ class RelationalRepresentation(GraphRepresentation):
         graph = graph if graph is not None else repository.graph
         self._num_pages = graph.num_vertices
         self._num_edges = graph.num_edges
-        self._pool = _BufferPool(buffer_bytes)
+        self._metrics = MetricsRegistry()
+        self._pool = BufferPool(buffer_bytes, registry=self._metrics)
         self._build(repository, graph)
-        self._heap = HeapFile(self._heap_path)
+        self._heap_device = PageDevice(
+            self._heap_path, PAGE_SIZE, self._metrics
+        )
+        self._heap = HeapFile(self._heap_path, device=self._heap_device)
         self._page_index = BPlusTree(
             self._page_index_path,
-            page_reader=lambda n: self._pool.read(self._page_index_path, n),
+            device=PageDevice(self._page_index_path, PAGE_SIZE, self._metrics),
+            pool=self._pool,
         )
         self._domain_index = BPlusTree(
             self._domain_index_path,
-            page_reader=lambda n: self._pool.read(self._domain_index_path, n),
+            device=PageDevice(self._domain_index_path, PAGE_SIZE, self._metrics),
+            pool=self._pool,
         )
         self._domain_ids = json.loads(self._domain_map_path.read_text())
 
@@ -193,7 +167,12 @@ class RelationalRepresentation(GraphRepresentation):
 
     def _read_record(self, rid: tuple[int, int]) -> bytes:
         page_number, slot = rid
-        data = self._pool.read(self._heap_path, page_number)
+        data = self._pool.get_or_load(
+            ("heap", page_number),
+            lambda: self._heap_device.read_page(page_number),
+            cost=PAGE_SIZE,
+            kind="heap_page",
+        )
         return HeapPage(bytearray(data)).read(slot)
 
     def out_neighbors(self, page: int) -> list[int]:
@@ -254,19 +233,33 @@ class RelationalRepresentation(GraphRepresentation):
     def num_edges(self) -> int:
         return self._num_edges
 
-    def reset_io_stats(self) -> None:
-        self._pool.bytes_read = 0
-        self._pool.disk_seeks = 0
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """Shared registry metering heap and index I/O alike."""
+        return self._metrics
 
-    def io_stats(self) -> dict[str, int]:
-        return {
-            "bytes_read": self._pool.bytes_read,
-            "disk_seeks": self._pool.disk_seeks,
-        }
+    def _devices(self) -> tuple[PageDevice, ...]:
+        return (
+            self._heap_device,
+            self._page_index.device,
+            self._domain_index.device,
+        )
 
     def drop_caches(self) -> None:
-        self._pool.clear()
+        self._pool.clear(record=False)
+        for device in self._devices():
+            device.forget_position()
 
     def set_buffer_bytes(self, buffer_bytes: int) -> None:
         """Resize the buffer pool (memory-bound experiments)."""
-        self._pool.resize(buffer_bytes)
+        self._pool.set_buffer_bytes(buffer_bytes)
+        for device in self._devices():
+            device.forget_position()
+
+    def buffer_stats(self) -> dict[str, int]:
+        """Buffer-pool counters."""
+        return self._pool.stats()
+
+    def close(self) -> None:
+        for device in self._devices():
+            device.close()

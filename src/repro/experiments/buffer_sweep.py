@@ -1,10 +1,17 @@
-"""Figure 12: S-Node navigation time vs memory-buffer size.
+"""Figure 12: navigation time vs memory-buffer size.
 
-Queries 1, 5 and 6 run repeatedly on the S-Node representation while the
-buffer-manager budget sweeps from very small to comfortably large.  The
-paper's expected shape: time drops as the buffer grows, then flattens once
-every intranode/superedge graph the query touches fits simultaneously —
-"further increase in buffer size does not improve performance".
+Queries 1, 5 and 6 run repeatedly while the buffer-manager budget sweeps
+from very small to comfortably large.  The paper's expected shape: time
+drops as the buffer grows, then flattens once every graph/page the query
+touches fits simultaneously — "further increase in buffer size does not
+improve performance".
+
+Because every representation now resizes through the one
+``set_buffer_bytes()`` protocol of the shared storage engine and reports
+I/O through the one :class:`repro.storage.metrics.MetricsRegistry`, the
+sweep runs identically against S-Node *and* the relational baseline (or
+any other scheme) with no representation-specific branches — the paper's
+"same memory bound" comparison, made literal.
 
 The same disk-time simulation as the Figure 11 experiment converts the
 instrumented I/O counters into navigation milliseconds.
@@ -15,18 +22,14 @@ from __future__ import annotations
 import argparse
 import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 
-from repro.baselines import SNodeRepresentation
-from repro.experiments.harness import (
-    dataset,
-    experiment_refinement_config,
-    format_table,
-    sweep_sizes,
-)
+from repro.experiments.harness import dataset, format_table, sweep_sizes
 from repro.experiments.queries import (
     DEFAULT_CPU_SCALE,
     DEFAULT_MBPS,
     DEFAULT_SEEK_MS,
+    _build_pair,
 )
 from repro.index.pagerank_index import PageRankIndex
 from repro.index.textindex import TextIndex
@@ -36,7 +39,6 @@ from repro.query.workload import (
     query5_intra_set_ranking,
     query6_joint_references,
 )
-from repro.snode.build import BuildOptions, build_snode
 
 SWEEP_QUERIES = {
     "query1": query1_referred_universities,
@@ -46,11 +48,16 @@ SWEEP_QUERIES = {
 
 DEFAULT_BUFFER_SWEEP_KB = (4, 16, 64, 128, 256, 512, 1024, 2048, 4096, 8192)
 
+#: Schemes swept by default: the paper's Figure 12 subject (S-Node) plus
+#: the relational baseline under the identical memory bound.
+DEFAULT_SWEEP_SCHEMES = ("s-node", "relational")
+
 
 @dataclass
 class SweepPoint:
-    """(query, buffer size) measurement."""
+    """(scheme, query, buffer size) measurement."""
 
+    scheme: str
     query: str
     buffer_kb: int
     simulated_ms: float
@@ -65,93 +72,91 @@ def run(
     seek_ms: float = DEFAULT_SEEK_MS,
     mbps: float = DEFAULT_MBPS,
     cpu_scale: float = DEFAULT_CPU_SCALE,
+    schemes: tuple[str, ...] = DEFAULT_SWEEP_SCHEMES,
 ) -> list[SweepPoint]:
-    """Run the sweep; returns one point per (query, buffer size)."""
+    """Run the sweep; returns one point per (scheme, query, buffer size)."""
     size = size or sweep_sizes()[3]
     repository = dataset(size)
     text_index = TextIndex(repository)
     pagerank_index = PageRankIndex(repository)
     points: list[SweepPoint] = []
     with tempfile.TemporaryDirectory() as workdir:
-        forward_build = build_snode(
-            repository,
-            f"{workdir}/f",
-            BuildOptions(refinement=experiment_refinement_config()),
-        )
-        backward_build = build_snode(
-            repository,
-            f"{workdir}/b",
-            BuildOptions(refinement=experiment_refinement_config(), transpose=True),
-        )
-        forward = SNodeRepresentation(forward_build)
-        backward = SNodeRepresentation(backward_build)
-        engine = QueryEngine(
-            repository, text_index, pagerank_index, forward, backward
-        )
-        for buffer_kb in buffer_sizes_kb:
-            forward_build.store.set_buffer_bytes(buffer_kb * 1024)
-            backward_build.store.set_buffer_bytes(buffer_kb * 1024)
-            for query_name, query_fn in SWEEP_QUERIES.items():
-                # Paper protocol: "we executed queries 1, 5, and 6
-                # repeatedly" — one cold warm-up execution, then measured
-                # repetitions.  With a buffer big enough for the query's
-                # working set the repetitions do no I/O and the curve
-                # flattens; below that they keep evicting and re-seeking.
-                forward.drop_caches()
-                backward.drop_caches()
-                query_fn(engine)  # cold warm-up, not measured
-                wall_total = 0.0
-                seeks_total = 0
-                bytes_total = 0
-                evictions = 0
-                for _ in range(trials):
-                    forward.reset_io_stats()
-                    backward.reset_io_stats()
-                    result = query_fn(engine)
-                    wall_total += result.navigation_seconds
-                    for stats in (forward.io_stats(), backward.io_stats()):
-                        seeks_total += stats.get("disk_seeks", 0)
-                        bytes_total += stats.get("bytes_read", 0)
-                        evictions += stats.get("graphs_evicted", 0)
-                wall_ms = wall_total * 1000.0 / trials
-                simulated_ms = (
-                    wall_ms * cpu_scale
-                    + (seeks_total / trials) * seek_ms
-                    + (bytes_total / trials / (mbps * 1e6)) * 1000.0
-                )
-                points.append(
-                    SweepPoint(
-                        query=query_name,
-                        buffer_kb=buffer_kb,
-                        simulated_ms=simulated_ms,
-                        wall_ms=wall_ms,
-                        evictions=evictions // trials,
+        for scheme in schemes:
+            pair = _build_pair(
+                scheme, repository, Path(workdir) / scheme, buffer_sizes_kb[0] * 1024
+            )
+            engine = QueryEngine(
+                repository, text_index, pagerank_index, pair.forward, pair.backward
+            )
+            for buffer_kb in buffer_sizes_kb:
+                pair.set_buffer_bytes(buffer_kb * 1024)
+                for query_name, query_fn in SWEEP_QUERIES.items():
+                    # Paper protocol: "we executed queries 1, 5, and 6
+                    # repeatedly" — one cold warm-up execution, then
+                    # measured repetitions.  With a buffer big enough for
+                    # the query's working set the repetitions do no I/O
+                    # and the curve flattens; below that they keep
+                    # evicting and re-seeking.
+                    pair.drop_caches()
+                    query_fn(engine)  # cold warm-up, not measured
+                    wall_total = 0.0
+                    seeks_total = 0
+                    bytes_total = 0
+                    evictions = 0
+                    for _ in range(trials):
+                        pair.reset_io()
+                        result = query_fn(engine)
+                        wall_total += result.navigation_seconds
+                        seeks, bytes_read = pair.io_totals()
+                        seeks_total += seeks
+                        bytes_total += bytes_read
+                        evictions += pair.eviction_totals()
+                    wall_ms = wall_total * 1000.0 / trials
+                    simulated_ms = (
+                        wall_ms * cpu_scale
+                        + (seeks_total / trials) * seek_ms
+                        + (bytes_total / trials / (mbps * 1e6)) * 1000.0
                     )
-                )
-        forward.close()
-        backward.close()
+                    points.append(
+                        SweepPoint(
+                            scheme=scheme,
+                            query=query_name,
+                            buffer_kb=buffer_kb,
+                            simulated_ms=simulated_ms,
+                            wall_ms=wall_ms,
+                            evictions=evictions // trials,
+                        )
+                    )
+            pair.close()
     return points
 
 
 def report(points: list[SweepPoint]) -> str:
-    """One column per query, one row per buffer size (Figure 12's axes)."""
+    """One column per (scheme, query), one row per buffer size."""
     buffer_sizes = sorted({p.buffer_kb for p in points})
-    queries = sorted({p.query for p in points})
-    by_key = {(p.query, p.buffer_kb): p for p in points}
+    columns = sorted({(p.scheme, p.query) for p in points})
+    by_key = {(p.scheme, p.query, p.buffer_kb): p for p in points}
     rows = []
     for buffer_kb in buffer_sizes:
         row: list[object] = [f"{buffer_kb} KiB"]
-        for query in queries:
-            point = by_key[(query, buffer_kb)]
+        for scheme, query in columns:
+            point = by_key[(scheme, query, buffer_kb)]
             row.append(f"{point.simulated_ms:.1f}")
         rows.append(row)
-    table = format_table(["buffer"] + [f"{q} (ms)" for q in queries], rows)
+    table = format_table(
+        ["buffer"] + [f"{scheme}/{query} (ms)" for scheme, query in columns],
+        rows,
+    )
     # Flatness check: last two points of each curve should be close.
     checks = []
-    for query in queries:
-        curve = [by_key[(query, b)].simulated_ms for b in buffer_sizes]
+    for scheme, query in columns:
+        curve = [
+            by_key[(scheme, query, b)].simulated_ms for b in buffer_sizes
+        ]
         flat = abs(curve[-1] - curve[-2]) <= max(0.15 * max(curve[-1], 1e-9), 1.0)
-        checks.append(f"{query}: {'flattens' if flat else 'still falling'}")
+        checks.append(
+            f"{scheme}/{query}: {'flattens' if flat else 'still falling'}"
+        )
     return table + "\n" + "; ".join(checks)
 
 
@@ -159,8 +164,18 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=None)
     parser.add_argument("--trials", type=int, default=3)
+    parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=list(DEFAULT_SWEEP_SCHEMES),
+        help="representations to sweep (any of flat-file, relational, link3, s-node)",
+    )
     arguments = parser.parse_args()
-    points = run(size=arguments.size, trials=arguments.trials)
+    points = run(
+        size=arguments.size,
+        trials=arguments.trials,
+        schemes=tuple(arguments.schemes),
+    )
     print("[buffer_sweep] Figure 12")
     print(report(points))
 

@@ -123,12 +123,21 @@ class _SchemePair:
         self.forward.reset_io_stats()
         self.backward.reset_io_stats()
 
+    def set_buffer_bytes(self, buffer_bytes: int) -> None:
+        self.forward.set_buffer_bytes(buffer_bytes)
+        self.backward.set_buffer_bytes(buffer_bytes)
+
     def io_totals(self) -> tuple[int, int]:
         stats_f = self.forward.io_stats()
         stats_b = self.backward.io_stats()
         seeks = stats_f.get("disk_seeks", 0) + stats_b.get("disk_seeks", 0)
         bytes_read = stats_f.get("bytes_read", 0) + stats_b.get("bytes_read", 0)
         return seeks, bytes_read
+
+    def eviction_totals(self) -> int:
+        return self.forward.metrics.get("buffer_evictions") + self.backward.metrics.get(
+            "buffer_evictions"
+        )
 
     def close(self) -> None:
         self.forward.close()
@@ -245,12 +254,14 @@ def run(
                     seeks_total += seeks
                     bytes_total += bytes_read
                     if scheme == "s-node":
-                        stats_f = pair.forward.store.stats  # type: ignore[attr-defined]
-                        stats_b = pair.backward.store.stats  # type: ignore[attr-defined]
-                        loads_f = stats_f.distinct_loaded()
-                        loads_b = stats_b.distinct_loaded()
-                        intranode_loaded = loads_f[0] + loads_b[0]
-                        superedge_loaded = loads_f[1] + loads_b[1]
+                        # Section 4.3 "graphs touched per query": distinct
+                        # load tallies from the shared metrics registry.
+                        intranode_loaded = pair.forward.metrics.distinct(
+                            "intranode"
+                        ) + pair.backward.metrics.distinct("intranode")
+                        superedge_loaded = pair.forward.metrics.distinct(
+                            "superedge"
+                        ) + pair.backward.metrics.distinct("superedge")
                 wall_ms = wall_total * 1000.0 / trials
                 mean_seeks = seeks_total / trials
                 mean_bytes = bytes_total / trials

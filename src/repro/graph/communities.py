@@ -16,7 +16,6 @@ literature reports).
 from __future__ import annotations
 
 import random
-from collections.abc import Sequence
 from dataclasses import dataclass
 from itertools import combinations
 

@@ -107,8 +107,6 @@ class Digraph:
         in_degrees = np.bincount(self._targets, minlength=n)
         offsets = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(in_degrees, out=offsets[1:])
-        targets = np.empty(self.num_edges, dtype=np.int64)
-        cursor = offsets[:-1].copy()
         sources = np.repeat(
             np.arange(n, dtype=np.int64), np.diff(self._offsets)
         )

@@ -14,7 +14,7 @@ A :class:`Partition` is a family of disjoint, non-empty page sets covering
 from __future__ import annotations
 
 from collections.abc import Iterable, Sequence
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.errors import PartitionError
 

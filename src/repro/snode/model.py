@@ -18,8 +18,7 @@ supernode, and row entries are the target page's local index inside the
 
 from __future__ import annotations
 
-from collections.abc import Sequence
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.errors import BuildError
 from repro.graph.digraph import Digraph

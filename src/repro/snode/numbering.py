@@ -16,7 +16,6 @@ mapping a page id to its supernode is one binary search.
 from __future__ import annotations
 
 import bisect
-from collections.abc import Sequence
 from dataclasses import dataclass
 
 from repro.errors import BuildError

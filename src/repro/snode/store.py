@@ -5,25 +5,30 @@ An :class:`SNodeStore` mirrors the paper's runtime organization:
 * the supernode graph, PageID index and domain index are loaded once and
   *pinned* in memory ("akin to the root node of B-tree indexes");
 * intranode and superedge graphs are loaded and decoded on demand through
-  a byte-budgeted LRU buffer manager;
-* every load/unload is appended to an instrumentation log — the paper's
-  section 4.3 analysis ("Query 1 required access to only 8 intranode
-  graphs and 32 superedge graphs") is reproduced from this log;
-* disk seeks are counted: a read that does not continue exactly where the
-  previous read on the same file ended counts as one seek, which is how
-  the benefit of the linear ordering (Figure 8) becomes measurable.
+  the shared byte-budgeted buffer manager
+  (:class:`repro.storage.bufferpool.BufferPool`);
+* loads/unloads are tallied in the store's
+  :class:`~repro.storage.metrics.MetricsRegistry` — the paper's section
+  4.3 analysis ("Query 1 required access to only 8 intranode graphs and
+  32 superedge graphs") is reproduced from its distinct-load counters,
+  with a bounded ring-buffer event log for debugging;
+* disk seeks are counted by :class:`repro.storage.device.CountedFile`: a
+  read that does not continue exactly where the previous read on the same
+  file ended counts as one seek, which is how the benefit of the linear
+  ordering (Figure 8) becomes measurable.
 """
 
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import StorageError
 from repro.snode.encode import decode_intranode, decode_supernode_graph, positive_rows_from_payload
 from repro.snode.storage import GraphLocation, StorageLayout, read_layout
-from repro.util.lru import LRUCache
+from repro.storage.bufferpool import BufferPool
+from repro.storage.device import CountedFile
+from repro.storage.metrics import MetricsRegistry
 
 #: Default buffer budget, a scaled analogue of the paper's 325 MB bound.
 DEFAULT_BUFFER_BYTES = 8 * 1024 * 1024
@@ -34,35 +39,72 @@ _EDGE_COST = 8
 _ROW_COST = 4
 
 
-@dataclass
 class StoreStats:
-    """Counters + event log accumulated while serving queries."""
+    """Counter view over a store's metrics registry.
 
-    graphs_loaded: int = 0
-    graphs_evicted: int = 0
-    intranode_loads: int = 0
-    superedge_loads: int = 0
-    bytes_read: int = 0
-    disk_seeks: int = 0
-    buffer_hits: int = 0
-    events: list[tuple[str, tuple]] = field(default_factory=list)
+    Keeps the historical field names (``graphs_loaded``, ``disk_seeks``,
+    ...) while the actual accounting lives in the shared
+    :class:`~repro.storage.metrics.MetricsRegistry`; ``events`` is the
+    registry's bounded ring-buffer log.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.registry = registry
+
+    @property
+    def graphs_loaded(self) -> int:
+        """Graphs loaded from disk (intranode + superedge)."""
+        return self.registry.get("loads")
+
+    @property
+    def graphs_evicted(self) -> int:
+        """Graphs evicted by the buffer manager."""
+        return self.registry.get("buffer_evictions")
+
+    @property
+    def intranode_loads(self) -> int:
+        """Intranode graph loads."""
+        return self.registry.get("intranode_loads")
+
+    @property
+    def superedge_loads(self) -> int:
+        """Superedge graph loads."""
+        return self.registry.get("superedge_loads")
+
+    @property
+    def bytes_read(self) -> int:
+        """Payload bytes read from disk."""
+        return self.registry.get("bytes_read")
+
+    @property
+    def disk_seeks(self) -> int:
+        """Non-contiguous reads (the paper's seek-counting rule)."""
+        return self.registry.get("disk_seeks")
+
+    @property
+    def buffer_hits(self) -> int:
+        """Buffer-manager hits."""
+        return self.registry.get("buffer_hits")
+
+    @property
+    def events(self) -> list[tuple[str, tuple]]:
+        """Most recent load/unload events (bounded ring buffer)."""
+        return self.registry.events.to_list()
 
     def reset(self) -> None:
         """Zero every counter and clear the event log."""
-        self.graphs_loaded = 0
-        self.graphs_evicted = 0
-        self.intranode_loads = 0
-        self.superedge_loads = 0
-        self.bytes_read = 0
-        self.disk_seeks = 0
-        self.buffer_hits = 0
-        self.events.clear()
+        self.registry.reset()
 
     def distinct_loaded(self) -> tuple[int, int]:
-        """(#distinct intranode, #distinct superedge) graphs ever loaded."""
-        intranode = {key for kind, key in self.events if kind == "load-intra"}
-        superedge = {key for kind, key in self.events if kind == "load-super"}
-        return len(intranode), len(superedge)
+        """(#distinct intranode, #distinct superedge) graphs ever loaded.
+
+        Served by the registry's distinct-key tallies, so the section-4.3
+        analysis stays exact even after the event ring buffer wraps.
+        """
+        return (
+            self.registry.distinct("intranode"),
+            self.registry.distinct("superedge"),
+        )
 
 
 class SNodeStore:
@@ -92,18 +134,30 @@ class SNodeStore:
         self._boundaries = self._layout.boundaries
         self._record_events = record_events
         self._cache_decoded = cache_decoded
-        self.stats = StoreStats()
-        self._cache: LRUCache = LRUCache(buffer_bytes, on_evict=self._on_evict)
-        self._handles: dict[int, object] = {}
-        self._last_read_end: dict[int, int] = {}
+        self.metrics = MetricsRegistry()
+        self.stats = StoreStats(self.metrics)
+        self._pool = BufferPool(
+            buffer_bytes, registry=self.metrics, on_evict=self._on_evict
+        )
+        self._devices: dict[int, CountedFile] = {}
+        # The paper pins the supernode graph and both indexes for the
+        # lifetime of the store; account for them as pinned buffer bytes.
+        self._pool.pin(
+            ("pinned", "supernode-graph"),
+            self._super_adjacency,
+            self._graph_cost(self._super_adjacency),
+        )
+        self._pool.pin(
+            ("pinned", "pageid-index"), self._boundaries, 8 * len(self._boundaries)
+        )
 
     # -- lifecycle ---------------------------------------------------------
 
     def close(self) -> None:
         """Close open payload file handles."""
-        for handle in self._handles.values():
-            handle.close()  # type: ignore[attr-defined]
-        self._handles.clear()
+        for device in self._devices.values():
+            device.close()
+        self._devices.clear()
 
     def __enter__(self) -> "SNodeStore":
         return self
@@ -152,51 +206,50 @@ class SNodeStore:
         """Domain-index lookup: supernodes holding pages of ``domain``."""
         return list(self._layout.domains.get(domain.lower(), []))
 
-    # -- buffer manager ---------------------------------------------------------
+    # -- buffer manager ------------------------------------------------------
 
     def _on_evict(self, key, value) -> None:
-        self.stats.graphs_evicted += 1
         if self._record_events:
-            self.stats.events.append(("unload", key))
+            self.metrics.record("unload", key)
+
+    def _device(self, file_index: int) -> CountedFile:
+        device = self._devices.get(file_index)
+        if device is None:
+            name = self._layout.index_files[file_index]
+            device = CountedFile(self._root / name, registry=self.metrics)
+            self._devices[file_index] = device
+        return device
 
     def _read_payload(self, location: GraphLocation) -> bytes:
-        handle = self._handles.get(location.file_index)
-        if handle is None:
-            name = self._layout.index_files[location.file_index]
-            handle = open(self._root / name, "rb")
-            self._handles[location.file_index] = handle
-        if self._last_read_end.get(location.file_index) != location.offset:
-            self.stats.disk_seeks += 1
-        handle.seek(location.offset)  # type: ignore[attr-defined]
-        payload = handle.read(location.length)  # type: ignore[attr-defined]
-        if len(payload) != location.length:
-            raise StorageError("short read from index file")
-        self._last_read_end[location.file_index] = location.offset + location.length
-        self.stats.bytes_read += location.length
-        return payload
+        return self._device(location.file_index).read_at(
+            location.offset, location.length
+        )
 
     def _graph_cost(self, rows: list[list[int]]) -> int:
         return _ROW_COST * len(rows) + _EDGE_COST * sum(len(r) for r in rows)
 
+    def _loaded(self, kind: str, key: tuple) -> None:
+        self.metrics.inc("loads")
+        self.metrics.inc(f"{kind}_loads")
+        self.metrics.mark(kind, key)
+        if self._record_events:
+            self.metrics.record(f"load-{'intra' if kind == 'intranode' else 'super'}", key)
+
     def intranode_rows(self, supernode: int) -> list[list[int]]:
         """Decoded intranode graph of ``supernode`` (local target indices)."""
         key = ("intra", supernode)
-        cached = self._cache.get(key)
+        cached = self._pool.get(key)
         if cached is not None:
-            self.stats.buffer_hits += 1
             if not self._cache_decoded:
                 return decode_intranode(cached)
             return cached
         payload = self._read_payload(self._layout.intranode[supernode])
         rows = decode_intranode(payload)
         if self._cache_decoded:
-            self._cache.put(key, rows, self._graph_cost(rows))
+            self._pool.put(key, rows, self._graph_cost(rows))
         else:
-            self._cache.put(key, payload, len(payload))
-        self.stats.graphs_loaded += 1
-        self.stats.intranode_loads += 1
-        if self._record_events:
-            self.stats.events.append(("load-intra", (supernode,)))
+            self._pool.put(key, payload, len(payload))
+        self._loaded("intranode", (supernode,))
         return rows
 
     def superedge_rows(self, source: int, target: int) -> list[list[int]]:
@@ -204,9 +257,8 @@ class SNodeStore:
         key = ("super", source, target)
         source_size = self._boundaries[source + 1] - self._boundaries[source]
         target_size = self._boundaries[target + 1] - self._boundaries[target]
-        cached = self._cache.get(key)
+        cached = self._pool.get(key)
         if cached is not None:
-            self.stats.buffer_hits += 1
             if not self._cache_decoded:
                 return positive_rows_from_payload(cached, source_size, target_size)
             return cached
@@ -217,16 +269,13 @@ class SNodeStore:
         payload = self._read_payload(location)
         rows = positive_rows_from_payload(payload, source_size, target_size)
         if self._cache_decoded:
-            self._cache.put(key, rows, self._graph_cost(rows))
+            self._pool.put(key, rows, self._graph_cost(rows))
         else:
-            self._cache.put(key, payload, len(payload))
-        self.stats.graphs_loaded += 1
-        self.stats.superedge_loads += 1
-        if self._record_events:
-            self.stats.events.append(("load-super", (source, target)))
+            self._pool.put(key, payload, len(payload))
+        self._loaded("superedge", (source, target))
         return rows
 
-    # -- adjacency access ---------------------------------------------------------
+    # -- adjacency access ----------------------------------------------------
 
     def out_neighbors(self, page: int) -> list[int]:
         """Complete adjacency list of ``page`` in (new) page-id space.
@@ -314,14 +363,16 @@ class SNodeStore:
 
     def drop_buffers(self) -> None:
         """Empty the buffer manager (cold-cache experiment resets)."""
-        self._cache.clear()
-        self._last_read_end.clear()
+        self._pool.clear(record=True)
+        for device in self._devices.values():
+            device.forget_position()
 
     def set_buffer_bytes(self, buffer_bytes: int) -> None:
         """Reconfigure the buffer budget (Figure 12 sweep)."""
-        self._cache = LRUCache(buffer_bytes, on_evict=self._on_evict)
-        self._last_read_end.clear()
+        self._pool.set_buffer_bytes(buffer_bytes)
+        for device in self._devices.values():
+            device.forget_position()
 
     def buffer_stats(self) -> dict[str, int]:
         """Buffer-manager counters."""
-        return self._cache.stats()
+        return self._pool.stats()

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from struct import error as struct_error
 
-from repro.errors import ReproError, StorageError
+from repro.errors import ReproError
 from repro.snode.encode import decode_intranode, decode_superedge_payload
 from repro.snode.storage import StorageLayout, read_layout
 

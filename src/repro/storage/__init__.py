@@ -1,0 +1,31 @@
+"""Shared storage engine: counted I/O devices, buffer pool, metrics.
+
+Every graph representation in this repository performs its disk I/O,
+byte-budgeted caching and instrumentation through the three layers of
+this package:
+
+* :mod:`repro.storage.device` — :class:`CountedFile` / :class:`PageDevice`
+  own every ``open``/``seek``/``read`` and implement the paper's
+  seek-counting rule exactly once;
+* :mod:`repro.storage.bufferpool` — :class:`BufferPool` is the byte-budgeted
+  buffer manager (LRU + pinning + typed load accounting) shared by the
+  S-Node store, the mini relational database and the Link3 block cache;
+* :mod:`repro.storage.metrics` — :class:`MetricsRegistry` holds the named
+  counters/timers, distinct-key tallies and the bounded event log that
+  experiments read through ``GraphRepresentation.io_stats()``.
+
+Because all representations meter through the same layer, cross-scheme
+comparisons (Table 2, Figures 11-12) rest on a single cost model.
+"""
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.device import CountedFile, PageDevice
+from repro.storage.metrics import EventLog, MetricsRegistry
+
+__all__ = [
+    "BufferPool",
+    "CountedFile",
+    "EventLog",
+    "MetricsRegistry",
+    "PageDevice",
+]

@@ -1,0 +1,167 @@
+"""Byte-budgeted buffer manager shared by every disk-backed representation.
+
+Built on :class:`repro.util.lru.LRUCache`, adding the features the paper's
+runtime architecture needs:
+
+* **pinning** — root structures (the supernode graph, B+tree meta pages)
+  stay resident outside the LRU budget, "akin to the root node of B-tree
+  indexes";
+* **typed load costs** — entries carry explicit byte costs (raw page,
+  encoded payload, decoded-graph cost model) and loads are counted per
+  kind (``<kind>_loads``) in the shared metrics registry;
+* **uniform resize** — :meth:`set_buffer_bytes` is the single Figure 12
+  sweep protocol: every representation resizes through it with identical
+  semantics (cache dropped silently, pins kept).
+
+Hit/miss/eviction counters live in the owning representation's
+:class:`~repro.storage.metrics.MetricsRegistry` (``buffer_hits``,
+``buffer_misses``, ``buffer_evictions``), so the sweep experiments read
+them uniformly across schemes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.storage.metrics import MetricsRegistry
+from repro.util.lru import LRUCache
+
+
+class BufferPool:
+    """LRU buffer manager with pinning and shared-metrics accounting."""
+
+    def __init__(
+        self,
+        capacity_bytes: int,
+        registry: MetricsRegistry | None = None,
+        on_evict: Callable[[Hashable, object], None] | None = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._on_evict = on_evict
+        self._pinned: dict[Hashable, tuple[object, int]] = {}
+        self._cache: LRUCache = LRUCache(capacity_bytes, on_evict=self._evicted)
+
+    # -- eviction accounting -----------------------------------------------
+
+    def _evicted(self, key: Hashable, value: object) -> None:
+        self.registry.inc("buffer_evictions")
+        if self._on_evict is not None:
+            self._on_evict(key, value)
+
+    # -- cache protocol ----------------------------------------------------
+
+    def get(self, key: Hashable):
+        """Cached value for ``key`` or None, counting hit/miss."""
+        pinned = self._pinned.get(key)
+        if pinned is not None:
+            self.registry.inc("buffer_hits")
+            return pinned[0]
+        value = self._cache.get(key)
+        if value is None:
+            self.registry.inc("buffer_misses")
+            return None
+        self.registry.inc("buffer_hits")
+        return value
+
+    def put(self, key: Hashable, value, cost_bytes: int) -> None:
+        """Admit ``value`` under the byte budget (evicting LRU entries)."""
+        if key in self._pinned:
+            self._pinned[key] = (value, cost_bytes)
+            return
+        self._cache.put(key, value, cost_bytes)
+
+    def get_or_load(
+        self,
+        key: Hashable,
+        loader: Callable[[], object],
+        cost: Callable[[object], int] | int | None = None,
+        kind: str | None = None,
+    ):
+        """Return the cached value for ``key``, loading and admitting on miss.
+
+        ``cost`` is either an explicit byte cost, a function of the loaded
+        value, or None (``len(value)`` — raw byte payloads).  ``kind``
+        names the load in the registry (``<kind>_loads`` plus the total
+        ``loads`` counter) — how "loads by graph kind" reach Figure 11's
+        instrumentation table.
+        """
+        value = self.get(key)
+        if value is not None:
+            return value
+        value = loader()
+        if callable(cost):
+            cost_bytes = cost(value)
+        elif cost is None:
+            cost_bytes = len(value)  # type: ignore[arg-type]
+        else:
+            cost_bytes = cost
+        self.put(key, value, cost_bytes)
+        self.registry.inc("loads")
+        if kind is not None:
+            self.registry.inc(f"{kind}_loads")
+        return value
+
+    # -- pinning -----------------------------------------------------------
+
+    def pin(self, key: Hashable, value, cost_bytes: int) -> None:
+        """Keep ``value`` resident outside the LRU budget until unpinned."""
+        self._cache.pop(key)  # never hold a pinned key twice
+        self._pinned[key] = (value, cost_bytes)
+
+    def unpin(self, key: Hashable) -> None:
+        """Release a pinned entry (dropped, not demoted to the LRU)."""
+        self._pinned.pop(key, None)
+
+    def invalidate(self, key: Hashable) -> None:
+        """Drop ``key`` without eviction accounting (after an in-place write)."""
+        self._cache.pop(key)
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self, record: bool = True) -> None:
+        """Drop every unpinned entry.
+
+        ``record=True`` (cold-cache resets) counts the drops as evictions
+        and fires the owner's eviction callback, matching the unload
+        instrumentation of an actual buffer-pressure eviction;
+        ``record=False`` discards silently (resize protocol).
+        """
+        if record:
+            self._cache.clear()
+        else:
+            capacity = self._cache.capacity_bytes
+            self._cache = LRUCache(capacity, on_evict=self._evicted)
+
+    def set_buffer_bytes(self, capacity_bytes: int) -> None:
+        """Uniform resize protocol: new budget, cache dropped, pins kept."""
+        self._cache = LRUCache(capacity_bytes, on_evict=self._evicted)
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Configured LRU byte budget (pins live outside it)."""
+        return self._cache.capacity_bytes
+
+    @property
+    def used_bytes(self) -> int:
+        """Bytes held by unpinned entries."""
+        return self._cache.used_bytes
+
+    @property
+    def pinned_bytes(self) -> int:
+        """Bytes held by pinned entries."""
+        return sum(cost for _value, cost in self._pinned.values())
+
+    def stats(self) -> dict[str, int]:
+        """Occupancy plus the registry's hit/miss/eviction counters."""
+        return {
+            "hits": self.registry.get("buffer_hits"),
+            "misses": self.registry.get("buffer_misses"),
+            "evictions": self.registry.get("buffer_evictions"),
+            "entries": len(self._cache),
+            "used_bytes": self._cache.used_bytes,
+            "capacity_bytes": self._cache.capacity_bytes,
+            "pinned_entries": len(self._pinned),
+            "pinned_bytes": self.pinned_bytes,
+        }

@@ -1,0 +1,196 @@
+"""Counted I/O devices: every ``open``/``seek``/``read`` lives here.
+
+The paper's seek-counting rule — *a read that does not continue at the
+previous read's end offset on the same file is one disk seek* — is
+implemented exactly once, in :meth:`CountedFile.read_at`.  All
+representations (S-Node payload files, heap file, B+tree index files,
+Link3 blocks, the flat adjacency file) read through a :class:`CountedFile`
+or its paged wrapper :class:`PageDevice`, charging ``bytes_read`` /
+``disk_seeks`` to a shared :class:`~repro.storage.metrics.MetricsRegistry`
+so cross-scheme comparisons use one cost model.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import BinaryIO
+
+from repro.errors import StorageError
+from repro.storage.metrics import MetricsRegistry
+
+
+class CountedFile:
+    """One on-disk file with metered reads and writes.
+
+    Reads go through a persistent handle; the device remembers where the
+    previous read ended and counts a ``disk_seeks`` whenever the next read
+    starts elsewhere (the linear-layout benefit of Figure 8 is measured by
+    exactly this rule).  Writes are metered as ``bytes_written`` but do not
+    participate in seek accounting — the experiments measure read paths.
+    """
+
+    def __init__(
+        self, path: Path | str, registry: MetricsRegistry | None = None
+    ) -> None:
+        self._path = Path(path)
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._handle: BinaryIO | None = None
+        self._last_read_end: int | None = None
+
+    @property
+    def path(self) -> Path:
+        """Backing file path."""
+        return self._path
+
+    def _reader(self) -> BinaryIO:
+        if self._handle is None:
+            if not self._path.exists():
+                raise StorageError(f"no such file: {self._path}")
+            self._handle = open(self._path, "rb")
+        return self._handle
+
+    # -- reads -------------------------------------------------------------
+
+    def read_at(self, offset: int, length: int) -> bytes:
+        """Read exactly ``length`` bytes at ``offset``, metering the I/O."""
+        if offset < 0 or length < 0:
+            raise StorageError(f"bad read range ({offset}, {length})")
+        if self._last_read_end != offset:
+            self.registry.inc("disk_seeks")
+        handle = self._reader()
+        handle.seek(offset)
+        data = handle.read(length)
+        if len(data) != length:
+            raise StorageError(
+                f"short read from {self._path.name}: wanted {length} bytes "
+                f"at offset {offset}, got {len(data)}"
+            )
+        self._last_read_end = offset + length
+        self.registry.inc("bytes_read", length)
+        return data
+
+    def forget_position(self) -> None:
+        """Forget the last read offset so the next read counts as a seek.
+
+        Called by cold-cache resets: dropping buffers models a disk head
+        whose position is unknown.
+        """
+        self._last_read_end = None
+
+    # -- writes ------------------------------------------------------------
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        """Overwrite ``data`` at ``offset`` (file must exist)."""
+        with open(self._path, "r+b") as handle:
+            handle.seek(offset)
+            handle.write(data)
+        self.registry.inc("bytes_written", len(data))
+
+    def append(self, data: bytes) -> int:
+        """Append ``data``; returns the offset it was written at."""
+        offset = self.size_bytes()
+        with open(self._path, "ab") as handle:
+            handle.write(data)
+        self.registry.inc("bytes_written", len(data))
+        return offset
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def size_bytes(self) -> int:
+        """Current file size."""
+        return self._path.stat().st_size if self._path.exists() else 0
+
+    def close(self) -> None:
+        """Close the persistent read handle (reopened lazily if needed)."""
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+        self._last_read_end = None
+
+    def __enter__(self) -> "CountedFile":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PageDevice:
+    """Fixed-size-page view over a :class:`CountedFile`.
+
+    The unit of transfer for the heap file and the B+tree index files;
+    page reads inherit the counted-seek rule from the underlying file.
+    """
+
+    def __init__(
+        self,
+        path: Path | str,
+        page_size: int,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        if page_size <= 0:
+            raise ValueError(f"page size must be > 0, got {page_size}")
+        self._file = CountedFile(path, registry)
+        self._page_size = page_size
+
+    @property
+    def path(self) -> Path:
+        """Backing file path."""
+        return self._file.path
+
+    @property
+    def page_size(self) -> int:
+        """Bytes per page."""
+        return self._page_size
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The metrics registry charged for this device's I/O."""
+        return self._file.registry
+
+    @property
+    def num_pages(self) -> int:
+        """Whole pages currently in the file."""
+        return self._file.size_bytes() // self._page_size
+
+    def read_page(self, page_number: int) -> bytes:
+        """Read one full page."""
+        if page_number < 0:
+            raise StorageError(f"page {page_number} out of range")
+        return self._file.read_at(
+            page_number * self._page_size, self._page_size
+        )
+
+    def write_page(self, page_number: int, data: bytes) -> None:
+        """Overwrite one page in place."""
+        if len(data) != self._page_size:
+            raise StorageError(
+                f"page write must be exactly {self._page_size} bytes"
+            )
+        self._file.write_at(page_number * self._page_size, data)
+
+    def append_page(self, data: bytes) -> int:
+        """Append one page; returns its page number."""
+        if len(data) != self._page_size:
+            raise StorageError(
+                f"page write must be exactly {self._page_size} bytes"
+            )
+        offset = self._file.append(data)
+        return offset // self._page_size
+
+    def forget_position(self) -> None:
+        """See :meth:`CountedFile.forget_position`."""
+        self._file.forget_position()
+
+    def size_bytes(self) -> int:
+        """Current file size."""
+        return self._file.size_bytes()
+
+    def close(self) -> None:
+        """Close the underlying file handle."""
+        self._file.close()
+
+    def __enter__(self) -> "PageDevice":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,182 @@
+"""Named counters, timers, distinct-key tallies and a bounded event log.
+
+One :class:`MetricsRegistry` instance is owned by each representation (or
+shared between a representation and its devices/buffer pool).  Everything
+the experiments read — ``bytes_read``, ``disk_seeks``, buffer
+hits/misses/evictions, loads by graph kind, navigation timers — flows
+through it, so ``io_stats()`` has the same meaning for every scheme.
+
+The event log is a bounded ring buffer (it replaces the unbounded
+``StoreStats.events`` list): long-running workloads keep only the most
+recent events, while the section-4.3 "graphs touched per query" analysis
+is served by the distinct-key tallies, which are plain counters and never
+grow with the event volume.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from contextlib import contextmanager
+from typing import Iterator
+
+#: Default number of events the ring buffer retains.
+DEFAULT_EVENT_CAPACITY = 4096
+
+#: Counter names that ``io_stats()`` is expected to expose for any scheme
+#: that touches disk (all are zero until the first read).
+IO_COUNTERS = ("bytes_read", "disk_seeks")
+
+
+class EventLog:
+    """Bounded ring buffer of ``(kind, key)`` instrumentation events.
+
+    Appending beyond the capacity drops the oldest events and counts them
+    in :attr:`dropped`; analyses that must see *every* load therefore use
+    the registry's distinct-key tallies instead of replaying the log.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"event capacity must be > 0, got {capacity}")
+        self._capacity = capacity
+        self._events: deque[tuple[str, tuple]] = deque(maxlen=capacity)
+        self.dropped = 0
+
+    @property
+    def capacity(self) -> int:
+        """Maximum number of retained events."""
+        return self._capacity
+
+    def append(self, kind: str, key: tuple = ()) -> None:
+        """Record one event, evicting the oldest if the buffer is full."""
+        if len(self._events) == self._capacity:
+            self.dropped += 1
+        self._events.append((kind, key))
+
+    def __iter__(self) -> Iterator[tuple[str, tuple]]:
+        return iter(self._events)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EventLog):
+            return list(self) == list(other)
+        if isinstance(other, list):
+            return list(self) == other
+        return NotImplemented
+
+    def to_list(self) -> list[tuple[str, tuple]]:
+        """Retained events, oldest first."""
+        return list(self._events)
+
+    def clear(self) -> None:
+        """Drop every retained event and zero the dropped counter."""
+        self._events.clear()
+        self.dropped = 0
+
+
+class MetricsRegistry:
+    """Registry of named counters, timers and distinct-key tallies.
+
+    * ``inc(name)`` / ``get(name)`` — integer counters;
+    * ``add_time(name)`` / ``timer(name)`` — accumulated seconds;
+    * ``mark(name, key)`` / ``distinct(name)`` — distinct-key tallies
+      (how many *different* intranode graphs were loaded, etc.);
+    * ``record(kind, key)`` — bounded event log (see :class:`EventLog`);
+    * ``snapshot()`` / ``diff()`` / ``reset()`` — experiment protocol.
+    """
+
+    def __init__(self, event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+        self._counters: dict[str, int] = {}
+        self._timers: dict[str, float] = {}
+        self._distinct: dict[str, set] = {}
+        self.events = EventLog(event_capacity)
+
+    # -- counters ----------------------------------------------------------
+
+    def inc(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to counter ``name`` (created at zero)."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (zero if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # -- timers ------------------------------------------------------------
+
+    def add_time(self, name: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into timer ``name``."""
+        self._timers[name] = self._timers.get(name, 0.0) + seconds
+
+    def get_time(self, name: str) -> float:
+        """Accumulated seconds of timer ``name``."""
+        return self._timers.get(name, 0.0)
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager accumulating wall time into timer ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_time(name, time.perf_counter() - start)
+
+    # -- distinct-key tallies ----------------------------------------------
+
+    def mark(self, name: str, key) -> bool:
+        """Note that ``key`` was touched under tally ``name``.
+
+        Returns True the first time ``key`` is seen since the last reset.
+        """
+        seen = self._distinct.setdefault(name, set())
+        if key in seen:
+            return False
+        seen.add(key)
+        return True
+
+    def distinct(self, name: str) -> int:
+        """Number of distinct keys marked under ``name``."""
+        return len(self._distinct.get(name, ()))
+
+    def distinct_keys(self, name: str) -> set:
+        """The distinct keys marked under ``name`` (a copy)."""
+        return set(self._distinct.get(name, ()))
+
+    # -- events ------------------------------------------------------------
+
+    def record(self, kind: str, key: tuple = ()) -> None:
+        """Append one event to the bounded log."""
+        self.events.append(kind, key)
+
+    # -- experiment protocol -----------------------------------------------
+
+    def io_stats(self) -> dict[str, int]:
+        """All integer counters (the ``GraphRepresentation.io_stats`` view)."""
+        return dict(self._counters)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat view: counters, timers and ``distinct_<name>`` tallies."""
+        out: dict[str, float] = dict(self._counters)
+        out.update(self._timers)
+        for name, keys in self._distinct.items():
+            out[f"distinct_{name}"] = len(keys)
+        return out
+
+    @staticmethod
+    def diff(
+        before: dict[str, float], after: dict[str, float]
+    ) -> dict[str, float]:
+        """Per-name deltas between two :meth:`snapshot` results."""
+        names = set(before) | set(after)
+        return {
+            name: after.get(name, 0) - before.get(name, 0) for name in names
+        }
+
+    def reset(self) -> None:
+        """Zero every counter, timer and tally; clear the event log."""
+        self._counters.clear()
+        self._timers.clear()
+        self._distinct.clear()
+        self.events.clear()

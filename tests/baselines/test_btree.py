@@ -132,6 +132,47 @@ class TestFileFormat:
         assert reads  # all I/O went through the injected reader
 
 
+class TestPageReadAccounting:
+    """Regression: index probes must be metered I/O, not invisible seeks.
+
+    Before the shared storage engine, B+tree page reads went through raw
+    ``open``/``seek`` and a standalone index probe reported zero I/O.
+    """
+
+    def test_cold_probe_counts_seeks_and_bytes(self, tmp_path):
+        pairs = [(i * 3, str(i).encode()) for i in range(5000)]
+        build_tree(tmp_path, pairs)
+        tree = BPlusTree(tmp_path / "tree.bt")
+        assert tree.get(300) == b"100"
+        stats = tree.io_stats()
+        assert stats["disk_seeks"] > 0
+        assert stats["bytes_read"] >= PAGE_SIZE  # at least one full page
+        assert stats["bytes_read"] % PAGE_SIZE == 0
+        assert stats["index_page_loads"] >= tree.height
+
+    def test_descent_reads_height_pages(self, tmp_path):
+        pairs = [(i * 3, str(i).encode()) for i in range(5000)]
+        build_tree(tmp_path, pairs)
+        tree = BPlusTree(tmp_path / "tree.bt")
+        assert tree.height >= 2
+        tree.metrics.reset()
+        tree.get(300)
+        # One counted page read per level (meta page is pinned at open).
+        assert tree.io_stats()["bytes_read"] == tree.height * PAGE_SIZE
+
+    def test_cached_probe_is_free(self, tmp_path):
+        pairs = [(i, b"v") for i in range(2000)]
+        build_tree(tmp_path, pairs)
+        tree = BPlusTree(tmp_path / "tree.bt")
+        tree.get(100)
+        tree.metrics.reset()
+        tree.get(100)  # same root-to-leaf path, now buffered
+        stats = tree.io_stats()
+        assert stats.get("bytes_read", 0) == 0
+        assert stats.get("disk_seeks", 0) == 0
+        assert stats["buffer_hits"] >= tree.height
+
+
 @settings(deadline=None, max_examples=20)
 @given(
     st.lists(

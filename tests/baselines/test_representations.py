@@ -17,7 +17,6 @@ from repro.baselines import (
     RelationalRepresentation,
     SNodeRepresentation,
 )
-from repro.errors import GraphError
 
 
 @pytest.fixture(scope="module")

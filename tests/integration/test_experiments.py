@@ -140,25 +140,37 @@ class TestBufferSweep:
         points = buffer_sweep.run(
             size=900, buffer_sizes_kb=(8, 256), trials=1
         )
-        queries_seen = {p.query for p in points}
-        assert queries_seen == {"query1", "query5", "query6"}
-        assert len(points) == 6
+        # Both default schemes sweep the same grid through the one
+        # set_buffer_bytes() protocol: 2 schemes x 2 sizes x 3 queries.
+        assert {p.scheme for p in points} == {"s-node", "relational"}
+        assert {p.query for p in points} == {"query1", "query5", "query6"}
+        assert len(points) == 12
         text = buffer_sweep.report(points)
         assert "buffer" in text
+        assert "relational/query1" in text
+
+    def test_single_scheme_selection(self):
+        from repro.experiments import buffer_sweep
+
+        points = buffer_sweep.run(
+            size=600, buffer_sizes_kb=(8,), trials=1, schemes=("s-node",)
+        )
+        assert {p.scheme for p in points} == {"s-node"}
+        assert len(points) == 3
 
     def test_larger_buffer_never_much_worse(self):
         from repro.experiments import buffer_sweep
 
         points = buffer_sweep.run(size=900, buffer_sizes_kb=(4, 512), trials=1)
-        by_query: dict[str, dict[int, float]] = {}
+        by_curve: dict[tuple[str, str], dict[int, float]] = {}
         for point in points:
-            by_query.setdefault(point.query, {})[point.buffer_kb] = (
-                point.simulated_ms
-            )
+            by_curve.setdefault((point.scheme, point.query), {})[
+                point.buffer_kb
+            ] = point.simulated_ms
         # Generous bound: these are single-trial wall-clock-inclusive
         # numbers, so allow scheduling jitter; the real shape claim is
         # checked by the Figure 12 benchmark at full scale.
-        for curve in by_query.values():
+        for curve in by_curve.values():
             assert curve[512] <= curve[4] * 3.0 + 20.0
 
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 
 from hypothesis import given, settings, strategies as st
 
-from repro.graph.digraph import Digraph
 from repro.partition.partition import Partition
 from repro.snode.encode import (
     decode_intranode,

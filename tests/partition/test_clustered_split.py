@@ -3,9 +3,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import replace
 
-import numpy as np
 
 from repro.graph.digraph import Digraph
 from repro.partition.clustered_split import (

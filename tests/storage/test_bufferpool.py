@@ -1,0 +1,160 @@
+"""Tests for the shared buffer pool: pinning, typed loads, resize."""
+
+from __future__ import annotations
+
+from repro.storage.bufferpool import BufferPool
+from repro.storage.metrics import MetricsRegistry
+
+
+class TestCacheProtocol:
+    def test_hit_miss_counting(self):
+        pool = BufferPool(100)
+        assert pool.get("k") is None
+        pool.put("k", b"data", 4)
+        assert pool.get("k") == b"data"
+        stats = pool.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 1
+
+    def test_evictions_counted_and_callback_fired(self):
+        seen = []
+        pool = BufferPool(10, on_evict=lambda k, v: seen.append(k))
+        pool.put("a", b"x", 10)
+        pool.put("b", b"y", 10)
+        assert pool.registry.get("buffer_evictions") == 1
+        assert seen == ["a"]
+
+    def test_get_or_load_loads_once(self):
+        pool = BufferPool(100)
+        calls = []
+
+        def loader():
+            calls.append(1)
+            return b"payload"
+
+        assert pool.get_or_load("k", loader) == b"payload"
+        assert pool.get_or_load("k", loader) == b"payload"
+        assert len(calls) == 1
+        assert pool.registry.get("loads") == 1
+
+    def test_get_or_load_kinds(self):
+        pool = BufferPool(1000)
+        pool.get_or_load("p1", lambda: b"x" * 8, kind="heap_page")
+        pool.get_or_load("p2", lambda: b"x" * 8, kind="heap_page")
+        pool.get_or_load("i1", lambda: b"x" * 8, kind="index_page")
+        assert pool.registry.get("loads") == 3
+        assert pool.registry.get("heap_page_loads") == 2
+        assert pool.registry.get("index_page_loads") == 1
+
+    def test_get_or_load_cost_forms(self):
+        pool = BufferPool(1000)
+        pool.get_or_load("default", lambda: b"abcd")  # len(value)
+        assert pool.used_bytes == 4
+        pool.get_or_load("explicit", lambda: [1, 2], cost=10)
+        assert pool.used_bytes == 14
+        pool.get_or_load("callable", lambda: [1, 2, 3], cost=lambda v: 8 * len(v))
+        assert pool.used_bytes == 38
+
+
+class TestPinning:
+    def test_pinned_entries_survive_eviction_pressure(self):
+        pool = BufferPool(10)
+        pool.pin("root", b"meta", 100)
+        for i in range(20):
+            pool.put(i, b"x", 10)
+        assert pool.get("root") == b"meta"
+        assert pool.pinned_bytes == 100
+        assert pool.used_bytes <= 10
+
+    def test_pins_outside_lru_budget(self):
+        # A pin larger than the whole budget is fine: the paper keeps the
+        # supernode graph resident regardless of the navigation buffer.
+        pool = BufferPool(10)
+        pool.pin("root", b"meta", 1_000_000)
+        pool.put("a", b"x", 10)
+        assert pool.get("a") == b"x"
+        assert pool.stats()["pinned_entries"] == 1
+
+    def test_pin_survives_clear_and_resize(self):
+        pool = BufferPool(100)
+        pool.pin("root", b"meta", 8)
+        pool.put("a", b"x", 10)
+        pool.clear()
+        assert pool.get("root") == b"meta"
+        assert pool.get("a") is None
+        pool.set_buffer_bytes(50)
+        assert pool.get("root") == b"meta"
+
+    def test_unpin_drops_entry(self):
+        pool = BufferPool(100)
+        pool.pin("root", b"meta", 8)
+        pool.unpin("root")
+        assert pool.get("root") is None
+        assert pool.pinned_bytes == 0
+
+    def test_put_to_pinned_key_updates_pin(self):
+        pool = BufferPool(100)
+        pool.pin("root", b"old", 8)
+        pool.put("root", b"new", 16)
+        assert pool.get("root") == b"new"
+        assert pool.pinned_bytes == 16
+        assert pool.used_bytes == 0
+
+
+class TestMaintenance:
+    def test_clear_recorded_counts_evictions(self):
+        pool = BufferPool(100)
+        pool.put("a", b"x", 10)
+        pool.put("b", b"y", 10)
+        pool.clear(record=True)
+        assert pool.registry.get("buffer_evictions") == 2
+
+    def test_clear_silent_counts_nothing(self):
+        pool = BufferPool(100)
+        pool.put("a", b"x", 10)
+        pool.clear(record=False)
+        assert pool.registry.get("buffer_evictions") == 0
+        assert pool.get("a") is None
+
+    def test_set_buffer_bytes_is_silent_and_rebounds(self):
+        pool = BufferPool(100)
+        pool.put("a", b"x", 10)
+        pool.set_buffer_bytes(25)
+        assert pool.registry.get("buffer_evictions") == 0
+        assert pool.capacity_bytes == 25
+        assert pool.get("a") is None  # cache dropped by the resize
+        pool.put("b", b"x", 10)
+        pool.put("c", b"x", 10)
+        pool.put("d", b"x", 10)  # 30 > 25: evicts "b"
+        assert pool.get("b") is None
+
+    def test_invalidate_is_silent(self):
+        pool = BufferPool(100)
+        pool.put("a", b"x", 10)
+        pool.invalidate("a")
+        assert pool.registry.get("buffer_evictions") == 0
+        assert pool.get("a") is None
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        first = BufferPool(100, registry=registry)
+        second = BufferPool(100, registry=registry)
+        first.get("miss")
+        second.get("miss")
+        assert registry.get("buffer_misses") == 2
+
+    def test_stats_shape(self):
+        pool = BufferPool(64)
+        pool.pin("root", b"m", 4)
+        pool.put("a", b"x", 10)
+        stats = pool.stats()
+        assert stats == {
+            "hits": 0,
+            "misses": 0,
+            "evictions": 0,
+            "entries": 1,
+            "used_bytes": 10,
+            "capacity_bytes": 64,
+            "pinned_entries": 1,
+            "pinned_bytes": 4,
+        }

@@ -1,0 +1,137 @@
+"""Tests for the counted I/O devices, especially the paper's seek rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StorageError
+from repro.storage.device import CountedFile, PageDevice
+from repro.storage.metrics import MetricsRegistry
+
+
+@pytest.fixture
+def datafile(tmp_path):
+    path = tmp_path / "data.bin"
+    path.write_bytes(bytes(range(256)) * 4)  # 1024 bytes
+    return path
+
+
+class TestCountedFile:
+    def test_read_at_returns_exact_range(self, datafile):
+        device = CountedFile(datafile)
+        assert device.read_at(0, 4) == bytes([0, 1, 2, 3])
+        assert device.read_at(256, 2) == bytes([0, 1])
+
+    def test_first_read_is_one_seek(self, datafile):
+        device = CountedFile(datafile)
+        device.read_at(0, 10)
+        assert device.registry.get("disk_seeks") == 1
+        assert device.registry.get("bytes_read") == 10
+
+    def test_sequential_reads_do_not_seek(self, datafile):
+        # The paper's rule: a read continuing at the previous read's end
+        # offset is sequential — this is what rewards the S-Node layout.
+        device = CountedFile(datafile)
+        device.read_at(100, 50)
+        device.read_at(150, 50)
+        device.read_at(200, 8)
+        assert device.registry.get("disk_seeks") == 1
+        assert device.registry.get("bytes_read") == 108
+
+    def test_non_contiguous_read_counts_a_seek(self, datafile):
+        device = CountedFile(datafile)
+        device.read_at(0, 10)
+        device.read_at(500, 10)  # jump forward
+        device.read_at(0, 10)  # jump back
+        assert device.registry.get("disk_seeks") == 3
+
+    def test_forget_position_forces_next_seek(self, datafile):
+        device = CountedFile(datafile)
+        device.read_at(0, 10)
+        device.forget_position()
+        device.read_at(10, 10)  # would have been sequential
+        assert device.registry.get("disk_seeks") == 2
+
+    def test_shared_registry_accumulates_across_files(self, tmp_path):
+        registry = MetricsRegistry()
+        for name in ("a.bin", "b.bin"):
+            (tmp_path / name).write_bytes(b"x" * 64)
+        first = CountedFile(tmp_path / "a.bin", registry)
+        second = CountedFile(tmp_path / "b.bin", registry)
+        first.read_at(0, 16)
+        second.read_at(0, 16)
+        assert registry.get("bytes_read") == 32
+        assert registry.get("disk_seeks") == 2
+
+    def test_short_read_raises(self, datafile):
+        device = CountedFile(datafile)
+        with pytest.raises(StorageError):
+            device.read_at(1020, 100)
+
+    def test_negative_range_rejected(self, datafile):
+        device = CountedFile(datafile)
+        with pytest.raises(StorageError):
+            device.read_at(-1, 4)
+        with pytest.raises(StorageError):
+            device.read_at(0, -4)
+
+    def test_missing_file_raises_on_read(self, tmp_path):
+        device = CountedFile(tmp_path / "absent.bin")
+        with pytest.raises(StorageError):
+            device.read_at(0, 1)
+
+    def test_writes_metered_separately(self, datafile):
+        device = CountedFile(datafile)
+        device.write_at(0, b"ABCD")
+        offset = device.append(b"EFGH")
+        assert offset == 1024
+        assert device.registry.get("bytes_written") == 8
+        assert device.registry.get("bytes_read") == 0
+        assert device.read_at(0, 4) == b"ABCD"
+        assert device.read_at(1024, 4) == b"EFGH"
+
+    def test_close_then_read_reopens(self, datafile):
+        device = CountedFile(datafile)
+        device.read_at(0, 4)
+        device.close()
+        assert device.read_at(4, 4) == bytes([4, 5, 6, 7])
+        # Closing forgot the position, so the reopened read seeks.
+        assert device.registry.get("disk_seeks") == 2
+
+
+class TestPageDevice:
+    def test_page_round_trip(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        path.write_bytes(b"")
+        device = PageDevice(path, page_size=64)
+        assert device.num_pages == 0
+        number = device.append_page(b"a" * 64)
+        assert number == 0
+        device.append_page(b"b" * 64)
+        assert device.num_pages == 2
+        assert device.read_page(1) == b"b" * 64
+        device.write_page(0, b"c" * 64)
+        assert device.read_page(0) == b"c" * 64
+
+    def test_sequential_page_reads_one_seek(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        path.write_bytes(b"x" * 64 * 8)
+        device = PageDevice(path, page_size=64)
+        for page in range(8):
+            device.read_page(page)
+        assert device.registry.get("disk_seeks") == 1
+        device.read_page(0)
+        assert device.registry.get("disk_seeks") == 2
+
+    def test_wrong_sized_page_write_rejected(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        path.write_bytes(b"x" * 64)
+        device = PageDevice(path, page_size=64)
+        with pytest.raises(StorageError):
+            device.write_page(0, b"short")
+        with pytest.raises(StorageError):
+            device.append_page(b"short")
+
+    def test_bad_page_size_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            PageDevice(tmp_path / "p.bin", page_size=0)

@@ -1,0 +1,111 @@
+"""Tests for the metrics registry and its bounded event log."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.storage.metrics import EventLog, MetricsRegistry
+
+
+class TestEventLog:
+    def test_append_and_iterate(self):
+        log = EventLog(capacity=10)
+        log.append("load", (1,))
+        log.append("unload", (2,))
+        assert list(log) == [("load", (1,)), ("unload", (2,))]
+        assert len(log) == 2
+        assert log.dropped == 0
+
+    def test_ring_buffer_bounds_memory(self):
+        log = EventLog(capacity=3)
+        for i in range(10):
+            log.append("load", (i,))
+        assert len(log) == 3
+        assert log.to_list() == [("load", (7,)), ("load", (8,)), ("load", (9,))]
+        assert log.dropped == 7
+
+    def test_clear_resets_dropped(self):
+        log = EventLog(capacity=2)
+        for i in range(5):
+            log.append("e", (i,))
+        log.clear()
+        assert len(log) == 0
+        assert log.dropped == 0
+
+    def test_compares_to_plain_list(self):
+        log = EventLog()
+        assert log == []
+        log.append("load", (1,))
+        assert log == [("load", (1,))]
+        assert log != [("load", (2,))]
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EventLog(capacity=0)
+
+
+class TestMetricsRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        assert registry.get("bytes_read") == 0
+        registry.inc("bytes_read", 100)
+        registry.inc("bytes_read", 20)
+        registry.inc("disk_seeks")
+        assert registry.get("bytes_read") == 120
+        assert registry.get("disk_seeks") == 1
+        assert registry.io_stats() == {"bytes_read": 120, "disk_seeks": 1}
+
+    def test_timers(self):
+        registry = MetricsRegistry()
+        registry.add_time("navigation", 0.5)
+        registry.add_time("navigation", 0.25)
+        assert registry.get_time("navigation") == pytest.approx(0.75)
+        with registry.timer("navigation"):
+            pass
+        assert registry.get_time("navigation") >= 0.75
+
+    def test_distinct_tallies(self):
+        registry = MetricsRegistry()
+        assert registry.mark("intranode", (3,)) is True
+        assert registry.mark("intranode", (3,)) is False
+        assert registry.mark("intranode", (4,)) is True
+        assert registry.distinct("intranode") == 2
+        assert registry.distinct_keys("intranode") == {(3,), (4,)}
+        assert registry.distinct("never-marked") == 0
+
+    def test_distinct_tally_is_flat_despite_event_volume(self):
+        # The section-4.3 analysis reads tallies, not the ring buffer, so
+        # repeated loads of the same graphs cost no memory growth.
+        registry = MetricsRegistry(event_capacity=8)
+        for _ in range(100):
+            for graph in range(5):
+                registry.mark("intranode", (graph,))
+                registry.record("load-intra", (graph,))
+        assert registry.distinct("intranode") == 5
+        assert len(registry.events) == 8
+        assert registry.events.dropped == 100 * 5 - 8
+
+    def test_snapshot_and_diff(self):
+        registry = MetricsRegistry()
+        registry.inc("bytes_read", 10)
+        before = registry.snapshot()
+        registry.inc("bytes_read", 30)
+        registry.inc("disk_seeks")
+        registry.mark("intranode", (1,))
+        after = registry.snapshot()
+        delta = MetricsRegistry.diff(before, after)
+        assert delta["bytes_read"] == 30
+        assert delta["disk_seeks"] == 1
+        assert delta["distinct_intranode"] == 1
+
+    def test_reset_clears_everything(self):
+        registry = MetricsRegistry()
+        registry.inc("bytes_read", 10)
+        registry.add_time("t", 1.0)
+        registry.mark("intranode", (1,))
+        registry.record("load", (1,))
+        registry.reset()
+        assert registry.io_stats() == {}
+        assert registry.get_time("t") == 0.0
+        assert registry.distinct("intranode") == 0
+        assert len(registry.events) == 0
