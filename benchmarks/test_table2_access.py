@@ -11,7 +11,7 @@ from repro.experiments import access_time
 
 
 def test_table2_access_times(benchmark):
-    rows = benchmark.pedantic(access_time.run, rounds=1, iterations=1)
+    rows, _histograms = benchmark.pedantic(access_time.run, rounds=1, iterations=1)
     print("\n" + access_time.report(rows))
 
     by_name = {row.scheme: row for row in rows}

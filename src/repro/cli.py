@@ -9,10 +9,16 @@ Gives a repository operator the whole pipeline without writing Python:
 * ``repro stats``    — summarize a stored representation;
 * ``repro neighbors``— print a page's out-links from a stored
   representation (by repository page id);
-* ``repro experiment`` — run one of the paper's experiment drivers.
+* ``repro experiment`` — run one of the paper's experiment drivers
+  (every driver accepts ``--json [DIR]`` to write a versioned
+  ``BENCH_<experiment>.json`` bench report);
+* ``repro bench-diff`` — compare two bench reports and flag regressions.
 
 Every command prints human-readable output to stdout and exits non-zero
-on failure, so the tool scripts cleanly.
+on failure, so the tool scripts cleanly.  Long-running builds report
+throttled progress to stderr (suppress with ``--quiet``), and
+``repro build --trace`` prints the span tree attributing build time to
+pipeline phases.
 """
 
 from __future__ import annotations
@@ -41,18 +47,32 @@ def _cmd_generate(arguments: argparse.Namespace) -> int:
 
 
 def _cmd_build(arguments: argparse.Namespace) -> int:
+    from repro.obs.progress import ProgressReporter
+    from repro.obs.tracing import Tracer, activated
     from repro.snode.build import BuildOptions, build_snode
     from repro.webdata.webbase import read_repository
 
-    repository = read_repository(arguments.stream, limit=arguments.limit)
-    options = BuildOptions(transpose=arguments.transpose)
-    build = build_snode(repository, arguments.out, options)
+    progress = None if arguments.quiet else ProgressReporter(label="build")
+    tracer = Tracer()
+    with activated(tracer):
+        with tracer.span("build.stream", path=str(arguments.stream)):
+            repository = read_repository(
+                arguments.stream, limit=arguments.limit, progress=progress
+            )
+        options = BuildOptions(transpose=arguments.transpose)
+        build = build_snode(repository, arguments.out, options, progress=progress)
     direction = "WGT (backlinks)" if arguments.transpose else "WG"
     print(
         f"built {direction}: {build.model.num_supernodes} supernodes, "
         f"{build.model.num_superedges} superedges, "
         f"{build.bits_per_edge:.2f} bits/edge -> {arguments.out}"
     )
+    if arguments.trace:
+        print("build trace (span-attributed phases):", file=sys.stderr)
+        print(tracer.render(max_depth=arguments.trace_depth), file=sys.stderr)
+    if arguments.trace_out:
+        tracer.write_jsonl(arguments.trace_out)
+        print(f"trace spans written to {arguments.trace_out}", file=sys.stderr)
     build.store.close()
     return 0
 
@@ -69,25 +89,128 @@ def _cmd_verify(arguments: argparse.Namespace) -> int:
     return 1
 
 
+def _size_breakdown(root: Path, manifest: dict) -> dict:
+    """On-disk bytes per component of a stored representation.
+
+    Combines the manifest's logical payload accounting (intranode vs
+    superedge bytes, which share the index files) with actual file sizes
+    for every auxiliary structure, so an operator can see where bytes go.
+    """
+    def file_size(name: str) -> int:
+        path = root / name
+        return path.stat().st_size if path.exists() else 0
+
+    payload_files = manifest.get("index_files", [])
+    payload_disk = sum(file_size(name) for name in payload_files)
+    breakdown = {
+        "payload_files": {
+            "files": len(payload_files),
+            "disk_bytes": payload_disk,
+            "intranode_bytes": manifest.get("intranode_bytes", 0),
+            "superedge_bytes": manifest.get("superedge_bytes", 0),
+        },
+        "supernode_graph_bytes": file_size("supernode.bin"),
+        "pointer_bytes": file_size("pointers.bin"),
+        "pageid_index_bytes": file_size("pageid.bin"),
+        "newid_map_bytes": file_size("newid.bin"),
+        "domain_index_bytes": file_size("domain.json"),
+        "manifest_bytes": file_size("manifest.json"),
+    }
+    breakdown["total_disk_bytes"] = (
+        payload_disk
+        + breakdown["supernode_graph_bytes"]
+        + breakdown["pointer_bytes"]
+        + breakdown["pageid_index_bytes"]
+        + breakdown["newid_map_bytes"]
+        + breakdown["domain_index_bytes"]
+        + breakdown["manifest_bytes"]
+    )
+    return breakdown
+
+
+_STATS_MANIFEST_KEYS = (
+    "num_pages",
+    "num_supernodes",
+    "num_superedges",
+    "positive_superedges",
+    "negative_superedges",
+    "payload_bytes",
+    "intranode_bytes",
+    "superedge_bytes",
+    "supernode_graph_bytes",
+)
+
+
 def _cmd_stats(arguments: argparse.Namespace) -> int:
-    manifest_path = Path(arguments.root) / "manifest.json"
+    root = Path(arguments.root)
+    manifest_path = root / "manifest.json"
     if not manifest_path.exists():
         print(f"no S-Node manifest under {arguments.root}", file=sys.stderr)
         return 1
     manifest = json.loads(manifest_path.read_text())
-    for key in (
-        "num_pages",
-        "num_supernodes",
-        "num_superedges",
-        "positive_superedges",
-        "negative_superedges",
-        "payload_bytes",
-        "intranode_bytes",
-        "superedge_bytes",
-        "supernode_graph_bytes",
-    ):
+    breakdown = _size_breakdown(root, manifest)
+    if arguments.json:
+        print(
+            json.dumps(
+                {
+                    "manifest": {
+                        key: manifest.get(key) for key in _STATS_MANIFEST_KEYS
+                    },
+                    "on_disk": breakdown,
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
+    for key in _STATS_MANIFEST_KEYS:
         print(f"{key:24s} {manifest.get(key)}")
+    print("\non-disk size breakdown:")
+    payload = breakdown["payload_files"]
+    total = breakdown["total_disk_bytes"]
+
+    def line(label: str, size: int) -> None:
+        share = 100.0 * size / total if total else 0.0
+        print(f"  {label:22s} {size:>12d} bytes ({share:5.1f}%)")
+
+    line(f"payload x{payload['files']}", payload["disk_bytes"])
+    line("  - intranode", payload["intranode_bytes"])
+    line("  - superedge", payload["superedge_bytes"])
+    line("supernode graph", breakdown["supernode_graph_bytes"])
+    line("pointers", breakdown["pointer_bytes"])
+    line("pageid index", breakdown["pageid_index_bytes"])
+    line("newid map", breakdown["newid_map_bytes"])
+    line("domain index", breakdown["domain_index_bytes"])
+    line("manifest", breakdown["manifest_bytes"])
+    print(f"  {'total':22s} {total:>12d} bytes")
     return 0
+
+
+def _cmd_bench_validate(arguments: argparse.Namespace) -> int:
+    from repro.errors import ReportError
+    from repro.obs.report import load_report
+
+    failed = False
+    for name in arguments.files:
+        try:
+            load_report(name)
+            print(f"{name}: ok")
+        except ReportError as exc:
+            print(f"{name}: INVALID — {exc}")
+            failed = True
+    return 1 if failed else 0
+
+
+def _cmd_bench_diff(arguments: argparse.Namespace) -> int:
+    from repro.obs.report import diff_reports, load_report
+
+    diff = diff_reports(
+        load_report(arguments.old),
+        load_report(arguments.new),
+        threshold=arguments.threshold,
+    )
+    print(diff.render())
+    return 1 if diff.regressions else 0
 
 
 def _cmd_neighbors(arguments: argparse.Namespace) -> int:
@@ -151,6 +274,26 @@ def build_parser() -> argparse.ArgumentParser:
     build.add_argument("--out", required=True, help="output directory")
     build.add_argument("--limit", type=int, default=None, help="crawl prefix")
     build.add_argument("--transpose", action="store_true", help="build WGT")
+    build.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree attributing build time to phases (stderr)",
+    )
+    build.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the full span tree as JSON lines to FILE",
+    )
+    build.add_argument(
+        "--trace-depth",
+        type=int,
+        default=2,
+        help="maximum span depth shown by --trace (default 2)",
+    )
+    build.add_argument(
+        "--quiet", action="store_true", help="suppress stderr progress reporting"
+    )
     build.set_defaults(handler=_cmd_build)
 
     verify = commands.add_parser("verify", help="integrity-check a representation")
@@ -162,6 +305,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     stats = commands.add_parser("stats", help="summarize a representation")
     stats.add_argument("root")
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        help="emit machine-readable JSON instead of the text table",
+    )
     stats.set_defaults(handler=_cmd_stats)
 
     neighbors = commands.add_parser("neighbors", help="print a page's out-links")
@@ -173,6 +321,25 @@ def build_parser() -> argparse.ArgumentParser:
     experiment.add_argument("name")
     experiment.add_argument("args", nargs=argparse.REMAINDER)
     experiment.set_defaults(handler=_cmd_experiment)
+
+    bench_validate = commands.add_parser(
+        "bench-validate", help="schema-check BENCH_*.json reports"
+    )
+    bench_validate.add_argument("files", nargs="+")
+    bench_validate.set_defaults(handler=_cmd_bench_validate)
+
+    bench_diff = commands.add_parser(
+        "bench-diff", help="compare two BENCH_*.json reports for regressions"
+    )
+    bench_diff.add_argument("old", help="baseline bench report")
+    bench_diff.add_argument("new", help="candidate bench report")
+    bench_diff.add_argument(
+        "--threshold",
+        type=float,
+        default=0.2,
+        help="relative cost increase flagged as a regression (default 0.2)",
+    )
+    bench_diff.set_defaults(handler=_cmd_bench_diff)
 
     return parser
 

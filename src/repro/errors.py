@@ -38,3 +38,7 @@ class QueryError(ReproError):
 
 class BuildError(ReproError):
     """The S-Node build pipeline could not complete."""
+
+
+class ReportError(ReproError):
+    """A bench report is missing, malformed, or fails schema validation."""

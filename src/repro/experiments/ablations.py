@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import argparse
 import tempfile
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.experiments.harness import (
+    add_report_arguments,
     dataset,
+    emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
@@ -126,9 +128,16 @@ def report(rows: list[AblationRow]) -> str:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=None)
+    add_report_arguments(parser)
     arguments = parser.parse_args()
+    rows = run(size=arguments.size)
     print("[ablations]")
-    print(report(run(size=arguments.size)))
+    print(report(rows))
+    emit_report(
+        arguments.json_dir,
+        "ablations",
+        [asdict(row) for row in rows],
+    )
 
 
 if __name__ == "__main__":

@@ -21,10 +21,16 @@ from __future__ import annotations
 
 import argparse
 import tempfile
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from pathlib import Path
 
-from repro.experiments.harness import dataset, format_table, sweep_sizes
+from repro.experiments.harness import (
+    add_report_arguments,
+    dataset,
+    emit_report,
+    format_table,
+    sweep_sizes,
+)
 from repro.experiments.queries import (
     DEFAULT_CPU_SCALE,
     DEFAULT_MBPS,
@@ -170,6 +176,7 @@ def main() -> None:
         default=list(DEFAULT_SWEEP_SCHEMES),
         help="representations to sweep (any of flat-file, relational, link3, s-node)",
     )
+    add_report_arguments(parser)
     arguments = parser.parse_args()
     points = run(
         size=arguments.size,
@@ -178,6 +185,12 @@ def main() -> None:
     )
     print("[buffer_sweep] Figure 12")
     print(report(points))
+    emit_report(
+        arguments.json_dir,
+        "buffer_sweep",
+        [asdict(point) for point in points],
+        params={"trials": arguments.trials, "schemes": list(arguments.schemes)},
+    )
 
 
 if __name__ == "__main__":

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import argparse
 import tempfile
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 
 from repro.baselines import (
     HuffmanRepresentation,
@@ -20,7 +20,9 @@ from repro.baselines import (
     SNodeRepresentation,
 )
 from repro.experiments.harness import (
+    add_report_arguments,
     dataset,
+    emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
@@ -137,10 +139,20 @@ def report(rows: list[CompressionRow], mean_degree: float) -> str:
 
 
 def main() -> None:
-    argparse.ArgumentParser(description=__doc__).parse_args()
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_report_arguments(parser)
+    arguments = parser.parse_args()
     rows, mean_degree = run()
     print("[compression] Table 1")
     print(report(rows, mean_degree))
+    emit_report(
+        arguments.json_dir,
+        "compression",
+        {
+            "rows": [asdict(row) for row in rows],
+            "mean_out_degree": mean_degree,
+        },
+    )
 
 
 if __name__ == "__main__":

@@ -11,9 +11,12 @@ crawl-order prefixes of one master repository, exactly the paper's
 from __future__ import annotations
 
 import os
+import warnings
 from collections.abc import Sequence
 from functools import lru_cache
+from pathlib import Path
 
+from repro.errors import ReproError
 from repro.partition.clustered_split import ClusteredSplitConfig
 from repro.partition.refine import RefinementConfig
 from repro.webdata.corpus import Repository
@@ -23,11 +26,28 @@ MASTER_SEED = 2003
 
 
 def scale_factor() -> float:
-    """Global size multiplier from the ``REPRO_SCALE`` env var (default 1)."""
+    """Global size multiplier from the ``REPRO_SCALE`` env var (default 1).
+
+    A value that does not parse as a float is *warned about* (naming the
+    bad value) and replaced by 1.0; a value that parses but is not
+    positive is rejected outright — silently running the full-size sweep
+    because of a typo'd ``REPRO_SCALE=-1`` would waste hours.
+    """
+    raw = os.environ.get("REPRO_SCALE", "1")
     try:
-        return float(os.environ.get("REPRO_SCALE", "1"))
+        value = float(raw)
     except ValueError:
+        warnings.warn(
+            f"ignoring invalid REPRO_SCALE={raw!r} (not a number); using 1.0",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         return 1.0
+    if value <= 0:
+        raise ReproError(
+            f"REPRO_SCALE must be positive, got {raw!r}"
+        )
+    return value
 
 
 def master_size() -> int:
@@ -65,6 +85,63 @@ def experiment_refinement_config(seed: int = 7) -> RefinementConfig:
         min_url_group_size=128,
         clustered=ClusteredSplitConfig(min_cluster_size=128),
     )
+
+
+def add_report_arguments(parser) -> None:
+    """Add the uniform ``--json [DIR]`` bench-report flag to a parser.
+
+    Every experiment CLI accepts it: ``--json`` alone writes
+    ``BENCH_<experiment>.json`` into the current directory, ``--json DIR``
+    writes it under ``DIR``.
+    """
+    parser.add_argument(
+        "--json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        dest="json_dir",
+        help="write a machine-readable BENCH_<experiment>.json report "
+        "(optionally into DIR)",
+    )
+
+
+def emit_report(
+    json_dir: str | None,
+    experiment: str,
+    results,
+    params: dict | None = None,
+    metrics: dict | None = None,
+    histograms: dict | None = None,
+    spans: dict | None = None,
+) -> Path | None:
+    """Write the experiment's bench report if ``--json`` was requested.
+
+    Adds the harness-level context every report shares (``REPRO_SCALE``,
+    master repository size) into ``params`` and prints the written path so
+    scripts can pick it up.  Returns the path, or None when ``json_dir``
+    is None (no ``--json``).
+    """
+    if json_dir is None:
+        return None
+    from repro.obs.report import build_report, write_report
+
+    merged_params = {
+        "scale_factor": scale_factor(),
+        "master_size": master_size(),
+    }
+    merged_params.update(params or {})
+    report = build_report(
+        experiment,
+        results,
+        params=merged_params,
+        metrics=metrics,
+        histograms=histograms,
+        spans=spans,
+    )
+    path = write_report(report, json_dir)
+    print(f"bench report written to {path}")
+    return path
 
 
 def format_table(

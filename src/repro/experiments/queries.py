@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import argparse
 import tempfile
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from pathlib import Path
 
 from repro.baselines import (
@@ -41,11 +41,14 @@ from repro.baselines import (
 )
 from repro.baselines.base import GraphRepresentation
 from repro.experiments.harness import (
+    add_report_arguments,
     dataset,
+    emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
 )
+from repro.obs.histogram import HistogramSet, LatencyHistogram
 from repro.index.pagerank_index import PageRankIndex
 from repro.index.textindex import TextIndex
 from repro.query.engine import QueryEngine
@@ -74,6 +77,10 @@ class QueryTiming:
     bytes_read: int
     snode_intranode_loaded: int = 0
     snode_superedge_loaded: int = 0
+    #: Distribution over the trials (keys like ``simulated_ms_p50``),
+    #: because a mean hides the cold-vs-warm buffer split Figure 11 is
+    #: actually about.
+    percentiles: dict[str, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -83,6 +90,12 @@ class QueryExperiment:
     num_pages: int
     buffer_bytes: int
     timings: dict[tuple[str, str], QueryTiming] = field(default_factory=dict)
+    #: Per-scheme engine histograms: navigation latency distribution per
+    #: query *operation* kind (out_neighborhood, in_neighborhood, ...).
+    op_histograms: dict[str, HistogramSet] = field(default_factory=dict)
+    #: Per-scheme metrics snapshot (forward + backward registries merged)
+    #: taken after all trials.
+    metrics: dict[str, dict[str, float]] = field(default_factory=dict)
 
     def reduction_vs_next_best(self) -> dict[str, float]:
         """The paper's table: % reduction of S-Node vs the next best."""
@@ -138,6 +151,13 @@ class _SchemePair:
         return self.forward.metrics.get("buffer_evictions") + self.backward.metrics.get(
             "buffer_evictions"
         )
+
+    def merged_snapshot(self) -> dict[str, float]:
+        """Forward + backward metrics snapshots, summed per name."""
+        merged = dict(self.forward.metrics.snapshot())
+        for name, value in self.backward.metrics.snapshot().items():
+            merged[name] = merged.get(name, 0) + value
+        return merged
 
     def close(self) -> None:
         self.forward.close()
@@ -239,6 +259,11 @@ def run(
                 bytes_total = 0
                 intranode_loaded = 0
                 superedge_loaded = 0
+                # Per-trial distributions (seconds): the first trial runs
+                # cold, later ones over a warming buffer, so percentiles
+                # expose the cold/warm split a mean averages away.
+                wall_histogram = LatencyHistogram()
+                simulated_histogram = LatencyHistogram()
                 # Caches are dropped once per (scheme, query); the trials
                 # then average over a warming buffer, as the paper's
                 # 6-trial averages did.  Buffered schemes keep their hot
@@ -253,6 +278,12 @@ def run(
                     seeks, bytes_read = pair.io_totals()
                     seeks_total += seeks
                     bytes_total += bytes_read
+                    wall_histogram.record(result.navigation_seconds)
+                    simulated_histogram.record(
+                        result.navigation_seconds * cpu_scale
+                        + seeks * seek_ms / 1000.0
+                        + bytes_read / (mbps * 1e6)
+                    )
                     if scheme == "s-node":
                         # Section 4.3 "graphs touched per query": distinct
                         # load tallies from the shared metrics registry.
@@ -277,7 +308,18 @@ def run(
                     bytes_read=int(mean_bytes),
                     snode_intranode_loaded=intranode_loaded,
                     snode_superedge_loaded=superedge_loaded,
+                    percentiles={
+                        "wall_ms_p50": wall_histogram.p50 * 1000.0,
+                        "wall_ms_p90": wall_histogram.p90 * 1000.0,
+                        "wall_ms_p99": wall_histogram.p99 * 1000.0,
+                        "simulated_ms_p50": simulated_histogram.p50 * 1000.0,
+                        "simulated_ms_p90": simulated_histogram.p90 * 1000.0,
+                        "simulated_ms_p99": simulated_histogram.p99 * 1000.0,
+                        "simulated_ms_max": simulated_histogram.max * 1000.0,
+                    },
                 )
+            experiment.op_histograms[scheme] = engine.histograms
+            experiment.metrics[scheme] = pair.merged_snapshot()
             pair.close()
     finally:
         if own_tmp is not None:
@@ -323,13 +365,50 @@ def report(experiment: QueryExperiment) -> str:
     load_table = format_table(
         ["query", "intranode graphs", "superedge graphs", "disk seeks"], load_rows
     )
+    op_rows = []
+    for scheme in SCHEMES:
+        histogram_set = experiment.op_histograms.get(scheme)
+        if histogram_set is None:
+            continue
+        for op in histogram_set.names():
+            histogram = histogram_set.get(op)
+            op_rows.append(
+                (
+                    scheme,
+                    op,
+                    histogram.count,
+                    histogram.p50 * 1000.0,
+                    histogram.p90 * 1000.0,
+                    histogram.p99 * 1000.0,
+                    histogram.max * 1000.0,
+                )
+            )
+    op_table = format_table(
+        ["scheme", "operation", "n", "p50 ms", "p90 ms", "p99 ms", "max ms"],
+        op_rows,
+    )
     return (
         table
         + "\n\n"
         + reduction_table
         + "\n\nS-Node instrumentation (distinct graphs loaded per query):\n"
         + load_table
+        + "\n\nper-operation navigation latency (wall time):\n"
+        + op_table
     )
+
+
+def to_results(experiment: QueryExperiment) -> dict:
+    """JSON-serializable view of the experiment (bench-report payload)."""
+    timings: dict[str, dict] = {}
+    for (scheme, query_name), timing in experiment.timings.items():
+        timings.setdefault(scheme, {})[query_name] = asdict(timing)
+    return {
+        "num_pages": experiment.num_pages,
+        "buffer_bytes": experiment.buffer_bytes,
+        "timings": timings,
+        "reduction_vs_next_best": experiment.reduction_vs_next_best(),
+    }
 
 
 def main() -> None:
@@ -340,6 +419,7 @@ def main() -> None:
     parser.add_argument("--seek-ms", type=float, default=DEFAULT_SEEK_MS)
     parser.add_argument("--mbps", type=float, default=DEFAULT_MBPS)
     parser.add_argument("--cpu-scale", type=float, default=DEFAULT_CPU_SCALE)
+    add_report_arguments(parser)
     arguments = parser.parse_args()
     experiment = run(
         size=arguments.size,
@@ -354,6 +434,25 @@ def main() -> None:
         f"buffer={experiment.buffer_bytes // 1024} KiB)"
     )
     print(report(experiment))
+    histograms = {
+        f"{scheme}/{op}": histogram_set.get(op).to_dict()
+        for scheme, histogram_set in experiment.op_histograms.items()
+        for op in histogram_set.names()
+    }
+    emit_report(
+        arguments.json_dir,
+        "queries",
+        to_results(experiment),
+        params={
+            "trials": arguments.trials,
+            "seek_ms": arguments.seek_ms,
+            "mbps": arguments.mbps,
+            "cpu_scale": arguments.cpu_scale,
+            "buffer_bytes": experiment.buffer_bytes,
+        },
+        metrics={"by_scheme": experiment.metrics},
+        histograms=histograms,
+    )
 
 
 if __name__ == "__main__":

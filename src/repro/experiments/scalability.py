@@ -16,10 +16,12 @@ the ablation the paper reports as indistinguishable from random.
 from __future__ import annotations
 
 import argparse
-from dataclasses import dataclass, replace
+from dataclasses import asdict, dataclass, replace
 
 from repro.experiments.harness import (
+    add_report_arguments,
     dataset,
+    emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
@@ -100,10 +102,17 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--policy", choices=("random", "largest"), default="random")
     parser.add_argument("--seed", type=int, default=7)
+    add_report_arguments(parser)
     arguments = parser.parse_args()
     points = run(policy=arguments.policy, seed=arguments.seed)
     print(f"[scalability] policy={arguments.policy}")
     print(report(points))
+    emit_report(
+        arguments.json_dir,
+        "scalability",
+        [asdict(point) for point in points],
+        params={"policy": arguments.policy, "seed": arguments.seed},
+    )
 
 
 if __name__ == "__main__":

@@ -1,0 +1,136 @@
+"""Phase-aware, throttled progress reporting for long builds.
+
+A repository-scale build streams millions of pages, runs tens of
+thousands of refinement iterations and encodes every supernode; without
+feedback an operator cannot tell a working build from a hung one.  A
+:class:`ProgressReporter` is handed down the build pipeline and emits
+single-line status updates to stderr:
+
+    [build] stream: 120000/500000 pages (24.0%) 81342/s eta 4.7s
+    [build] refine: 3200 iterations, 411 elements 1033/s
+
+Emission is throttled (default: at most one line per 0.5 s, measured on
+an injectable monotonic clock) so per-page ``update()`` calls in hot
+loops cost a counter increment and a clock read, nothing more.  Phases
+with a known total get percentage and ETA; open-ended phases report
+count and rate.  ``finish_phase`` always emits a final line so every
+phase leaves a completion record even when it beat the throttle window.
+
+:data:`NULL_PROGRESS` is the shared no-op used as the library default —
+code paths accept ``progress=None`` and normalize via :func:`ensure`.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+#: Default minimum seconds between emitted lines.
+DEFAULT_INTERVAL_S = 0.5
+
+
+class ProgressReporter:
+    """Throttled stderr progress lines for multi-phase pipelines."""
+
+    def __init__(
+        self,
+        label: str = "build",
+        stream=None,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        clock=time.monotonic,
+    ) -> None:
+        if interval_s < 0:
+            raise ValueError(f"interval_s must be >= 0, got {interval_s}")
+        self.label = label
+        self.stream = stream if stream is not None else sys.stderr
+        self.interval_s = interval_s
+        self.clock = clock
+        self.emitted = 0
+        self._phase: str | None = None
+        self._unit = ""
+        self._total: int | None = None
+        self._done = 0
+        self._phase_start = 0.0
+        self._last_emit = -float("inf")
+
+    # -- phase lifecycle ---------------------------------------------------
+
+    def start_phase(self, phase: str, total: int | None = None, unit: str = "") -> None:
+        """Begin a phase; ``total`` enables percentage and ETA reporting."""
+        if self._phase is not None:
+            self.finish_phase()
+        self._phase = phase
+        self._total = total
+        self._unit = unit
+        self._done = 0
+        self._phase_start = self.clock()
+        self._last_emit = -float("inf")
+
+    def update(self, amount: int = 1, detail: str | None = None) -> None:
+        """Advance the current phase; emits a line if the throttle allows."""
+        if self._phase is None:
+            return
+        self._done += amount
+        now = self.clock()
+        if now - self._last_emit >= self.interval_s:
+            self._emit(now, detail)
+
+    def finish_phase(self) -> None:
+        """Close the current phase, always emitting its final line."""
+        if self._phase is None:
+            return
+        self._emit(self.clock(), "done")
+        self._phase = None
+        self._total = None
+        self._done = 0
+
+    # -- formatting --------------------------------------------------------
+
+    def _emit(self, now: float, detail: str | None) -> None:
+        elapsed = max(now - self._phase_start, 1e-9)
+        rate = self._done / elapsed
+        unit = f" {self._unit}" if self._unit else ""
+        if self._total:
+            percent = 100.0 * self._done / self._total
+            remaining = max(self._total - self._done, 0)
+            eta = remaining / rate if rate > 0 else float("inf")
+            eta_text = f" eta {eta:.1f}s" if eta != float("inf") else ""
+            line = (
+                f"[{self.label}] {self._phase}: {self._done}/{self._total}{unit} "
+                f"({percent:.1f}%) {rate:.0f}/s{eta_text}"
+            )
+        else:
+            line = (
+                f"[{self.label}] {self._phase}: {self._done}{unit} {rate:.0f}/s"
+            )
+        if detail:
+            line += f" [{detail}]"
+        print(line, file=self.stream, flush=True)
+        self.emitted += 1
+        self._last_emit = now
+
+
+class NullProgress:
+    """No-op reporter with the :class:`ProgressReporter` interface."""
+
+    __slots__ = ()
+
+    emitted = 0
+
+    def start_phase(self, phase: str, total: int | None = None, unit: str = "") -> None:
+        pass
+
+    def update(self, amount: int = 1, detail: str | None = None) -> None:
+        pass
+
+    def finish_phase(self) -> None:
+        pass
+
+
+#: Shared no-op instance (the library default when no reporter is passed).
+NULL_PROGRESS = NullProgress()
+
+
+def ensure(progress) -> ProgressReporter | NullProgress:
+    """Normalize an optional reporter argument to a usable object."""
+    return progress if progress is not None else NULL_PROGRESS

@@ -1,0 +1,348 @@
+"""Machine-readable bench reports: build, validate, write, load, diff.
+
+Every experiment driver can serialize its run into one versioned JSON
+document — ``BENCH_<experiment>.json`` — bundling
+
+* ``results`` — the experiment's structured output (rows, timings, ...);
+* ``metrics`` — a :meth:`MetricsRegistry.snapshot` taken after the run;
+* ``histograms`` — per-operation latency histograms
+  (:meth:`~repro.obs.histogram.HistogramSet.to_dict`);
+* ``spans`` — the tracer's per-name span summary;
+* ``params`` / ``environment`` — enough context to reproduce the run.
+
+The schema is versioned (:data:`SCHEMA_VERSION`) and validated by
+:func:`validate_report` — hand-rolled structural checks, no external
+jsonschema dependency.  :func:`diff_reports` compares two reports'
+numeric cost metrics (wall/simulated times, percentiles, seeks, bytes,
+...) and flags relative increases beyond a threshold, which is how CI
+and ``repro bench-diff`` turn the JSON trail into regression gates.
+
+Run as a module for the CLI used by CI::
+
+    python -m repro.obs.report validate BENCH_*.json
+    python -m repro.obs.report diff old/BENCH_x.json new/BENCH_x.json
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import ReportError
+
+#: Version written into (and required of) every bench report.
+SCHEMA_VERSION = 1
+
+#: Top-level keys every report must carry, with their required types.
+_REQUIRED_KEYS: dict[str, type] = {
+    "schema_version": int,
+    "experiment": str,
+    "created_unix": float,
+    "environment": dict,
+    "params": dict,
+    "results": (dict, list),  # type: ignore[dict-item]
+    "metrics": dict,
+    "histograms": dict,
+    "spans": dict,
+}
+
+#: Leaf-key substrings identifying "lower is better" cost metrics that
+#: the differ compares (sizes/counts like num_supernodes are excluded —
+#: a bigger dataset is not a regression).
+_COST_MARKERS = (
+    "_ms",
+    "_ns",
+    "_s",
+    "seconds",
+    "p50",
+    "p90",
+    "p99",
+    "mean",
+    "max",
+    "seeks",
+    "bytes_read",
+    "evictions",
+    "iterations",
+)
+
+
+def _default_environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+
+
+def build_report(
+    experiment: str,
+    results,
+    params: dict | None = None,
+    metrics: dict | None = None,
+    histograms: dict | None = None,
+    spans: dict | None = None,
+    environment: dict | None = None,
+    created_unix: float | None = None,
+) -> dict:
+    """Assemble a schema-conforming report document."""
+    report = {
+        "schema_version": SCHEMA_VERSION,
+        "experiment": experiment,
+        "created_unix": float(
+            created_unix if created_unix is not None else time.time()
+        ),
+        "environment": environment if environment is not None else _default_environment(),
+        "params": params or {},
+        "results": results,
+        "metrics": metrics or {},
+        "histograms": histograms or {},
+        "spans": spans or {},
+    }
+    problems = validate_report(report)
+    if problems:
+        raise ReportError(
+            f"constructed report is invalid: {'; '.join(problems)}"
+        )
+    return report
+
+
+def validate_report(data) -> list[str]:
+    """Structural problems of a report document (empty list = valid)."""
+    problems: list[str] = []
+    if not isinstance(data, dict):
+        return [f"report must be a JSON object, got {type(data).__name__}"]
+    for key, expected in _REQUIRED_KEYS.items():
+        if key not in data:
+            problems.append(f"missing key {key!r}")
+            continue
+        value = data[key]
+        if expected is float:
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(f"{key!r} must be a number")
+        elif expected is int:
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(f"{key!r} must be an integer")
+        elif not isinstance(value, expected):
+            name = (
+                "/".join(t.__name__ for t in expected)
+                if isinstance(expected, tuple)
+                else expected.__name__
+            )
+            problems.append(f"{key!r} must be a {name}")
+    if not problems and data["schema_version"] != SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {data['schema_version']} unsupported "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    if not problems and not data["experiment"]:
+        problems.append("'experiment' must be non-empty")
+    if not problems:
+        for name, payload in data["histograms"].items():
+            if not isinstance(payload, dict) or "buckets" not in payload:
+                problems.append(
+                    f"histogram {name!r} must be a dict with 'buckets'"
+                )
+    return problems
+
+
+def report_filename(experiment: str) -> str:
+    """The canonical file name for an experiment's report."""
+    safe = experiment.replace("/", "_").replace(" ", "_")
+    return f"BENCH_{safe}.json"
+
+
+def write_report(report: dict, out_dir: Path | str) -> Path:
+    """Validate and write ``BENCH_<experiment>.json`` under ``out_dir``."""
+    problems = validate_report(report)
+    if problems:
+        raise ReportError(f"refusing to write invalid report: {'; '.join(problems)}")
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / report_filename(report["experiment"])
+    path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def load_report(path: Path | str) -> dict:
+    """Read and validate a report; raises :class:`ReportError` on problems."""
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ReportError(f"cannot read bench report {path}: {exc}") from exc
+    problems = validate_report(data)
+    if problems:
+        raise ReportError(f"invalid bench report {path}: {'; '.join(problems)}")
+    return data
+
+
+# -- diffing ----------------------------------------------------------------
+
+
+def flatten_numeric(value, prefix: str = "") -> dict[str, float]:
+    """Dotted-path -> value map of every numeric leaf under ``value``."""
+    out: dict[str, float] = {}
+    if isinstance(value, bool):
+        return out
+    if isinstance(value, (int, float)):
+        out[prefix] = float(value)
+    elif isinstance(value, dict):
+        for key in value:
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_numeric(value[key], child_prefix))
+    elif isinstance(value, (list, tuple)):
+        for index, item in enumerate(value):
+            child_prefix = f"{prefix}[{index}]"
+            out.update(flatten_numeric(item, child_prefix))
+    return out
+
+
+def _is_cost_path(path: str) -> bool:
+    leaf = path.rsplit(".", 1)[-1]
+    return any(marker in leaf for marker in _COST_MARKERS)
+
+
+@dataclass
+class DiffEntry:
+    """One compared metric between two reports."""
+
+    path: str
+    old: float
+    new: float
+    change_fraction: float
+    regression: bool
+
+
+@dataclass
+class BenchDiff:
+    """Outcome of comparing two bench reports."""
+
+    experiment: str
+    threshold: float
+    entries: list[DiffEntry] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> list[DiffEntry]:
+        """Entries whose cost grew beyond the threshold."""
+        return [entry for entry in self.entries if entry.regression]
+
+    def render(self, limit: int = 20) -> str:
+        """Human-readable summary, worst regressions first."""
+        lines = [
+            f"bench-diff [{self.experiment}]: {len(self.entries)} cost metrics "
+            f"compared, {len(self.regressions)} regression(s) beyond "
+            f"{self.threshold * 100:.0f}%"
+        ]
+        ordered = sorted(
+            self.entries, key=lambda e: e.change_fraction, reverse=True
+        )
+        for entry in ordered[:limit]:
+            flag = "REGRESSION" if entry.regression else (
+                "improved" if entry.change_fraction < -self.threshold else "ok"
+            )
+            lines.append(
+                f"  {entry.path}: {entry.old:.4g} -> {entry.new:.4g} "
+                f"({entry.change_fraction * 100:+.1f}%) {flag}"
+            )
+        if len(self.entries) > limit:
+            lines.append(f"  ... {len(self.entries) - limit} more")
+        return "\n".join(lines)
+
+
+#: Absolute floor (in metric units) below which changes are noise, not
+#: regressions — a 0.01 ms -> 0.02 ms flip is +100% but meaningless.
+DEFAULT_MIN_DELTA = 1e-6
+
+
+def diff_reports(
+    old: dict,
+    new: dict,
+    threshold: float = 0.2,
+    min_delta: float = DEFAULT_MIN_DELTA,
+) -> BenchDiff:
+    """Compare two reports' cost metrics; flag increases > ``threshold``.
+
+    Only ``results`` and ``histograms`` sections are compared, and only
+    paths whose leaf key looks like a cost (times, percentiles, seeks,
+    bytes read, ...).  The reports must describe the same experiment.
+    """
+    for data in (old, new):
+        problems = validate_report(data)
+        if problems:
+            raise ReportError(f"cannot diff invalid report: {'; '.join(problems)}")
+    if old["experiment"] != new["experiment"]:
+        raise ReportError(
+            f"cannot diff reports of different experiments: "
+            f"{old['experiment']!r} vs {new['experiment']!r}"
+        )
+    diff = BenchDiff(experiment=new["experiment"], threshold=threshold)
+    old_values: dict[str, float] = {}
+    new_values: dict[str, float] = {}
+    for section in ("results", "histograms"):
+        old_values.update(flatten_numeric(old[section], section))
+        new_values.update(flatten_numeric(new[section], section))
+    for path in sorted(set(old_values) & set(new_values)):
+        if not _is_cost_path(path):
+            continue
+        before, after = old_values[path], new_values[path]
+        delta = after - before
+        if before > 0:
+            change = delta / before
+        else:
+            change = 0.0 if delta <= min_delta else float("inf")
+        regression = change > threshold and delta > min_delta
+        diff.entries.append(
+            DiffEntry(
+                path=path,
+                old=before,
+                new=after,
+                change_fraction=change,
+                regression=regression,
+            )
+        )
+    return diff
+
+
+# -- module CLI (used by CI) ------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    """``validate FILES...`` / ``diff OLD NEW [--threshold F]``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    commands = parser.add_subparsers(dest="command", required=True)
+    validate = commands.add_parser("validate", help="schema-check reports")
+    validate.add_argument("files", nargs="+")
+    diff = commands.add_parser("diff", help="compare two reports")
+    diff.add_argument("old")
+    diff.add_argument("new")
+    diff.add_argument("--threshold", type=float, default=0.2)
+    arguments = parser.parse_args(argv)
+
+    if arguments.command == "validate":
+        failed = False
+        for name in arguments.files:
+            try:
+                load_report(name)
+                print(f"{name}: ok")
+            except ReportError as exc:
+                print(f"{name}: INVALID — {exc}")
+                failed = True
+        return 1 if failed else 0
+
+    result = diff_reports(
+        load_report(arguments.old),
+        load_report(arguments.new),
+        threshold=arguments.threshold,
+    )
+    print(result.render())
+    return 1 if result.regressions else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

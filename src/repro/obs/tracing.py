@@ -1,0 +1,286 @@
+"""Nested span tracing for build and query hot paths.
+
+A :class:`Tracer` records a bounded tree of :class:`Span` objects.  Spans
+nest (``with tracer.span("build.refine"): ...``), carry arbitrary
+attributes, measure wall time, and — when the tracer is bound to a
+:class:`~repro.storage.metrics.MetricsRegistry` — capture the registry's
+counter deltas between span entry and exit, so "this refinement phase did
+N disk seeks" falls out of the existing accounting for free.
+
+Instrumented library code does not thread tracer objects through every
+call.  Instead it uses the module-level helpers:
+
+* :func:`activated` — context manager installing a tracer as *current*;
+* :func:`span` — open a span on the current tracer (no-op when none);
+* :func:`note` — attach a span-local event count to the innermost open
+  span (how the buffer pool's load events become span-attributed).
+
+The span tree is bounded (default 10 000 nodes).  Once full, new spans
+are no longer *stored* but are still *aggregated* into the per-name
+summary, so ``summary()`` stays exact for arbitrarily long runs while
+memory stays flat — the same contract as the metrics event ring buffer.
+
+Exporters: :meth:`Tracer.to_jsonl` emits one JSON object per span
+(depth-first, with ``id``/``parent`` links) and :meth:`Tracer.render`
+produces the indented text tree shown by ``repro build --trace``.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.storage.metrics import MetricsRegistry
+
+#: Default bound on stored span-tree nodes.
+DEFAULT_MAX_SPANS = 10_000
+
+
+class Span:
+    """One timed, attributed node of the span tree."""
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "start_s",
+        "duration_s",
+        "status",
+        "children",
+        "counters",
+        "notes",
+        "_entry_snapshot",
+    )
+
+    def __init__(self, name: str, attrs: dict, start_s: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = start_s
+        self.duration_s = 0.0
+        self.status = "ok"
+        self.children: list[Span] = []
+        #: Registry counter deltas captured at span exit (entry vs exit).
+        self.counters: dict[str, float] = {}
+        #: Span-local event counts attached via :func:`note`.
+        self.notes: dict[str, int] = {}
+        self._entry_snapshot: dict[str, float] | None = None
+
+    def note(self, name: str, amount: int = 1) -> None:
+        """Add ``amount`` to this span's local event count ``name``."""
+        self.notes[name] = self.notes.get(name, 0) + amount
+
+    def to_dict(self) -> dict:
+        """JSON-serializable view of this span (children excluded)."""
+        out: dict = {
+            "name": self.name,
+            "start_s": round(self.start_s, 9),
+            "duration_s": round(self.duration_s, 9),
+            "status": self.status,
+        }
+        if self.attrs:
+            out["attrs"] = self.attrs
+        if self.counters:
+            out["counters"] = self.counters
+        if self.notes:
+            out["notes"] = self.notes
+        return out
+
+
+class Tracer:
+    """Bounded span-tree recorder with per-name aggregate summaries."""
+
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+    ) -> None:
+        if max_spans <= 0:
+            raise ValueError(f"max_spans must be > 0, got {max_spans}")
+        self.registry = registry
+        self.max_spans = max_spans
+        self.roots: list[Span] = []
+        self.dropped = 0
+        self._stack: list[Span] = []
+        self._stored = 0
+        self._origin = time.perf_counter()
+        # Per-name aggregates, exact even after the tree bound is hit:
+        # name -> [count, total_s, max_s, error_count].
+        self._summary: dict[str, list[float]] = {}
+
+    # -- recording ---------------------------------------------------------
+
+    @property
+    def current(self) -> Span | None:
+        """The innermost open span, or None."""
+        return self._stack[-1] if self._stack else None
+
+    @contextmanager
+    def span(self, name: str, **attrs) -> Iterator[Span]:
+        """Open a nested span; exception-safe (status records the error)."""
+        started = time.perf_counter()
+        node = Span(name, attrs, started - self._origin)
+        stored = self._stored < self.max_spans
+        if stored:
+            self._stored += 1
+            if self._stack:
+                self._stack[-1].children.append(node)
+            else:
+                self.roots.append(node)
+        else:
+            self.dropped += 1
+        if self.registry is not None:
+            node._entry_snapshot = self.registry.snapshot()
+        self._stack.append(node)
+        try:
+            yield node
+        except BaseException as exc:
+            node.status = f"error:{type(exc).__name__}"
+            raise
+        finally:
+            self._stack.pop()
+            node.duration_s = time.perf_counter() - started
+            if node._entry_snapshot is not None:
+                delta = MetricsRegistry.diff(
+                    node._entry_snapshot, self.registry.snapshot()
+                )
+                node.counters = {k: v for k, v in delta.items() if v}
+                node._entry_snapshot = None
+            entry = self._summary.setdefault(name, [0, 0.0, 0.0, 0])
+            entry[0] += 1
+            entry[1] += node.duration_s
+            entry[2] = max(entry[2], node.duration_s)
+            if node.status != "ok":
+                entry[3] += 1
+
+    def note(self, name: str, amount: int = 1) -> None:
+        """Attach an event count to the innermost open span (if any)."""
+        if self._stack:
+            self._stack[-1].note(name, amount)
+
+    # -- views -------------------------------------------------------------
+
+    def summary(self) -> dict[str, dict[str, float]]:
+        """Per-span-name aggregates: count, total/max seconds, errors.
+
+        Counts every span ever opened, including those dropped from the
+        bounded tree.
+        """
+        return {
+            name: {
+                "count": int(entry[0]),
+                "total_s": entry[1],
+                "max_s": entry[2],
+                "errors": int(entry[3]),
+            }
+            for name, entry in sorted(self._summary.items())
+        }
+
+    def _walk(self) -> Iterator[tuple[Span, int, int]]:
+        """(span, id, parent_id) depth-first; parent_id -1 for roots."""
+        next_id = 0
+        stack: list[tuple[Span, int]] = [(root, -1) for root in reversed(self.roots)]
+        while stack:
+            node, parent = stack.pop()
+            node_id = next_id
+            next_id += 1
+            yield node, node_id, parent
+            for child in reversed(node.children):
+                stack.append((child, node_id))
+
+    def to_jsonl(self) -> str:
+        """One JSON object per stored span, depth-first."""
+        lines = []
+        for node, node_id, parent in self._walk():
+            record = {"id": node_id, "parent": parent}
+            record.update(node.to_dict())
+            lines.append(json.dumps(record, sort_keys=True))
+        return "\n".join(lines)
+
+    def write_jsonl(self, path) -> None:
+        """Write :meth:`to_jsonl` (plus trailing newline) to ``path``."""
+        text = self.to_jsonl()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+
+    def render(self, max_depth: int | None = None) -> str:
+        """Indented text tree (the ``repro build --trace`` output)."""
+        lines: list[str] = []
+
+        def emit(node: Span, depth: int) -> None:
+            if max_depth is not None and depth > max_depth:
+                return
+            attrs = "".join(f" {k}={v}" for k, v in node.attrs.items())
+            extra = ""
+            if node.notes:
+                extra = " [" + " ".join(
+                    f"{k}={v}" for k, v in sorted(node.notes.items())
+                ) + "]"
+            status = "" if node.status == "ok" else f" !{node.status}"
+            lines.append(
+                f"{'  ' * depth}{node.name:<28s} "
+                f"{node.duration_s * 1000.0:9.2f} ms{attrs}{extra}{status}"
+            )
+            for child in node.children:
+                emit(child, depth + 1)
+
+        for root in self.roots:
+            emit(root, 0)
+        if self.dropped:
+            lines.append(f"... {self.dropped} spans dropped (tree bound)")
+        return "\n".join(lines)
+
+    def summary_dict(self) -> dict:
+        """Serializable bundle for bench reports: summary + drop count."""
+        return {"spans": self.summary(), "dropped": self.dropped}
+
+
+# -- module-level current tracer -------------------------------------------
+
+_ACTIVE: list[Tracer] = []
+
+
+def current_tracer() -> Tracer | None:
+    """The innermost activated tracer, or None."""
+    return _ACTIVE[-1] if _ACTIVE else None
+
+
+@contextmanager
+def activated(tracer: Tracer) -> Iterator[Tracer]:
+    """Install ``tracer`` as the current tracer for the enclosed block."""
+    _ACTIVE.append(tracer)
+    try:
+        yield tracer
+    finally:
+        _ACTIVE.pop()
+
+
+class _NullSpan:
+    """Shared no-op context manager returned when no tracer is active."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def span(name: str, **attrs):
+    """Open a span on the current tracer; cheap no-op when none is active."""
+    tracer = current_tracer()
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def note(name: str, amount: int = 1) -> None:
+    """Attach an event count to the current tracer's open span, if any."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.note(name, amount)

@@ -26,6 +26,8 @@ from dataclasses import dataclass, field
 
 from repro.errors import PartitionError
 from repro.graph.digraph import Digraph
+from repro.obs import progress as obs_progress
+from repro.obs import tracing
 from repro.partition.clustered_split import ClusteredSplitConfig, clustered_split
 from repro.partition.partition import Element, Partition
 from repro.partition.url_split import mark_url_exhausted, url_split
@@ -106,17 +108,29 @@ def refine_partition(
     repository: Repository,
     config: RefinementConfig | None = None,
     initial: Partition | None = None,
+    progress=None,
 ) -> RefinementResult:
-    """Run iterative refinement to completion and return Pf with stats."""
+    """Run iterative refinement to completion and return Pf with stats.
+
+    Each URL split and clustered split runs inside a tracing span
+    (``refine.url_split`` / ``refine.clustered_split``) on the currently
+    activated tracer, so a traced build attributes refinement time and
+    I/O counters to the two phases; ``progress`` (optional
+    :class:`~repro.obs.progress.ProgressReporter`) gets one throttled
+    update per iteration.
+    """
+    progress = obs_progress.ensure(progress)
     config = config or RefinementConfig()
     if config.policy not in ("random", "largest"):
         raise PartitionError(f"unknown policy {config.policy!r}")
     rng = random.Random(config.seed)
     graph: Digraph = repository.graph
     if initial is None:
-        initial = Partition.by_domain([p.domain for p in repository.pages])
+        with tracing.span("refine.initial_partition", pages=repository.num_pages):
+            initial = Partition.by_domain([p.domain for p in repository.pages])
     state = _RefinementState(initial.elements(), repository.num_pages)
     result = RefinementResult(partition=initial)
+    progress.start_phase("refine", unit="iterations")
 
     consecutive_aborts = 0
     # Elements known to be unsplittable by clustered split; retrying them
@@ -142,6 +156,7 @@ def refine_partition(
         index = _pick_element(state, rng, config.policy)
         element = state.elements[index]
         result.iterations += 1
+        progress.update(detail=f"{len(state.elements)} elements")
 
         if len(element.pages) < config.min_element_size:
             dead.add(index)
@@ -150,9 +165,12 @@ def refine_partition(
             continue
 
         if not element.url_split_exhausted:
-            children = url_split(
-                element, _url_array(repository), config.min_url_group_size
-            )
+            with tracing.span(
+                "refine.url_split", element=index, size=len(element.pages)
+            ):
+                children = url_split(
+                    element, _url_array(repository), config.min_url_group_size
+                )
             if children is not None:
                 state.replace(index, children)
                 dead.discard(index)
@@ -169,9 +187,12 @@ def refine_partition(
             result.clustered_aborts += 1
             continue
 
-        children = clustered_split(
-            element, graph, state.assignment, index, rng, config.clustered
-        )
+        with tracing.span(
+            "refine.clustered_split", element=index, size=len(element.pages)
+        ):
+            children = clustered_split(
+                element, graph, state.assignment, index, rng, config.clustered
+            )
         if children is None:
             dead.add(index)
             consecutive_aborts += 1
@@ -182,6 +203,7 @@ def refine_partition(
             consecutive_aborts = 0
     else:
         result.stop_reason = "iteration cap reached"
+    progress.finish_phase()
 
     if not result.stop_reason:
         result.stop_reason = result.stop_reason or "converged"

@@ -18,6 +18,7 @@ from repro.baselines.base import GraphRepresentation
 from repro.errors import QueryError
 from repro.index.pagerank_index import PageRankIndex
 from repro.index.textindex import TextIndex
+from repro.obs.histogram import HistogramSet
 from repro.webdata.corpus import Repository
 
 
@@ -31,6 +32,7 @@ class QueryEngine:
         pagerank_index: PageRankIndex,
         forward: GraphRepresentation,
         backward: GraphRepresentation | None = None,
+        histograms: HistogramSet | None = None,
     ) -> None:
         if forward.num_pages != repository.num_pages:
             raise QueryError("representation does not match repository")
@@ -40,17 +42,30 @@ class QueryEngine:
         self.forward = forward
         self.backward = backward
         self._navigation_seconds = 0.0
+        #: Per-operation latency distributions: every timed navigation
+        #: block records its wall time under its operation kind, so the
+        #: experiments can report p50/p90/p99 per operation instead of a
+        #: single accumulated mean.
+        self.histograms = histograms if histograms is not None else HistogramSet()
 
     # -- navigation timing ---------------------------------------------------
 
     @contextmanager
-    def navigation_timer(self):
-        """Accumulate wall-clock time of the enclosed navigation block."""
+    def navigation_timer(self, op: str = "navigation"):
+        """Accumulate wall-clock time of the enclosed navigation block.
+
+        ``op`` names the operation kind (Table 3's rightmost column:
+        ``out_neighborhood``, ``in_neighborhood``, ...); the block's wall
+        time is recorded into the per-op latency histogram as well as the
+        per-query accumulator.
+        """
         start = time.perf_counter()
         try:
             yield
         finally:
-            self._navigation_seconds += time.perf_counter() - start
+            elapsed = time.perf_counter() - start
+            self._navigation_seconds += elapsed
+            self.histograms.observe(op, elapsed)
 
     def reset_navigation_time(self) -> None:
         """Zero the navigation-time accumulator (per-query runs)."""

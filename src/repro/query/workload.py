@@ -64,7 +64,7 @@ def query1_referred_universities(
     engine.reset_navigation_time()
     seed_pages = engine.phrase_in_domain(phrase, domain)
     weights = {page: engine.pagerank.normalized(page) for page in seed_pages}
-    with engine.navigation_timer():
+    with engine.navigation_timer("out_neighborhood"):
         neighborhoods = out_neighborhood_of(engine.forward, seed_pages)
     domain_weights: dict[str, float] = {}
     for page, row in neighborhoods.items():
@@ -101,7 +101,7 @@ def query2_comic_popularity(
     for comic, (words, site) in comics.items():
         word_pages = engine.text.pages_with_at_least(words, k=2) & domain_pages
         site_pages = engine.pages_in_domain(site)
-        with engine.navigation_timer():
+        with engine.navigation_timer("count_links"):
             incoming = count_links_between(backward, domain_pages, site_pages)
         popularity[comic] = {
             "c1_word_pages": len(word_pages),
@@ -125,8 +125,9 @@ def query3_kleinberg_base_set(
     backward = engine.require_backward()
     matching = engine.text.pages_with_phrase(phrase.split())
     roots = set(engine.pagerank.top_k(matching, top_k))
-    with engine.navigation_timer():
+    with engine.navigation_timer("out_neighborhood"):
         forward_rows = out_neighborhood_of(engine.forward, roots)
+    with engine.navigation_timer("in_neighborhood"):
         backward_rows = in_neighborhood_of(backward, roots)
     base = set(roots)
     for row in forward_rows.values():
@@ -154,7 +155,7 @@ def query4_popular_topic_pages(
     for university in universities:
         pages = engine.phrase_in_domain(phrase, university)
         domain_pages = engine.pages_in_domain(university)
-        with engine.navigation_timer():
+        with engine.navigation_timer("in_neighborhood"):
             backlinks = in_neighborhood_of(backward, pages)
         scored = [
             (
@@ -178,7 +179,7 @@ def query5_intra_set_ranking(
     top ``top_k`` pages whose domain ends in ``tld``."""
     engine.reset_navigation_time()
     pages = engine.text.pages_with_phrase(phrase.split())
-    with engine.navigation_timer():
+    with engine.navigation_timer("induced_links"):
         counts = induced_link_counts(engine.forward, pages)
     ranked = [
         (page, count)
@@ -204,7 +205,7 @@ def query6_joint_references(
     engine.reset_navigation_time()
     set_a = engine.phrase_in_domain(phrase, domain_a)
     set_b = engine.phrase_in_domain(phrase, domain_b)
-    with engine.navigation_timer():
+    with engine.navigation_timer("out_neighborhood"):
         rows_a = out_neighborhood_of(engine.forward, set_a)
         rows_b = out_neighborhood_of(engine.forward, set_b)
     targets_a: dict[int, int] = {}

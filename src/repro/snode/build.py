@@ -20,6 +20,7 @@ from pathlib import Path
 
 from repro.errors import BuildError
 from repro.graph.digraph import Digraph
+from repro.obs import tracing
 from repro.partition.partition import Partition
 from repro.partition.refine import RefinementConfig, RefinementResult, refine_partition
 from repro.snode.encode import supernode_graph_size_bytes
@@ -103,31 +104,53 @@ def build_snode(
     root: Path | str,
     options: BuildOptions | None = None,
     partition: Partition | None = None,
+    progress=None,
 ) -> SNodeBuild:
-    """Build, serialize and open an S-Node representation under ``root``."""
+    """Build, serialize and open an S-Node representation under ``root``.
+
+    Each pipeline stage runs inside a tracing span on the currently
+    activated tracer (``build.refine`` / ``build.numbering`` /
+    ``build.model`` / ``build.encode`` / ``build.open``), so
+    ``repro build --trace`` attributes build time to phases.
+    ``progress`` (an optional
+    :class:`~repro.obs.progress.ProgressReporter`) is threaded into the
+    refinement loop and the supernode encoder.
+    """
     options = options or BuildOptions()
     refinement: RefinementResult | None = None
     if partition is None:
-        refinement = refine_partition(
-            repository, options.refinement or RefinementConfig()
-        )
+        with tracing.span("build.refine", pages=repository.num_pages):
+            refinement = refine_partition(
+                repository,
+                options.refinement or RefinementConfig(),
+                progress=progress,
+            )
         partition = refinement.partition
     if partition.num_pages != repository.num_pages:
         raise BuildError("partition size does not match repository")
-    numbering = build_numbering(repository, partition)
+    with tracing.span("build.numbering", elements=partition.num_elements):
+        numbering = build_numbering(repository, partition)
     graph: Digraph = repository.graph.transpose() if options.transpose else repository.graph
-    model = build_model(
-        graph, numbering, force_positive=options.force_positive_superedges
-    )
-    manifest = write_snode(
-        model,
-        root,
-        max_file_bytes=options.max_file_bytes,
-        window=options.reference_window,
-        full_affinity_limit=options.full_affinity_limit,
-        use_dictionary=options.use_dictionary,
-    )
-    store = SNodeStore(root, buffer_bytes=options.buffer_bytes)
+    with tracing.span("build.model", transpose=options.transpose):
+        model = build_model(
+            graph, numbering, force_positive=options.force_positive_superedges
+        )
+    with tracing.span(
+        "build.encode",
+        supernodes=model.num_supernodes,
+        superedges=model.num_superedges,
+    ):
+        manifest = write_snode(
+            model,
+            root,
+            max_file_bytes=options.max_file_bytes,
+            window=options.reference_window,
+            full_affinity_limit=options.full_affinity_limit,
+            use_dictionary=options.use_dictionary,
+            progress=progress,
+        )
+    with tracing.span("build.open"):
+        store = SNodeStore(root, buffer_bytes=options.buffer_bytes)
     return SNodeBuild(
         store=store,
         numbering=numbering,

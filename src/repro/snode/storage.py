@@ -111,12 +111,22 @@ def write_snode(
     window: int = 8,
     full_affinity_limit: int = 96,
     use_dictionary: bool = True,
+    progress=None,
 ) -> dict:
-    """Serialize ``model`` under directory ``root``; returns the manifest."""
+    """Serialize ``model`` under directory ``root``; returns the manifest.
+
+    ``progress`` (an optional
+    :class:`~repro.obs.progress.ProgressReporter`) gets one update per
+    encoded supernode — the dominant cost of serialization.
+    """
+    from repro.obs import progress as obs_progress
+
+    progress = obs_progress.ensure(progress)
     root = Path(root)
     root.mkdir(parents=True, exist_ok=True)
     numbering = model.numbering
     writer = _PayloadWriter(root, max_file_bytes)
+    progress.start_phase("encode", total=model.num_supernodes, unit="supernodes")
 
     intranode_locations: list[GraphLocation] = []
     superedge_locations: dict[tuple[int, int], tuple[GraphLocation, bool]] = {}
@@ -149,7 +159,9 @@ def write_snode(
             )
             payload_bytes += len(payload)
             superedge_bytes += len(payload)
+        progress.update()
     index_files = writer.finish()
+    progress.finish_phase()
 
     supernode_payload = encode_supernode_graph(model.super_adjacency)
     (root / SUPERNODE_NAME).write_bytes(supernode_payload)

@@ -24,6 +24,7 @@ import bisect
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.obs import tracing
 from repro.snode.encode import decode_intranode, decode_supernode_graph, positive_rows_from_payload
 from repro.snode.storage import GraphLocation, StorageLayout, read_layout
 from repro.storage.bufferpool import BufferPool
@@ -232,6 +233,10 @@ class SNodeStore:
         self.metrics.inc("loads")
         self.metrics.inc(f"{kind}_loads")
         self.metrics.mark(kind, key)
+        # Attribute the load to the innermost open tracing span (if a
+        # tracer is active), so span trees show which phase/operation
+        # pulled which graph kind from disk.
+        tracing.note(f"{kind}_loads")
         if self._record_events:
             self.metrics.record(f"load-{'intra' if kind == 'intranode' else 'super'}", key)
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from collections.abc import Callable, Hashable
 
+from repro.obs import tracing
 from repro.storage.metrics import MetricsRegistry
 from repro.util.lru import LRUCache
 
@@ -99,6 +100,9 @@ class BufferPool:
         self.registry.inc("loads")
         if kind is not None:
             self.registry.inc(f"{kind}_loads")
+        # Span attribution: an active tracer sees which span triggered
+        # the load, by kind.
+        tracing.note(f"{kind}_loads" if kind is not None else "loads")
         return value
 
     # -- pinning -----------------------------------------------------------

@@ -157,9 +157,16 @@ class MetricsRegistry:
         return dict(self._counters)
 
     def snapshot(self) -> dict[str, float]:
-        """Flat view: counters, timers and ``distinct_<name>`` tallies."""
+        """Flat view: counters, ``time_<name>`` timers and
+        ``distinct_<name>`` tallies.
+
+        Timers and tallies are namespaced so a counter and a timer (or
+        tally) sharing a base name cannot silently overwrite each other
+        in the flat dict.
+        """
         out: dict[str, float] = dict(self._counters)
-        out.update(self._timers)
+        for name, seconds in self._timers.items():
+            out[f"time_{name}"] = seconds
         for name, keys in self._distinct.items():
             out[f"distinct_{name}"] = len(keys)
         return out

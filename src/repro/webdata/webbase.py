@@ -126,13 +126,26 @@ def read_stream(
             yield page_id, url, terms, links
 
 
-def read_repository(path: Path | str, limit: int | None = None) -> Repository:
-    """Rebuild a repository (optionally a crawl-prefix) from a stream."""
+def read_repository(
+    path: Path | str, limit: int | None = None, progress=None
+) -> Repository:
+    """Rebuild a repository (optionally a crawl-prefix) from a stream.
+
+    ``progress`` (an optional
+    :class:`~repro.obs.progress.ProgressReporter`) gets one update per
+    streamed page under a ``stream`` phase.
+    """
+    from repro.obs import progress as obs_progress
+
+    progress = obs_progress.ensure(progress)
+    progress.start_phase("stream", unit="pages")
     pages: list[Page] = []
     rows: list[list[int]] = []
     for page_id, url, terms, links in read_stream(path, limit):
         pages.append(Page(page_id=page_id, url=url, terms=terms))
         rows.append(links)
+        progress.update()
+    progress.finish_phase()
     builder = GraphBuilder(len(pages))
     for source, links in enumerate(rows):
         for target in links:

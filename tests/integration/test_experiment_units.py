@@ -66,8 +66,22 @@ class TestHarnessScaling:
 
         monkeypatch.setenv("REPRO_SCALE", "2.5")
         assert harness.scale_factor() == 2.5
+
+    def test_invalid_scale_warns_and_names_value(self, monkeypatch):
+        from repro.experiments import harness
+
         monkeypatch.setenv("REPRO_SCALE", "bogus")
-        assert harness.scale_factor() == 1.0
+        with pytest.warns(RuntimeWarning, match="bogus"):
+            assert harness.scale_factor() == 1.0
+
+    @pytest.mark.parametrize("raw", ["0", "-1", "-0.5"])
+    def test_nonpositive_scale_rejected(self, monkeypatch, raw):
+        from repro.errors import ReproError
+        from repro.experiments import harness
+
+        monkeypatch.setenv("REPRO_SCALE", raw)
+        with pytest.raises(ReproError, match="positive"):
+            harness.scale_factor()
 
     def test_master_size_floor(self, monkeypatch):
         from repro.experiments import harness

@@ -85,7 +85,11 @@ class TestAccessTime:
     def test_run_shape(self):
         from repro.experiments import access_time
 
-        rows = access_time.run(size=500)
+        rows, histograms = access_time.run(size=500)
+        # One sequential + one random distribution per scheme, populated.
+        assert len(histograms) == 2 * len(rows)
+        for histogram in histograms.values():
+            assert histogram.count > 0
         assert {r.scheme for r in rows} == {"plain-huffman", "link3", "s-node"}
         for row in rows:
             assert row.sequential_ns_per_edge > 0

@@ -1,0 +1,151 @@
+"""Progress throttling, phase lifecycle, and line content."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter, ensure
+
+
+class FakeClock:
+    """Deterministic monotonic clock advanced by the test."""
+
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_reporter(interval_s: float = 0.5):
+    clock = FakeClock()
+    stream = io.StringIO()
+    reporter = ProgressReporter(
+        label="test", stream=stream, interval_s=interval_s, clock=clock
+    )
+    return reporter, clock, stream
+
+
+class TestThrottling:
+    def test_many_updates_within_interval_emit_once(self):
+        reporter, clock, stream = make_reporter()
+        reporter.start_phase("stream", unit="pages")
+        for _ in range(1000):
+            reporter.update()
+            clock.advance(0.0001)  # 1000 updates span 0.1 s < interval
+        assert reporter.emitted == 1  # only the first update emitted
+        assert stream.getvalue().count("\n") == 1
+
+    def test_emits_again_after_interval(self):
+        reporter, clock, _ = make_reporter()
+        reporter.start_phase("stream")
+        reporter.update()
+        clock.advance(0.6)
+        reporter.update()
+        assert reporter.emitted == 2
+
+    def test_zero_interval_emits_every_update(self):
+        reporter, _, _ = make_reporter(interval_s=0.0)
+        reporter.start_phase("stream")
+        for _ in range(5):
+            reporter.update()
+        assert reporter.emitted == 5
+
+    def test_rejects_negative_interval(self):
+        with pytest.raises(ValueError):
+            ProgressReporter(interval_s=-1.0)
+
+
+class TestPhaseLifecycle:
+    def test_finish_always_emits_final_line(self):
+        reporter, clock, stream = make_reporter()
+        reporter.start_phase("encode", total=10)
+        reporter.update(10)
+        clock.advance(0.01)  # still within throttle window
+        reporter.finish_phase()
+        assert "[done]" in stream.getvalue().splitlines()[-1]
+
+    def test_starting_new_phase_closes_previous(self):
+        reporter, _, stream = make_reporter()
+        reporter.start_phase("first")
+        reporter.update()
+        reporter.start_phase("second")
+        reporter.finish_phase()
+        lines = stream.getvalue().splitlines()
+        assert any("first" in line and "[done]" in line for line in lines)
+        assert any("second" in line and "[done]" in line for line in lines)
+
+    def test_update_without_phase_is_noop(self):
+        reporter, _, stream = make_reporter()
+        reporter.update()
+        reporter.finish_phase()
+        assert stream.getvalue() == ""
+        assert reporter.emitted == 0
+
+    def test_counts_reset_between_phases(self):
+        reporter, clock, stream = make_reporter()
+        reporter.start_phase("first")
+        reporter.update(7)
+        reporter.finish_phase()
+        clock.advance(1.0)
+        reporter.start_phase("second")
+        reporter.update(2)
+        reporter.finish_phase()
+        final = stream.getvalue().splitlines()[-1]
+        assert "second: 2" in final
+
+
+class TestLineContent:
+    def test_known_total_shows_percent_and_eta(self):
+        reporter, clock, stream = make_reporter()
+        reporter.start_phase("stream", total=200, unit="pages")
+        clock.advance(1.0)
+        reporter.update(50)
+        line = stream.getvalue().splitlines()[0]
+        assert "50/200 pages" in line
+        assert "(25.0%)" in line
+        assert "50/s" in line
+        assert "eta 3.0s" in line  # 150 remaining at 50/s
+
+    def test_open_ended_shows_count_and_rate(self):
+        reporter, clock, stream = make_reporter()
+        reporter.start_phase("refine", unit="iterations")
+        clock.advance(2.0)
+        reporter.update(10)
+        line = stream.getvalue().splitlines()[0]
+        assert "refine: 10 iterations" in line
+        assert "5/s" in line
+        assert "%" not in line
+
+    def test_detail_appended_in_brackets(self):
+        reporter, _, stream = make_reporter()
+        reporter.start_phase("refine")
+        reporter.update(detail="411 elements")
+        assert "[411 elements]" in stream.getvalue()
+
+    def test_label_prefixes_every_line(self):
+        reporter, _, stream = make_reporter()
+        reporter.start_phase("stream")
+        reporter.update()
+        reporter.finish_phase()
+        for line in stream.getvalue().splitlines():
+            assert line.startswith("[test]")
+
+
+class TestNullProgress:
+    def test_interface_is_noop(self):
+        NULL_PROGRESS.start_phase("x", total=10)
+        NULL_PROGRESS.update(5)
+        NULL_PROGRESS.finish_phase()
+        assert NULL_PROGRESS.emitted == 0
+
+    def test_ensure_normalizes(self):
+        assert ensure(None) is NULL_PROGRESS
+        reporter = ProgressReporter(stream=io.StringIO())
+        assert ensure(reporter) is reporter
+        assert isinstance(ensure(None), NullProgress)

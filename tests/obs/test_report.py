@@ -1,0 +1,185 @@
+"""Bench reports: round-trip, validation, and regression diffing."""
+
+from __future__ import annotations
+
+import copy
+import json
+
+import pytest
+
+from repro.errors import ReportError
+from repro.obs.histogram import HistogramSet
+from repro.obs.report import (
+    SCHEMA_VERSION,
+    build_report,
+    diff_reports,
+    flatten_numeric,
+    load_report,
+    main as report_main,
+    report_filename,
+    validate_report,
+    write_report,
+)
+
+
+def sample_report(experiment: str = "queries", wall_ms: float = 10.0) -> dict:
+    histograms = HistogramSet()
+    histograms.observe("s-node/out_neighborhood", wall_ms / 1000.0)
+    return build_report(
+        experiment,
+        results=[{"query": "query1", "wall_ms": wall_ms, "num_rows": 5}],
+        params={"scale_factor": 1.0},
+        metrics={"disk_seeks": 12},
+        histograms=histograms.to_dict(),
+        spans={"build.refine": {"count": 1, "total_s": 0.5}},
+    )
+
+
+class TestBuildAndRoundTrip:
+    def test_build_report_is_valid(self):
+        report = sample_report()
+        assert validate_report(report) == []
+        assert report["schema_version"] == SCHEMA_VERSION
+        assert report["experiment"] == "queries"
+        assert report["created_unix"] > 0
+
+    def test_write_load_round_trip(self, tmp_path):
+        report = sample_report()
+        path = write_report(report, tmp_path)
+        assert path.name == "BENCH_queries.json"
+        assert load_report(path) == report
+
+    def test_report_filename_sanitizes(self):
+        assert report_filename("a/b c") == "BENCH_a_b_c.json"
+
+    def test_write_refuses_invalid(self, tmp_path):
+        report = sample_report()
+        del report["metrics"]
+        with pytest.raises(ReportError):
+            write_report(report, tmp_path)
+
+    def test_build_refuses_empty_experiment(self):
+        with pytest.raises(ReportError):
+            build_report("", results=[])
+
+
+class TestValidation:
+    def test_missing_key_reported(self):
+        report = sample_report()
+        del report["histograms"]
+        problems = validate_report(report)
+        assert any("histograms" in problem for problem in problems)
+
+    def test_wrong_schema_version(self):
+        report = sample_report()
+        report["schema_version"] = SCHEMA_VERSION + 1
+        assert any("unsupported" in p for p in validate_report(report))
+
+    def test_wrong_types(self):
+        report = sample_report()
+        report["params"] = "not-a-dict"
+        assert validate_report(report)
+        report = sample_report()
+        report["created_unix"] = "yesterday"
+        assert validate_report(report)
+
+    def test_histogram_without_buckets(self):
+        report = sample_report()
+        report["histograms"]["bad"] = {"count": 3}
+        assert any("buckets" in p for p in validate_report(report))
+
+    def test_non_dict_document(self):
+        assert validate_report([1, 2, 3])
+
+    def test_load_rejects_malformed_json(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text("{not json")
+        with pytest.raises(ReportError):
+            load_report(path)
+
+
+class TestFlatten:
+    def test_dotted_paths_and_list_indices(self):
+        flat = flatten_numeric(
+            {"a": {"b": 1.5}, "rows": [{"wall_ms": 2.0}, {"wall_ms": 3.0}]}
+        )
+        assert flat == {
+            "a.b": 1.5,
+            "rows[0].wall_ms": 2.0,
+            "rows[1].wall_ms": 3.0,
+        }
+
+    def test_bools_and_strings_skipped(self):
+        assert flatten_numeric({"flag": True, "name": "x", "n": 2}) == {"n": 2.0}
+
+
+class TestDiff:
+    def test_injected_regression_flagged(self):
+        old = sample_report(wall_ms=10.0)
+        new = sample_report(wall_ms=15.0)  # +50%, well past the 20% gate
+        diff = diff_reports(old, new, threshold=0.2)
+        assert diff.regressions
+        paths = {entry.path for entry in diff.regressions}
+        assert "results[0].wall_ms" in paths
+
+    def test_small_change_not_flagged(self):
+        diff = diff_reports(
+            sample_report(wall_ms=10.0), sample_report(wall_ms=11.0), threshold=0.2
+        )
+        assert diff.regressions == []
+
+    def test_improvement_not_flagged(self):
+        diff = diff_reports(
+            sample_report(wall_ms=10.0), sample_report(wall_ms=2.0), threshold=0.2
+        )
+        assert diff.regressions == []
+
+    def test_non_cost_keys_ignored(self):
+        old = sample_report()
+        new = copy.deepcopy(old)
+        new["results"][0]["num_rows"] = 500  # count, not a cost
+        diff = diff_reports(old, new)
+        assert all("num_rows" not in entry.path for entry in diff.entries)
+        assert diff.regressions == []
+
+    def test_noise_floor_suppresses_tiny_absolute_changes(self):
+        old = sample_report()
+        new = copy.deepcopy(old)
+        old["results"][0]["wall_ms"] = 1e-9
+        new["results"][0]["wall_ms"] = 3e-9  # +200% but ~2e-9 absolute
+        diff = diff_reports(old, new, threshold=0.2)
+        assert diff.regressions == []
+
+    def test_different_experiments_rejected(self):
+        with pytest.raises(ReportError):
+            diff_reports(sample_report("queries"), sample_report("ablations"))
+
+    def test_render_mentions_counts(self):
+        diff = diff_reports(
+            sample_report(wall_ms=10.0), sample_report(wall_ms=15.0)
+        )
+        text = diff.render()
+        assert "regression(s)" in text
+        assert "REGRESSION" in text
+
+
+class TestModuleCli:
+    def test_validate_ok_and_invalid(self, tmp_path, capsys):
+        good = write_report(sample_report(), tmp_path)
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"schema_version": 99}))
+        assert report_main(["validate", str(good)]) == 0
+        assert report_main(["validate", str(good), str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_diff_exit_codes(self, tmp_path, capsys):
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old = write_report(sample_report(wall_ms=10.0), old_dir)
+        new = write_report(sample_report(wall_ms=15.0), new_dir)
+        assert report_main(["diff", str(old), str(new)]) == 1
+        assert report_main(["diff", str(old), str(old)]) == 0
+        # A generous threshold lets the regressed report pass.
+        assert (
+            report_main(["diff", str(old), str(new), "--threshold", "0.9"]) == 0
+        )
+        capsys.readouterr()

@@ -98,6 +98,16 @@ class TestMetricsRegistry:
         assert delta["disk_seeks"] == 1
         assert delta["distinct_intranode"] == 1
 
+    def test_snapshot_namespaces_timers(self):
+        # A counter and a timer sharing a name must not collide in the
+        # snapshot: timers are exported under ``time_<name>``.
+        registry = MetricsRegistry()
+        registry.inc("load", 7)
+        registry.add_time("load", 0.25)
+        snapshot = registry.snapshot()
+        assert snapshot["load"] == 7
+        assert snapshot["time_load"] == 0.25
+
     def test_reset_clears_everything(self):
         registry = MetricsRegistry()
         registry.inc("bytes_read", 10)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -111,3 +113,146 @@ class TestExperimentDispatch:
         assert "supernodes" in out
         harness.master_repository.cache_clear()
         harness.dataset.cache_clear()
+
+
+class TestStatsBreakdown:
+    def test_text_breakdown_lists_components(self, built, capsys):
+        assert main(["stats", str(built)]) == 0
+        out = capsys.readouterr().out
+        assert "on-disk size breakdown" in out
+        assert "supernode graph" in out
+        assert "pointers" in out
+        assert "total" in out
+
+    def test_json_breakdown(self, built, capsys):
+        assert main(["stats", str(built), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        on_disk = data["on_disk"]
+        assert on_disk["total_disk_bytes"] > 0
+        assert on_disk["payload_files"]["disk_bytes"] > 0
+        assert on_disk["supernode_graph_bytes"] > 0
+        # Components sum to the reported total.
+        component_sum = (
+            on_disk["payload_files"]["disk_bytes"]
+            + on_disk["supernode_graph_bytes"]
+            + on_disk["pointer_bytes"]
+            + on_disk["pageid_index_bytes"]
+            + on_disk["newid_map_bytes"]
+            + on_disk["domain_index_bytes"]
+            + on_disk["manifest_bytes"]
+        )
+        assert component_sum == on_disk["total_disk_bytes"]
+        assert data["manifest"]["num_pages"] == 250
+
+
+class TestBuildTrace:
+    def test_trace_prints_span_tree(self, stream, tmp_path, capsys):
+        root = tmp_path / "traced"
+        assert (
+            main(["build", "--stream", str(stream), "--out", str(root), "--trace"])
+            == 0
+        )
+        err = capsys.readouterr().err
+        assert "build.stream" in err
+        assert "build.refine" in err
+        assert "build.encode" in err
+
+    def test_trace_out_writes_jsonl(self, stream, tmp_path, capsys):
+        root = tmp_path / "traced"
+        spans_path = tmp_path / "spans.jsonl"
+        assert (
+            main(
+                [
+                    "build",
+                    "--stream",
+                    str(stream),
+                    "--out",
+                    str(root),
+                    "--trace-out",
+                    str(spans_path),
+                ]
+            )
+            == 0
+        )
+        records = [
+            json.loads(line) for line in spans_path.read_text().splitlines()
+        ]
+        names = {record["name"] for record in records}
+        assert {"build.stream", "build.refine", "build.encode"} <= names
+
+    def test_quiet_suppresses_progress(self, stream, tmp_path, capsys):
+        root = tmp_path / "quiet"
+        assert (
+            main(["build", "--stream", str(stream), "--out", str(root), "--quiet"])
+            == 0
+        )
+        assert capsys.readouterr().err == ""
+
+
+class TestBenchCommands:
+    @pytest.fixture()
+    def reports(self, tmp_path):
+        from repro.obs.report import build_report, write_report
+
+        old_dir, new_dir = tmp_path / "old", tmp_path / "new"
+        old = write_report(
+            build_report("demo", results=[{"wall_ms": 10.0}]), old_dir
+        )
+        new = write_report(
+            build_report("demo", results=[{"wall_ms": 20.0}]), new_dir
+        )
+        return old, new
+
+    def test_bench_validate_ok(self, reports, capsys):
+        old, _new = reports
+        assert main(["bench-validate", str(old)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_bench_validate_rejects_bad_file(self, reports, tmp_path, capsys):
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text("{}")
+        old, _new = reports
+        assert main(["bench-validate", str(old), str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+    def test_bench_diff_flags_regression(self, reports, capsys):
+        old, new = reports
+        assert main(["bench-diff", str(old), str(new)]) == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_bench_diff_identical_passes(self, reports, capsys):
+        old, _new = reports
+        assert main(["bench-diff", str(old), str(old)]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_bench_diff_threshold(self, reports, capsys):
+        old, new = reports
+        assert (
+            main(["bench-diff", str(old), str(new), "--threshold", "1.5"]) == 0
+        )
+        capsys.readouterr()
+
+
+class TestExperimentJson:
+    def test_experiment_writes_bench_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.05")
+        from repro.experiments import harness
+
+        harness.master_repository.cache_clear()
+        harness.dataset.cache_clear()
+        monkeypatch.chdir(tmp_path)
+        try:
+            assert (
+                main(["experiment", "scalability", "--json", str(tmp_path)]) == 0
+            )
+        finally:
+            harness.master_repository.cache_clear()
+            harness.dataset.cache_clear()
+        report_path = tmp_path / "BENCH_scalability.json"
+        assert report_path.exists()
+        from repro.obs.report import load_report
+
+        report = load_report(report_path)
+        assert report["experiment"] == "scalability"
+        assert report["params"]["scale_factor"] == 0.05
+        capsys.readouterr()
