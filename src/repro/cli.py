@@ -11,8 +11,12 @@ Gives a repository operator the whole pipeline without writing Python:
   representation (by repository page id);
 * ``repro experiment`` — run one of the paper's experiment drivers
   (every driver accepts ``--json [DIR]`` to write a versioned
-  ``BENCH_<experiment>.json`` bench report);
-* ``repro bench-diff`` — compare two bench reports and flag regressions.
+  ``BENCH_<experiment>.json`` bench report, and the shared
+  ``--trace/--trace-out/--folded/--quiet`` span flags);
+* ``repro profile`` — run a workload under the access-pattern profiler
+  (Mattson miss-ratio curves, seek-distance profiles, hot-set heatmaps);
+* ``repro bench-diff`` — compare two bench reports and flag regressions
+  (``--ignore`` skips machine-dependent metrics).
 
 Every command prints human-readable output to stdout and exits non-zero
 on failure, so the tool scripts cleanly.  Long-running builds report
@@ -73,6 +77,9 @@ def _cmd_build(arguments: argparse.Namespace) -> int:
     if arguments.trace_out:
         tracer.write_jsonl(arguments.trace_out)
         print(f"trace spans written to {arguments.trace_out}", file=sys.stderr)
+    if arguments.folded:
+        tracer.write_folded(arguments.folded)
+        print(f"folded stacks written to {arguments.folded}", file=sys.stderr)
     build.store.close()
     return 0
 
@@ -208,6 +215,7 @@ def _cmd_bench_diff(arguments: argparse.Namespace) -> int:
         load_report(arguments.old),
         load_report(arguments.new),
         threshold=arguments.threshold,
+        ignore=tuple(arguments.ignore),
     )
     print(diff.render())
     return 1 if diff.regressions else 0
@@ -228,6 +236,38 @@ def _cmd_neighbors(arguments: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(arguments: argparse.Namespace) -> int:
+    from repro.experiments import profile
+    from repro.experiments.harness import emit_report, trace_session
+
+    with trace_session(arguments, "profile") as tracer:
+        result = profile.run(
+            size=arguments.size,
+            scheme=arguments.scheme,
+            workload=arguments.workload,
+            capacities_kb=tuple(arguments.capacities_kb),
+            trials=arguments.trials,
+        )
+    if not arguments.quiet:
+        print(profile.render(result, top=arguments.top))
+    if arguments.events_out:
+        profile.write_events(result, arguments.events_out)
+        print(f"access events written to {arguments.events_out}", file=sys.stderr)
+    emit_report(
+        arguments.json_dir,
+        "profile",
+        profile.to_results(result, arguments.capacities_kb, top=arguments.top),
+        params={
+            "scheme": arguments.scheme,
+            "workload": arguments.workload,
+            "trials": arguments.trials,
+            "capacities_kb": list(arguments.capacities_kb),
+        },
+        spans=tracer.summary_dict() if tracer else None,
+    )
+    return 0
+
+
 def _cmd_experiment(arguments: argparse.Namespace) -> int:
     import importlib
 
@@ -238,6 +278,7 @@ def _cmd_experiment(arguments: argparse.Namespace) -> int:
         "queries",
         "buffer_sweep",
         "ablations",
+        "profile",
     }
     if arguments.name not in module_names:
         print(
@@ -292,6 +333,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="maximum span depth shown by --trace (default 2)",
     )
     build.add_argument(
+        "--folded",
+        default=None,
+        metavar="FILE",
+        help="write flamegraph folded stacks (span path + self time) to FILE",
+    )
+    build.add_argument(
         "--quiet", action="store_true", help="suppress stderr progress reporting"
     )
     build.set_defaults(handler=_cmd_build)
@@ -317,6 +364,71 @@ def build_parser() -> argparse.ArgumentParser:
     neighbors.add_argument("page", type=int)
     neighbors.set_defaults(handler=_cmd_neighbors)
 
+    profile = commands.add_parser(
+        "profile",
+        help="run a workload under the access-pattern profiler "
+        "(miss-ratio curves, seek profile, hot-set heatmap)",
+    )
+    profile.add_argument("--size", type=int, default=None, help="dataset pages")
+    profile.add_argument(
+        "--scheme",
+        choices=("flat-file", "relational", "link3", "s-node"),
+        default="s-node",
+    )
+    profile.add_argument(
+        "--workload", choices=("queries", "build"), default="queries"
+    )
+    profile.add_argument(
+        "--capacities-kb",
+        type=int,
+        nargs="+",
+        default=[16, 32, 64, 128, 256],
+        metavar="KB",
+        help="buffer capacities (KiB) for the measured validation sweep",
+    )
+    profile.add_argument("--trials", type=int, default=2)
+    profile.add_argument(
+        "--top", type=int, default=10, help="top-k hot entries shown"
+    )
+    profile.add_argument(
+        "--events-out",
+        default=None,
+        metavar="FILE",
+        help="write the raw access-event trace as JSON lines to FILE",
+    )
+    profile.add_argument(
+        "--json",
+        nargs="?",
+        const=".",
+        default=None,
+        metavar="DIR",
+        dest="json_dir",
+        help="write a machine-readable BENCH_profile.json report "
+        "(optionally into DIR)",
+    )
+    profile.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree attributing profiler time to phases (stderr)",
+    )
+    profile.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write the full span tree as JSON lines to FILE",
+    )
+    profile.add_argument(
+        "--trace-depth", type=int, default=2,
+        help="maximum span depth shown by --trace (default 2)",
+    )
+    profile.add_argument(
+        "--folded", default=None, metavar="FILE",
+        help="write flamegraph folded stacks (span path + self time) to FILE",
+    )
+    profile.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the human-readable report on stdout",
+    )
+    profile.set_defaults(handler=_cmd_profile)
+
     experiment = commands.add_parser("experiment", help="run a paper experiment")
     experiment.add_argument("name")
     experiment.add_argument("args", nargs=argparse.REMAINDER)
@@ -338,6 +450,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.2,
         help="relative cost increase flagged as a regression (default 0.2)",
+    )
+    bench_diff.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="skip cost paths containing SUBSTRING (repeatable; e.g. "
+        "wall_ms to exclude machine-dependent wall-clock metrics)",
     )
     bench_diff.set_defaults(handler=_cmd_bench_diff)
 

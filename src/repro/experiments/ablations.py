@@ -17,11 +17,13 @@ from dataclasses import asdict, dataclass, replace
 
 from repro.experiments.harness import (
     add_report_arguments,
+    add_trace_arguments,
     dataset,
     emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
+    trace_session,
 )
 from repro.snode.build import BuildOptions, build_snode
 
@@ -129,14 +131,18 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=None)
     add_report_arguments(parser)
+    add_trace_arguments(parser)
     arguments = parser.parse_args()
-    rows = run(size=arguments.size)
-    print("[ablations]")
-    print(report(rows))
+    with trace_session(arguments, "ablations") as tracer:
+        rows = run(size=arguments.size)
+    if not arguments.quiet:
+        print("[ablations]")
+        print(report(rows))
     emit_report(
         arguments.json_dir,
         "ablations",
         [asdict(row) for row in rows],
+        spans=tracer.summary_dict() if tracer else None,
     )
 
 

@@ -36,11 +36,13 @@ from repro.baselines import (
 from repro.baselines.base import GraphRepresentation
 from repro.experiments.harness import (
     add_report_arguments,
+    add_trace_arguments,
     dataset,
     emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
+    trace_session,
 )
 from repro.obs.histogram import LatencyHistogram
 from repro.snode.build import BuildOptions, build_snode
@@ -204,10 +206,13 @@ def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--size", type=int, default=None)
     add_report_arguments(parser)
+    add_trace_arguments(parser)
     arguments = parser.parse_args()
-    rows, histograms = run(size=arguments.size)
-    print("[access_time] Table 2 (in-memory decode times)")
-    print(report(rows))
+    with trace_session(arguments, "access_time") as tracer:
+        rows, histograms = run(size=arguments.size)
+    if not arguments.quiet:
+        print("[access_time] Table 2 (in-memory decode times)")
+        print(report(rows))
     emit_report(
         arguments.json_dir,
         "access_time",
@@ -216,6 +221,7 @@ def main() -> None:
         histograms={
             name: histogram.to_dict() for name, histogram in histograms.items()
         },
+        spans=tracer.summary_dict() if tracer else None,
     )
 
 

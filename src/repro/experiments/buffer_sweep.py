@@ -15,6 +15,15 @@ any other scheme) with no representation-specific branches — the paper's
 
 The same disk-time simulation as the Figure 11 experiment converts the
 instrumented I/O counters into navigation milliseconds.
+
+``--predict`` additionally runs each (scheme, query) once under the
+access-pattern profiler and feeds the recorded buffer trace through
+Mattson stack-distance analysis (:mod:`repro.obs.profile.stackdist`),
+emitting the predicted hit ratio at every swept capacity next to the
+measured one — the sweep validates the one-pass miss-ratio curve, and
+the curve in turn reads off the Figure 12 saturation knee without
+sweeping.  Pinned-entry hits are excluded from both sides: they are
+served outside the LRU budget at any capacity.
 """
 
 from __future__ import annotations
@@ -26,10 +35,12 @@ from pathlib import Path
 
 from repro.experiments.harness import (
     add_report_arguments,
+    add_trace_arguments,
     dataset,
     emit_report,
     format_table,
     sweep_sizes,
+    trace_session,
 )
 from repro.experiments.queries import (
     DEFAULT_CPU_SCALE,
@@ -69,6 +80,52 @@ class SweepPoint:
     simulated_ms: float
     wall_ms: float
     evictions: int
+    #: Unpinned buffer hits/misses summed over the measured trials.
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Measured unpinned hit ratio over the trials."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+#: Ring-buffer bound for ``--predict`` traces: large enough that seed-scale
+#: sweeps never drop buffer events (dropped events would bias the curve).
+PREDICT_TRACE_CAPACITY = 1 << 20
+
+
+def _predict_curves(pair, engine, trials: int):
+    """Record one profiled run per query and return its miss-ratio curve.
+
+    The buffer request stream is capacity-independent (queries request the
+    same graphs no matter what is cached), so a single trace recorded at
+    the current capacity predicts every swept capacity.  The warm-up
+    execution updates the LRU stack *uncounted* so the counted window
+    matches the measured trials, which also start warm.
+    """
+    from repro.obs import profile as access_profile
+
+    curves = {}
+    for query_name, query_fn in SWEEP_QUERIES.items():
+        tracer = access_profile.AccessTracer(capacity=PREDICT_TRACE_CAPACITY)
+        pair.drop_caches()
+        with access_profile.activated(tracer):
+            query_fn(engine)  # cold warm-up, uncounted
+            boundary = tracer.seq
+            for _ in range(trials):
+                query_fn(engine)
+        if tracer.dropped_buffer:
+            print(
+                f"[buffer_sweep] warning: {tracer.dropped_buffer} buffer "
+                f"events dropped while predicting {pair.name}/{query_name}; "
+                "curve is biased"
+            )
+        curves[query_name] = access_profile.analyze_buffer_trace(
+            tracer.buffer_events(), count_from_seq=boundary
+        )
+    return curves
 
 
 def run(
@@ -79,21 +136,38 @@ def run(
     mbps: float = DEFAULT_MBPS,
     cpu_scale: float = DEFAULT_CPU_SCALE,
     schemes: tuple[str, ...] = DEFAULT_SWEEP_SCHEMES,
-) -> list[SweepPoint]:
-    """Run the sweep; returns one point per (scheme, query, buffer size)."""
+    predict: bool = False,
+):
+    """Run the sweep; returns one point per (scheme, query, buffer size).
+
+    With ``predict=True`` returns ``(points, predictions)`` where
+    ``predictions`` maps ``(scheme, query)`` to the Mattson
+    :class:`~repro.obs.profile.stackdist.MissRatioCurve` recorded from a
+    single profiled run per query.
+    """
+    from repro.obs import tracing
+
     size = size or sweep_sizes()[3]
     repository = dataset(size)
     text_index = TextIndex(repository)
     pagerank_index = PageRankIndex(repository)
     points: list[SweepPoint] = []
+    predictions: dict[tuple[str, str], object] = {}
     with tempfile.TemporaryDirectory() as workdir:
         for scheme in schemes:
-            pair = _build_pair(
-                scheme, repository, Path(workdir) / scheme, buffer_sizes_kb[0] * 1024
-            )
+            with tracing.span("buffer_sweep.build", scheme=scheme):
+                pair = _build_pair(
+                    scheme, repository, Path(workdir) / scheme, buffer_sizes_kb[0] * 1024
+                )
             engine = QueryEngine(
                 repository, text_index, pagerank_index, pair.forward, pair.backward
             )
+            if predict:
+                with tracing.span("buffer_sweep.predict", scheme=scheme):
+                    for query_name, curve in _predict_curves(
+                        pair, engine, trials
+                    ).items():
+                        predictions[(scheme, query_name)] = curve
             for buffer_kb in buffer_sizes_kb:
                 pair.set_buffer_bytes(buffer_kb * 1024)
                 for query_name, query_fn in SWEEP_QUERIES.items():
@@ -109,14 +183,25 @@ def run(
                     seeks_total = 0
                     bytes_total = 0
                     evictions = 0
+                    hits_total = 0
+                    misses_total = 0
                     for _ in range(trials):
                         pair.reset_io()
-                        result = query_fn(engine)
+                        with tracing.span(
+                            "buffer_sweep.trial",
+                            scheme=scheme,
+                            query=query_name,
+                            buffer_kb=buffer_kb,
+                        ):
+                            result = query_fn(engine)
                         wall_total += result.navigation_seconds
                         seeks, bytes_read = pair.io_totals()
                         seeks_total += seeks
                         bytes_total += bytes_read
                         evictions += pair.eviction_totals()
+                        hits, misses = pair.buffer_totals()
+                        hits_total += hits
+                        misses_total += misses
                     wall_ms = wall_total * 1000.0 / trials
                     simulated_ms = (
                         wall_ms * cpu_scale
@@ -131,10 +216,54 @@ def run(
                             simulated_ms=simulated_ms,
                             wall_ms=wall_ms,
                             evictions=evictions // trials,
+                            hits=hits_total,
+                            misses=misses_total,
                         )
                     )
             pair.close()
+    if predict:
+        return points, predictions
     return points
+
+
+def prediction_report(
+    points: list[SweepPoint], predictions: dict
+) -> str:
+    """Predicted (Mattson) vs measured hit ratio at every swept capacity."""
+    rows = []
+    worst = 0.0
+    for point in points:
+        curve = predictions.get((point.scheme, point.query))
+        if curve is None:
+            continue
+        predicted = curve.hit_ratio(point.buffer_kb * 1024)
+        measured = point.hit_ratio
+        delta = predicted - measured
+        worst = max(worst, abs(delta))
+        rows.append(
+            (
+                f"{point.scheme}/{point.query}",
+                f"{point.buffer_kb} KiB",
+                f"{predicted * 100.0:.2f}%",
+                f"{measured * 100.0:.2f}%",
+                f"{delta * 100.0:+.2f}pp",
+            )
+        )
+    table = format_table(
+        ["scheme/query", "buffer", "predicted hit", "measured hit", "delta"],
+        rows,
+    )
+    knees = "; ".join(
+        f"{scheme}/{query}: saturates at "
+        f"{curve.saturation_capacity / 1024.0:.0f} KiB"
+        for (scheme, query), curve in sorted(predictions.items())
+    )
+    return (
+        table
+        + f"\nworst |predicted - measured| = {worst * 100.0:.2f}pp\n"
+        + "MRC saturation capacities (no sweep needed): "
+        + knees
+    )
 
 
 def report(points: list[SweepPoint]) -> str:
@@ -176,20 +305,53 @@ def main() -> None:
         default=list(DEFAULT_SWEEP_SCHEMES),
         help="representations to sweep (any of flat-file, relational, link3, s-node)",
     )
-    add_report_arguments(parser)
-    arguments = parser.parse_args()
-    points = run(
-        size=arguments.size,
-        trials=arguments.trials,
-        schemes=tuple(arguments.schemes),
+    parser.add_argument(
+        "--predict",
+        action="store_true",
+        help="record one profiled run per query and print the Mattson "
+        "miss-ratio curve's predictions next to the measured sweep",
     )
-    print("[buffer_sweep] Figure 12")
-    print(report(points))
+    add_report_arguments(parser)
+    add_trace_arguments(parser)
+    arguments = parser.parse_args()
+    predictions: dict = {}
+    with trace_session(arguments, "buffer_sweep") as tracer:
+        if arguments.predict:
+            points, predictions = run(
+                size=arguments.size,
+                trials=arguments.trials,
+                schemes=tuple(arguments.schemes),
+                predict=True,
+            )
+        else:
+            points = run(
+                size=arguments.size,
+                trials=arguments.trials,
+                schemes=tuple(arguments.schemes),
+            )
+    if not arguments.quiet:
+        print("[buffer_sweep] Figure 12")
+        print(report(points))
+        if predictions:
+            print("\nMattson MRC validation (predicted vs measured):")
+            print(prediction_report(points, predictions))
+    capacities = sorted({point.buffer_kb * 1024 for point in points})
+    results: dict = {"points": [asdict(point) for point in points]}
+    if predictions:
+        results["predictions"] = {
+            f"{scheme}/{query}": curve.to_dict(capacities=capacities)
+            for (scheme, query), curve in sorted(predictions.items())
+        }
     emit_report(
         arguments.json_dir,
         "buffer_sweep",
-        [asdict(point) for point in points],
-        params={"trials": arguments.trials, "schemes": list(arguments.schemes)},
+        results,
+        params={
+            "trials": arguments.trials,
+            "schemes": list(arguments.schemes),
+            "predict": arguments.predict,
+        },
+        spans=tracer.summary_dict() if tracer else None,
     )
 
 

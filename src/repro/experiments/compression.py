@@ -21,11 +21,13 @@ from repro.baselines import (
 )
 from repro.experiments.harness import (
     add_report_arguments,
+    add_trace_arguments,
     dataset,
     emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
+    trace_session,
 )
 from repro.snode.build import BuildOptions, build_snode
 
@@ -141,10 +143,13 @@ def report(rows: list[CompressionRow], mean_degree: float) -> str:
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     add_report_arguments(parser)
+    add_trace_arguments(parser)
     arguments = parser.parse_args()
-    rows, mean_degree = run()
-    print("[compression] Table 1")
-    print(report(rows, mean_degree))
+    with trace_session(arguments, "compression") as tracer:
+        rows, mean_degree = run()
+    if not arguments.quiet:
+        print("[compression] Table 1")
+        print(report(rows, mean_degree))
     emit_report(
         arguments.json_dir,
         "compression",
@@ -152,6 +157,7 @@ def main() -> None:
             "rows": [asdict(row) for row in rows],
             "mean_out_degree": mean_degree,
         },
+        spans=tracer.summary_dict() if tracer else None,
     )
 
 

@@ -11,8 +11,10 @@ crawl-order prefixes of one master repository, exactly the paper's
 from __future__ import annotations
 
 import os
+import sys
 import warnings
 from collections.abc import Sequence
+from contextlib import contextmanager
 from functools import lru_cache
 from pathlib import Path
 
@@ -104,6 +106,81 @@ def add_report_arguments(parser) -> None:
         help="write a machine-readable BENCH_<experiment>.json report "
         "(optionally into DIR)",
     )
+
+
+def add_trace_arguments(parser) -> None:
+    """Add the uniform tracing flags every experiment driver accepts.
+
+    The same surface as ``repro build``: ``--trace`` prints the span tree
+    to stderr, ``--trace-out FILE`` writes span JSONL, ``--folded FILE``
+    writes flamegraph folded stacks, and ``--quiet`` suppresses the
+    human-readable stdout report (useful with ``--json``).
+    """
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree attributing experiment time to phases (stderr)",
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the full span tree as JSON lines to FILE",
+    )
+    parser.add_argument(
+        "--trace-depth",
+        type=int,
+        default=2,
+        help="maximum span depth shown by --trace (default 2)",
+    )
+    parser.add_argument(
+        "--folded",
+        default=None,
+        metavar="FILE",
+        help="write flamegraph folded stacks (span path + self time) to FILE",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the human-readable report on stdout",
+    )
+
+
+@contextmanager
+def trace_session(arguments, label: str):
+    """Activate a span tracer for an experiment when any trace flag is set.
+
+    Yields the active :class:`~repro.obs.tracing.Tracer` (rooted at a
+    ``label`` span so buffer-pool load notes always have an open span), or
+    None when no ``--trace``/``--trace-out``/``--folded`` flag was given —
+    tracing stays strictly opt-in.  On exit the requested exports are
+    written, mirroring ``repro build`` exactly.  Pass the tracer's
+    :meth:`~repro.obs.tracing.Tracer.summary_dict` into
+    :func:`emit_report`'s ``spans`` so bench reports carry the span
+    aggregates.
+    """
+    wants_trace = getattr(arguments, "trace", False)
+    trace_out = getattr(arguments, "trace_out", None)
+    folded = getattr(arguments, "folded", None)
+    if not (wants_trace or trace_out or folded):
+        yield None
+        return
+    from repro.obs.tracing import Tracer, activated
+
+    tracer = Tracer()
+    with activated(tracer):
+        with tracer.span(label):
+            yield tracer
+    if wants_trace:
+        print(f"{label} trace (span-attributed phases):", file=sys.stderr)
+        depth = getattr(arguments, "trace_depth", 2)
+        print(tracer.render(max_depth=depth), file=sys.stderr)
+    if trace_out:
+        tracer.write_jsonl(trace_out)
+        print(f"trace spans written to {trace_out}", file=sys.stderr)
+    if folded:
+        tracer.write_folded(folded)
+        print(f"folded stacks written to {folded}", file=sys.stderr)
 
 
 def emit_report(

@@ -42,12 +42,15 @@ from repro.baselines import (
 from repro.baselines.base import GraphRepresentation
 from repro.experiments.harness import (
     add_report_arguments,
+    add_trace_arguments,
     dataset,
     emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
+    trace_session,
 )
+from repro.obs import tracing
 from repro.obs.histogram import HistogramSet, LatencyHistogram
 from repro.index.pagerank_index import PageRankIndex
 from repro.index.textindex import TextIndex
@@ -152,6 +155,20 @@ class _SchemePair:
             "buffer_evictions"
         )
 
+    def buffer_totals(self) -> tuple[int, int]:
+        """(unpinned hits, misses) across both directions.
+
+        Pinned hits are excluded: they are served outside the LRU budget
+        at every capacity, so only the unpinned ratio is comparable with
+        stack-distance predictions.
+        """
+        hits = 0
+        misses = 0
+        for metrics in (self.forward.metrics, self.backward.metrics):
+            hits += metrics.get("buffer_hits") - metrics.get("buffer_pinned_hits")
+            misses += metrics.get("buffer_misses")
+        return hits, misses
+
     def merged_snapshot(self) -> dict[str, float]:
         """Forward + backward metrics snapshots, summed per name."""
         merged = dict(self.forward.metrics.snapshot())
@@ -249,7 +266,8 @@ def run(
     base = Path(workdir or own_tmp.name)
     try:
         for scheme in schemes:
-            pair = _build_pair(scheme, repository, base, buffer_bytes)
+            with tracing.span("queries.build", scheme=scheme):
+                pair = _build_pair(scheme, repository, base, buffer_bytes)
             engine = QueryEngine(
                 repository, text_index, pagerank_index, pair.forward, pair.backward
             )
@@ -273,7 +291,10 @@ def run(
                 pair.drop_caches()
                 for _ in range(trials):
                     pair.reset_io()
-                    result = query_fn(engine)
+                    with tracing.span(
+                        "queries.trial", scheme=scheme, query=query_name
+                    ):
+                        result = query_fn(engine)
                     wall_total += result.navigation_seconds
                     seeks, bytes_read = pair.io_totals()
                     seeks_total += seeks
@@ -420,20 +441,23 @@ def main() -> None:
     parser.add_argument("--mbps", type=float, default=DEFAULT_MBPS)
     parser.add_argument("--cpu-scale", type=float, default=DEFAULT_CPU_SCALE)
     add_report_arguments(parser)
+    add_trace_arguments(parser)
     arguments = parser.parse_args()
-    experiment = run(
-        size=arguments.size,
-        buffer_bytes=arguments.buffer_kb * 1024,
-        trials=arguments.trials,
-        seek_ms=arguments.seek_ms,
-        mbps=arguments.mbps,
-        cpu_scale=arguments.cpu_scale,
-    )
-    print(
-        f"[queries] Figure 11 (pages={experiment.num_pages}, "
-        f"buffer={experiment.buffer_bytes // 1024} KiB)"
-    )
-    print(report(experiment))
+    with trace_session(arguments, "queries") as tracer:
+        experiment = run(
+            size=arguments.size,
+            buffer_bytes=arguments.buffer_kb * 1024,
+            trials=arguments.trials,
+            seek_ms=arguments.seek_ms,
+            mbps=arguments.mbps,
+            cpu_scale=arguments.cpu_scale,
+        )
+    if not arguments.quiet:
+        print(
+            f"[queries] Figure 11 (pages={experiment.num_pages}, "
+            f"buffer={experiment.buffer_bytes // 1024} KiB)"
+        )
+        print(report(experiment))
     histograms = {
         f"{scheme}/{op}": histogram_set.get(op).to_dict()
         for scheme, histogram_set in experiment.op_histograms.items()
@@ -452,6 +476,7 @@ def main() -> None:
         },
         metrics={"by_scheme": experiment.metrics},
         histograms=histograms,
+        spans=tracer.summary_dict() if tracer else None,
     )
 
 

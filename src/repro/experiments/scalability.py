@@ -20,11 +20,13 @@ from dataclasses import asdict, dataclass, replace
 
 from repro.experiments.harness import (
     add_report_arguments,
+    add_trace_arguments,
     dataset,
     emit_report,
     experiment_refinement_config,
     format_table,
     sweep_sizes,
+    trace_session,
 )
 from repro.snode.encode import supernode_graph_size_bytes
 from repro.snode.model import build_model
@@ -103,15 +105,19 @@ def main() -> None:
     parser.add_argument("--policy", choices=("random", "largest"), default="random")
     parser.add_argument("--seed", type=int, default=7)
     add_report_arguments(parser)
+    add_trace_arguments(parser)
     arguments = parser.parse_args()
-    points = run(policy=arguments.policy, seed=arguments.seed)
-    print(f"[scalability] policy={arguments.policy}")
-    print(report(points))
+    with trace_session(arguments, "scalability") as tracer:
+        points = run(policy=arguments.policy, seed=arguments.seed)
+    if not arguments.quiet:
+        print(f"[scalability] policy={arguments.policy}")
+        print(report(points))
     emit_report(
         arguments.json_dir,
         "scalability",
         [asdict(point) for point in points],
         params={"policy": arguments.policy, "seed": arguments.seed},
+        spans=tracer.summary_dict() if tracer else None,
     )
 
 

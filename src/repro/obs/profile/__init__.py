@@ -1,0 +1,47 @@
+"""Opt-in access-pattern profiler layered on the storage engine.
+
+The aggregate counters of :mod:`repro.storage.metrics` say *how much* I/O
+a workload did; this package says *which* accesses, *how far apart*, and
+*what the cache would have done at any other size*:
+
+* :mod:`repro.obs.profile.trace` — bounded ring-buffer recording of raw
+  storage events (file reads, page reads, buffer hits/misses/admissions)
+  hooked into :class:`~repro.storage.device.CountedFile`,
+  :class:`~repro.storage.device.PageDevice` and
+  :class:`~repro.storage.bufferpool.BufferPool`, with JSONL export;
+* :mod:`repro.obs.profile.stackdist` — Mattson one-pass LRU
+  stack-distance analysis over a buffer trace, producing the exact
+  predicted hit ratio at *every* cache size (a miss-ratio curve) from a
+  single recorded run;
+* :mod:`repro.obs.profile.seekprof` — per-file seek-distance histograms
+  and sequential-run-length statistics, quantifying the linear-layout
+  benefit (Figure 8) directly;
+* :mod:`repro.obs.profile.heatmap` — per-key access-frequency profiles:
+  hot-set skew, top-k hot supernodes, cumulative working-set curves.
+
+Everything follows the activation pattern of :mod:`repro.obs.tracing`:
+storage code calls module-level hooks unconditionally, and the hooks
+return immediately — recording and allocating nothing — unless a tracer
+has been installed with :func:`~repro.obs.profile.trace.activated`.
+``repro profile`` is the CLI entry point.
+"""
+
+from repro.obs.profile.heatmap import AccessHeatmap
+from repro.obs.profile.seekprof import SeekProfile
+from repro.obs.profile.stackdist import (
+    MissRatioCurve,
+    StackDistance,
+    analyze_buffer_trace,
+)
+from repro.obs.profile.trace import AccessTracer, activated, current_profiler
+
+__all__ = [
+    "AccessHeatmap",
+    "AccessTracer",
+    "MissRatioCurve",
+    "SeekProfile",
+    "StackDistance",
+    "activated",
+    "analyze_buffer_trace",
+    "current_profiler",
+]

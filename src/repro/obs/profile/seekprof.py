@@ -1,0 +1,198 @@
+"""Per-file seek-distance histograms and sequential-run-length profiles.
+
+The storage engine's ``disk_seeks`` counter says how *often* a read broke
+sequentiality; this profile says how *far* the head jumped and how long
+the sequential runs between jumps were — the direct, distributional
+measurement of the paper's Figure 8 claim that the linear payload layout
+turns random reads into sequential ones.
+
+Built by replaying the I/O stream of an
+:class:`~repro.obs.profile.trace.AccessTracer`.  The recorded ``seek``
+flag is authoritative (it is the device's own accounting, including
+cold-cache position resets); distances are reconstructed per file from
+consecutive offsets, with first reads after an unknown position counted
+separately (their distance is undefined).
+"""
+
+from __future__ import annotations
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.profile.trace import ForgetEvent, IOEvent
+
+#: Bucket shape for byte-valued histograms: power-of-two buckets from 1.
+_BYTE_HISTOGRAM = dict(min_value=1.0, growth=2.0)
+
+
+class FileSeekProfile:
+    """Seek and run statistics for one file."""
+
+    def __init__(self, file: str) -> None:
+        self.file = file
+        self.reads = 0
+        self.bytes_read = 0
+        self.seeks = 0
+        #: Seeks from an unknown position (fresh device / after reset).
+        self.first_reads = 0
+        self.forward_seeks = 0
+        self.backward_seeks = 0
+        #: |offset - previous end| in bytes, for known-position seeks.
+        self.seek_distance = LatencyHistogram(**_BYTE_HISTOGRAM)
+        #: Completed sequential-run lengths, in reads per run.
+        self.run_reads = LatencyHistogram(**_BYTE_HISTOGRAM)
+        #: Completed sequential-run lengths, in bytes per run.
+        self.run_bytes = LatencyHistogram(**_BYTE_HISTOGRAM)
+        self._prev_end: int | None = None
+        self._open_run_reads = 0
+        self._open_run_bytes = 0
+
+    def _close_run(self) -> None:
+        if self._open_run_reads:
+            self.run_reads.record(float(self._open_run_reads))
+            self.run_bytes.record(float(self._open_run_bytes))
+            self._open_run_reads = 0
+            self._open_run_bytes = 0
+
+    def observe(self, offset: int, length: int, seek: bool) -> None:
+        """Fold one read into the profile."""
+        if seek:
+            self.seeks += 1
+            if self._prev_end is None:
+                self.first_reads += 1
+            else:
+                distance = offset - self._prev_end
+                self.seek_distance.record(float(abs(distance)))
+                if distance >= 0:
+                    self.forward_seeks += 1
+                else:
+                    self.backward_seeks += 1
+            self._close_run()
+        self.reads += 1
+        self.bytes_read += length
+        self._open_run_reads += 1
+        self._open_run_bytes += length
+        self._prev_end = offset + length
+
+    def forget(self) -> None:
+        """Position reset: the next read seeks from an unknown offset."""
+        self._prev_end = None
+
+    def finalize(self) -> None:
+        """Close the trailing sequential run (call once, after the trace)."""
+        self._close_run()
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Share of reads that continued exactly at the previous end."""
+        if not self.reads:
+            return 0.0
+        return (self.reads - self.seeks) / self.reads
+
+    def to_dict(self) -> dict:
+        """Serializable per-file profile (summary stats, not raw buckets)."""
+        return {
+            "reads": self.reads,
+            "bytes_read": self.bytes_read,
+            "seeks": self.seeks,
+            "first_reads": self.first_reads,
+            "forward_seeks": self.forward_seeks,
+            "backward_seeks": self.backward_seeks,
+            "sequential_fraction": self.sequential_fraction,
+            "seek_distance_bytes": {
+                "count": self.seek_distance.count,
+                "mean": self.seek_distance.mean,
+                "p50": self.seek_distance.p50,
+                "p90": self.seek_distance.p90,
+                "p99": self.seek_distance.p99,
+                "max": self.seek_distance.max,
+            },
+            "sequential_runs": {
+                "count": self.run_reads.count,
+                "mean_reads": self.run_reads.mean,
+                "max_reads": self.run_reads.max,
+                "mean_bytes": self.run_bytes.mean,
+                "max_bytes": self.run_bytes.max,
+            },
+        }
+
+
+class SeekProfile:
+    """Seek-distance and run-length profiles for every file in a trace."""
+
+    def __init__(self) -> None:
+        self.files: dict[str, FileSeekProfile] = {}
+
+    @classmethod
+    def from_events(cls, events) -> "SeekProfile":
+        """Build a profile from :meth:`AccessTracer.io_events` output."""
+        profile = cls()
+        for event in events:
+            kind = type(event)
+            if kind is IOEvent:
+                profile._file(event.file).observe(
+                    event.offset, event.length, event.seek
+                )
+            elif kind is ForgetEvent:
+                profile._file(event.file).forget()
+            # PageEvents duplicate their underlying IOEvent; skip them.
+        for entry in profile.files.values():
+            entry.finalize()
+        return profile
+
+    def _file(self, file: str) -> FileSeekProfile:
+        entry = self.files.get(file)
+        if entry is None:
+            entry = self.files[file] = FileSeekProfile(file)
+        return entry
+
+    # -- aggregate views ----------------------------------------------------
+
+    @property
+    def total_reads(self) -> int:
+        return sum(entry.reads for entry in self.files.values())
+
+    @property
+    def total_seeks(self) -> int:
+        return sum(entry.seeks for entry in self.files.values())
+
+    @property
+    def sequential_fraction(self) -> float:
+        """Share of all reads, across files, that were sequential."""
+        reads = self.total_reads
+        if not reads:
+            return 0.0
+        return (reads - self.total_seeks) / reads
+
+    def to_dict(self) -> dict:
+        """Serializable profile: aggregate totals plus per-file detail."""
+        return {
+            "total_reads": self.total_reads,
+            "total_seeks": self.total_seeks,
+            "sequential_fraction": self.sequential_fraction,
+            "files": {
+                name: entry.to_dict() for name, entry in sorted(self.files.items())
+            },
+        }
+
+    def render(self) -> str:
+        """Fixed-width text table, one row per file plus a totals line."""
+        if not self.files:
+            return "(no I/O recorded)"
+        header = (
+            f"{'file':<28s} {'reads':>8s} {'seq%':>6s} {'seeks':>7s} "
+            f"{'seek p50':>10s} {'seek max':>10s} {'run mean':>9s} {'run max':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        for name in sorted(self.files):
+            entry = self.files[name]
+            short = name if len(name) <= 28 else "..." + name[-25:]
+            lines.append(
+                f"{short:<28s} {entry.reads:>8d} "
+                f"{entry.sequential_fraction * 100.0:>5.1f}% {entry.seeks:>7d} "
+                f"{entry.seek_distance.p50:>10.0f} {entry.seek_distance.max:>10.0f} "
+                f"{entry.run_reads.mean:>9.1f} {entry.run_reads.max:>8.0f}"
+            )
+        lines.append(
+            f"{'TOTAL':<28s} {self.total_reads:>8d} "
+            f"{self.sequential_fraction * 100.0:>5.1f}% {self.total_seeks:>7d}"
+        )
+        return "\n".join(lines)

@@ -261,12 +261,16 @@ def diff_reports(
     new: dict,
     threshold: float = 0.2,
     min_delta: float = DEFAULT_MIN_DELTA,
+    ignore: tuple[str, ...] = (),
 ) -> BenchDiff:
     """Compare two reports' cost metrics; flag increases > ``threshold``.
 
     Only ``results`` and ``histograms`` sections are compared, and only
     paths whose leaf key looks like a cost (times, percentiles, seeks,
-    bytes read, ...).  The reports must describe the same experiment.
+    bytes read, ...).  Paths containing any ``ignore`` substring are
+    skipped entirely — how CI excludes machine-dependent wall-clock
+    metrics while still gating the deterministic simulated costs.  The
+    reports must describe the same experiment.
     """
     for data in (old, new):
         problems = validate_report(data)
@@ -285,6 +289,8 @@ def diff_reports(
         new_values.update(flatten_numeric(new[section], section))
     for path in sorted(set(old_values) & set(new_values)):
         if not _is_cost_path(path):
+            continue
+        if any(marker in path for marker in ignore):
             continue
         before, after = old_values[path], new_values[path]
         delta = after - before
@@ -320,6 +326,13 @@ def main(argv: list[str] | None = None) -> int:
     diff.add_argument("old")
     diff.add_argument("new")
     diff.add_argument("--threshold", type=float, default=0.2)
+    diff.add_argument(
+        "--ignore",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="skip cost paths containing SUBSTRING (repeatable; e.g. wall_ms)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "validate":
@@ -337,6 +350,7 @@ def main(argv: list[str] | None = None) -> int:
         load_report(arguments.old),
         load_report(arguments.new),
         threshold=arguments.threshold,
+        ignore=tuple(arguments.ignore),
     )
     print(result.render())
     return 1 if result.regressions else 0

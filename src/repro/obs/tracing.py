@@ -204,6 +204,39 @@ class Tracer:
             if text:
                 handle.write(text + "\n")
 
+    def to_folded(self) -> str:
+        """Folded-stacks export: ``root;child;leaf <self-time-µs>`` lines.
+
+        The standard flamegraph input format (Brendan Gregg's
+        ``flamegraph.pl``, speedscope, inferno): one line per distinct
+        span stack, weighted by *self* time — span duration minus the
+        time spent in its stored children — in integer microseconds.
+        Stacks recurring in the tree are aggregated into one line.
+        """
+        folded: dict[str, float] = {}
+
+        def emit(node: Span, prefix: str) -> None:
+            path = f"{prefix};{node.name}" if prefix else node.name
+            self_s = node.duration_s - sum(
+                child.duration_s for child in node.children
+            )
+            folded[path] = folded.get(path, 0.0) + max(self_s, 0.0)
+            for child in node.children:
+                emit(child, path)
+
+        for root in self.roots:
+            emit(root, "")
+        return "\n".join(
+            f"{path} {int(seconds * 1e6)}" for path, seconds in folded.items()
+        )
+
+    def write_folded(self, path) -> None:
+        """Write :meth:`to_folded` (plus trailing newline) to ``path``."""
+        text = self.to_folded()
+        with open(path, "w") as handle:
+            if text:
+                handle.write(text + "\n")
+
     def render(self, max_depth: int | None = None) -> str:
         """Indented text tree (the ``repro build --trace`` output)."""
         lines: list[str] = []

@@ -243,7 +243,7 @@ class SNodeStore:
     def intranode_rows(self, supernode: int) -> list[list[int]]:
         """Decoded intranode graph of ``supernode`` (local target indices)."""
         key = ("intra", supernode)
-        cached = self._pool.get(key)
+        cached = self._pool.get(key, kind="intranode")
         if cached is not None:
             if not self._cache_decoded:
                 return decode_intranode(cached)
@@ -251,9 +251,9 @@ class SNodeStore:
         payload = self._read_payload(self._layout.intranode[supernode])
         rows = decode_intranode(payload)
         if self._cache_decoded:
-            self._pool.put(key, rows, self._graph_cost(rows))
+            self._pool.put(key, rows, self._graph_cost(rows), kind="intranode")
         else:
-            self._pool.put(key, payload, len(payload))
+            self._pool.put(key, payload, len(payload), kind="intranode")
         self._loaded("intranode", (supernode,))
         return rows
 
@@ -262,7 +262,7 @@ class SNodeStore:
         key = ("super", source, target)
         source_size = self._boundaries[source + 1] - self._boundaries[source]
         target_size = self._boundaries[target + 1] - self._boundaries[target]
-        cached = self._pool.get(key)
+        cached = self._pool.get(key, kind="superedge")
         if cached is not None:
             if not self._cache_decoded:
                 return positive_rows_from_payload(cached, source_size, target_size)
@@ -274,9 +274,9 @@ class SNodeStore:
         payload = self._read_payload(location)
         rows = positive_rows_from_payload(payload, source_size, target_size)
         if self._cache_decoded:
-            self._pool.put(key, rows, self._graph_cost(rows))
+            self._pool.put(key, rows, self._graph_cost(rows), kind="superedge")
         else:
-            self._pool.put(key, payload, len(payload))
+            self._pool.put(key, payload, len(payload), kind="superedge")
         self._loaded("superedge", (source, target))
         return rows
 

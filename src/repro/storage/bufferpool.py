@@ -16,7 +16,12 @@ runtime architecture needs:
 Hit/miss/eviction counters live in the owning representation's
 :class:`~repro.storage.metrics.MetricsRegistry` (``buffer_hits``,
 ``buffer_misses``, ``buffer_evictions``), so the sweep experiments read
-them uniformly across schemes.
+them uniformly across schemes.  Lookups that name a ``kind`` also count
+``buffer_hits_<kind>`` / ``buffer_misses_<kind>``, so per-component hit
+ratios (intranode vs. superedge vs. heap page vs. index page) are
+recoverable; hits served by pinned entries are additionally counted as
+``buffer_pinned_hits`` because they are capacity-independent and must be
+excluded when comparing measured ratios against LRU predictions.
 """
 
 from __future__ import annotations
@@ -24,6 +29,7 @@ from __future__ import annotations
 from collections.abc import Callable, Hashable
 
 from repro.obs import tracing
+from repro.obs.profile import trace as _profile
 from repro.storage.metrics import MetricsRegistry
 from repro.util.lru import LRUCache
 
@@ -51,24 +57,39 @@ class BufferPool:
 
     # -- cache protocol ----------------------------------------------------
 
-    def get(self, key: Hashable):
-        """Cached value for ``key`` or None, counting hit/miss."""
+    def get(self, key: Hashable, kind: str | None = None):
+        """Cached value for ``key`` or None, counting hit/miss.
+
+        A ``kind`` additionally attributes the lookup to
+        ``buffer_hits_<kind>`` / ``buffer_misses_<kind>``.
+        """
         pinned = self._pinned.get(key)
         if pinned is not None:
             self.registry.inc("buffer_hits")
+            self.registry.inc("buffer_pinned_hits")
+            if kind is not None:
+                self.registry.inc(f"buffer_hits_{kind}")
+            _profile.buffer_access(self, key, kind, hit=True, pinned=True)
             return pinned[0]
         value = self._cache.get(key)
         if value is None:
             self.registry.inc("buffer_misses")
+            if kind is not None:
+                self.registry.inc(f"buffer_misses_{kind}")
+            _profile.buffer_access(self, key, kind, hit=False, pinned=False)
             return None
         self.registry.inc("buffer_hits")
+        if kind is not None:
+            self.registry.inc(f"buffer_hits_{kind}")
+        _profile.buffer_access(self, key, kind, hit=True, pinned=False)
         return value
 
-    def put(self, key: Hashable, value, cost_bytes: int) -> None:
+    def put(self, key: Hashable, value, cost_bytes: int, kind: str | None = None) -> None:
         """Admit ``value`` under the byte budget (evicting LRU entries)."""
         if key in self._pinned:
             self._pinned[key] = (value, cost_bytes)
             return
+        _profile.buffer_admit(self, key, kind, cost_bytes)
         self._cache.put(key, value, cost_bytes)
 
     def get_or_load(
@@ -86,7 +107,7 @@ class BufferPool:
         ``loads`` counter) — how "loads by graph kind" reach Figure 11's
         instrumentation table.
         """
-        value = self.get(key)
+        value = self.get(key, kind=kind)
         if value is not None:
             return value
         value = loader()
@@ -96,7 +117,7 @@ class BufferPool:
             cost_bytes = len(value)  # type: ignore[arg-type]
         else:
             cost_bytes = cost
-        self.put(key, value, cost_bytes)
+        self.put(key, value, cost_bytes, kind=kind)
         self.registry.inc("loads")
         if kind is not None:
             self.registry.inc(f"{kind}_loads")
@@ -109,7 +130,8 @@ class BufferPool:
 
     def pin(self, key: Hashable, value, cost_bytes: int) -> None:
         """Keep ``value`` resident outside the LRU budget until unpinned."""
-        self._cache.pop(key)  # never hold a pinned key twice
+        if self._cache.pop(key) is not None:  # never hold a pinned key twice
+            _profile.buffer_drop(self, key)
         self._pinned[key] = (value, cost_bytes)
 
     def unpin(self, key: Hashable) -> None:
@@ -118,7 +140,8 @@ class BufferPool:
 
     def invalidate(self, key: Hashable) -> None:
         """Drop ``key`` without eviction accounting (after an in-place write)."""
-        self._cache.pop(key)
+        if self._cache.pop(key) is not None:
+            _profile.buffer_drop(self, key)
 
     # -- maintenance -------------------------------------------------------
 
@@ -135,10 +158,12 @@ class BufferPool:
         else:
             capacity = self._cache.capacity_bytes
             self._cache = LRUCache(capacity, on_evict=self._evicted)
+        _profile.buffer_drop(self)
 
     def set_buffer_bytes(self, capacity_bytes: int) -> None:
         """Uniform resize protocol: new budget, cache dropped, pins kept."""
         self._cache = LRUCache(capacity_bytes, on_evict=self._evicted)
+        _profile.buffer_drop(self)
 
     # -- introspection -----------------------------------------------------
 
@@ -161,6 +186,7 @@ class BufferPool:
         """Occupancy plus the registry's hit/miss/eviction counters."""
         return {
             "hits": self.registry.get("buffer_hits"),
+            "pinned_hits": self.registry.get("buffer_pinned_hits"),
             "misses": self.registry.get("buffer_misses"),
             "evictions": self.registry.get("buffer_evictions"),
             "entries": len(self._cache),

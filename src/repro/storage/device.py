@@ -16,6 +16,7 @@ from pathlib import Path
 from typing import BinaryIO
 
 from repro.errors import StorageError
+from repro.obs.profile import trace as _profile
 from repro.storage.metrics import MetricsRegistry
 
 
@@ -55,8 +56,10 @@ class CountedFile:
         """Read exactly ``length`` bytes at ``offset``, metering the I/O."""
         if offset < 0 or length < 0:
             raise StorageError(f"bad read range ({offset}, {length})")
-        if self._last_read_end != offset:
+        seek = self._last_read_end != offset
+        if seek:
             self.registry.inc("disk_seeks")
+        _profile.io_read(self._path, offset, length, seek)
         handle = self._reader()
         handle.seek(offset)
         data = handle.read(length)
@@ -76,6 +79,7 @@ class CountedFile:
         whose position is unknown.
         """
         self._last_read_end = None
+        _profile.position_forgotten(self._path)
 
     # -- writes ------------------------------------------------------------
 
@@ -156,6 +160,7 @@ class PageDevice:
         """Read one full page."""
         if page_number < 0:
             raise StorageError(f"page {page_number} out of range")
+        _profile.page_read(self._file.path, page_number)
         return self._file.read_at(
             page_number * self._page_size, self._page_size
         )

@@ -1,0 +1,101 @@
+"""Seek-distance and sequential-run profiles reconstructed from I/O traces."""
+
+from repro.obs.profile.seekprof import FileSeekProfile, SeekProfile
+from repro.obs.profile.trace import AccessTracer
+
+
+class TestFileSeekProfile:
+    def test_sequential_reads_form_one_run(self):
+        profile = FileSeekProfile("a.dat")
+        profile.observe(0, 100, seek=True)  # first read: cold seek
+        profile.observe(100, 100, seek=False)
+        profile.observe(200, 50, seek=False)
+        profile.finalize()
+        assert profile.reads == 3
+        assert profile.bytes_read == 250
+        assert profile.seeks == 1
+        assert profile.first_reads == 1
+        assert profile.sequential_fraction == 2 / 3
+        assert profile.run_reads.count == 1
+        assert profile.run_reads.max >= 3
+        assert profile.run_bytes.mean == 250
+
+    def test_seek_direction_and_distance(self):
+        profile = FileSeekProfile("a.dat")
+        profile.observe(0, 100, seek=True)  # unknown position
+        profile.observe(4096, 100, seek=True)  # forward by 3996
+        profile.observe(100, 100, seek=True)  # backward by 4096
+        profile.finalize()
+        assert profile.first_reads == 1
+        assert profile.forward_seeks == 1
+        assert profile.backward_seeks == 1
+        assert profile.seek_distance.count == 2
+        # Power-of-two buckets: the recorded maximum is bucket-rounded, so
+        # only assert it is at least the true distance.
+        assert profile.seek_distance.max >= 4096
+
+    def test_forget_makes_next_seek_a_first_read(self):
+        profile = FileSeekProfile("a.dat")
+        profile.observe(0, 100, seek=True)
+        profile.forget()
+        profile.observe(500, 100, seek=True)
+        profile.finalize()
+        assert profile.first_reads == 2
+        assert profile.seek_distance.count == 0
+
+    def test_each_seek_closes_the_open_run(self):
+        profile = FileSeekProfile("a.dat")
+        profile.observe(0, 10, seek=True)
+        profile.observe(10, 10, seek=False)
+        profile.observe(1000, 10, seek=True)  # run of 2 closed
+        profile.observe(1010, 10, seek=False)
+        profile.observe(1020, 10, seek=False)
+        profile.finalize()  # run of 3 closed
+        assert profile.run_reads.count == 2
+        assert profile.run_reads.mean == 2.5
+
+    def test_empty_profile(self):
+        profile = FileSeekProfile("a.dat")
+        profile.finalize()
+        assert profile.sequential_fraction == 0.0
+        assert profile.to_dict()["reads"] == 0
+
+
+class TestSeekProfile:
+    def _trace(self):
+        tracer = AccessTracer()
+        tracer.record_io("a.dat", 0, 100, True)
+        tracer.record_io("a.dat", 100, 100, False)
+        tracer.record_io("b.dat", 0, 50, True)
+        tracer.record_forget("a.dat")
+        tracer.record_io("a.dat", 900, 100, True)
+        tracer.record_page("b.dat", 1)  # PageEvent: duplicate, skipped
+        return tracer
+
+    def test_from_events_splits_per_file(self):
+        profile = SeekProfile.from_events(self._trace().io_events())
+        assert set(profile.files) == {"a.dat", "b.dat"}
+        assert profile.files["a.dat"].reads == 3
+        assert profile.files["a.dat"].first_reads == 2  # cold + post-forget
+        assert profile.files["b.dat"].reads == 1
+        assert profile.total_reads == 4
+        assert profile.total_seeks == 3
+        assert profile.sequential_fraction == 1 / 4
+
+    def test_to_dict_shape(self):
+        payload = SeekProfile.from_events(self._trace().io_events()).to_dict()
+        assert payload["total_reads"] == 4
+        assert sorted(payload["files"]) == ["a.dat", "b.dat"]
+        entry = payload["files"]["a.dat"]
+        assert entry["sequential_fraction"] == 1 / 3
+        assert "seek_distance_bytes" in entry
+        assert "sequential_runs" in entry
+
+    def test_render_lists_files_and_total(self):
+        text = SeekProfile.from_events(self._trace().io_events()).render()
+        assert "a.dat" in text
+        assert "b.dat" in text
+        assert "TOTAL" in text
+
+    def test_empty_render(self):
+        assert SeekProfile.from_events(()).render() == "(no I/O recorded)"

@@ -1,0 +1,210 @@
+"""Mattson stack-distance analysis vs the real byte-budgeted LRU cache.
+
+The load-bearing property: for any access trace whose entry costs all fit
+within the byte budget, the one-pass predicted hit count equals the hit
+count measured by replaying the same trace through
+:class:`repro.util.lru.LRUCache` — exactly, at every capacity.  When some
+entries exceed the budget the real cache's "admit oversized alone" rule
+retains data the model evicts, so the prediction is a lower bound.
+"""
+
+import random
+
+from repro.obs.profile.stackdist import StackDistance, analyze_buffer_trace
+from repro.obs.profile.trace import AccessTracer
+from repro.util.lru import LRUCache
+
+
+def _measure_lru_hits(accesses, capacity):
+    """Replay (key, cost) accesses through the real cache, counting hits."""
+    cache = LRUCache(capacity)
+    hits = 0
+    for key, cost in accesses:
+        if cache.get(key) is not None:
+            hits += 1
+        else:
+            cache.put(key, key, cost)
+    return hits
+
+
+def _predict_hits(accesses, capacity):
+    analysis = StackDistance()
+    for key, cost in accesses:
+        analysis.access(key, cost=cost)
+    return analysis.curve().predicted_hits(capacity)
+
+
+def _random_trace(rng, num_accesses, num_keys, cost_of):
+    accesses = []
+    for _ in range(num_accesses):
+        # Skewed popularity so some keys re-occur at short distances and
+        # others at long ones — exercises the whole curve.
+        key = min(int(rng.expovariate(0.15)), num_keys - 1)
+        accesses.append((key, cost_of(key)))
+    return accesses
+
+
+class TestExactness:
+    def test_uniform_costs_match_exactly_at_every_capacity(self):
+        rng = random.Random(42)
+        for trial in range(10):
+            accesses = _random_trace(rng, 400, 40, cost_of=lambda key: 100)
+            for capacity in (100, 250, 500, 1000, 2000, 4000):
+                assert _predict_hits(accesses, capacity) == _measure_lru_hits(
+                    accesses, capacity
+                ), f"trial {trial} capacity {capacity}"
+
+    def test_variable_costs_match_exactly_when_all_fit(self):
+        rng = random.Random(7)
+        cost_of = lambda key: 40 + (key * 37) % 160  # noqa: E731 — 40..199
+        for trial in range(10):
+            accesses = _random_trace(rng, 400, 40, cost_of=cost_of)
+            for capacity in (200, 400, 800, 1600, 6400):
+                assert _predict_hits(accesses, capacity) == _measure_lru_hits(
+                    accesses, capacity
+                ), f"trial {trial} capacity {capacity}"
+
+    def test_oversized_entries_make_prediction_a_lower_bound(self):
+        rng = random.Random(99)
+        # Some keys cost more than the smaller capacities: the real cache
+        # keeps one oversized entry resident, the model does not.
+        cost_of = lambda key: 50 if key % 3 else 700  # noqa: E731
+        for trial in range(10):
+            accesses = _random_trace(rng, 300, 30, cost_of=cost_of)
+            for capacity in (100, 300, 500, 650):
+                predicted = _predict_hits(accesses, capacity)
+                measured = _measure_lru_hits(accesses, capacity)
+                assert predicted <= measured, f"trial {trial} capacity {capacity}"
+
+
+class TestStackDistance:
+    def test_distance_includes_the_key_itself(self):
+        analysis = StackDistance()
+        analysis.access("a", cost=10)
+        analysis.access("a", cost=10)
+        # Immediate re-access: distance is the key's own cost.
+        assert analysis.distances == [10]
+
+    def test_distance_sums_intervening_distinct_keys(self):
+        analysis = StackDistance()
+        analysis.access("a", cost=10)
+        analysis.access("b", cost=20)
+        analysis.access("b", cost=20)  # distance 20
+        analysis.access("a", cost=10)  # distance 10 + 20
+        assert analysis.distances == [20, 30]
+        assert analysis.compulsory == 2
+
+    def test_pools_have_independent_stacks(self):
+        analysis = StackDistance()
+        analysis.access("k", cost=10, pool="forward")
+        analysis.access("k", cost=10, pool="backward")
+        # The second access is a first touch in its own pool.
+        assert analysis.compulsory == 2
+        assert analysis.distances == []
+
+    def test_uncounted_accesses_update_the_stack_only(self):
+        analysis = StackDistance()
+        analysis.access("a", cost=10, count=False)  # warm-up
+        analysis.access("a", cost=10)
+        assert analysis.uncounted == 1
+        assert analysis.accesses == 1
+        assert analysis.compulsory == 0
+        assert analysis.distances == [10]
+
+    def test_drop_forgets_a_key(self):
+        analysis = StackDistance()
+        analysis.access("a", cost=10)
+        analysis.drop("a")
+        analysis.access("a", cost=10)
+        assert analysis.compulsory == 2
+
+    def test_drop_none_clears_the_pool(self):
+        analysis = StackDistance()
+        analysis.access("a", cost=10)
+        analysis.access("b", cost=10)
+        analysis.drop()
+        analysis.access("a", cost=10)
+        assert analysis.compulsory == 3
+
+
+class TestMissRatioCurve:
+    def _curve(self):
+        analysis = StackDistance()
+        for key in ("a", "b", "a", "c", "b", "a"):
+            analysis.access(key, cost=100)
+        return analysis.curve()
+
+    def test_predicted_hits_step_function(self):
+        curve = self._curve()
+        # Distances: a->200, b->300, a->300; hits at C>=200: 1, C>=300: 3.
+        assert curve.predicted_hits(100) == 0
+        assert curve.predicted_hits(200) == 1
+        assert curve.predicted_hits(300) == 3
+        assert curve.compulsory == 3
+        assert curve.accesses == 6
+
+    def test_capacity_landmarks(self):
+        curve = self._curve()
+        assert curve.min_useful_capacity == 200
+        assert curve.saturation_capacity == 300
+
+    def test_breakpoints_cumulative(self):
+        assert self._curve().breakpoints() == [(200, 1), (300, 3)]
+
+    def test_to_dict_with_spot_capacities(self):
+        payload = self._curve().to_dict(capacities=[200, 1000])
+        assert payload["accesses"] == 6
+        assert payload["at"]["200"]["predicted_hits"] == 1
+        assert payload["at"]["1000"]["hit_ratio"] == 3 / 6
+        assert payload["curve"][-1]["hits"] == 3
+
+    def test_empty_curve(self):
+        curve = StackDistance().curve()
+        assert curve.predicted_hits(1000) == 0
+        assert curve.hit_ratio(1000) == 0.0
+        assert curve.saturation_capacity == 0
+
+
+class TestAnalyzeBufferTrace:
+    def test_replay_matches_direct_feeding(self):
+        tracer = AccessTracer()
+        pool = 1
+        for key, hit in (("a", False), ("b", False), ("a", True)):
+            tracer.record_buffer(pool, key, None, hit=hit, pinned=False)
+            if not hit:
+                tracer.record_admit(pool, key, None, 50)
+        curve = analyze_buffer_trace(tracer.buffer_events())
+        assert curve.accesses == 3
+        assert curve.compulsory == 2
+        assert curve.predicted_hits(100) == 1
+
+    def test_pinned_events_skipped_by_default(self):
+        tracer = AccessTracer()
+        tracer.record_buffer(1, "root", None, hit=True, pinned=True)
+        tracer.record_buffer(1, "k", None, hit=False, pinned=False)
+        curve = analyze_buffer_trace(tracer.buffer_events())
+        assert curve.accesses == 1
+
+    def test_count_from_seq_excludes_warmup_but_warms_the_stack(self):
+        tracer = AccessTracer()
+        tracer.record_buffer(1, "a", None, hit=False, pinned=False)
+        tracer.record_admit(1, "a", None, 50)
+        boundary = tracer.seq
+        tracer.record_buffer(1, "a", None, hit=True, pinned=False)
+        curve = analyze_buffer_trace(
+            tracer.buffer_events(), count_from_seq=boundary
+        )
+        # Only the post-boundary access counts, and it is a hit (not a
+        # compulsory miss) because the warm-up populated the stack.
+        assert curve.accesses == 1
+        assert curve.compulsory == 0
+        assert curve.predicted_hits(50) == 1
+
+    def test_drop_event_resets_the_pool(self):
+        tracer = AccessTracer()
+        tracer.record_buffer(1, "a", None, hit=False, pinned=False)
+        tracer.record_admit(1, "a", None, 50)
+        tracer.record_drop(1, None)
+        tracer.record_buffer(1, "a", None, hit=False, pinned=False)
+        curve = analyze_buffer_trace(tracer.buffer_events())
+        assert curve.compulsory == 2

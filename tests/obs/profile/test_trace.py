@@ -1,0 +1,127 @@
+"""AccessTracer: recording, ring bounds, hooks, JSONL export."""
+
+import json
+
+import pytest
+
+from repro.obs.profile import trace as profile_trace
+from repro.obs.profile.trace import (
+    AccessTracer,
+    AdmitEvent,
+    BufferEvent,
+    DropEvent,
+    ForgetEvent,
+    IOEvent,
+    PageEvent,
+    activated,
+    current_profiler,
+)
+
+
+class TestRecording:
+    def test_io_events_in_order_with_monotonic_seq(self):
+        tracer = AccessTracer()
+        tracer.record_io("a.dat", 0, 10, True)
+        tracer.record_page("b.dat", 3)
+        tracer.record_forget("a.dat")
+        events = tracer.io_events()
+        assert [type(e) for e in events] == [IOEvent, PageEvent, ForgetEvent]
+        assert [e.seq for e in events] == [1, 2, 3]
+
+    def test_buffer_events_share_the_sequence(self):
+        tracer = AccessTracer()
+        tracer.record_io("a.dat", 0, 10, True)
+        tracer.record_buffer(1, ("intra", 0), "intranode", hit=False, pinned=False)
+        tracer.record_admit(1, ("intra", 0), "intranode", 64)
+        tracer.record_drop(1)
+        assert [e.seq for e in tracer.buffer_events()] == [2, 3, 4]
+        assert tracer.seq == 4
+
+    def test_ring_bound_drops_oldest_and_counts(self):
+        tracer = AccessTracer(capacity=2)
+        for offset in range(5):
+            tracer.record_io("a.dat", offset, 1, False)
+        events = tracer.io_events()
+        assert len(events) == 2
+        assert [e.offset for e in events] == [3, 4]
+        assert tracer.dropped_io == 3
+        assert tracer.dropped_buffer == 0
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            AccessTracer(capacity=0)
+
+    def test_summary_counts_by_type(self):
+        tracer = AccessTracer()
+        tracer.record_io("a", 0, 1, True)
+        tracer.record_buffer(1, "k", None, hit=True, pinned=False)
+        tracer.record_buffer(1, "k", None, hit=False, pinned=False)
+        tracer.record_admit(1, "k", None, 8)
+        summary = tracer.summary()
+        assert summary["io_reads"] == 1
+        assert summary["buffer_hits"] == 1
+        assert summary["buffer_misses"] == 1
+        assert summary["admits"] == 1
+
+
+class TestActivation:
+    def test_no_profiler_by_default(self):
+        assert current_profiler() is None
+
+    def test_activated_installs_and_restores(self):
+        tracer = AccessTracer()
+        with activated(tracer) as active:
+            assert active is tracer
+            assert current_profiler() is tracer
+        assert current_profiler() is None
+
+    def test_hooks_record_only_when_active(self):
+        tracer = AccessTracer()
+        profile_trace.io_read("a.dat", 0, 4, True)  # inactive: ignored
+        with activated(tracer):
+            profile_trace.io_read("a.dat", 0, 4, True)
+            profile_trace.buffer_access(object(), "k", "kind", hit=False, pinned=False)
+        profile_trace.io_read("a.dat", 4, 4, False)  # inactive again
+        assert len(tracer.io_events()) == 1
+        assert len(tracer.buffer_events()) == 1
+
+    def test_inactive_hooks_never_touch_a_tracer(self, monkeypatch):
+        def boom(self, *args, **kwargs):
+            raise AssertionError("tracer method called while inactive")
+
+        for name in (
+            "record_io",
+            "record_page",
+            "record_forget",
+            "record_buffer",
+            "record_admit",
+            "record_drop",
+        ):
+            monkeypatch.setattr(AccessTracer, name, boom)
+        profile_trace.io_read("a.dat", 0, 4, True)
+        profile_trace.page_read("a.dat", 1)
+        profile_trace.position_forgotten("a.dat")
+        profile_trace.buffer_access(object(), "k", None, hit=True, pinned=False)
+        profile_trace.buffer_admit(object(), "k", None, 8)
+        profile_trace.buffer_drop(object())
+
+
+class TestExport:
+    def test_jsonl_round_trip(self, tmp_path):
+        tracer = AccessTracer()
+        tracer.record_io("a.dat", 0, 10, True)
+        tracer.record_buffer(7, ("intra", 3), "intranode", hit=False, pinned=False)
+        tracer.record_admit(7, ("intra", 3), "intranode", 64)
+        tracer.record_drop(7, None)
+        path = tmp_path / "events.jsonl"
+        tracer.write_jsonl(path)
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [r["type"] for r in records] == ["io", "miss", "admit", "drop"]
+        assert records[1]["key"] == ["intra", 3]
+        assert records[2]["cost"] == 64
+        assert records[3]["key"] is None
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        AccessTracer().write_jsonl(path)
+        assert path.read_text() == ""

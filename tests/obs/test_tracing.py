@@ -170,6 +170,43 @@ class TestJsonlExport:
         assert "intranode_loads=3" in tracer.render()
 
 
+class TestFoldedExport:
+    def test_paths_join_with_semicolons_and_aggregate(self):
+        tracer = Tracer()
+        with tracer.span("root"):
+            with tracer.span("child"):
+                with tracer.span("leaf"):
+                    pass
+            with tracer.span("child"):  # same stack: folds into one line
+                pass
+        lines = tracer.to_folded().splitlines()
+        paths = {line.rsplit(" ", 1)[0] for line in lines}
+        assert paths == {"root", "root;child", "root;child;leaf"}
+
+    def test_weights_are_nonnegative_self_time_microseconds(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        for line in tracer.to_folded().splitlines():
+            assert int(line.rsplit(" ", 1)[1]) >= 0
+
+    def test_write_folded(self, tmp_path):
+        tracer = Tracer()
+        with tracer.span("only"):
+            pass
+        path = tmp_path / "stacks.folded"
+        tracer.write_folded(path)
+        text = path.read_text()
+        assert text.endswith("\n")
+        assert text.split(" ")[0] == "only"
+
+    def test_empty_tracer_writes_empty_file(self, tmp_path):
+        path = tmp_path / "stacks.folded"
+        Tracer().write_folded(path)
+        assert path.read_text() == ""
+
+
 class TestModuleLevelHelpers:
     def test_span_is_noop_without_tracer(self):
         assert current_tracer() is None

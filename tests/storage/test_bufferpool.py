@@ -101,6 +101,94 @@ class TestPinning:
         assert pool.used_bytes == 0
 
 
+class TestKindCounters:
+    def test_per_kind_hits_and_misses(self):
+        pool = BufferPool(1000)
+        pool.get("k", kind="intranode")  # miss
+        pool.put("k", b"x", 8, kind="intranode")
+        pool.get("k", kind="intranode")  # hit
+        pool.get("s", kind="superedge")  # miss
+        assert pool.registry.get("buffer_hits_intranode") == 1
+        assert pool.registry.get("buffer_misses_intranode") == 1
+        assert pool.registry.get("buffer_misses_superedge") == 1
+        assert pool.registry.get("buffer_hits_superedge") == 0
+        # The untyped totals still include everything.
+        assert pool.registry.get("buffer_hits") == 1
+        assert pool.registry.get("buffer_misses") == 2
+
+    def test_get_or_load_attributes_kind(self):
+        pool = BufferPool(1000)
+        pool.get_or_load("p", lambda: b"x" * 8, kind="heap_page")  # miss+load
+        pool.get_or_load("p", lambda: b"x" * 8, kind="heap_page")  # hit
+        assert pool.registry.get("buffer_misses_heap_page") == 1
+        assert pool.registry.get("buffer_hits_heap_page") == 1
+
+    def test_untyped_gets_count_totals_only(self):
+        pool = BufferPool(1000)
+        pool.get("k")
+        assert pool.registry.get("buffer_misses") == 1
+        assert pool.registry.get("buffer_misses_intranode") == 0
+
+    def test_pinned_hits_counted_separately(self):
+        pool = BufferPool(1000)
+        pool.pin("root", b"meta", 8)
+        pool.get("root", kind="mapping")
+        pool.get("root")
+        stats = pool.stats()
+        assert stats["hits"] == 2
+        assert stats["pinned_hits"] == 2
+        assert pool.registry.get("buffer_hits_mapping") == 1
+        # Unpinned hit ratio excludes capacity-independent pinned traffic.
+        assert stats["hits"] - stats["pinned_hits"] == 0
+
+
+class TestProfilerHooks:
+    def test_accesses_admits_and_drops_recorded(self):
+        from repro.obs.profile import AccessTracer, activated
+        from repro.obs.profile.trace import AdmitEvent, BufferEvent, DropEvent
+
+        pool = BufferPool(1000)
+        tracer = AccessTracer()
+        with activated(tracer):
+            pool.get("k", kind="intranode")  # miss
+            pool.put("k", b"x", 8, kind="intranode")  # admit
+            pool.get("k", kind="intranode")  # hit
+            pool.invalidate("k")  # drop (key was cached)
+            pool.invalidate("absent")  # no drop: nothing was cached
+        events = tracer.buffer_events()
+        kinds = [type(e) for e in events]
+        assert kinds == [BufferEvent, AdmitEvent, BufferEvent, DropEvent]
+        assert [e.hit for e in events if type(e) is BufferEvent] == [False, True]
+        assert events[1].cost == 8
+        assert events[3].key == "k"
+
+    def test_pinned_access_flagged(self):
+        from repro.obs.profile import AccessTracer, activated
+
+        pool = BufferPool(1000)
+        pool.pin("root", b"meta", 8)
+        tracer = AccessTracer()
+        with activated(tracer):
+            pool.get("root")
+        (event,) = tracer.buffer_events()
+        assert event.pinned is True
+        assert event.hit is True
+
+    def test_clear_and_resize_record_whole_pool_drops(self):
+        from repro.obs.profile import AccessTracer, activated
+        from repro.obs.profile.trace import DropEvent
+
+        pool = BufferPool(1000)
+        pool.put("a", b"x", 8)
+        tracer = AccessTracer()
+        with activated(tracer):
+            pool.clear()
+            pool.set_buffer_bytes(500)
+        drops = [e for e in tracer.buffer_events() if type(e) is DropEvent]
+        assert len(drops) == 2
+        assert all(e.key is None for e in drops)
+
+
 class TestMaintenance:
     def test_clear_recorded_counts_evictions(self):
         pool = BufferPool(100)
@@ -150,6 +238,7 @@ class TestMaintenance:
         stats = pool.stats()
         assert stats == {
             "hits": 0,
+            "pinned_hits": 0,
             "misses": 0,
             "evictions": 0,
             "entries": 1,

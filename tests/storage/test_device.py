@@ -135,3 +135,61 @@ class TestPageDevice:
     def test_bad_page_size_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             PageDevice(tmp_path / "p.bin", page_size=0)
+
+
+class TestProfilerHooks:
+    """The access profiler must mirror the device's own seek accounting."""
+
+    def test_io_events_match_seek_counter(self, datafile):
+        from repro.obs.profile import AccessTracer, activated
+
+        device = CountedFile(datafile)
+        tracer = AccessTracer()
+        with activated(tracer):
+            device.read_at(0, 10)  # first read: seek
+            device.read_at(10, 10)  # sequential
+            device.read_at(500, 10)  # jump: seek
+            device.forget_position()
+            device.read_at(510, 10)  # would have been sequential: seek
+        events = [e for e in tracer.io_events() if hasattr(e, "seek")]
+        assert [e.seek for e in events] == [True, False, True, True]
+        assert sum(e.seek for e in events) == device.registry.get("disk_seeks")
+        assert sum(e.length for e in events) == device.registry.get("bytes_read")
+
+    def test_forget_recorded_between_reads(self, datafile):
+        from repro.obs.profile import AccessTracer, activated
+        from repro.obs.profile.trace import ForgetEvent
+
+        device = CountedFile(datafile)
+        tracer = AccessTracer()
+        with activated(tracer):
+            device.read_at(0, 4)
+            device.forget_position()
+            device.read_at(4, 4)
+        kinds = [type(e).__name__ for e in tracer.io_events()]
+        assert kinds == ["IOEvent", "ForgetEvent", "IOEvent"]
+        assert any(type(e) is ForgetEvent for e in tracer.io_events())
+
+    def test_page_reads_emit_page_events(self, tmp_path):
+        from repro.obs.profile import AccessTracer, activated
+        from repro.obs.profile.trace import PageEvent
+
+        path = tmp_path / "pages.bin"
+        path.write_bytes(b"x" * 64 * 4)
+        device = PageDevice(path, page_size=64)
+        tracer = AccessTracer()
+        with activated(tracer):
+            device.read_page(2)
+            device.read_page(2)
+        pages = [e.page for e in tracer.io_events() if type(e) is PageEvent]
+        assert pages == [2, 2]
+
+    def test_no_events_without_activation(self, datafile):
+        from repro.obs.profile import AccessTracer, activated
+
+        device = CountedFile(datafile)
+        device.read_at(0, 10)  # inactive: not recorded
+        tracer = AccessTracer()
+        with activated(tracer):
+            pass
+        assert tracer.io_events() == []
