@@ -89,6 +89,19 @@ class GraphRepresentation(abc.ABC):
         Huffman): their cost model has nothing to rebound.
         """
 
+    def set_on_corruption(self, mode: str) -> None:
+        """Pick the corruption policy (``"raise"`` or ``"degrade"``).
+
+        Only schemes with region-granular checksums and quarantine support
+        (S-Node) can degrade; for the rest a corrupt page/block always
+        raises, whatever the mode — this default is a no-op.
+        """
+
+    @property
+    def degraded_reads(self) -> int:
+        """Answers served from quarantined regions (0 unless degrading)."""
+        return self.metrics.get("degraded_reads")
+
     def close(self) -> None:
         """Release file handles."""
 
@@ -176,6 +189,13 @@ class SNodeRepresentation(GraphRepresentation):
 
     def set_buffer_bytes(self, buffer_bytes: int) -> None:
         self._store.set_buffer_bytes(buffer_bytes)
+
+    def set_on_corruption(self, mode: str) -> None:
+        self._store.set_on_corruption(mode)
+
+    @property
+    def degraded_reads(self) -> int:
+        return self._store.degraded_reads
 
     def close(self) -> None:
         self._store.close()

@@ -27,6 +27,7 @@ from collections.abc import Iterable, Iterator
 from pathlib import Path
 
 from repro.errors import StorageError
+from repro.storage import atomic, integrity
 from repro.storage.bufferpool import BufferPool
 from repro.storage.device import PageDevice
 from repro.storage.metrics import MetricsRegistry
@@ -191,7 +192,12 @@ class BPlusTree:
     def bulk_build(
         cls, path: Path | str, pairs: Iterable[tuple[int, bytes]]
     ) -> "BPlusTree":
-        """Create a balanced tree from key-sorted (key, value) pairs."""
+        """Create a balanced tree from key-sorted (key, value) pairs.
+
+        Writes a ``<file>.crc`` page-checksum sidecar alongside the tree,
+        so every subsequent page read is CRC-verified; point inserts keep
+        the sidecar current through the page device.
+        """
         path = Path(path)
         pages: list[bytes] = [b"\x00" * PAGE_SIZE]  # meta placeholder
         leaf_fill = PAGE_SIZE - 256  # leave slack for future inserts
@@ -253,7 +259,13 @@ class BPlusTree:
         meta = bytearray(PAGE_SIZE)
         _META.pack_into(meta, 0, _MAGIC, root, height, len(pages))
         pages[0] = bytes(meta)
-        path.write_bytes(b"".join(pages))
+        atomic.write_file(path, b"".join(pages))
+        atomic.write_file(
+            integrity.sidecar_path(path),
+            integrity.encode_page_checksums(
+                [integrity.crc32(page) for page in pages]
+            ),
+        )
         return cls(path)
 
     # -- page I/O ----------------------------------------------------------

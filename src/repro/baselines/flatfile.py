@@ -17,6 +17,7 @@ from pathlib import Path
 from repro.baselines.base import GraphRepresentation
 from repro.errors import GraphError
 from repro.graph.digraph import Digraph
+from repro.storage.atomic import BuildTransaction
 from repro.storage.device import CountedFile
 
 
@@ -27,15 +28,24 @@ class FlatFileRepresentation(GraphRepresentation):
 
     def __init__(self, graph: Digraph, root: Path | str) -> None:
         self._root = Path(root)
-        self._root.mkdir(parents=True, exist_ok=True)
         self._num_pages = graph.num_vertices
         self._num_edges = graph.num_edges
         offsets = [0]
-        with open(self._path, "wb") as handle:
-            for page in range(self._num_pages):
-                row = graph.successors(page)
-                handle.write(struct.pack(f"<{len(row)}I", *(int(t) for t in row)))
-                offsets.append(offsets[-1] + 4 * len(row))
+        blob = bytearray()
+        for page in range(self._num_pages):
+            row = graph.successors(page)
+            blob.extend(struct.pack(f"<{len(row)}I", *(int(t) for t in row)))
+            offsets.append(offsets[-1] + 4 * len(row))
+        with BuildTransaction(self._root) as transaction:
+            transaction.write_file(self._path.name, bytes(blob))
+            transaction.write_manifest(
+                {
+                    "scheme": self.name,
+                    "num_pages": self._num_pages,
+                    "num_edges": self._num_edges,
+                }
+            )
+            transaction.commit()
         self._offsets = offsets
         self._file = CountedFile(self._path, registry=self.metrics)
 

@@ -28,8 +28,10 @@ from collections.abc import Iterator
 from pathlib import Path
 
 from repro.baselines.base import GraphRepresentation
-from repro.errors import GraphError
+from repro.errors import CorruptionError, GraphError
 from repro.graph.digraph import Digraph
+from repro.storage import integrity
+from repro.storage.atomic import BuildTransaction
 from repro.storage.bufferpool import BufferPool
 from repro.storage.device import CountedFile
 from repro.util.bitio import BitReader, BitWriter
@@ -122,6 +124,7 @@ class Link3Representation(GraphRepresentation):
         # than a whole block.  Its (delta-compressed) size is part of the
         # published bits/link figures, and of ours.
         self._row_bit_offsets: list[int] = []
+        self._block_checksums: list[int] = []
         self._write_blocks(graph)
         self._file = CountedFile(self._payload_path, registry=self.metrics)
         self._pool = BufferPool(buffer_bytes, registry=self.metrics)
@@ -129,6 +132,10 @@ class Link3Representation(GraphRepresentation):
     @property
     def _payload_path(self) -> Path:
         return self._root / "link3.dat"
+
+    @property
+    def _sidecar_path(self) -> Path:
+        return integrity.sidecar_path(self._payload_path)
 
     # -- build ----------------------------------------------------------------
 
@@ -164,7 +171,27 @@ class Link3Representation(GraphRepresentation):
                 flush()
         flush()
         self._block_offsets.append(len(payload))
-        self._payload_path.write_bytes(bytes(payload))
+        # One CRC32 per block — the unit of disk transfer is the unit of
+        # verification, checked every time a block misses the cache.
+        self._block_checksums = [
+            integrity.crc32(bytes(payload[start:end]))
+            for start, end in zip(self._block_offsets, self._block_offsets[1:])
+        ]
+        with BuildTransaction(self._root) as transaction:
+            transaction.write_file(self._payload_path.name, bytes(payload))
+            transaction.write_file(
+                self._sidecar_path.name,
+                integrity.encode_page_checksums(self._block_checksums),
+            )
+            transaction.write_manifest(
+                {
+                    "scheme": self.name,
+                    "num_pages": self._num_pages,
+                    "num_edges": self._num_edges,
+                    "rows_per_block": self._rows_per_block,
+                }
+            )
+            transaction.commit()
 
     def _encode_row(
         self,
@@ -225,11 +252,19 @@ class Link3Representation(GraphRepresentation):
         """Raw block payload via the buffer cache (unit of disk transfer)."""
         start = self._block_offsets[block]
         end = self._block_offsets[block + 1]
-        return self._pool.get_or_load(
-            block,
-            lambda: self._file.read_at(start, end - start),
-            kind="block",
-        )
+
+        def load() -> bytes:
+            data = self._file.read_at(start, end - start)
+            actual = integrity.crc32(data)
+            if actual != self._block_checksums[block]:
+                raise CorruptionError(
+                    f"{self._payload_path.name}: block {block} checksum "
+                    f"mismatch (stored {self._block_checksums[block]:#010x}, "
+                    f"read {actual:#010x})"
+                )
+            return data
+
+        return self._pool.get_or_load(block, load, kind="block")
 
     # -- public access ------------------------------------------------------------
 
@@ -277,14 +312,16 @@ class Link3Representation(GraphRepresentation):
                 yield old, sorted(self._new_to_old[t] for t in row)
 
     def size_bytes(self) -> int:
-        """Payload + block directory + delta-coded per-node starts.
+        """Payload + block directory + per-node starts + block checksums.
 
         The starts array is what the Link Database's published bits/link
-        figures include for random access, so we include ours too.
+        figures include for random access, so we include ours too; the
+        per-block CRC sidecar is part of the stored representation.
         """
         from repro.util.varint import delta_cost
 
         payload = self._payload_path.stat().st_size
+        payload += self._sidecar_path.stat().st_size
         directory = 8 * len(self._block_offsets)
         starts_bits = 0
         previous_offset = 0

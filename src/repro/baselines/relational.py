@@ -25,6 +25,8 @@ from repro.baselines.btree import PAGE_SIZE, BPlusTree
 from repro.baselines.heapfile import HeapFile, HeapPage
 from repro.errors import GraphError, StorageError
 from repro.graph.digraph import Digraph
+from repro.storage import integrity
+from repro.storage.atomic import BuildTransaction
 from repro.storage.bufferpool import BufferPool
 from repro.storage.device import PageDevice
 from repro.storage.metrics import MetricsRegistry
@@ -96,9 +98,23 @@ class RelationalRepresentation(GraphRepresentation):
     # -- build -----------------------------------------------------------------
 
     def _build(self, repository: Repository, graph: Digraph) -> None:
-        if self._heap_path.exists():
-            self._heap_path.unlink()
-        heap = HeapFile(self._heap_path)
+        """Build heap + indexes atomically (tmp dir, manifest last, rename)."""
+        with BuildTransaction(self._root) as transaction:
+            self._build_into(transaction, repository, graph)
+            transaction.write_manifest(
+                {
+                    "scheme": self.name,
+                    "num_pages": self._num_pages,
+                    "num_edges": self._num_edges,
+                }
+            )
+            transaction.commit()
+
+    def _build_into(
+        self, transaction: BuildTransaction, repository: Repository, graph: Digraph
+    ) -> None:
+        heap_path = transaction.path(self._heap_path.name)
+        heap = HeapFile(heap_path)
         current = HeapPage()
         current_number: int | None = None
         rid_lists: list[list[tuple[int, int]]] = [[] for _ in range(self._num_pages)]
@@ -132,14 +148,22 @@ class RelationalRepresentation(GraphRepresentation):
                 rid_lists[page].append(emit(record))
         if current_number is not None:
             heap.write_page(current_number, current)
+        heap.close()
+        transaction.write_file(
+            integrity.sidecar_path(heap_path).name,
+            integrity.encode_page_checksums(
+                integrity.page_checksums_of_file(heap_path, PAGE_SIZE)
+            ),
+        )
+        transaction.register(heap_path.name)
 
         BPlusTree.bulk_build(
-            self._page_index_path,
+            transaction.path(self._page_index_path.name),
             (
                 (page, b"".join(_RID.pack(*rid) for rid in rids))
                 for page, rids in enumerate(rid_lists)
             ),
-        )
+        ).close()
 
         # Domain index: domain id -> chunked page-id lists.
         domain_pages: dict[str, list[int]] = {}
@@ -160,8 +184,16 @@ class RelationalRepresentation(GraphRepresentation):
                     (base | sequence, struct.pack(f"<{len(chunk)}I", *chunk))
                 )
         entries.sort(key=lambda kv: kv[0])
-        BPlusTree.bulk_build(self._domain_index_path, iter(entries))
-        self._domain_map_path.write_text(json.dumps(domain_ids, sort_keys=True))
+        BPlusTree.bulk_build(
+            transaction.path(self._domain_index_path.name), iter(entries)
+        ).close()
+        for index_path in (self._page_index_path, self._domain_index_path):
+            transaction.register(index_path.name)
+            transaction.register(integrity.sidecar_path(index_path).name)
+        transaction.write_file(
+            self._domain_map_path.name,
+            json.dumps(domain_ids, sort_keys=True).encode(),
+        )
 
     # -- access ------------------------------------------------------------------
 
@@ -219,11 +251,17 @@ class RelationalRepresentation(GraphRepresentation):
     # -- accounting -----------------------------------------------------------
 
     def size_bytes(self) -> int:
-        return (
+        total = (
             self._heap.size_bytes()
             + self._page_index.size_bytes()
             + self._domain_index.size_bytes()
         )
+        # Page-checksum sidecars are part of the stored representation.
+        for path in (self._heap_path, self._page_index_path, self._domain_index_path):
+            sidecar = integrity.sidecar_path(path)
+            if sidecar.exists():
+                total += sidecar.stat().st_size
+        return total
 
     @property
     def num_pages(self) -> int:

@@ -6,6 +6,9 @@ Gives a repository operator the whole pipeline without writing Python:
   bulk stream;
 * ``repro build``    — build an S-Node representation from a stream;
 * ``repro verify``   — integrity-check a stored representation;
+* ``repro fsck``     — check any build directory (atomic-commit state,
+  manifest file table, per-region checksums); ``--repair`` quarantines
+  corrupt S-Node regions for graceful degradation;
 * ``repro stats``    — summarize a stored representation;
 * ``repro neighbors``— print a page's out-links from a stored
   representation (by repository page id);
@@ -221,6 +224,17 @@ def _cmd_bench_diff(arguments: argparse.Namespace) -> int:
     return 1 if diff.regressions else 0
 
 
+def _cmd_fsck(arguments: argparse.Namespace) -> int:
+    from repro.storage.fsck import fsck
+
+    report = fsck(arguments.root, repair=arguments.repair)
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
 def _cmd_neighbors(arguments: argparse.Namespace) -> int:
     from repro.snode.store import SNodeStore
 
@@ -349,6 +363,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--fast", action="store_true", help="skip payload decoding"
     )
     verify.set_defaults(handler=_cmd_verify)
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="check a build directory: atomic-commit state, manifest file "
+        "table, per-region checksums (any scheme)",
+    )
+    fsck.add_argument("root")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt S-Node regions into quarantine.json so "
+        "degrade-mode stores keep serving the rest",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    fsck.set_defaults(handler=_cmd_fsck)
 
     stats = commands.add_parser("stats", help="summarize a representation")
     stats.add_argument("root")

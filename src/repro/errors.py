@@ -32,6 +32,15 @@ class StorageError(ReproError):
     """On-disk layout is missing, corrupt, or inconsistent with its manifest."""
 
 
+class CorruptionError(StorageError):
+    """A checksum-verified region failed its CRC check.
+
+    Distinguished from plain :class:`StorageError` so callers can choose a
+    degradation policy for detected bit rot (quarantine the region, keep
+    serving) while still treating structural problems as fatal.
+    """
+
+
 class QueryError(ReproError):
     """A complex query was malformed or referenced unknown pages/domains."""
 

@@ -66,6 +66,9 @@ _COST_MARKERS = (
     "bytes_read",
     "evictions",
     "iterations",
+    # Compression cost: checksum framing must stay within the bench-diff
+    # threshold of the committed baselines (lower is better).
+    "bits_per_edge",
 )
 
 

@@ -33,7 +33,14 @@ class QueryEngine:
         forward: GraphRepresentation,
         backward: GraphRepresentation | None = None,
         histograms: HistogramSet | None = None,
+        on_corruption: str = "raise",
     ) -> None:
+        """``on_corruption="degrade"`` puts both representations in
+        graceful-degradation mode: a corrupt region is quarantined and its
+        rows served empty instead of failing the whole query (schemes
+        without quarantine support keep raising).  The engine-wide tally
+        is :attr:`degraded_reads`.
+        """
         if forward.num_pages != repository.num_pages:
             raise QueryError("representation does not match repository")
         self.repository = repository
@@ -41,6 +48,10 @@ class QueryEngine:
         self.pagerank = pagerank_index
         self.forward = forward
         self.backward = backward
+        self.on_corruption = on_corruption
+        forward.set_on_corruption(on_corruption)
+        if backward is not None:
+            backward.set_on_corruption(on_corruption)
         self._navigation_seconds = 0.0
         #: Per-operation latency distributions: every timed navigation
         #: block records its wall time under its operation kind, so the
@@ -75,6 +86,14 @@ class QueryEngine:
     def navigation_seconds(self) -> float:
         """Navigation time accumulated since the last reset."""
         return self._navigation_seconds
+
+    @property
+    def degraded_reads(self) -> int:
+        """Answers served from quarantined regions, both directions."""
+        total = self.forward.degraded_reads
+        if self.backward is not None:
+            total += self.backward.degraded_reads
+        return total
 
     def require_backward(self) -> GraphRepresentation:
         """The transpose representation; raises if the engine has none."""

@@ -3,13 +3,17 @@
 Directory layout::
 
     <root>/
-      manifest.json     build metadata + file table + component sizes
-      supernode.bin     Huffman-coded supernode graph
-      pointers.bin      per-intranode and per-superedge (file, offset, len)
-      pageid.bin        PageID index: supernode boundary array
-      newid.bin         new-id -> old-id permutation (4-byte LE each)
+      manifest.json     build metadata + file table (size+CRC32 per file)
+                        + whole-build digest; always written last
+      supernode.bin     Huffman-coded supernode graph (CRC frame)
+      pointers.bin      per-intranode and per-superedge
+                        (file, offset, len, crc32) records (CRC frame)
+      pageid.bin        PageID index: supernode boundary array (CRC frame)
+      newid.bin         new-id -> old-id permutation, 4-byte LE (CRC frame)
       domain.json       domain -> sorted list of supernode ids
       index_000.dat ... payload files, each at most ``max_file_bytes``
+      quarantine.json   (optional) regions quarantined by ``repro fsck
+                        --repair``; honoured by degrade-mode stores
 
 Payloads follow the paper's **linear ordering** (Figure 8): the intranode
 graph of supernode i is immediately followed by every superedge graph
@@ -17,6 +21,15 @@ graph of supernode i is immediately followed by every superedge graph
 contiguous region.  A graph never straddles two index files ("we ensured
 that a given intranode or superedge graph was completely located within a
 single file").
+
+Durability (format version 2): payload bytes are untouched — the paper's
+byte offsets and the linear layout stay exact — but every graph region's
+CRC32 rides in its ``pointers.bin`` record and is verified on read, the
+auxiliary tables are stored as CRC frames, and the whole build is written
+through the :class:`repro.storage.atomic.BuildTransaction` protocol
+(tmp directory, fsync, manifest last, rename), so a crash at any write op
+leaves either the previous build or a cleanly reported partial build —
+never a silently corrupt one.
 """
 
 from __future__ import annotations
@@ -26,9 +39,11 @@ import struct
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
 from repro.snode.encode import encode_superedge, encode_intranode, encode_supernode_graph
 from repro.snode.model import SNodeModel
+from repro.storage import integrity
+from repro.storage.atomic import BuildTransaction, require_build
 from repro.util.varint import decode_vbyte, encode_vbyte
 
 MANIFEST_NAME = "manifest.json"
@@ -37,7 +52,9 @@ POINTERS_NAME = "pointers.bin"
 PAGEID_NAME = "pageid.bin"
 NEWID_NAME = "newid.bin"
 DOMAIN_NAME = "domain.json"
-FORMAT_VERSION = 1
+QUARANTINE_NAME = "quarantine.json"
+#: Version 2 = checksummed storage (region CRCs, framed tables, digest).
+FORMAT_VERSION = 2
 
 #: Scaled-down analogue of the paper's 500 MB index-file cap.
 DEFAULT_MAX_FILE_BYTES = 4 * 1024 * 1024
@@ -45,11 +62,12 @@ DEFAULT_MAX_FILE_BYTES = 4 * 1024 * 1024
 
 @dataclass(frozen=True)
 class GraphLocation:
-    """Where one encoded graph lives: payload file index, offset, length."""
+    """Where one encoded graph lives, plus its payload checksum."""
 
     file_index: int
     offset: int
     length: int
+    crc: int = 0
 
 
 @dataclass
@@ -67,33 +85,39 @@ class StorageLayout:
 
 
 class _PayloadWriter:
-    """Appends byte-aligned payloads across size-capped index files."""
+    """Appends byte-aligned payloads across size-capped index files.
 
-    def __init__(self, root: Path, max_file_bytes: int) -> None:
-        self._root = root
+    Files are written through the enclosing
+    :class:`~repro.storage.atomic.BuildTransaction`, so each rotation is
+    one fault-injectable write op and lands in the manifest's file table.
+    """
+
+    def __init__(self, transaction: BuildTransaction, max_file_bytes: int) -> None:
+        self._transaction = transaction
         self._max = max_file_bytes
         self._files: list[str] = []
         self._current: bytearray = bytearray()
 
     def _rotate(self) -> None:
         name = f"index_{len(self._files):03d}.dat"
-        (self._root / name).write_bytes(bytes(self._current))
+        self._transaction.write_file(name, bytes(self._current))
         self._files.append(name)
         self._current = bytearray()
 
     def append(self, payload: bytes) -> GraphLocation:
+        crc = integrity.crc32(payload)
         if len(payload) > self._max:
             # A single graph larger than the cap still gets its own file.
             if self._current:
                 self._rotate()
-            location = GraphLocation(len(self._files), 0, len(payload))
+            location = GraphLocation(len(self._files), 0, len(payload), crc)
             self._current.extend(payload)
             self._rotate()
             return location
         if len(self._current) + len(payload) > self._max and self._current:
             self._rotate()
         location = GraphLocation(
-            len(self._files), len(self._current), len(payload)
+            len(self._files), len(self._current), len(payload), crc
         )
         self._current.extend(payload)
         return location
@@ -115,17 +139,19 @@ def write_snode(
 ) -> dict:
     """Serialize ``model`` under directory ``root``; returns the manifest.
 
-    ``progress`` (an optional
-    :class:`~repro.obs.progress.ProgressReporter`) gets one update per
-    encoded supernode — the dominant cost of serialization.
+    The build is atomic: everything is written under ``<root>.tmp`` and
+    published by a final rename, with the manifest (carrying per-file
+    CRCs and the whole-build digest) written last.  ``progress`` (an
+    optional :class:`~repro.obs.progress.ProgressReporter`) gets one
+    update per encoded supernode — the dominant cost of serialization.
     """
     from repro.obs import progress as obs_progress
 
     progress = obs_progress.ensure(progress)
     root = Path(root)
-    root.mkdir(parents=True, exist_ok=True)
     numbering = model.numbering
-    writer = _PayloadWriter(root, max_file_bytes)
+    transaction = BuildTransaction(root)
+    writer = _PayloadWriter(transaction, max_file_bytes)
     progress.start_phase("encode", total=model.num_supernodes, unit="supernodes")
 
     intranode_locations: list[GraphLocation] = []
@@ -164,45 +190,55 @@ def write_snode(
     progress.finish_phase()
 
     supernode_payload = encode_supernode_graph(model.super_adjacency)
-    (root / SUPERNODE_NAME).write_bytes(supernode_payload)
+    transaction.write_file(
+        SUPERNODE_NAME, integrity.encode_frame(supernode_payload)
+    )
 
     pointer_blob = _encode_pointers(model, intranode_locations, superedge_locations)
-    (root / POINTERS_NAME).write_bytes(pointer_blob)
+    transaction.write_file(POINTERS_NAME, integrity.encode_frame(pointer_blob))
 
     boundary_blob = bytearray()
     previous = 0
     for boundary in numbering.boundaries:
         boundary_blob.extend(encode_vbyte(boundary - previous))
         previous = boundary
-    (root / PAGEID_NAME).write_bytes(bytes(boundary_blob))
+    pageid_frame = integrity.encode_frame(bytes(boundary_blob))
+    transaction.write_file(PAGEID_NAME, pageid_frame)
 
-    (root / NEWID_NAME).write_bytes(
-        struct.pack(f"<{numbering.num_pages}I", *numbering.new_to_old)
+    transaction.write_file(
+        NEWID_NAME,
+        integrity.encode_frame(
+            struct.pack(f"<{numbering.num_pages}I", *numbering.new_to_old)
+        ),
     )
 
     domains: dict[str, list[int]] = {}
     for supernode, domain in enumerate(numbering.supernode_domains):
         domains.setdefault(domain, []).append(supernode)
-    (root / DOMAIN_NAME).write_text(json.dumps(domains, sort_keys=True))
+    transaction.write_file(
+        DOMAIN_NAME, json.dumps(domains, sort_keys=True).encode()
+    )
 
-    manifest = {
-        "version": FORMAT_VERSION,
-        "num_pages": numbering.num_pages,
-        "num_supernodes": model.num_supernodes,
-        "num_superedges": model.num_superedges,
-        "positive_superedges": model.positive_count,
-        "negative_superedges": model.negative_count,
-        "index_files": index_files,
-        "payload_bytes": payload_bytes,
-        "intranode_bytes": intranode_bytes,
-        "superedge_bytes": superedge_bytes,
-        "supernode_graph_bytes": len(supernode_payload),
-        "pointer_bytes": len(pointer_blob),
-        "pageid_bytes": (root / PAGEID_NAME).stat().st_size,
-        "window": window,
-        "full_affinity_limit": full_affinity_limit,
-    }
-    (root / MANIFEST_NAME).write_text(json.dumps(manifest, indent=2))
+    manifest = transaction.write_manifest(
+        {
+            "version": FORMAT_VERSION,
+            "num_pages": numbering.num_pages,
+            "num_supernodes": model.num_supernodes,
+            "num_superedges": model.num_superedges,
+            "positive_superedges": model.positive_count,
+            "negative_superedges": model.negative_count,
+            "index_files": index_files,
+            "payload_bytes": payload_bytes,
+            "intranode_bytes": intranode_bytes,
+            "superedge_bytes": superedge_bytes,
+            "supernode_graph_bytes": len(supernode_payload),
+            "pointer_bytes": len(pointer_blob),
+            "pageid_bytes": len(pageid_frame),
+            "window": window,
+            "full_affinity_limit": full_affinity_limit,
+        }
+    )
+    transaction.commit()
     return manifest
 
 
@@ -216,27 +252,74 @@ def _encode_pointers(
         blob.extend(encode_vbyte(location.file_index))
         blob.extend(encode_vbyte(location.offset))
         blob.extend(encode_vbyte(location.length))
+        blob.extend(encode_vbyte(location.crc))
     for source in range(model.num_supernodes):
         for target in model.super_adjacency[source]:
             location, negative = superedge[(source, target)]
             blob.extend(encode_vbyte(location.file_index))
             blob.extend(encode_vbyte(location.offset))
             blob.extend(encode_vbyte(location.length))
+            blob.extend(encode_vbyte(location.crc))
             blob.extend(encode_vbyte(1 if negative else 0))
     return bytes(blob)
 
 
-def read_layout(root: Path | str) -> StorageLayout:
-    """Load manifest, pointer tables and indexes (not the payloads)."""
-    root = Path(root)
+def _read_manifest(root: Path) -> dict:
+    """Load and sanity-check ``manifest.json`` (clean errors only)."""
+    require_build(root, what="S-Node build")
     manifest_path = root / MANIFEST_NAME
-    if not manifest_path.exists():
-        raise StorageError(f"no S-Node manifest under {root}")
-    manifest = json.loads(manifest_path.read_text())
-    if manifest.get("version") != FORMAT_VERSION:
-        raise StorageError(f"unsupported format version {manifest.get('version')}")
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(
+            f"manifest {manifest_path} is truncated or not valid JSON "
+            f"(line {exc.lineno}, column {exc.colno}): {exc.msg}"
+        ) from exc
+    version = manifest.get("version")
+    if version != FORMAT_VERSION:
+        raise StorageError(
+            f"unsupported S-Node format version {version!r} under {root} "
+            f"(this build of repro reads version {FORMAT_VERSION}); "
+            "rebuild the representation"
+        )
+    files = manifest.get("files")
+    if not isinstance(files, dict) or manifest.get("digest") != (
+        integrity.build_digest(files) if isinstance(files, dict) else None
+    ):
+        raise StorageError(
+            f"manifest under {root} has a missing or inconsistent build "
+            "digest — the build did not complete its commit"
+        )
+    return manifest
 
-    boundary_blob = (root / PAGEID_NAME).read_bytes()
+
+def _read_framed_table(root: Path, name: str, manifest: dict) -> bytes:
+    """Read an auxiliary CRC-framed table, checking its manifest entry."""
+    path = root / name
+    if not path.exists():
+        raise StorageError(f"missing auxiliary file {name} under {root}")
+    entry = manifest["files"].get(name)
+    if entry is not None and path.stat().st_size != entry["bytes"]:
+        raise CorruptionError(
+            f"{name}: file holds {path.stat().st_size} bytes, manifest "
+            f"recorded {entry['bytes']}"
+        )
+    return integrity.read_framed(path)
+
+
+def read_layout(root: Path | str) -> StorageLayout:
+    """Load manifest, pointer tables and indexes (not the payloads).
+
+    Distinguishes "no build", "partial build" (interrupted before the
+    atomic rename) and a valid build; every auxiliary table's CRC frame
+    is verified, so a flipped bit in an index surfaces here as a
+    :class:`~repro.errors.CorruptionError` rather than as garbage
+    adjacency later.
+    """
+    root = Path(root)
+    manifest = _read_manifest(root)
+
+    boundary_blob = _read_framed_table(root, PAGEID_NAME, manifest)
     boundaries: list[int] = []
     position = 0
     value = 0
@@ -248,36 +331,47 @@ def read_layout(root: Path | str) -> StorageLayout:
     if len(boundaries) != num_supernodes + 1:
         raise StorageError("PageID index does not match supernode count")
 
-    newid_blob = (root / NEWID_NAME).read_bytes()
+    newid_blob = _read_framed_table(root, NEWID_NAME, manifest)
     num_pages = manifest["num_pages"]
+    if len(newid_blob) != 4 * num_pages:
+        raise StorageError(
+            f"new-id map holds {len(newid_blob)} bytes, expected "
+            f"{4 * num_pages} for {num_pages} pages"
+        )
     new_to_old = list(struct.unpack(f"<{num_pages}I", newid_blob))
 
+    domain_blob = (root / DOMAIN_NAME).read_bytes()
+    domain_entry = manifest["files"].get(DOMAIN_NAME)
+    if domain_entry is not None and integrity.crc32(domain_blob) != domain_entry["crc32"]:
+        raise CorruptionError(f"{DOMAIN_NAME}: checksum mismatch")
     domains = {
         domain: list(supernodes)
-        for domain, supernodes in json.loads((root / DOMAIN_NAME).read_text()).items()
+        for domain, supernodes in json.loads(domain_blob).items()
     }
 
-    super_adjacency_bytes = (root / SUPERNODE_NAME).read_bytes()
+    super_adjacency_bytes = _read_framed_table(root, SUPERNODE_NAME, manifest)
     from repro.snode.encode import decode_supernode_graph
 
     adjacency = decode_supernode_graph(super_adjacency_bytes)
-    pointer_blob = (root / POINTERS_NAME).read_bytes()
+    pointer_blob = _read_framed_table(root, POINTERS_NAME, manifest)
     position = 0
     intranode: list[GraphLocation] = []
     for _ in range(num_supernodes):
         file_index, position = decode_vbyte(pointer_blob, position)
         offset, position = decode_vbyte(pointer_blob, position)
         length, position = decode_vbyte(pointer_blob, position)
-        intranode.append(GraphLocation(file_index, offset, length))
+        crc, position = decode_vbyte(pointer_blob, position)
+        intranode.append(GraphLocation(file_index, offset, length, crc))
     superedge: dict[tuple[int, int], tuple[GraphLocation, bool]] = {}
     for source in range(num_supernodes):
         for target in adjacency[source]:
             file_index, position = decode_vbyte(pointer_blob, position)
             offset, position = decode_vbyte(pointer_blob, position)
             length, position = decode_vbyte(pointer_blob, position)
+            crc, position = decode_vbyte(pointer_blob, position)
             negative, position = decode_vbyte(pointer_blob, position)
             superedge[(source, target)] = (
-                GraphLocation(file_index, offset, length),
+                GraphLocation(file_index, offset, length, crc),
                 bool(negative),
             )
 
@@ -291,3 +385,26 @@ def read_layout(root: Path | str) -> StorageLayout:
         index_files=manifest["index_files"],
         manifest=manifest,
     )
+
+
+def read_quarantine(root: Path | str) -> set[tuple]:
+    """Regions quarantined by ``repro fsck --repair`` (empty when none).
+
+    Entries are ``("intranode", supernode)`` and
+    ``("superedge", source, target)`` tuples.
+    """
+    path = Path(root) / QUARANTINE_NAME
+    if not path.exists():
+        return set()
+    try:
+        entries = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        raise StorageError(f"quarantine list {path} is not valid JSON: {exc}") from exc
+    return {tuple(entry) for entry in entries}
+
+
+def write_quarantine(root: Path | str, regions: set[tuple]) -> None:
+    """Persist the quarantine list (sorted, stable)."""
+    path = Path(root) / QUARANTINE_NAME
+    entries = sorted([list(region) for region in regions])
+    path.write_text(json.dumps(entries, indent=2))

@@ -23,10 +23,16 @@ from __future__ import annotations
 import bisect
 from pathlib import Path
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
 from repro.obs import tracing
 from repro.snode.encode import decode_intranode, decode_supernode_graph, positive_rows_from_payload
-from repro.snode.storage import GraphLocation, StorageLayout, read_layout
+from repro.snode.storage import (
+    GraphLocation,
+    StorageLayout,
+    read_layout,
+    read_quarantine,
+)
+from repro.storage import integrity
 from repro.storage.bufferpool import BufferPool
 from repro.storage.device import CountedFile
 from repro.storage.metrics import MetricsRegistry
@@ -117,6 +123,7 @@ class SNodeStore:
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         record_events: bool = True,
         cache_decoded: bool = True,
+        on_corruption: str = "raise",
     ) -> None:
         """Open a stored representation.
 
@@ -126,9 +133,27 @@ class SNodeStore:
         is the Table 2 protocol ("time to decode and extract adjacency
         lists assuming the graph representation has already been loaded
         into memory").
+
+        ``on_corruption`` picks the failure policy for payload regions
+        whose CRC32 no longer matches their ``pointers.bin`` record:
+        ``"raise"`` (default) propagates the
+        :class:`~repro.errors.CorruptionError`; ``"degrade"`` quarantines
+        the corrupt intranode/superedge graph and keeps serving — affected
+        rows come back empty, each such answer counting one
+        ``degraded_reads``.  Regions already quarantined on disk by
+        ``repro fsck --repair`` are honoured in both modes.
         """
+        if on_corruption not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_corruption must be 'raise' or 'degrade', got {on_corruption!r}"
+            )
         self._root = Path(root)
+        self._on_corruption = on_corruption
         self._layout: StorageLayout = read_layout(self._root)
+        self._quarantined: set[tuple] = {
+            ("intra", entry[1]) if entry[0] == "intranode" else ("super", *entry[1:])
+            for entry in read_quarantine(self._root)
+        }
         self._super_adjacency = decode_supernode_graph(
             self._layout.super_adjacency_bytes
         )
@@ -221,10 +246,32 @@ class SNodeStore:
             self._devices[file_index] = device
         return device
 
-    def _read_payload(self, location: GraphLocation) -> bytes:
-        return self._device(location.file_index).read_at(
+    def _read_payload(self, location: GraphLocation, region: str) -> bytes:
+        payload = self._device(location.file_index).read_at(
             location.offset, location.length
         )
+        actual = integrity.crc32(payload)
+        if actual != location.crc:
+            raise CorruptionError(
+                f"{region}: payload checksum mismatch in "
+                f"{self._layout.index_files[location.file_index]} at offset "
+                f"{location.offset} (stored {location.crc:#010x}, "
+                f"read {actual:#010x})"
+            )
+        return payload
+
+    def _degraded(self, key: tuple, rows: int) -> list[list[int]]:
+        """Serve a quarantined region: empty adjacency, counted."""
+        self.metrics.inc("degraded_reads")
+        if self._record_events:
+            self.metrics.record("degraded", key)
+        return [[] for _ in range(rows)]
+
+    def _quarantine(self, key: tuple, error: CorruptionError) -> None:
+        self._quarantined.add(key)
+        self.metrics.inc("regions_quarantined")
+        if self._record_events:
+            self.metrics.record("quarantine", (*key, str(error)))
 
     def _graph_cost(self, rows: list[list[int]]) -> int:
         return _ROW_COST * len(rows) + _EDGE_COST * sum(len(r) for r in rows)
@@ -243,12 +290,23 @@ class SNodeStore:
     def intranode_rows(self, supernode: int) -> list[list[int]]:
         """Decoded intranode graph of ``supernode`` (local target indices)."""
         key = ("intra", supernode)
+        size = self._boundaries[supernode + 1] - self._boundaries[supernode]
+        if key in self._quarantined:
+            return self._degraded(key, size)
         cached = self._pool.get(key, kind="intranode")
         if cached is not None:
             if not self._cache_decoded:
                 return decode_intranode(cached)
             return cached
-        payload = self._read_payload(self._layout.intranode[supernode])
+        try:
+            payload = self._read_payload(
+                self._layout.intranode[supernode], f"intranode {supernode}"
+            )
+        except CorruptionError as error:
+            if self._on_corruption != "degrade":
+                raise
+            self._quarantine(key, error)
+            return self._degraded(key, size)
         rows = decode_intranode(payload)
         if self._cache_decoded:
             self._pool.put(key, rows, self._graph_cost(rows), kind="intranode")
@@ -262,6 +320,8 @@ class SNodeStore:
         key = ("super", source, target)
         source_size = self._boundaries[source + 1] - self._boundaries[source]
         target_size = self._boundaries[target + 1] - self._boundaries[target]
+        if key in self._quarantined:
+            return self._degraded(key, source_size)
         cached = self._pool.get(key, kind="superedge")
         if cached is not None:
             if not self._cache_decoded:
@@ -271,7 +331,13 @@ class SNodeStore:
         if entry is None:
             raise StorageError(f"no superedge {source} -> {target}")
         location, _negative = entry
-        payload = self._read_payload(location)
+        try:
+            payload = self._read_payload(location, f"superedge {source}->{target}")
+        except CorruptionError as error:
+            if self._on_corruption != "degrade":
+                raise
+            self._quarantine(key, error)
+            return self._degraded(key, source_size)
         rows = positive_rows_from_payload(payload, source_size, target_size)
         if self._cache_decoded:
             self._pool.put(key, rows, self._graph_cost(rows), kind="superedge")
@@ -381,3 +447,28 @@ class SNodeStore:
     def buffer_stats(self) -> dict[str, int]:
         """Buffer-manager counters."""
         return self._pool.stats()
+
+    # -- graceful degradation ------------------------------------------------
+
+    @property
+    def on_corruption(self) -> str:
+        """Current corruption policy (``"raise"`` or ``"degrade"``)."""
+        return self._on_corruption
+
+    def set_on_corruption(self, mode: str) -> None:
+        """Switch the corruption policy of an open store."""
+        if mode not in ("raise", "degrade"):
+            raise ValueError(
+                f"on_corruption must be 'raise' or 'degrade', got {mode!r}"
+            )
+        self._on_corruption = mode
+
+    @property
+    def quarantined(self) -> list[tuple]:
+        """Regions quarantined this session or by ``repro fsck --repair``."""
+        return sorted(self._quarantined)
+
+    @property
+    def degraded_reads(self) -> int:
+        """Answers served from quarantined (empty) regions."""
+        return self.metrics.get("degraded_reads")

@@ -20,6 +20,7 @@ from struct import error as struct_error
 from repro.errors import ReproError
 from repro.snode.encode import decode_intranode, decode_superedge_payload
 from repro.snode.storage import StorageLayout, read_layout
+from repro.storage import integrity
 
 
 @dataclass
@@ -125,6 +126,9 @@ def _check_payloads(
             handle.seek(location.offset)
             payload = handle.read(location.length)
             size = layout.boundaries[supernode + 1] - layout.boundaries[supernode]
+            if integrity.crc32(payload) != location.crc:
+                report.add(f"intranode {supernode} fails its CRC32 check")
+                continue
             try:
                 rows = decode_intranode(payload)
             except Exception as exc:  # noqa: BLE001 - report, don't crash
@@ -140,6 +144,9 @@ def _check_payloads(
             handle = handles[location.file_index]
             handle.seek(location.offset)
             payload = handle.read(location.length)
+            if integrity.crc32(payload) != location.crc:
+                report.add(f"superedge {source}->{target} fails its CRC32 check")
+                continue
             try:
                 decoded_negative, linked, _rows = decode_superedge_payload(payload)
             except Exception as exc:  # noqa: BLE001

@@ -16,16 +16,38 @@ this package:
 
 Because all representations meter through the same layer, cross-scheme
 comparisons (Table 2, Figures 11-12) rest on a single cost model.
+
+The hardening layer rides on the same choke points:
+
+* :mod:`repro.storage.faults` — seeded, deterministic fault injection
+  (bit flips, short reads, transient ``EIO``, torn writes, simulated
+  crashes) under the device read/write paths;
+* :mod:`repro.storage.integrity` — CRC32 frame codec, page-checksum
+  sidecars and whole-build digests;
+* :mod:`repro.storage.atomic` — the tmp-dir / fsync / manifest-last /
+  rename build protocol every builder commits through;
+* :mod:`repro.storage.fsck` — offline verification (and quarantine
+  repair) of any stored representation, behind ``repro fsck``.
 """
 
+from repro.storage.atomic import BuildTransaction, classify_build
 from repro.storage.bufferpool import BufferPool
 from repro.storage.device import CountedFile, PageDevice
+from repro.storage.faults import FaultPlan, SimulatedCrash, activated
+from repro.storage.fsck import FsckReport, fsck
 from repro.storage.metrics import EventLog, MetricsRegistry
 
 __all__ = [
     "BufferPool",
+    "BuildTransaction",
     "CountedFile",
     "EventLog",
+    "FaultPlan",
+    "FsckReport",
     "MetricsRegistry",
     "PageDevice",
+    "SimulatedCrash",
+    "activated",
+    "classify_build",
+    "fsck",
 ]

@@ -12,11 +12,14 @@ so cross-scheme comparisons use one cost model.
 
 from __future__ import annotations
 
+import errno
+import time
 from pathlib import Path
 from typing import BinaryIO
 
-from repro.errors import StorageError
+from repro.errors import CorruptionError, StorageError
 from repro.obs.profile import trace as _profile
+from repro.storage import faults, integrity
 from repro.storage.metrics import MetricsRegistry
 
 
@@ -53,16 +56,22 @@ class CountedFile:
     # -- reads -------------------------------------------------------------
 
     def read_at(self, offset: int, length: int) -> bytes:
-        """Read exactly ``length`` bytes at ``offset``, metering the I/O."""
+        """Read exactly ``length`` bytes at ``offset``, metering the I/O.
+
+        Transient ``EIO`` errors and short reads are retried up to
+        :data:`repro.storage.faults.READ_RETRY_LIMIT` times with a small
+        exponential backoff — each retry counts one ``io_retries`` in the
+        registry.  A read that stays short after the retries raises a
+        :class:`StorageError`; a transient error that never clears raises
+        a :class:`StorageError` wrapping the last ``OSError``.
+        """
         if offset < 0 or length < 0:
             raise StorageError(f"bad read range ({offset}, {length})")
         seek = self._last_read_end != offset
         if seek:
             self.registry.inc("disk_seeks")
         _profile.io_read(self._path, offset, length, seek)
-        handle = self._reader()
-        handle.seek(offset)
-        data = handle.read(length)
+        data = self._read_with_retry(offset, length)
         if len(data) != length:
             raise StorageError(
                 f"short read from {self._path.name}: wanted {length} bytes "
@@ -71,6 +80,35 @@ class CountedFile:
         self._last_read_end = offset + length
         self.registry.inc("bytes_read", length)
         return data
+
+    def _read_with_retry(self, offset: int, length: int) -> bytes:
+        attempt = 0
+        while True:
+            error: OSError | None = None
+            data = b""
+            try:
+                handle = self._reader()
+                handle.seek(offset)
+                data = handle.read(length)
+                data = faults.on_read(self._path, offset, data, self.registry)
+            except OSError as exc:
+                if exc.errno != errno.EIO:
+                    raise
+                error = exc
+            if error is None and len(data) == length:
+                return data
+            if error is None and faults.active_plan() is None:
+                return data  # a genuine EOF short read is not transient
+            if attempt >= faults.READ_RETRY_LIMIT:
+                if error is not None:
+                    raise StorageError(
+                        f"read from {self._path.name} at offset {offset} still "
+                        f"failing after {attempt} retries: {error}"
+                    ) from error
+                return data  # persistently short: caller reports it
+            attempt += 1
+            self.registry.inc("io_retries")
+            time.sleep(faults.READ_RETRY_BACKOFF_S * (1 << (attempt - 1)))
 
     def forget_position(self) -> None:
         """Forget the last read offset so the next read counts as a seek.
@@ -83,19 +121,43 @@ class CountedFile:
 
     # -- writes ------------------------------------------------------------
 
+    def _invalidate_read_position(self, offset: int, length: int) -> None:
+        # A write landing on the cached read-end moves the head there for
+        # writing, so treating the next read as sequential would undercount
+        # seeks; forget the position and let the next read pay honestly.
+        if (
+            self._last_read_end is not None
+            and offset <= self._last_read_end <= offset + length
+        ):
+            self._last_read_end = None
+
     def write_at(self, offset: int, data: bytes) -> None:
         """Overwrite ``data`` at ``offset`` (file must exist)."""
-        with open(self._path, "r+b") as handle:
-            handle.seek(offset)
-            handle.write(data)
+        if not self._path.exists():
+            raise StorageError(
+                f"cannot write at offset {offset}: no such file {self._path}"
+            )
+
+        def writer(chunk: bytes) -> None:
+            with open(self._path, "r+b") as handle:
+                handle.seek(offset)
+                handle.write(chunk)
+
+        faults.guarded_write(self._path, data, writer)
         self.registry.inc("bytes_written", len(data))
+        self._invalidate_read_position(offset, len(data))
 
     def append(self, data: bytes) -> int:
         """Append ``data``; returns the offset it was written at."""
         offset = self.size_bytes()
-        with open(self._path, "ab") as handle:
-            handle.write(data)
+
+        def writer(chunk: bytes) -> None:
+            with open(self._path, "ab") as handle:
+                handle.write(chunk)
+
+        faults.guarded_write(self._path, data, writer)
         self.registry.inc("bytes_written", len(data))
+        self._invalidate_read_position(offset, len(data))
         return offset
 
     # -- lifecycle ---------------------------------------------------------
@@ -123,6 +185,16 @@ class PageDevice:
 
     The unit of transfer for the heap file and the B+tree index files;
     page reads inherit the counted-seek rule from the underlying file.
+
+    When a page-checksum sidecar (``<file>.crc``) exists next to the
+    backing file it is attached automatically: every ``read_page``
+    verifies its page's CRC32 (mismatch raises
+    :class:`~repro.errors.CorruptionError`), and page writes keep the
+    sidecar current on disk immediately, so a writer that is never
+    cleanly closed still leaves a consistent (file, sidecar) pair.
+    Builders writing a file from scratch run without a sidecar and
+    create it once at the end (see
+    :func:`repro.storage.integrity.page_checksums_of_file`).
     """
 
     def __init__(
@@ -135,6 +207,10 @@ class PageDevice:
             raise ValueError(f"page size must be > 0, got {page_size}")
         self._file = CountedFile(path, registry)
         self._page_size = page_size
+        self._checksums: list[int] | None = integrity.read_page_checksums(
+            self._file.path
+        )
+        self._checksums_dirty = False
 
     @property
     def path(self) -> Path:
@@ -157,13 +233,22 @@ class PageDevice:
         return self._file.size_bytes() // self._page_size
 
     def read_page(self, page_number: int) -> bytes:
-        """Read one full page."""
+        """Read one full page, verifying its checksum when attached."""
         if page_number < 0:
             raise StorageError(f"page {page_number} out of range")
         _profile.page_read(self._file.path, page_number)
-        return self._file.read_at(
+        data = self._file.read_at(
             page_number * self._page_size, self._page_size
         )
+        if self._checksums is not None and page_number < len(self._checksums):
+            actual = integrity.crc32(data)
+            expected = self._checksums[page_number]
+            if actual != expected:
+                raise CorruptionError(
+                    f"{self._file.path.name}: page {page_number} checksum "
+                    f"mismatch (stored {expected:#010x}, read {actual:#010x})"
+                )
+        return data
 
     def write_page(self, page_number: int, data: bytes) -> None:
         """Overwrite one page in place."""
@@ -172,6 +257,10 @@ class PageDevice:
                 f"page write must be exactly {self._page_size} bytes"
             )
         self._file.write_at(page_number * self._page_size, data)
+        if self._checksums is not None and page_number < len(self._checksums):
+            self._checksums[page_number] = integrity.crc32(data)
+            self._checksums_dirty = True
+            self.flush_checksums()
 
     def append_page(self, data: bytes) -> int:
         """Append one page; returns its page number."""
@@ -180,7 +269,22 @@ class PageDevice:
                 f"page write must be exactly {self._page_size} bytes"
             )
         offset = self._file.append(data)
+        if self._checksums is not None:
+            self._checksums.append(integrity.crc32(data))
+            self._checksums_dirty = True
+            self.flush_checksums()
         return offset // self._page_size
+
+    def flush_checksums(self) -> None:
+        """Rewrite the sidecar if in-place writes changed any page CRC."""
+        if self._checksums is not None and self._checksums_dirty:
+            from repro.storage import atomic
+
+            sidecar = integrity.sidecar_path(self._file.path)
+            atomic.write_file(
+                sidecar, integrity.encode_page_checksums(self._checksums)
+            )
+            self._checksums_dirty = False
 
     def forget_position(self) -> None:
         """See :meth:`CountedFile.forget_position`."""
@@ -191,7 +295,8 @@ class PageDevice:
         return self._file.size_bytes()
 
     def close(self) -> None:
-        """Close the underlying file handle."""
+        """Flush any dirty checksums and close the underlying file handle."""
+        self.flush_checksums()
         self._file.close()
 
     def __enter__(self) -> "PageDevice":

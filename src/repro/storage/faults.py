@@ -1,0 +1,211 @@
+"""Deterministic fault injection for the storage engine.
+
+A :class:`FaultPlan` is a seeded description of the storage faults a run
+should experience: bit flips and short reads on the read path, transient
+``EIO`` errors (absorbed by the bounded retry loop in
+:meth:`repro.storage.device.CountedFile.read_at`), torn writes, and a
+:class:`SimulatedCrash` at a chosen write-operation index.  The plan slots
+*under* :class:`~repro.storage.device.CountedFile` /
+:class:`~repro.storage.device.PageDevice` and the whole-file writer in
+:mod:`repro.storage.atomic`: while a plan is activated, every read and
+write in the process flows through it, so a crash-point sweep can kill a
+build at *every* write op and a fuzz run can flip bits under real query
+traffic.
+
+Faults are charged to the reading device's
+:class:`~repro.storage.metrics.MetricsRegistry` (``fault_bit_flips``,
+``fault_short_reads``, ``fault_eio``, ``io_retries``) and recorded in its
+bounded event log, so the PR-3 access tracer and ``io_stats()`` both see
+them.  Write-op indices are global to the plan — a build is one ordered
+sequence of write operations regardless of how many files it touches.
+
+Determinism: the same plan (same seed, same rates) against the same
+workload injects the same faults, so every failure reproduces.
+"""
+
+from __future__ import annotations
+
+import errno
+import random
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+#: Bounded retry policy for transient read errors (see CountedFile.read_at).
+READ_RETRY_LIMIT = 3
+#: Base backoff between retries, in seconds (doubles per attempt).
+READ_RETRY_BACKOFF_S = 0.001
+
+
+class SimulatedCrash(Exception):
+    """Injected process death mid-write.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: nothing in the
+    library may catch and absorb it, exactly as nothing survives a real
+    ``kill -9``.
+    """
+
+
+class TransientIOError(OSError):
+    """Injected transient ``EIO`` — retryable by the device layer."""
+
+    def __init__(self, path: Path | str, operation: str = "read") -> None:
+        super().__init__(errno.EIO, f"injected transient {operation} error", str(path))
+
+
+class FaultPlan:
+    """Seeded, deterministic storage-fault schedule.
+
+    Rates are per-operation probabilities drawn from one ``random.Random``
+    stream, so a given (seed, workload) pair always injects the same
+    faults.  ``crash_at_write`` names the global write-op index at which a
+    :class:`SimulatedCrash` is raised; with ``torn_writes=True`` a random
+    prefix of that final write reaches the disk first — the classic torn
+    write a checksummed format must detect.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        bit_flip_rate: float = 0.0,
+        short_read_rate: float = 0.0,
+        eio_rate: float = 0.0,
+        crash_at_write: int | None = None,
+        torn_writes: bool = False,
+    ) -> None:
+        for name, rate in (
+            ("bit_flip_rate", bit_flip_rate),
+            ("short_read_rate", short_read_rate),
+            ("eio_rate", eio_rate),
+        ):
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        self.seed = seed
+        self.bit_flip_rate = bit_flip_rate
+        self.short_read_rate = short_read_rate
+        self.eio_rate = eio_rate
+        self.crash_at_write = crash_at_write
+        self.torn_writes = torn_writes
+        self._rng = random.Random(seed)
+        #: Global write-operation counter (files + device writes + commits).
+        self.write_ops = 0
+        #: Faults injected so far, by kind.
+        self.injected: dict[str, int] = {}
+
+    def _count(self, kind: str, registry=None, path=None) -> None:
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        if registry is not None:
+            registry.inc(f"fault_{kind}")
+            registry.record("fault", (kind, str(path)))
+
+    # -- read path ---------------------------------------------------------
+
+    def on_read(self, path, offset: int, data: bytes, registry=None) -> bytes:
+        """Transform (or reject) one device read.
+
+        May raise :class:`TransientIOError`; may return data shortened or
+        with one bit flipped.  Called once per read *attempt*, so a retry
+        re-rolls the dice — transient faults are genuinely transient.
+        """
+        if self._rng.random() < self.eio_rate:
+            self._count("eio", registry, path)
+            raise TransientIOError(path)
+        if data and self._rng.random() < self.short_read_rate:
+            self._count("short_reads", registry, path)
+            data = data[: self._rng.randrange(len(data))]
+        if data and self._rng.random() < self.bit_flip_rate:
+            self._count("bit_flips", registry, path)
+            flipped = bytearray(data)
+            position = self._rng.randrange(len(flipped))
+            flipped[position] ^= 1 << self._rng.randrange(8)
+            data = bytes(flipped)
+        return data
+
+    # -- write path --------------------------------------------------------
+
+    def on_write(self, path, data: bytes, writer) -> None:
+        """Run one write operation, honouring the crash schedule.
+
+        ``writer(chunk)`` performs the actual write; at the crash index it
+        receives a torn prefix (when ``torn_writes``) and the crash is
+        raised before the full data ever lands.
+        """
+        index = self.write_ops
+        self.write_ops += 1
+        if index == self.crash_at_write:
+            if self.torn_writes and data:
+                torn = data[: self._rng.randrange(len(data))]
+                if torn:
+                    writer(torn)
+                self._count("torn_writes", path=path)
+            raise SimulatedCrash(f"simulated crash at write op {index} ({path})")
+        writer(data)
+
+    def on_commit(self, root) -> None:
+        """A build commit (rename) is one write op in the crash schedule."""
+        index = self.write_ops
+        self.write_ops += 1
+        if index == self.crash_at_write:
+            raise SimulatedCrash(f"simulated crash at commit (write op {index}, {root})")
+
+
+# -- activation ------------------------------------------------------------
+#
+# One plan is active per process at a time (builds and stores are
+# single-threaded; the lock only guards installation itself).
+
+_lock = threading.Lock()
+_plan: FaultPlan | None = None
+
+
+def active_plan() -> FaultPlan | None:
+    """The currently installed plan, if any."""
+    return _plan
+
+
+def install(plan: FaultPlan | None) -> None:
+    """Install ``plan`` process-wide (None uninstalls)."""
+    global _plan
+    with _lock:
+        _plan = plan
+
+
+@contextmanager
+def activated(plan: FaultPlan):
+    """Scope ``plan`` to a ``with`` block, restoring the previous plan."""
+    global _plan
+    with _lock:
+        previous = _plan
+        _plan = plan
+    try:
+        yield plan
+    finally:
+        with _lock:
+            _plan = previous
+
+
+# -- hooks called by the storage layer -------------------------------------
+
+
+def on_read(path, offset: int, data: bytes, registry=None) -> bytes:
+    """Read-path hook: no-op unless a plan is active."""
+    plan = _plan
+    if plan is None:
+        return data
+    return plan.on_read(path, offset, data, registry)
+
+
+def guarded_write(path, data: bytes, writer) -> None:
+    """Write-path hook: ``writer(data)`` under the active crash schedule."""
+    plan = _plan
+    if plan is None:
+        writer(data)
+        return
+    plan.on_write(path, data, writer)
+
+
+def commit(root) -> None:
+    """Commit hook: charges one write op to the active crash schedule."""
+    plan = _plan
+    if plan is not None:
+        plan.on_commit(root)

@@ -1,0 +1,166 @@
+"""CRC32 framing, page-checksum sidecars and build digests.
+
+Three integrity primitives shared by every representation:
+
+* **frame codec** — ``encode_frame``/``decode_frame`` wrap a byte payload
+  as ``vbyte(length) + payload + crc32`` so small auxiliary files
+  (pointer tables, indexes, id maps) detect truncation, trailing garbage
+  and any bit flip as a clean :class:`~repro.errors.CorruptionError`
+  instead of an undecodable mess deep inside ``util.bitio``;
+* **page-checksum sidecars** — ``<file>.crc`` holds one CRC32 per
+  fixed-size page of a heap or B+tree file (itself stored as a frame), so
+  :class:`~repro.storage.device.PageDevice` verifies every page read;
+* **build digests** — a manifest's ``files`` table records each file's
+  size and CRC, and ``build_digest`` folds the table into one SHA-256
+  whose mismatch means "this build is not the one the manifest
+  describes".
+
+CRC32 (via :func:`zlib.crc32`) detects every single-bit error and all
+burst errors up to 32 bits — the failure modes of torn writes and bit
+rot — at ~1 GB/s in the C implementation, so verification is effectively
+free next to payload decoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+import zlib
+from pathlib import Path
+
+from repro.errors import CorruptionError
+from repro.util.varint import decode_vbyte, encode_vbyte
+
+_CRC = struct.Struct("<I")
+
+#: Suffix of a page-checksum sidecar file.
+SIDECAR_SUFFIX = ".crc"
+
+
+def crc32(data: bytes) -> int:
+    """CRC32 of ``data`` (unsigned)."""
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+# -- frame codec -----------------------------------------------------------
+
+
+def encode_frame(payload: bytes) -> bytes:
+    """``vbyte(len) + payload + crc32(payload)``."""
+    return b"".join((encode_vbyte(len(payload)), payload, _CRC.pack(crc32(payload))))
+
+
+def decode_frame(blob: bytes, position: int = 0) -> tuple[bytes, int]:
+    """Decode one frame at ``position``; returns (payload, next position).
+
+    Raises :class:`CorruptionError` on truncation or checksum mismatch.
+    """
+    try:
+        length, position = decode_vbyte(blob, position)
+    except Exception as exc:
+        raise CorruptionError(f"unreadable frame header: {exc}") from exc
+    end = position + length
+    if end + _CRC.size > len(blob):
+        raise CorruptionError(
+            f"truncated frame: header promises {length} bytes but only "
+            f"{len(blob) - position - _CRC.size} remain"
+        )
+    payload = bytes(blob[position:end])
+    (expected,) = _CRC.unpack_from(blob, end)
+    actual = crc32(payload)
+    if actual != expected:
+        raise CorruptionError(
+            f"frame checksum mismatch: stored {expected:#010x}, "
+            f"computed {actual:#010x}"
+        )
+    return payload, end + _CRC.size
+
+
+def read_framed(path: Path | str) -> bytes:
+    """Read a whole-file frame; the file must hold exactly one frame."""
+    path = Path(path)
+    blob = path.read_bytes()
+    try:
+        payload, position = decode_frame(blob)
+    except CorruptionError as exc:
+        raise CorruptionError(f"{path.name}: {exc}") from None
+    if position != len(blob):
+        raise CorruptionError(
+            f"{path.name}: {len(blob) - position} bytes of trailing garbage "
+            "after the frame"
+        )
+    return payload
+
+
+# -- page-checksum sidecars ------------------------------------------------
+
+
+def sidecar_path(data_path: Path | str) -> Path:
+    """Path of the page-checksum sidecar for ``data_path``."""
+    data_path = Path(data_path)
+    return data_path.parent / (data_path.name + SIDECAR_SUFFIX)
+
+
+def encode_page_checksums(checksums: list[int]) -> bytes:
+    """Serialized sidecar content (a frame over the packed CRC array)."""
+    return encode_frame(struct.pack(f"<{len(checksums)}I", *checksums))
+
+
+def decode_page_checksums(blob: bytes) -> list[int]:
+    """Inverse of :func:`encode_page_checksums`."""
+    payload, _position = decode_frame(blob)
+    if len(payload) % _CRC.size:
+        raise CorruptionError("page-checksum sidecar is not a whole CRC array")
+    return list(struct.unpack(f"<{len(payload) // _CRC.size}I", payload))
+
+
+def read_page_checksums(data_path: Path | str) -> list[int] | None:
+    """Load the sidecar checksums of ``data_path`` (None when absent).
+
+    Read with a plain handle, not a counted device: sidecar loading is
+    open-time bookkeeping, not part of any measured access path.
+    """
+    path = sidecar_path(data_path)
+    if not path.exists():
+        return None
+    try:
+        return decode_page_checksums(path.read_bytes())
+    except CorruptionError as exc:
+        raise CorruptionError(f"{path.name}: {exc}") from None
+
+
+def page_checksums_of_file(data_path: Path | str, page_size: int) -> list[int]:
+    """Compute one CRC32 per whole ``page_size`` page of a data file."""
+    data = Path(data_path).read_bytes()
+    return [
+        crc32(data[start : start + page_size])
+        for start in range(0, len(data) - page_size + 1, page_size)
+    ]
+
+
+# -- build digests ---------------------------------------------------------
+
+
+def file_crc(path: Path | str) -> int:
+    """CRC32 of a whole file (streamed)."""
+    value = 0
+    with open(path, "rb") as handle:
+        while chunk := handle.read(1 << 20):
+            value = zlib.crc32(chunk, value)
+    return value & 0xFFFFFFFF
+
+
+def build_digest(files: dict[str, dict]) -> str:
+    """SHA-256 over a manifest ``files`` table (name, size, CRC per file).
+
+    Stable under dict ordering; any file added, removed, resized or
+    re-checksummed changes the digest, so the manifest commits to exactly
+    one build.
+    """
+    digest = hashlib.sha256()
+    for name in sorted(files):
+        entry = files[name]
+        digest.update(
+            f"{name}:{entry['bytes']}:{entry['crc32']:#010x}\n".encode()
+        )
+    return digest.hexdigest()

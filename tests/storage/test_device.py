@@ -90,6 +90,36 @@ class TestCountedFile:
         assert device.read_at(0, 4) == b"ABCD"
         assert device.read_at(1024, 4) == b"EFGH"
 
+    def test_zero_length_read_allowed(self, datafile):
+        device = CountedFile(datafile)
+        assert device.read_at(0, 0) == b""
+        assert device.registry.get("bytes_read") == 0
+        # The zero-length read still positioned the head at offset 0.
+        device.read_at(0, 4)
+        assert device.registry.get("disk_seeks") == 1
+
+    def test_write_at_missing_file_raises(self, tmp_path):
+        device = CountedFile(tmp_path / "absent.bin")
+        with pytest.raises(StorageError, match="no such file"):
+            device.write_at(0, b"data")
+
+    def test_write_on_cached_read_end_invalidates_position(self, datafile):
+        # After read_at(0, 4) the head is cached at offset 4; a write
+        # touching that offset moves the head, so the next read at 4 must
+        # count a seek instead of passing as sequential.
+        device = CountedFile(datafile)
+        device.read_at(0, 4)
+        device.write_at(2, b"xx")
+        device.read_at(4, 4)
+        assert device.registry.get("disk_seeks") == 2
+
+    def test_write_away_from_read_end_keeps_position(self, datafile):
+        device = CountedFile(datafile)
+        device.read_at(0, 4)
+        device.write_at(100, b"xx")  # nowhere near the cached offset 4
+        device.read_at(4, 4)
+        assert device.registry.get("disk_seeks") == 1
+
     def test_close_then_read_reopens(self, datafile):
         device = CountedFile(datafile)
         device.read_at(0, 4)
@@ -135,6 +165,60 @@ class TestPageDevice:
     def test_bad_page_size_rejected(self, tmp_path):
         with pytest.raises(ValueError):
             PageDevice(tmp_path / "p.bin", page_size=0)
+
+    def test_read_page_past_eof_raises(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        path.write_bytes(b"x" * 64 * 2)
+        device = PageDevice(path, page_size=64)
+        with pytest.raises(StorageError, match="short read"):
+            device.read_page(2)
+
+    def test_negative_page_number_rejected(self, tmp_path):
+        path = tmp_path / "pages.bin"
+        path.write_bytes(b"x" * 64)
+        device = PageDevice(path, page_size=64)
+        with pytest.raises(StorageError, match="out of range"):
+            device.read_page(-1)
+
+    def test_sidecar_verifies_page_reads(self, tmp_path):
+        from repro.storage import integrity
+
+        path = tmp_path / "pages.bin"
+        pages = [bytes([value]) * 64 for value in (1, 2, 3)]
+        path.write_bytes(b"".join(pages))
+        integrity.sidecar_path(path).write_bytes(
+            integrity.encode_page_checksums([integrity.crc32(p) for p in pages])
+        )
+        device = PageDevice(path, page_size=64)
+        assert device.read_page(1) == pages[1]
+        # Corrupt page 2 behind the device's back (close first so the
+        # buffered read handle cannot serve stale bytes).
+        device.close()
+        blob = bytearray(path.read_bytes())
+        blob[64 * 2 + 10] ^= 0x01
+        path.write_bytes(bytes(blob))
+        from repro.errors import CorruptionError
+
+        with pytest.raises(CorruptionError, match="page 2 checksum"):
+            device.read_page(2)
+
+    def test_writes_keep_sidecar_current_without_close(self, tmp_path):
+        from repro.storage import integrity
+
+        path = tmp_path / "pages.bin"
+        page = b"a" * 64
+        path.write_bytes(page)
+        integrity.sidecar_path(path).write_bytes(
+            integrity.encode_page_checksums([integrity.crc32(page)])
+        )
+        writer = PageDevice(path, page_size=64)
+        writer.write_page(0, b"b" * 64)
+        writer.append_page(b"c" * 64)
+        # A second device opened while the writer is still live must see a
+        # consistent (file, sidecar) pair.
+        reader = PageDevice(path, page_size=64)
+        assert reader.read_page(0) == b"b" * 64
+        assert reader.read_page(1) == b"c" * 64
 
 
 class TestProfilerHooks:
