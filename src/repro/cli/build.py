@@ -1,0 +1,125 @@
+"""``repro generate`` and ``repro build`` — stream synthesis and builds."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_generate(arguments: argparse.Namespace) -> int:
+    from repro.webdata.generator import GeneratorConfig, generate_web
+    from repro.webdata.webbase import write_stream
+
+    repository = generate_web(
+        GeneratorConfig(num_pages=arguments.pages, seed=arguments.seed)
+    )
+    size = write_stream(repository, arguments.out)
+    print(
+        f"wrote {repository.num_pages} pages / {repository.num_links} links "
+        f"({size} bytes) to {arguments.out}"
+    )
+    return 0
+
+
+def _cmd_build(arguments: argparse.Namespace) -> int:
+    from repro.obs.progress import ProgressReporter
+    from repro.obs.tracing import Tracer, activated
+    from repro.snode.build import BuildOptions, build_snode
+    from repro.webdata.webbase import read_repository
+
+    progress = None if arguments.quiet else ProgressReporter(label="build")
+    tracer = Tracer()
+    with activated(tracer):
+        with tracer.span("build.stream", path=str(arguments.stream)):
+            repository = read_repository(
+                arguments.stream, limit=arguments.limit, progress=progress
+            )
+        options = BuildOptions(
+            transpose=arguments.transpose, workers=arguments.workers
+        )
+        build = build_snode(
+            repository,
+            arguments.out,
+            options,
+            progress=progress,
+            resume=arguments.resume,
+        )
+    direction = "WGT (backlinks)" if arguments.transpose else "WG"
+    print(
+        f"built {direction}: {build.model.num_supernodes} supernodes, "
+        f"{build.model.num_superedges} superedges, "
+        f"{build.bits_per_edge:.2f} bits/edge -> {arguments.out}"
+    )
+    if build.resumed_stages:
+        print(
+            f"resumed from checkpoints: skipped "
+            f"{', '.join(build.resumed_stages)}",
+            file=sys.stderr,
+        )
+    if arguments.trace:
+        print("build trace (span-attributed phases):", file=sys.stderr)
+        print(tracer.render(max_depth=arguments.trace_depth), file=sys.stderr)
+    if arguments.trace_out:
+        tracer.write_jsonl(arguments.trace_out)
+        print(f"trace spans written to {arguments.trace_out}", file=sys.stderr)
+    if arguments.folded:
+        tracer.write_folded(arguments.folded)
+        print(f"folded stacks written to {arguments.folded}", file=sys.stderr)
+    build.store.close()
+    return 0
+
+
+def register(commands) -> None:
+    """Attach the ``generate`` and ``build`` subparsers."""
+    generate = commands.add_parser("generate", help="synthesize a crawl stream")
+    generate.add_argument("--pages", type=int, default=10_000)
+    generate.add_argument("--seed", type=int, default=2003)
+    generate.add_argument("--out", required=True)
+    generate.set_defaults(handler=_cmd_generate)
+
+    build = commands.add_parser("build", help="build an S-Node representation")
+    build.add_argument("--stream", required=True, help="WebBase stream file")
+    build.add_argument("--out", required=True, help="output directory")
+    build.add_argument("--limit", type=int, default=None, help="crawl prefix")
+    build.add_argument("--transpose", action="store_true", help="build WGT")
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="encode-stage worker processes (default: REPRO_BUILD_WORKERS "
+        "or 1 = serial; output bytes are identical for any N)",
+    )
+    build.add_argument(
+        "--resume",
+        action="store_true",
+        help="continue an interrupted build from its last completed stage "
+        "checkpoint (falls back to a fresh build when none applies)",
+    )
+    build.add_argument(
+        "--trace",
+        action="store_true",
+        help="print the span tree attributing build time to phases (stderr)",
+    )
+    build.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="write the full span tree as JSON lines to FILE",
+    )
+    build.add_argument(
+        "--trace-depth",
+        type=int,
+        default=2,
+        help="maximum span depth shown by --trace (default 2)",
+    )
+    build.add_argument(
+        "--folded",
+        default=None,
+        metavar="FILE",
+        help="write flamegraph folded stacks (span path + self time) to FILE",
+    )
+    build.add_argument(
+        "--quiet", action="store_true", help="suppress stderr progress reporting"
+    )
+    build.set_defaults(handler=_cmd_build)

@@ -1,0 +1,58 @@
+"""``repro fsck`` and ``repro verify`` — integrity checking."""
+
+from __future__ import annotations
+
+import argparse
+import json
+
+
+def _cmd_verify(arguments: argparse.Namespace) -> int:
+    from repro.snode.verify import verify_snode
+
+    report = verify_snode(arguments.root, decode_payloads=not arguments.fast)
+    if report.ok:
+        print(f"OK ({report.graphs_checked} graphs checked)")
+        return 0
+    for problem in report.problems:
+        print(f"PROBLEM: {problem}")
+    return 1
+
+
+def _cmd_fsck(arguments: argparse.Namespace) -> int:
+    from repro.storage.fsck import fsck
+
+    report = fsck(arguments.root, repair=arguments.repair)
+    if arguments.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
+
+
+def register(commands) -> None:
+    """Attach the ``verify`` and ``fsck`` subparsers."""
+    verify = commands.add_parser("verify", help="integrity-check a representation")
+    verify.add_argument("root")
+    verify.add_argument(
+        "--fast", action="store_true", help="skip payload decoding"
+    )
+    verify.set_defaults(handler=_cmd_verify)
+
+    fsck = commands.add_parser(
+        "fsck",
+        help="check a build directory: atomic-commit state, manifest file "
+        "table, per-region checksums (any scheme)",
+    )
+    fsck.add_argument("root")
+    fsck.add_argument(
+        "--repair",
+        action="store_true",
+        help="quarantine corrupt S-Node regions into quarantine.json so "
+        "degrade-mode stores keep serving the rest",
+    )
+    fsck.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable report instead of text",
+    )
+    fsck.set_defaults(handler=_cmd_fsck)

@@ -183,24 +183,55 @@ class Digraph:
 
 
 class GraphBuilder:
-    """Mutable edge accumulator that produces a deduplicated :class:`Digraph`."""
+    """Mutable edge accumulator that produces a deduplicated :class:`Digraph`.
+
+    Edges are spilled from a small Python append buffer into packed numpy
+    ``int64`` chunks every :data:`CHUNK_EDGES` additions, so ingesting a
+    multi-million-edge stream holds at most one small Python list plus the
+    compact chunk arrays — the builder's memory stays proportional to the
+    *edge count in packed form*, never to boxed Python ints.  Chunked edge
+    iterables can be fed incrementally via :meth:`add_edges` /
+    :meth:`add_links`; :meth:`build` concatenates the chunks once and
+    deduplicates in numpy.
+    """
+
+    #: Python-side append buffer size before spilling to a numpy chunk.
+    CHUNK_EDGES = 1 << 16
 
     def __init__(self, num_vertices: int) -> None:
         if num_vertices < 0:
             raise GraphError(f"vertex count must be >= 0, got {num_vertices}")
         self._num_vertices = num_vertices
+        self._chunks: list[np.ndarray] = []  # packed (source, target) pairs
         self._sources: list[int] = []
         self._targets: list[int] = []
+        self._num_buffered = 0
 
     @property
     def num_vertices(self) -> int:
         """Number of vertices the built graph will have."""
         return self._num_vertices
 
+    @property
+    def num_buffered_edges(self) -> int:
+        """Edges recorded so far (duplicates still counted)."""
+        return self._num_buffered
+
     def add_vertex(self) -> int:
         """Append a fresh vertex; returns its id."""
         self._num_vertices += 1
         return self._num_vertices - 1
+
+    def _spill(self) -> None:
+        """Move the Python append buffer into a packed numpy chunk."""
+        if not self._sources:
+            return
+        chunk = np.empty((2, len(self._sources)), dtype=np.int64)
+        chunk[0] = self._sources
+        chunk[1] = self._targets
+        self._chunks.append(chunk)
+        self._sources.clear()
+        self._targets.clear()
 
     def add_edge(self, source: int, target: int) -> None:
         """Record the edge ``source -> target`` (duplicates collapse)."""
@@ -210,20 +241,45 @@ class GraphBuilder:
             raise GraphError(f"target {target} out of range")
         self._sources.append(source)
         self._targets.append(target)
+        self._num_buffered += 1
+        if len(self._sources) >= self.CHUNK_EDGES:
+            self._spill()
 
     def add_edges(self, edges: Iterable[tuple[int, int]]) -> None:
-        """Record many edges."""
+        """Record many edges (any iterable, consumed incrementally)."""
         for source, target in edges:
             self.add_edge(source, target)
+
+    def add_links(self, source: int, targets: Iterable[int]) -> None:
+        """Record one source's out-links (an adjacency-row chunk).
+
+        The natural unit a streaming ingest produces — one page record's
+        link list goes straight into the packed buffer without building
+        per-edge tuples.
+        """
+        if not 0 <= source < self._num_vertices:
+            raise GraphError(f"source {source} out of range")
+        for target in targets:
+            if not 0 <= target < self._num_vertices:
+                raise GraphError(f"target {target} out of range")
+            self._sources.append(source)
+            self._targets.append(target)
+            self._num_buffered += 1
+        if len(self._sources) >= self.CHUNK_EDGES:
+            self._spill()
 
     def build(self) -> Digraph:
         """Produce the immutable CSR graph (edges deduplicated and sorted)."""
         n = self._num_vertices
-        if not self._sources:
+        self._spill()
+        if not self._chunks:
             return Digraph(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64))
-        sources = np.asarray(self._sources, dtype=np.int64)
-        targets = np.asarray(self._targets, dtype=np.int64)
-        keys = sources * n + targets
+        packed = (
+            self._chunks[0]
+            if len(self._chunks) == 1
+            else np.concatenate(self._chunks, axis=1)
+        )
+        keys = packed[0] * n + packed[1]
         unique_keys = np.unique(keys)
         sources = unique_keys // n
         targets = unique_keys % n

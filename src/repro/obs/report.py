@@ -202,6 +202,27 @@ def flatten_numeric(value, prefix: str = "") -> dict[str, float]:
     return out
 
 
+def flatten_leaves(value, prefix: str = "") -> dict[str, object]:
+    """Dotted-path -> value map of *every* leaf (numbers, strings, bools).
+
+    The exact-compare companion of :func:`flatten_numeric`: determinism
+    markers like build digests are strings, so the exact differ needs
+    all leaf types, not just the numeric ones.
+    """
+    if isinstance(value, dict):
+        out: dict[str, object] = {}
+        for key in value:
+            child_prefix = f"{prefix}.{key}" if prefix else str(key)
+            out.update(flatten_leaves(value[key], child_prefix))
+        return out
+    if isinstance(value, (list, tuple)):
+        out = {}
+        for index, item in enumerate(value):
+            out.update(flatten_leaves(item, f"{prefix}[{index}]"))
+        return out
+    return {prefix: value}
+
+
 def _is_cost_path(path: str) -> bool:
     leaf = path.rsplit(".", 1)[-1]
     return any(marker in leaf for marker in _COST_MARKERS)
@@ -218,6 +239,20 @@ class DiffEntry:
     regression: bool
 
 
+#: Placeholder rendered when an exact-pinned path exists in only one report.
+_MISSING = "<missing>"
+
+
+@dataclass
+class ExactEntry:
+    """One exact-pinned leaf compared for strict equality."""
+
+    path: str
+    old: object
+    new: object
+    match: bool
+
+
 @dataclass
 class BenchDiff:
     """Outcome of comparing two bench reports."""
@@ -225,11 +260,22 @@ class BenchDiff:
     experiment: str
     threshold: float
     entries: list[DiffEntry] = field(default_factory=list)
+    exact_entries: list[ExactEntry] = field(default_factory=list)
 
     @property
     def regressions(self) -> list[DiffEntry]:
         """Entries whose cost grew beyond the threshold."""
         return [entry for entry in self.entries if entry.regression]
+
+    @property
+    def exact_mismatches(self) -> list[ExactEntry]:
+        """Exact-pinned leaves whose values differ (or exist in only one)."""
+        return [entry for entry in self.exact_entries if not entry.match]
+
+    @property
+    def failed(self) -> bool:
+        """True when the diff should gate (regressions or exact mismatches)."""
+        return bool(self.regressions or self.exact_mismatches)
 
     def render(self, limit: int = 20) -> str:
         """Human-readable summary, worst regressions first."""
@@ -251,6 +297,15 @@ class BenchDiff:
             )
         if len(self.entries) > limit:
             lines.append(f"  ... {len(self.entries) - limit} more")
+        if self.exact_entries:
+            lines.append(
+                f"  exact: {len(self.exact_entries)} pinned leaves, "
+                f"{len(self.exact_mismatches)} mismatch(es)"
+            )
+            for entry in self.exact_mismatches[:limit]:
+                lines.append(
+                    f"  {entry.path}: {entry.old!r} -> {entry.new!r} MISMATCH"
+                )
         return "\n".join(lines)
 
 
@@ -265,6 +320,7 @@ def diff_reports(
     threshold: float = 0.2,
     min_delta: float = DEFAULT_MIN_DELTA,
     ignore: tuple[str, ...] = (),
+    exact: tuple[str, ...] = (),
 ) -> BenchDiff:
     """Compare two reports' cost metrics; flag increases > ``threshold``.
 
@@ -272,7 +328,14 @@ def diff_reports(
     paths whose leaf key looks like a cost (times, percentiles, seeks,
     bytes read, ...).  Paths containing any ``ignore`` substring are
     skipped entirely — how CI excludes machine-dependent wall-clock
-    metrics while still gating the deterministic simulated costs.  The
+    metrics while still gating the deterministic simulated costs.
+
+    Paths containing any ``exact`` substring are pinned instead: every
+    such leaf (numeric or not — build digests are strings) must be
+    byte-equal between reports, and a leaf present in only one report is
+    a mismatch.  Exact paths are exempt from ``ignore`` and from the
+    cost-threshold comparison — how CI gates determinism markers like
+    shard counts and manifest digests while ignoring wall-clock.  The
     reports must describe the same experiment.
     """
     for data in (old, new):
@@ -290,9 +353,29 @@ def diff_reports(
     for section in ("results", "histograms"):
         old_values.update(flatten_numeric(old[section], section))
         new_values.update(flatten_numeric(new[section], section))
+    if exact:
+        old_leaves: dict[str, object] = {}
+        new_leaves: dict[str, object] = {}
+        for section in ("results", "histograms"):
+            old_leaves.update(flatten_leaves(old[section], section))
+            new_leaves.update(flatten_leaves(new[section], section))
+        for path in sorted(set(old_leaves) | set(new_leaves)):
+            if not any(marker in path for marker in exact):
+                continue
+            before = old_leaves.get(path, _MISSING)
+            after = new_leaves.get(path, _MISSING)
+            match = (
+                before is not _MISSING and after is not _MISSING
+                and before == after
+            )
+            diff.exact_entries.append(
+                ExactEntry(path=path, old=before, new=after, match=match)
+            )
     for path in sorted(set(old_values) & set(new_values)):
         if not _is_cost_path(path):
             continue
+        if any(marker in path for marker in exact):
+            continue  # pinned above; never double-count or threshold it
         if any(marker in path for marker in ignore):
             continue
         before, after = old_values[path], new_values[path]
@@ -336,6 +419,14 @@ def main(argv: list[str] | None = None) -> int:
         metavar="SUBSTRING",
         help="skip cost paths containing SUBSTRING (repeatable; e.g. wall_ms)",
     )
+    diff.add_argument(
+        "--exact",
+        action="append",
+        default=[],
+        metavar="SUBSTRING",
+        help="paths containing SUBSTRING must match exactly (repeatable; "
+        "covers non-numeric leaves like digests; e.g. digest, shards)",
+    )
     arguments = parser.parse_args(argv)
 
     if arguments.command == "validate":
@@ -354,9 +445,10 @@ def main(argv: list[str] | None = None) -> int:
         load_report(arguments.new),
         threshold=arguments.threshold,
         ignore=tuple(arguments.ignore),
+        exact=tuple(arguments.exact),
     )
     print(result.render())
-    return 1 if result.regressions else 0
+    return 1 if result.failed else 0
 
 
 if __name__ == "__main__":

@@ -158,6 +158,26 @@ class Tracer:
         if self._stack:
             self._stack[-1].note(name, amount)
 
+    def absorb_summary(self, summary: dict, prefix: str = "") -> None:
+        """Merge another tracer's :meth:`summary` into this tracer.
+
+        The bridge between encode workers and the parent trace: a worker
+        process records spans on its own :class:`Tracer`, ships the
+        per-name aggregates back in its result, and the parent absorbs
+        them here — so ``repro build --trace`` and bench-report span
+        sections account for work done in child processes instead of
+        silently dropping it.  ``prefix`` namespaces the absorbed span
+        names (e.g. ``worker.``); totals and counts add, maxima combine,
+        and the merged names participate in :meth:`summary` exactly like
+        locally recorded spans (they do not appear in the stored tree).
+        """
+        for name, stats in summary.items():
+            entry = self._summary.setdefault(f"{prefix}{name}", [0, 0.0, 0.0, 0])
+            entry[0] += int(stats.get("count", 0))
+            entry[1] += float(stats.get("total_s", 0.0))
+            entry[2] = max(entry[2], float(stats.get("max_s", 0.0)))
+            entry[3] += int(stats.get("errors", 0))
+
     # -- views -------------------------------------------------------------
 
     def summary(self) -> dict[str, dict[str, float]]:
@@ -317,3 +337,10 @@ def note(name: str, amount: int = 1) -> None:
     tracer = current_tracer()
     if tracer is not None:
         tracer.note(name, amount)
+
+
+def absorb_summary(summary: dict, prefix: str = "") -> None:
+    """Merge a child span summary into the current tracer (no-op when none)."""
+    tracer = current_tracer()
+    if tracer is not None:
+        tracer.absorb_summary(summary, prefix)

@@ -1,4 +1,4 @@
-"""End-to-end S-Node builder.
+"""End-to-end S-Node builder (façade over the staged pipeline).
 
 ``build_snode`` chains the full pipeline of section 3:
 
@@ -11,22 +11,28 @@ numbering, refinement statistics and the size accounting that feeds
 Table 1 and Figures 9/10.  Passing ``transpose=True`` builds the
 representation of WGT (backlinks) instead, reusing the same partition —
 the paper builds both for every scheme.
+
+Since the staged-pipeline refactor the heavy lifting lives in
+:class:`repro.snode.pipeline.BuildPipeline`: every stage checkpoints
+inside the build transaction's tmp directory, the encode stage can fan
+out across a ``multiprocessing`` worker pool (``BuildOptions.workers``,
+or the ``REPRO_BUILD_WORKERS`` environment variable), and
+``build_snode(..., resume=True)`` picks an interrupted build up from its
+last completed stage.  Output bytes are identical for every worker count
+and every resume path.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import BuildError
-from repro.graph.digraph import Digraph
-from repro.obs import tracing
 from repro.partition.partition import Partition
-from repro.partition.refine import RefinementConfig, RefinementResult, refine_partition
+from repro.partition.refine import RefinementConfig, RefinementResult
 from repro.snode.encode import supernode_graph_size_bytes
-from repro.snode.model import SNodeModel, build_model
-from repro.snode.numbering import Numbering, build_numbering
-from repro.snode.storage import DEFAULT_MAX_FILE_BYTES, write_snode
+from repro.snode.model import SNodeModel
+from repro.snode.numbering import Numbering
+from repro.snode.storage import DEFAULT_MAX_FILE_BYTES
 from repro.snode.store import DEFAULT_BUFFER_BYTES, SNodeStore
 from repro.webdata.corpus import Repository
 
@@ -45,6 +51,9 @@ class BuildOptions:
     use_dictionary: bool = True
     force_positive_superedges: bool = False
     transpose: bool = False
+    # Encode-stage worker processes; None defers to REPRO_BUILD_WORKERS
+    # (default 1 = serial).  Never changes output bytes, only wall-clock.
+    workers: int | None = None
 
 
 @dataclass
@@ -57,6 +66,13 @@ class SNodeBuild:
     refinement: RefinementResult | None
     manifest: dict
     root: Path
+    #: Wall-clock seconds per pipeline stage (0.0 for resumed stages).
+    stage_seconds: dict = field(default_factory=dict)
+    #: Stages restored from checkpoints instead of recomputed.
+    resumed_stages: tuple = ()
+    #: Effective encode worker count and shard count of this build.
+    workers: int = 1
+    shards: int = 1
 
     @property
     def bits_per_edge(self) -> float:
@@ -105,57 +121,29 @@ def build_snode(
     options: BuildOptions | None = None,
     partition: Partition | None = None,
     progress=None,
+    resume: bool = False,
 ) -> SNodeBuild:
     """Build, serialize and open an S-Node representation under ``root``.
 
     Each pipeline stage runs inside a tracing span on the currently
     activated tracer (``build.refine`` / ``build.numbering`` /
-    ``build.model`` / ``build.encode`` / ``build.open``), so
-    ``repro build --trace`` attributes build time to phases.
-    ``progress`` (an optional
+    ``build.model`` / ``build.encode`` / ``build.assemble`` /
+    ``build.open``), so ``repro build --trace`` attributes build time to
+    phases; encode-worker span aggregates are absorbed under a
+    ``worker.`` prefix.  ``progress`` (an optional
     :class:`~repro.obs.progress.ProgressReporter`) is threaded into the
-    refinement loop and the supernode encoder.
+    refinement loop and the supernode encoder.  ``resume=True`` continues
+    an interrupted build from its last completed stage checkpoint —
+    producing exactly the bytes an uninterrupted build would have.
     """
-    options = options or BuildOptions()
-    refinement: RefinementResult | None = None
-    if partition is None:
-        with tracing.span("build.refine", pages=repository.num_pages):
-            refinement = refine_partition(
-                repository,
-                options.refinement or RefinementConfig(),
-                progress=progress,
-            )
-        partition = refinement.partition
-    if partition.num_pages != repository.num_pages:
-        raise BuildError("partition size does not match repository")
-    with tracing.span("build.numbering", elements=partition.num_elements):
-        numbering = build_numbering(repository, partition)
-    graph: Digraph = repository.graph.transpose() if options.transpose else repository.graph
-    with tracing.span("build.model", transpose=options.transpose):
-        model = build_model(
-            graph, numbering, force_positive=options.force_positive_superedges
-        )
-    with tracing.span(
-        "build.encode",
-        supernodes=model.num_supernodes,
-        superedges=model.num_superedges,
-    ):
-        manifest = write_snode(
-            model,
-            root,
-            max_file_bytes=options.max_file_bytes,
-            window=options.reference_window,
-            full_affinity_limit=options.full_affinity_limit,
-            use_dictionary=options.use_dictionary,
-            progress=progress,
-        )
-    with tracing.span("build.open"):
-        store = SNodeStore(root, buffer_bytes=options.buffer_bytes)
-    return SNodeBuild(
-        store=store,
-        numbering=numbering,
-        model=model,
-        refinement=refinement,
-        manifest=manifest,
-        root=Path(root),
-    )
+    # Deferred import: pipeline.core imports this module's dataclasses.
+    from repro.snode.pipeline.core import BuildPipeline
+
+    return BuildPipeline(
+        repository,
+        root,
+        options=options,
+        partition=partition,
+        progress=progress,
+        resume=resume,
+    ).run()

@@ -36,22 +36,48 @@ from repro.util.varint import decode_gamma, encode_gamma
 # ---------------------------------------------------------------------------
 
 
-def encode_supernode_graph(adjacency: Sequence[Sequence[int]]) -> bytes:
+def supernode_frequencies(adjacency: Sequence[Sequence[int]]) -> dict[int, int]:
+    """In-degree frequency table over all superedge lists.
+
+    This is the *freeze* half of the two-phase encode: collecting symbol
+    frequencies across every supernode's adjacency is the only global
+    pass the physical encoding needs — once the Huffman table is frozen
+    from it, every remaining payload encodes independently.
+    """
+    frequencies = {i: 0 for i in range(len(adjacency))}
+    for row in adjacency:
+        for target in row:
+            frequencies[target] += 1
+    return frequencies
+
+
+def freeze_supernode_codec(
+    frequencies: dict[int, int],
+) -> HuffmanCodec | None:
+    """Freeze the supernode-graph Huffman code table from frequencies."""
+    if not frequencies:
+        return None
+    return HuffmanCodec.from_frequencies(frequencies)
+
+
+def encode_supernode_graph(
+    adjacency: Sequence[Sequence[int]], codec: HuffmanCodec | None = None
+) -> bytes:
     """Huffman-encode the supernode adjacency lists.
 
     In-degree frequencies drive code assignment (paper: "supernodes with
     high in-degree get smaller codes").  Layout: gamma(n), serialized code
-    lengths, then per supernode gamma(out-degree) + target codes.
+    lengths, then per supernode gamma(out-degree) + target codes.  A
+    pre-frozen ``codec`` (from :func:`freeze_supernode_codec`) may be
+    supplied; by construction it yields the same bytes as the inline
+    frequency pass.
     """
     n = len(adjacency)
-    frequencies = {i: 0 for i in range(n)}
-    for row in adjacency:
-        for target in row:
-            frequencies[target] += 1
     writer = BitWriter()
     encode_gamma(writer, n)
     if n:
-        codec = HuffmanCodec.from_frequencies(frequencies)
+        if codec is None:
+            codec = HuffmanCodec.from_frequencies(supernode_frequencies(adjacency))
         codec.serialize_lengths(writer)
         for row in adjacency:
             encode_gamma(writer, len(row))

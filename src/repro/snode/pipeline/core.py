@@ -1,0 +1,397 @@
+"""Staged, checkpointed, resumable S-Node build pipeline.
+
+The build decomposes into six named stages::
+
+    ingest -> refine -> number -> model -> encode -> assemble
+
+Each stage's outcome is checkpointed inside the build's
+:class:`~repro.storage.atomic.BuildTransaction` tmp directory (a small
+JSON payload in the registry plus, for the heavy stages, a pickled
+artifact under ``.stages/`` whose SHA-256 the registry records).  The
+registry is replaced atomically after every stage, so a crash at any
+point leaves a clean prefix of completed stages; ``resume=True`` then
+re-verifies that prefix and reruns only what is missing or stale.
+
+Ingest always recomputes (the repository lives in memory) but its
+checkpoint carries a fingerprint of the input graph and the build
+options — resuming against a different repository or different knobs
+silently falls back to a fresh build rather than splicing mismatched
+stages together.
+
+Assemble (auxiliary tables + manifest) always reruns: it is cheap,
+byte-deterministic given the encode checkpoint, and rerunning it is what
+guarantees the manifest's file table and digest come out identical on
+every resume path.  Checkpoint state is torn down at commit, so a
+committed build is byte-identical whether it was interrupted zero or N
+times, and for any worker count.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import BuildError
+from repro.obs import tracing
+from repro.partition.partition import Partition
+from repro.partition.refine import (
+    RefinementConfig,
+    RefinementResult,
+    refine_partition,
+)
+from repro.snode.build import BuildOptions, SNodeBuild
+from repro.snode.model import build_model
+from repro.snode.numbering import Numbering, build_numbering
+from repro.snode.pipeline import pool
+from repro.snode.storage import (
+    EncodedPayloads,
+    GraphLocation,
+    encode_payloads,
+    write_tables,
+)
+from repro.snode.store import SNodeStore
+from repro.storage.atomic import BuildTransaction
+from repro.webdata.corpus import Repository
+
+#: Stage names, in execution order.
+STAGES = ("ingest", "refine", "number", "model", "encode", "assemble")
+
+
+@dataclass(frozen=True)
+class StageRun:
+    """How one stage concluded: wall-clock seconds, or resumed for free."""
+
+    name: str
+    seconds: float
+    resumed: bool
+
+
+def _dumps(value) -> bytes:
+    """Deterministic pickling for stage artifacts (fixed protocol)."""
+    return pickle.dumps(value, protocol=4)
+
+
+def _dump_encoded(encoded: EncodedPayloads) -> bytes:
+    """Flatten an :class:`EncodedPayloads` to plain picklable tuples."""
+    state = (
+        tuple(
+            (loc.file_index, loc.offset, loc.length, loc.crc)
+            for loc in encoded.intranode
+        ),
+        tuple(
+            (key, (loc.file_index, loc.offset, loc.length, loc.crc), negative)
+            for key, (loc, negative) in encoded.superedge.items()
+        ),
+        tuple(encoded.index_files),
+        encoded.payload_bytes,
+        encoded.intranode_bytes,
+        encoded.superedge_bytes,
+        encoded.supernode_payload,
+        encoded.shards,
+        encoded.workers,
+    )
+    return _dumps(state)
+
+
+def _load_encoded(data: bytes) -> EncodedPayloads:
+    """Inverse of :func:`_dump_encoded`."""
+    (
+        intranode,
+        superedge,
+        index_files,
+        payload_bytes,
+        intranode_bytes,
+        superedge_bytes,
+        supernode_payload,
+        shards,
+        workers,
+    ) = pickle.loads(data)
+    return EncodedPayloads(
+        intranode=[GraphLocation(*entry) for entry in intranode],
+        superedge={
+            tuple(key): (GraphLocation(*loc), negative)
+            for key, loc, negative in superedge
+        },
+        index_files=list(index_files),
+        payload_bytes=payload_bytes,
+        intranode_bytes=intranode_bytes,
+        superedge_bytes=superedge_bytes,
+        supernode_payload=supernode_payload,
+        shards=shards,
+        workers=workers,
+    )
+
+
+class BuildPipeline:
+    """Run the staged S-Node build (the engine behind ``build_snode``).
+
+    ``on_stage_complete(name)`` — an optional hook invoked right after
+    each stage's checkpoint is persisted (and, for ``assemble``, after
+    the manifest is written but before commit).  The fault-injection
+    tests raise :class:`~repro.storage.faults.SimulatedCrash` from it to
+    kill the build at exact stage boundaries.
+    """
+
+    def __init__(
+        self,
+        repository: Repository,
+        root: Path | str,
+        options: BuildOptions | None = None,
+        partition: Partition | None = None,
+        progress=None,
+        resume: bool = False,
+        on_stage_complete: Callable[[str], None] | None = None,
+    ) -> None:
+        self.repository = repository
+        self.root = Path(root)
+        self.options = options or BuildOptions()
+        self.partition = partition
+        self.progress = progress
+        self.resume = resume
+        self.on_stage_complete = on_stage_complete
+        self.stage_runs: list[StageRun] = []
+        self._transaction: BuildTransaction | None = None
+        self._invalidated = False
+
+    # -- input fingerprint -------------------------------------------------
+
+    def _fingerprint(self) -> str:
+        """Identity of (graph, options, provided partition) for resume.
+
+        Everything that can change the bytes of the finished build is in
+        here; knobs that cannot (worker count, open-time buffer size)
+        deliberately are not, so a build started with ``--workers 4``
+        resumes fine under ``--workers 1``.
+        """
+        graph = self.repository.graph
+        digest = hashlib.sha256()
+        digest.update(graph.offsets.tobytes())
+        digest.update(graph.targets.tobytes())
+        options = self.options
+        spec = (
+            self.repository.num_pages,
+            repr(options.refinement),
+            options.max_file_bytes,
+            options.reference_window,
+            options.full_affinity_limit,
+            options.use_dictionary,
+            options.force_positive_superedges,
+            options.transpose,
+        )
+        digest.update(repr(spec).encode())
+        if self.partition is not None:
+            elements = tuple(
+                (e.pages, e.domain, e.url_depth, e.url_split_exhausted)
+                for e in self.partition.elements()
+            )
+            digest.update(_dumps((self.partition.num_pages, elements)))
+        return digest.hexdigest()
+
+    # -- stage driver ------------------------------------------------------
+
+    def _stage(
+        self,
+        name: str,
+        compute: Callable[[], object],
+        dump: Callable[[object], bytes] | None = None,
+        load: Callable[[bytes], object] | None = None,
+        payload: dict | None = None,
+    ):
+        """Run one stage, or restore it from a verified checkpoint.
+
+        The first stage that cannot be restored drops every later
+        checkpoint (the registry must stay a clean prefix) and flips the
+        pipeline into compute mode for the rest of the run.
+        """
+        transaction = self._transaction
+        if not self._invalidated:
+            entry = transaction.completed_stage(name)
+            if entry is not None:
+                try:
+                    value = (
+                        load(transaction.stage_artifact(name))
+                        if load is not None
+                        else entry
+                    )
+                    self.stage_runs.append(StageRun(name, 0.0, True))
+                    return value
+                except Exception:
+                    # Unreadable artifact: treat the stage as incomplete.
+                    pass
+            position = STAGES.index(name)
+            transaction.drop_stages(STAGES[position:])
+            self._invalidated = True
+        started = time.perf_counter()
+        value = compute()
+        transaction.checkpoint_stage(
+            name,
+            payload=payload,
+            artifact=dump(value) if dump is not None else None,
+        )
+        self.stage_runs.append(
+            StageRun(name, time.perf_counter() - started, False)
+        )
+        if self.on_stage_complete is not None:
+            self.on_stage_complete(name)
+        return value
+
+    # -- the pipeline ------------------------------------------------------
+
+    def run(self) -> SNodeBuild:
+        """Execute (or resume) every stage, commit, and open the store."""
+        repository = self.repository
+        options = self.options
+        workers = pool.resolve_workers(options.workers)
+        fingerprint = self._fingerprint()
+
+        transaction = BuildTransaction(self.root, resume=self.resume)
+        if transaction.resumed:
+            entry = transaction.stages.get("ingest", {})
+            if entry.get("payload", {}).get("fingerprint") != fingerprint:
+                # Different input or knobs: the checkpoints describe some
+                # other build — start over rather than splice.
+                transaction = BuildTransaction(self.root, resume=False)
+        self._transaction = transaction
+        self._invalidated = not transaction.resumed
+
+        self._stage(
+            "ingest",
+            compute=lambda: None,
+            payload={
+                "fingerprint": fingerprint,
+                "num_pages": repository.num_pages,
+                "num_links": repository.graph.num_edges,
+            },
+        )
+
+        def run_refine() -> RefinementResult:
+            if self.partition is not None:
+                return RefinementResult(
+                    partition=self.partition, stop_reason="external partition"
+                )
+            with tracing.span("build.refine", pages=repository.num_pages):
+                return refine_partition(
+                    repository,
+                    options.refinement or RefinementConfig(),
+                    progress=self.progress,
+                )
+
+        refine_result: RefinementResult = self._stage(
+            "refine",
+            compute=run_refine,
+            dump=lambda result: result.to_artifact(),
+            load=RefinementResult.from_artifact,
+        )
+        refinement = refine_result if self.partition is None else None
+        partition = (
+            self.partition if self.partition is not None
+            else refine_result.partition
+        )
+        if partition.num_pages != repository.num_pages:
+            raise BuildError("partition size does not match repository")
+
+        def run_number() -> Numbering:
+            with tracing.span(
+                "build.numbering", elements=partition.num_elements
+            ):
+                return build_numbering(repository, partition)
+
+        numbering: Numbering = self._stage(
+            "number", compute=run_number, dump=_dumps, load=pickle.loads
+        )
+
+        def run_model():
+            graph = (
+                repository.graph.transpose()
+                if options.transpose
+                else repository.graph
+            )
+            with tracing.span("build.model", transpose=options.transpose):
+                return build_model(
+                    graph,
+                    numbering,
+                    force_positive=options.force_positive_superedges,
+                )
+
+        model = self._stage(
+            "model", compute=run_model, dump=_dumps, load=pickle.loads
+        )
+
+        def run_encode() -> EncodedPayloads:
+            with tracing.span(
+                "build.encode",
+                supernodes=model.num_supernodes,
+                superedges=model.num_superedges,
+                workers=workers,
+            ):
+                return encode_payloads(
+                    model,
+                    transaction,
+                    max_file_bytes=options.max_file_bytes,
+                    window=options.reference_window,
+                    full_affinity_limit=options.full_affinity_limit,
+                    use_dictionary=options.use_dictionary,
+                    workers=workers,
+                    progress=self.progress,
+                )
+
+        def load_encoded(data: bytes) -> EncodedPayloads:
+            # Beyond the artifact's own SHA-256: the stage also produced
+            # the index files, so restoring it requires each one to still
+            # be on disk with the size the files table recorded.
+            restored = _load_encoded(data)
+            for name in restored.index_files:
+                recorded = transaction.files.get(name)
+                path = transaction.path(name)
+                if (
+                    not recorded
+                    or not path.exists()
+                    or path.stat().st_size != recorded["bytes"]
+                ):
+                    raise BuildError(f"index file {name} failed verification")
+            return restored
+
+        encoded: EncodedPayloads = self._stage(
+            "encode", compute=run_encode, dump=_dump_encoded, load=load_encoded
+        )
+
+        # Assemble always reruns (idempotent, cheap): rewriting the aux
+        # tables + manifest from the encode checkpoint is what makes every
+        # resume path byte-identical.  The hook still fires so crash tests
+        # can kill the build between manifest and commit.
+        started = time.perf_counter()
+        with tracing.span("build.assemble"):
+            manifest = write_tables(
+                model,
+                transaction,
+                encoded,
+                window=options.reference_window,
+                full_affinity_limit=options.full_affinity_limit,
+            )
+        self.stage_runs.append(
+            StageRun("assemble", time.perf_counter() - started, False)
+        )
+        if self.on_stage_complete is not None:
+            self.on_stage_complete("assemble")
+        transaction.commit()
+
+        with tracing.span("build.open"):
+            store = SNodeStore(self.root, buffer_bytes=options.buffer_bytes)
+        return SNodeBuild(
+            store=store,
+            numbering=numbering,
+            model=model,
+            refinement=refinement,
+            manifest=manifest,
+            root=self.root,
+            stage_seconds={run.name: run.seconds for run in self.stage_runs},
+            resumed_stages=tuple(
+                run.name for run in self.stage_runs if run.resumed
+            ),
+            workers=workers,
+            shards=encoded.shards,
+        )

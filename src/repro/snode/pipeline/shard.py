@@ -1,0 +1,150 @@
+"""Picklable encode shards (the *map* half of the two-phase encode).
+
+A :class:`ShardTask` names a contiguous run of supernodes plus the
+encoding knobs — nothing else.  The model itself never rides inside
+tasks: forked workers inherit it copy-on-write through the module global
+installed by :func:`install_model`, and spawn-based pools receive it
+once per worker via the pool initializer.  Shipping ranges instead of
+graph slices is what makes the fan-out pay off — the per-shard IPC cost
+is a few integers out and the *compressed* payload bytes back.
+
+Determinism: payload encoding is per-graph (the only global code table,
+the supernode-graph Huffman codec, is frozen *before* sharding), so a
+graph's bytes do not depend on which shard or worker encoded it.  The
+parent re-assembles results in supernode order, which is why shard
+boundaries and worker counts never change the bytes on disk.
+
+Workers record their encode spans on a private
+:class:`~repro.obs.tracing.Tracer` and ship the per-name aggregates home
+in ``ShardResult.span_summary``; the parent absorbs them under a
+``worker.`` prefix so traced builds account for child-process time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import BuildError
+from repro.obs import tracing
+from repro.snode.encode import encode_intranode, encode_superedge
+from repro.snode.model import SNodeModel
+
+#: The model encode workers read; set by :func:`install_model` in the
+#: parent (inherited over fork) or by the spawn pool initializer.
+_WORKER_MODEL: SNodeModel | None = None
+
+
+def install_model(model: SNodeModel | None) -> None:
+    """Install (or clear, with None) the model shards encode against."""
+    global _WORKER_MODEL
+    _WORKER_MODEL = model
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """A contiguous supernode range plus the encoding parameters."""
+
+    index: int
+    first: int
+    last: int  # past-the-end
+    window: int
+    full_affinity_limit: int
+    use_dictionary: bool
+
+    @property
+    def num_supernodes(self) -> int:
+        """Supernodes this shard covers."""
+        return self.last - self.first
+
+
+@dataclass(frozen=True)
+class EncodedUnit:
+    """One supernode's encode output, in linear-layout order."""
+
+    supernode: int
+    intranode_payload: bytes
+    superedges: tuple[tuple[int, bytes, bool], ...]  # (target, payload, neg)
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """Encoded payloads of one shard plus the worker's span aggregates."""
+
+    index: int
+    units: tuple[EncodedUnit, ...]
+    span_summary: dict
+
+
+def plan_shards(
+    model: SNodeModel,
+    window: int,
+    full_affinity_limit: int,
+    use_dictionary: bool,
+    workers: int,
+) -> list[ShardTask]:
+    """Split the supernode range into contiguous, roughly equal shards.
+
+    Over-decomposes to ~4 shards per worker so a skewed shard (one huge
+    supernode) cannot straggle the whole pool; shard boundaries never
+    affect output bytes, only load balance.
+    """
+    n = model.num_supernodes
+    if n == 0:
+        return []
+    shard_count = min(n, max(1, workers) * 4)
+    return [
+        ShardTask(
+            index=index,
+            first=index * n // shard_count,
+            last=(index + 1) * n // shard_count,
+            window=window,
+            full_affinity_limit=full_affinity_limit,
+            use_dictionary=use_dictionary,
+        )
+        for index in range(shard_count)
+    ]
+
+
+def encode_shard(task: ShardTask, model: SNodeModel | None = None) -> ShardResult:
+    """Encode one shard's payloads (runs in a worker or in-process).
+
+    ``model`` defaults to the installed worker model.  Spans land on a
+    shard-local tracer whose summary rides back in the result; the
+    stored tree is kept minimal (aggregates stay exact).
+    """
+    if model is None:
+        model = _WORKER_MODEL
+    if model is None:
+        raise BuildError("no model installed for shard encoding")
+    tracer = tracing.Tracer(max_spans=1)
+    encoded: list[EncodedUnit] = []
+    with tracing.activated(tracer):
+        for supernode in range(task.first, task.last):
+            with tracing.span("encode.intranode"):
+                intranode_payload = encode_intranode(
+                    model.intranode[supernode],
+                    window=task.window,
+                    full_affinity_limit=task.full_affinity_limit,
+                    use_dictionary=task.use_dictionary,
+                )
+            superedges: list[tuple[int, bytes, bool]] = []
+            for target in model.super_adjacency[supernode]:
+                graph = model.superedges[(supernode, target)]
+                with tracing.span("encode.superedge"):
+                    payload = encode_superedge(
+                        graph,
+                        window=task.window,
+                        full_affinity_limit=task.full_affinity_limit,
+                        use_dictionary=task.use_dictionary,
+                    )
+                superedges.append((target, payload, graph.negative))
+            encoded.append(
+                EncodedUnit(
+                    supernode=supernode,
+                    intranode_payload=intranode_payload,
+                    superedges=tuple(superedges),
+                )
+            )
+    return ShardResult(
+        index=task.index, units=tuple(encoded), span_summary=tracer.summary()
+    )

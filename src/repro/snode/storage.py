@@ -40,7 +40,14 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.errors import CorruptionError, StorageError
-from repro.snode.encode import encode_superedge, encode_intranode, encode_supernode_graph
+from repro.obs import tracing
+from repro.snode.encode import (
+    encode_intranode,
+    encode_superedge,
+    encode_supernode_graph,
+    freeze_supernode_codec,
+    supernode_frequencies,
+)
 from repro.snode.model import SNodeModel
 from repro.storage import integrity
 from repro.storage.atomic import BuildTransaction, require_build
@@ -84,7 +91,7 @@ class StorageLayout:
     manifest: dict
 
 
-class _PayloadWriter:
+class PayloadWriter:
     """Appends byte-aligned payloads across size-capped index files.
 
     Files are written through the enclosing
@@ -128,30 +135,58 @@ class _PayloadWriter:
         return self._files
 
 
-def write_snode(
+@dataclass
+class EncodedPayloads:
+    """Outcome of the encode stage: payload locations and byte accounting.
+
+    Produced by :func:`encode_payloads`, consumed by :func:`write_tables`
+    — and the unit the build pipeline checkpoints between the two, so a
+    resumed build can skip straight to table assembly.
+    """
+
+    intranode: list[GraphLocation]
+    superedge: dict[tuple[int, int], tuple[GraphLocation, bool]]
+    index_files: list[str]
+    payload_bytes: int
+    intranode_bytes: int
+    superedge_bytes: int
+    supernode_payload: bytes
+    shards: int = 1
+    workers: int = 1
+
+
+def encode_payloads(
     model: SNodeModel,
-    root: Path | str,
+    transaction: BuildTransaction,
     max_file_bytes: int = DEFAULT_MAX_FILE_BYTES,
     window: int = 8,
     full_affinity_limit: int = 96,
     use_dictionary: bool = True,
+    workers: int = 1,
     progress=None,
-) -> dict:
-    """Serialize ``model`` under directory ``root``; returns the manifest.
+) -> EncodedPayloads:
+    """Encode every payload into the transaction's index files.
 
-    The build is atomic: everything is written under ``<root>.tmp`` and
-    published by a final rename, with the manifest (carrying per-file
-    CRCs and the whole-build digest) written last.  ``progress`` (an
-    optional :class:`~repro.obs.progress.ProgressReporter`) gets one
-    update per encoded supernode — the dominant cost of serialization.
+    Two-phase map-reduce shape:
+
+    1. **freeze** — the supernode-graph Huffman table (the only global
+       code table of the format) is frozen from the in-degree frequency
+       pass, and the supernode-graph payload encoded from it;
+    2. **map** — per-supernode payloads (intranode + superedge graphs)
+       encode independently: serially in-process for ``workers == 1``,
+       or sharded across a ``multiprocessing`` pool otherwise.
+
+    Either way the parent appends payloads to the :class:`PayloadWriter`
+    in strict supernode order (the paper's linear layout), so the index
+    files are **byte-identical** for every worker count.  ``progress``
+    gets one update per encoded supernode.
     """
     from repro.obs import progress as obs_progress
 
     progress = obs_progress.ensure(progress)
-    root = Path(root)
-    numbering = model.numbering
-    transaction = BuildTransaction(root)
-    writer = _PayloadWriter(transaction, max_file_bytes)
+    codec = freeze_supernode_codec(supernode_frequencies(model.super_adjacency))
+    supernode_payload = encode_supernode_graph(model.super_adjacency, codec)
+    writer = PayloadWriter(transaction, max_file_bytes)
     progress.start_phase("encode", total=model.num_supernodes, unit="supernodes")
 
     intranode_locations: list[GraphLocation] = []
@@ -159,42 +194,98 @@ def write_snode(
     payload_bytes = 0
     intranode_bytes = 0
     superedge_bytes = 0
+    shards = 1
 
-    for supernode in range(model.num_supernodes):
-        payload = encode_intranode(
-            model.intranode[supernode],
-            window=window,
-            full_affinity_limit=full_affinity_limit,
-            use_dictionary=use_dictionary,
-        )
-        intranode_locations.append(writer.append(payload))
-        payload_bytes += len(payload)
-        intranode_bytes += len(payload)
-        # Linear ordering: this supernode's superedge graphs come right after.
-        for target in model.super_adjacency[supernode]:
-            graph = model.superedges[(supernode, target)]
-            payload = encode_superedge(
-                graph,
+    if workers <= 1:
+        for supernode in range(model.num_supernodes):
+            payload = encode_intranode(
+                model.intranode[supernode],
                 window=window,
                 full_affinity_limit=full_affinity_limit,
                 use_dictionary=use_dictionary,
             )
-            superedge_locations[(supernode, target)] = (
-                writer.append(payload),
-                graph.negative,
-            )
+            intranode_locations.append(writer.append(payload))
             payload_bytes += len(payload)
-            superedge_bytes += len(payload)
-        progress.update()
+            intranode_bytes += len(payload)
+            # Linear ordering: this supernode's superedge graphs come right
+            # after its intranode graph.
+            for target in model.super_adjacency[supernode]:
+                graph = model.superedges[(supernode, target)]
+                payload = encode_superedge(
+                    graph,
+                    window=window,
+                    full_affinity_limit=full_affinity_limit,
+                    use_dictionary=use_dictionary,
+                )
+                superedge_locations[(supernode, target)] = (
+                    writer.append(payload),
+                    graph.negative,
+                )
+                payload_bytes += len(payload)
+                superedge_bytes += len(payload)
+            progress.update()
+    else:
+        # Deferred import: the pipeline package imports this module.
+        from repro.snode.pipeline import pool as shard_pool
+        from repro.snode.pipeline import shard as shard_mod
+
+        tasks = shard_mod.plan_shards(
+            model,
+            window=window,
+            full_affinity_limit=full_affinity_limit,
+            use_dictionary=use_dictionary,
+            workers=workers,
+        )
+        shards = len(tasks)
+        for result in shard_pool.run_shards(tasks, workers, model):
+            for unit in result.units:
+                intranode_locations.append(writer.append(unit.intranode_payload))
+                payload_bytes += len(unit.intranode_payload)
+                intranode_bytes += len(unit.intranode_payload)
+                for target, payload, negative in unit.superedges:
+                    superedge_locations[(unit.supernode, target)] = (
+                        writer.append(payload),
+                        negative,
+                    )
+                    payload_bytes += len(payload)
+                    superedge_bytes += len(payload)
+                progress.update()
+            tracing.absorb_summary(result.span_summary, prefix="worker.")
+            tracing.note("encode.shards")
+
     index_files = writer.finish()
     progress.finish_phase()
-
-    supernode_payload = encode_supernode_graph(model.super_adjacency)
-    transaction.write_file(
-        SUPERNODE_NAME, integrity.encode_frame(supernode_payload)
+    return EncodedPayloads(
+        intranode=intranode_locations,
+        superedge=superedge_locations,
+        index_files=index_files,
+        payload_bytes=payload_bytes,
+        intranode_bytes=intranode_bytes,
+        superedge_bytes=superedge_bytes,
+        supernode_payload=supernode_payload,
+        shards=shards,
+        workers=workers,
     )
 
-    pointer_blob = _encode_pointers(model, intranode_locations, superedge_locations)
+
+def write_tables(
+    model: SNodeModel,
+    transaction: BuildTransaction,
+    encoded: EncodedPayloads,
+    window: int = 8,
+    full_affinity_limit: int = 96,
+) -> dict:
+    """Assemble stage: auxiliary tables + manifest (written last).
+
+    Does **not** commit — the caller owns the transaction (the pipeline
+    runs its final checkpoint hook between assembly and commit).
+    """
+    numbering = model.numbering
+    transaction.write_file(
+        SUPERNODE_NAME, integrity.encode_frame(encoded.supernode_payload)
+    )
+
+    pointer_blob = _encode_pointers(model, encoded.intranode, encoded.superedge)
     transaction.write_file(POINTERS_NAME, integrity.encode_frame(pointer_blob))
 
     boundary_blob = bytearray()
@@ -219,7 +310,7 @@ def write_snode(
         DOMAIN_NAME, json.dumps(domains, sort_keys=True).encode()
     )
 
-    manifest = transaction.write_manifest(
+    return transaction.write_manifest(
         {
             "version": FORMAT_VERSION,
             "num_pages": numbering.num_pages,
@@ -227,16 +318,57 @@ def write_snode(
             "num_superedges": model.num_superedges,
             "positive_superedges": model.positive_count,
             "negative_superedges": model.negative_count,
-            "index_files": index_files,
-            "payload_bytes": payload_bytes,
-            "intranode_bytes": intranode_bytes,
-            "superedge_bytes": superedge_bytes,
-            "supernode_graph_bytes": len(supernode_payload),
+            "index_files": encoded.index_files,
+            "payload_bytes": encoded.payload_bytes,
+            "intranode_bytes": encoded.intranode_bytes,
+            "superedge_bytes": encoded.superedge_bytes,
+            "supernode_graph_bytes": len(encoded.supernode_payload),
             "pointer_bytes": len(pointer_blob),
             "pageid_bytes": len(pageid_frame),
             "window": window,
             "full_affinity_limit": full_affinity_limit,
         }
+    )
+
+
+def write_snode(
+    model: SNodeModel,
+    root: Path | str,
+    max_file_bytes: int = DEFAULT_MAX_FILE_BYTES,
+    window: int = 8,
+    full_affinity_limit: int = 96,
+    use_dictionary: bool = True,
+    progress=None,
+    workers: int = 1,
+) -> dict:
+    """Serialize ``model`` under directory ``root``; returns the manifest.
+
+    The build is atomic: everything is written under ``<root>.tmp`` and
+    published by a final rename, with the manifest (carrying per-file
+    CRCs and the whole-build digest) written last.  This is the plain
+    one-shot path (no stage checkpoints); the staged, resumable variant
+    lives in :class:`repro.snode.pipeline.BuildPipeline` and shares
+    :func:`encode_payloads` / :func:`write_tables` with it, so the bytes
+    on disk are identical either way.
+    """
+    root = Path(root)
+    transaction = BuildTransaction(root)
+    encoded = encode_payloads(
+        model,
+        transaction,
+        max_file_bytes=max_file_bytes,
+        window=window,
+        full_affinity_limit=full_affinity_limit,
+        use_dictionary=use_dictionary,
+        workers=workers,
+        progress=progress,
+    )
+    manifest = write_tables(
+        model,
+        transaction,
+        encoded,
+        window=window,
+        full_affinity_limit=full_affinity_limit,
     )
     transaction.commit()
     return manifest

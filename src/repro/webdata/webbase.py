@@ -126,12 +126,29 @@ def read_stream(
             yield page_id, url, terms, links
 
 
+def stream_page_count(path: Path | str) -> int:
+    """Number of pages a stream holds (header only, no record reads)."""
+    path = Path(path)
+    with open(path, "rb") as handle:
+        header = handle.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise StorageError(f"{path} is not a WebBase stream (short header)")
+    magic, _version, num_pages = _HEADER.unpack(header)
+    if magic != _MAGIC:
+        raise StorageError(f"{path} is not a WebBase stream (bad magic)")
+    return num_pages
+
+
 def read_repository(
     path: Path | str, limit: int | None = None, progress=None
 ) -> Repository:
     """Rebuild a repository (optionally a crawl-prefix) from a stream.
 
-    ``progress`` (an optional
+    Single bounded-memory pass: the page count is known from the stream
+    header, so each record's links go straight into the
+    :class:`~repro.graph.digraph.GraphBuilder`'s packed chunk buffers
+    (links leaving the prefix are dropped on the fly) — no intermediate
+    per-page Python link lists are retained.  ``progress`` (an optional
     :class:`~repro.obs.progress.ProgressReporter`) gets one update per
     streamed page under a ``stream`` phase.
     """
@@ -139,16 +156,16 @@ def read_repository(
 
     progress = obs_progress.ensure(progress)
     progress.start_phase("stream", unit="pages")
+    count = stream_page_count(path)
+    if limit is not None:
+        count = min(limit, count)
+    builder = GraphBuilder(count)
     pages: list[Page] = []
-    rows: list[list[int]] = []
     for page_id, url, terms, links in read_stream(path, limit):
         pages.append(Page(page_id=page_id, url=url, terms=terms))
-        rows.append(links)
+        builder.add_links(
+            page_id, (target for target in links if target < count)
+        )
         progress.update()
     progress.finish_phase()
-    builder = GraphBuilder(len(pages))
-    for source, links in enumerate(rows):
-        for target in links:
-            if target < len(pages):  # drop links that leave the prefix
-                builder.add_edge(source, target)
     return Repository(pages=pages, graph=builder.build())

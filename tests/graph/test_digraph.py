@@ -47,6 +47,41 @@ class TestBuilder:
         builder.add_edge(0, new)
         assert builder.build().successors_list(0) == [1]
 
+    def test_add_links_matches_per_edge_adds(self):
+        rows = [[1, 2, 2], [0], [], [0, 1, 3]]
+        by_edge, by_links = GraphBuilder(4), GraphBuilder(4)
+        for source, targets in enumerate(rows):
+            for target in targets:
+                by_edge.add_edge(source, target)
+            by_links.add_links(source, targets)
+        assert by_links.num_buffered_edges == by_edge.num_buffered_edges
+        a, b = by_edge.build(), by_links.build()
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.targets, b.targets)
+
+    def test_add_links_range_checked(self):
+        builder = GraphBuilder(2)
+        with pytest.raises(GraphError):
+            builder.add_links(0, [1, 2])
+        with pytest.raises(GraphError):
+            builder.add_links(2, [0])
+
+    def test_chunk_spill_preserves_edges(self, monkeypatch):
+        # Force tiny spill chunks so a small stream crosses many chunk
+        # boundaries — the built CSR must not care where they fell.
+        monkeypatch.setattr(GraphBuilder, "CHUNK_EDGES", 7)
+        rng = np.random.default_rng(5)
+        edges = [(int(s), int(t)) for s, t in rng.integers(0, 40, size=(500, 2))]
+        chunked = GraphBuilder(40)
+        chunked.add_edges(edges)
+        assert len(chunked._chunks) >= 500 // 7
+        monkeypatch.undo()
+        plain = GraphBuilder(40)
+        plain.add_edges(edges)
+        a, b = chunked.build(), plain.build()
+        assert np.array_equal(a.offsets, b.offsets)
+        assert np.array_equal(a.targets, b.targets)
+
 
 class TestDigraph:
     def test_degrees(self):

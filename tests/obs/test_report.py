@@ -13,6 +13,7 @@ from repro.obs.report import (
     SCHEMA_VERSION,
     build_report,
     diff_reports,
+    flatten_leaves,
     flatten_numeric,
     load_report,
     main as report_main,
@@ -112,6 +113,12 @@ class TestFlatten:
     def test_bools_and_strings_skipped(self):
         assert flatten_numeric({"flag": True, "name": "x", "n": 2}) == {"n": 2.0}
 
+    def test_flatten_leaves_keeps_every_type(self):
+        flat = flatten_leaves(
+            {"digest": "abc", "flag": True, "rows": [{"n": 2}]}
+        )
+        assert flat == {"digest": "abc", "flag": True, "rows[0].n": 2}
+
 
 class TestDiff:
     def test_injected_regression_flagged(self):
@@ -163,6 +170,77 @@ class TestDiff:
         assert "REGRESSION" in text
 
 
+def build_bench_report(digest: str = "abc123", shards: int = 8) -> dict:
+    """A BENCH_build-shaped report: string digest + shard count leaves."""
+    return build_report(
+        "build",
+        results=[
+            {"workers": 2, "shards": shards, "encode_s": 1.5, "digest": digest}
+        ],
+        params={"cpu_count": 1},
+    )
+
+
+class TestExactDiff:
+    def test_matching_exact_paths_pass(self):
+        diff = diff_reports(
+            build_bench_report(), build_bench_report(), exact=("digest", "shards")
+        )
+        assert len(diff.exact_entries) == 2
+        assert diff.exact_mismatches == []
+        assert not diff.failed
+
+    def test_string_digest_mismatch_fails(self):
+        diff = diff_reports(
+            build_bench_report("abc123"),
+            build_bench_report("def456"),
+            exact=("digest",),
+        )
+        assert diff.failed
+        assert [e.path for e in diff.exact_mismatches] == ["results[0].digest"]
+        assert "MISMATCH" in diff.render()
+
+    def test_numeric_exact_mismatch_fails_even_below_threshold(self):
+        # shards 8 -> 9 is +12.5%, under the 20% cost threshold — but an
+        # exact pin tolerates no drift at all.
+        diff = diff_reports(
+            build_bench_report(shards=8),
+            build_bench_report(shards=9),
+            threshold=0.2,
+            exact=("shards",),
+        )
+        assert diff.failed
+
+    def test_exact_path_exempt_from_ignore_and_cost_diff(self):
+        old = build_bench_report()
+        new = copy.deepcopy(old)
+        new["results"][0]["encode_s"] = 99.0  # wall-clock: ignored
+        new["results"][0]["digest"] = "zzz"  # determinism: pinned
+        diff = diff_reports(
+            old, new, ignore=("encode_s", "digest"), exact=("digest",)
+        )
+        assert diff.regressions == []
+        assert diff.failed  # the digest pin wins over --ignore
+        assert all("encode_s" not in e.path for e in diff.entries)
+
+    def test_path_missing_from_one_report_is_mismatch(self):
+        old = build_bench_report()
+        new = copy.deepcopy(old)
+        del new["results"][0]["digest"]
+        diff = diff_reports(old, new, exact=("digest",))
+        assert diff.failed
+        assert "<missing>" in repr(diff.exact_mismatches[0].new)
+
+    def test_exact_cost_path_not_double_counted(self):
+        # Pinning a cost leaf moves it out of the threshold comparison.
+        old = build_bench_report()
+        new = copy.deepcopy(old)
+        new["results"][0]["encode_s"] = 99.0
+        diff = diff_reports(old, new, exact=("encode_s",))
+        assert all("encode_s" not in e.path for e in diff.entries)
+        assert diff.failed  # but the pin still catches the change
+
+
 class TestModuleCli:
     def test_validate_ok_and_invalid(self, tmp_path, capsys):
         good = write_report(sample_report(), tmp_path)
@@ -181,5 +259,14 @@ class TestModuleCli:
         # A generous threshold lets the regressed report pass.
         assert (
             report_main(["diff", str(old), str(new), "--threshold", "0.9"]) == 0
+        )
+        capsys.readouterr()
+
+    def test_diff_exact_flag_gates_digests(self, tmp_path, capsys):
+        old = write_report(build_bench_report("aaa"), tmp_path / "old")
+        new = write_report(build_bench_report("bbb"), tmp_path / "new")
+        assert report_main(["diff", str(old), str(new)]) == 0
+        assert (
+            report_main(["diff", str(old), str(new), "--exact", "digest"]) == 1
         )
         capsys.readouterr()
