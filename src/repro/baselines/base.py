@@ -197,5 +197,95 @@ class SNodeRepresentation(GraphRepresentation):
     def degraded_reads(self) -> int:
         return self._store.degraded_reads
 
+    def session(self, label: str | None = None) -> "SNodeSessionRepresentation":
+        """A per-client view sharing this representation's store.
+
+        The returned representation reads through a
+        :class:`~repro.snode.store.ReadSession`: same buffer pool, same
+        on-disk files, but its ``metrics`` / ``io_stats()`` cover only
+        that client's reads.  Close it to fold the client's numbers back
+        into the shared store.
+        """
+        return SNodeSessionRepresentation(self, self._store.session(label=label))
+
     def close(self) -> None:
         self._store.close()
+
+
+class SNodeSessionRepresentation(GraphRepresentation):
+    """One client's :class:`SNodeRepresentation` view over a shared store.
+
+    Wraps a :class:`~repro.snode.store.ReadSession`: adjacency reads hit
+    the shared buffer pool but charge the session's own registry, so a
+    query daemon can hand each connection its own representation (and its
+    own :class:`~repro.query.engine.QueryEngine`) while every byte of
+    shared cache is reused across clients.  ``close()`` ends the session
+    — the shared store stays open.
+    """
+
+    name = "s-node"
+
+    def __init__(self, parent: SNodeRepresentation, session) -> None:
+        self._parent = parent
+        self._session = session
+        self._old_to_new = parent._old_to_new
+        self._new_to_old = parent._new_to_old
+
+    @property
+    def session(self):
+        """The underlying :class:`~repro.snode.store.ReadSession`."""
+        return self._session
+
+    @property
+    def store(self):
+        """The shared :class:`~repro.snode.store.SNodeStore`."""
+        return self._session.store
+
+    def out_neighbors(self, page: int) -> list[int]:
+        new_page = self._old_to_new[page]
+        row = self._session.out_neighbors(new_page)
+        return sorted(self._new_to_old[t] for t in row)
+
+    def out_neighbors_many(self, pages) -> dict[int, list[int]]:
+        translated = {self._old_to_new[p]: p for p in pages}
+        rows = self._session.out_neighbors_many(list(translated))
+        return {
+            translated[new_page]: sorted(self._new_to_old[t] for t in row)
+            for new_page, row in rows.items()
+        }
+
+    def iterate_all(self):
+        return self._parent.iterate_all()
+
+    def size_bytes(self) -> int:
+        return self._parent.size_bytes()
+
+    @property
+    def num_pages(self) -> int:
+        return self._parent.num_pages
+
+    @property
+    def num_edges(self) -> int:
+        return self._parent.num_edges
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        return self._session.registry
+
+    def io_stats(self) -> dict[str, int]:
+        return self._session.io_stats()
+
+    def drop_caches(self) -> None:
+        # The cache is shared; a per-client drop would be another client's
+        # surprise cold read.  Sessions therefore never drop buffers.
+        pass
+
+    def set_on_corruption(self, mode: str) -> None:
+        self.store.set_on_corruption(mode)
+
+    @property
+    def degraded_reads(self) -> int:
+        return self._session.registry.get("degraded_reads")
+
+    def close(self) -> None:
+        self._session.close()

@@ -21,6 +21,10 @@ Gives a repository operator the whole pipeline without writing Python:
   ``--trace/--trace-out/--folded/--quiet`` span flags);
 * ``repro profile`` — run a workload under the access-pattern profiler
   (Mattson miss-ratio curves, seek-distance profiles, hot-set heatmaps);
+* ``repro serve`` — run the graph query daemon: concurrent Figure 11
+  queries over one shared store behind admission control;
+* ``repro loadgen`` — drive a running daemon with the Figure 11 mix at
+  a configurable concurrency and report throughput/latency;
 * ``repro bench-diff`` — compare two bench reports and flag regressions
   (``--ignore`` skips machine-dependent metrics, ``--exact`` pins
   determinism markers like digests and shard counts).
@@ -33,7 +37,8 @@ pipeline phases.
 
 The package splits one module per subcommand group — ``build`` (generate,
 build), ``query`` (stats, neighbors), ``fsck`` (verify, fsck), ``bench``
-(experiment, bench-validate, bench-diff), ``profile`` — each exposing a
+(experiment, bench-validate, bench-diff), ``profile``, ``serve`` (serve,
+loadgen) — each exposing a
 ``register(commands)`` hook this module assembles into the parser.  The
 entry point (``repro.cli:main``) and every flag are unchanged from the
 single-module days.
@@ -44,7 +49,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli import bench, build, fsck, profile, query
+from repro.cli import bench, build, fsck, profile, query, serve
 from repro.errors import ReproError
 
 
@@ -58,6 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     fsck.register(commands)
     query.register(commands)
     profile.register(commands)
+    serve.register(commands)
     bench.register(commands)
     return parser
 

@@ -17,6 +17,7 @@ def _cmd_experiment(arguments: argparse.Namespace) -> int:
         "buffer_sweep",
         "ablations",
         "profile",
+        "serve",
     }
     if arguments.name not in module_names:
         print(

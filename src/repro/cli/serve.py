@@ -1,0 +1,126 @@
+"""``repro serve`` and ``repro loadgen``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import sys
+import tempfile
+from pathlib import Path
+
+
+def _cmd_serve(arguments: argparse.Namespace) -> int:
+    from repro.experiments.harness import dataset, sweep_sizes
+    from repro.serve.daemon import GraphQueryDaemon, ServeContext
+
+    size = arguments.size or sweep_sizes()[3]
+    if not arguments.quiet:
+        print(f"[serve] synthesizing {size}-page repository...", file=sys.stderr)
+    repository = dataset(size)
+    own_tmp = (
+        tempfile.TemporaryDirectory() if arguments.workdir is None else None
+    )
+    base = Path(arguments.workdir or own_tmp.name)
+    try:
+        if not arguments.quiet:
+            print("[serve] building S-Node stores (forward + transpose)...",
+                  file=sys.stderr)
+        context = ServeContext.build(
+            repository,
+            base,
+            buffer_bytes=arguments.buffer_kb * 1024,
+            stripes=arguments.stripes,
+        )
+        try:
+            daemon = GraphQueryDaemon(
+                context,
+                host=arguments.host,
+                port=arguments.port,
+                workers=arguments.workers,
+                queue_limit=arguments.queue_limit,
+            )
+
+            async def serve() -> None:
+                await daemon.start()
+                print(
+                    f"serving {repository.num_pages} pages on "
+                    f"{arguments.host}:{daemon.bound_port} "
+                    f"(workers={daemon.workers}, "
+                    f"queue_limit={daemon.queue_limit})",
+                    flush=True,
+                )
+                await daemon.serve_forever()
+
+            with contextlib.suppress(KeyboardInterrupt):
+                asyncio.run(serve())
+        finally:
+            context.close()
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+    return 0
+
+
+def _cmd_loadgen(arguments: argparse.Namespace) -> int:
+    from repro.serve.loadgen import run_load
+
+    load = run_load(
+        arguments.host,
+        arguments.port,
+        concurrency=arguments.concurrency,
+        requests_per_client=arguments.requests,
+    )
+    histogram = load.latency_histogram()
+    print(
+        f"requests ok {load.requests_ok} / "
+        f"{load.concurrency * load.requests_per_client}, "
+        f"failed {load.requests_failed}, "
+        f"backpressure retries {load.shed_retries}"
+    )
+    print(
+        f"throughput {load.throughput_qps:.1f} q/s, latency p50 "
+        f"{histogram.p50 * 1000:.1f} ms, p99 {histogram.p99 * 1000:.1f} ms"
+    )
+    consistent = load.consistent()
+    print(f"results consistent across clients: {consistent}")
+    for client in load.clients:
+        if client.error:
+            print(f"client {client.client_index}: ERROR {client.error}")
+    failed = (
+        load.requests_failed > 0
+        or not consistent
+        or any(client.error for client in load.clients)
+    )
+    return 1 if failed else 0
+
+
+def register(commands) -> None:
+    """Attach the ``serve`` and ``loadgen`` subparsers."""
+    serve = commands.add_parser(
+        "serve", help="run the graph query daemon over a synthesized store"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7411, help="0 picks a free port"
+    )
+    serve.add_argument("--size", type=int, default=None,
+                       help="repository pages (default: the Figure 11 size)")
+    serve.add_argument("--buffer-kb", type=int, default=512)
+    serve.add_argument("--workers", type=int, default=8)
+    serve.add_argument("--queue-limit", type=int, default=32)
+    serve.add_argument("--stripes", type=int, default=8)
+    serve.add_argument("--workdir", default=None,
+                       help="build directory (default: temporary)")
+    serve.add_argument("--quiet", action="store_true")
+    serve.set_defaults(handler=_cmd_serve)
+
+    loadgen = commands.add_parser(
+        "loadgen", help="drive a running daemon with the Figure 11 mix"
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7411)
+    loadgen.add_argument("--concurrency", type=int, default=8)
+    loadgen.add_argument("--requests", type=int, default=12,
+                         help="query requests per client")
+    loadgen.set_defaults(handler=_cmd_loadgen)

@@ -41,8 +41,23 @@ class CorruptionError(StorageError):
     """
 
 
+class BufferCapacityError(StorageError):
+    """A buffer-pool resize asked for a budget below the pinned floor.
+
+    Pinned entries (the supernode graph, B+tree meta pages) are resident
+    for the lifetime of the store; a budget that cannot even cover them
+    is an operator error, raised as a typed exception so sweeps can skip
+    the infeasible point explicitly instead of silently evicting pins or
+    driving the accounting negative.
+    """
+
+
 class QueryError(ReproError):
     """A complex query was malformed or referenced unknown pages/domains."""
+
+
+class ServeError(ReproError):
+    """The graph query daemon or its client hit a protocol-level problem."""
 
 
 class BuildError(ReproError):

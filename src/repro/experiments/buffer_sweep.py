@@ -42,6 +42,7 @@ from repro.experiments.harness import (
     sweep_sizes,
     trace_session,
 )
+from repro.errors import BufferCapacityError
 from repro.experiments.queries import (
     DEFAULT_CPU_SCALE,
     DEFAULT_MBPS,
@@ -169,7 +170,14 @@ def run(
                     ).items():
                         predictions[(scheme, query_name)] = curve
             for buffer_kb in buffer_sizes_kb:
-                pair.set_buffer_bytes(buffer_kb * 1024)
+                try:
+                    pair.set_buffer_bytes(buffer_kb * 1024)
+                except BufferCapacityError:
+                    # Budget below the scheme's pinned floor (supernode
+                    # graph, root pages): the point is infeasible for this
+                    # scheme, not slow — skip it explicitly.
+                    tracing.note("buffer_sweep_infeasible")
+                    continue
                 for query_name, query_fn in SWEEP_QUERIES.items():
                     # Paper protocol: "we executed queries 1, 5, and 6
                     # repeatedly" — one cold warm-up execution, then

@@ -27,7 +27,7 @@ import sys
 import tempfile
 from pathlib import Path
 
-from repro.errors import ReproError
+from repro.errors import BufferCapacityError, ReproError
 from repro.experiments.buffer_sweep import PREDICT_TRACE_CAPACITY, SWEEP_QUERIES
 from repro.experiments.harness import (
     add_report_arguments,
@@ -107,7 +107,13 @@ def _measure_validation(
 ) -> None:
     """Phase 2: measured mini-sweep at each capacity vs the predictions."""
     for capacity_kb in capacities_kb:
-        pair.set_buffer_bytes(capacity_kb * 1024)
+        try:
+            pair.set_buffer_bytes(capacity_kb * 1024)
+        except BufferCapacityError:
+            # Capacity below the scheme's pinned floor: the point is
+            # infeasible, not mispredicted — skip it explicitly.
+            tracing.note("profile_validation_infeasible")
+            continue
         for query_name, query_fn in SWEEP_QUERIES.items():
             pair.drop_caches()
             query_fn(engine)  # warm-up, matching the recorded protocol

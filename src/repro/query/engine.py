@@ -11,6 +11,7 @@ calls in :meth:`navigation_timer`.
 
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import contextmanager
 
@@ -53,6 +54,8 @@ class QueryEngine:
         if backward is not None:
             backward.set_on_corruption(on_corruption)
         self._navigation_seconds = 0.0
+        self._nav_lock = threading.Lock()
+        self._nav_state = threading.local()
         #: Per-operation latency distributions: every timed navigation
         #: block records its wall time under its operation kind, so the
         #: experiments can report p50/p90/p99 per operation instead of a
@@ -69,23 +72,37 @@ class QueryEngine:
         ``out_neighborhood``, ``in_neighborhood``, ...); the block's wall
         time is recorded into the per-op latency histogram as well as the
         per-query accumulator.
+
+        Timing uses the monotonic ``perf_counter`` clock, the timer is
+        *re-entrant* — a timed block calling another timed helper counts
+        its wall time once, not twice (only the outermost block of each
+        thread reaches the accumulator, while every block still lands in
+        its own per-op histogram) — and the accumulator is lock-guarded,
+        so concurrent queries on one engine never lose updates.
         """
+        depth = getattr(self._nav_state, "depth", 0)
+        self._nav_state.depth = depth + 1
         start = time.perf_counter()
         try:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            self._navigation_seconds += elapsed
-            self.histograms.observe(op, elapsed)
+            self._nav_state.depth = depth
+            with self._nav_lock:
+                self.histograms.observe(op, elapsed)
+                if depth == 0:
+                    self._navigation_seconds += elapsed
 
     def reset_navigation_time(self) -> None:
         """Zero the navigation-time accumulator (per-query runs)."""
-        self._navigation_seconds = 0.0
+        with self._nav_lock:
+            self._navigation_seconds = 0.0
 
     @property
     def navigation_seconds(self) -> float:
         """Navigation time accumulated since the last reset."""
-        return self._navigation_seconds
+        with self._nav_lock:
+            return self._navigation_seconds
 
     @property
     def degraded_reads(self) -> int:

@@ -1,0 +1,33 @@
+"""Concurrent query serving: daemon, wire protocol, load generator.
+
+The serving subsystem turns the single-caller query stack into a
+multi-client daemon: one shared S-Node store pair (lock-striped buffer
+pool, pinned supernode graphs) serves any number of TCP clients, each
+with its own metrics session, behind explicit admission control.
+
+* :mod:`repro.serve.protocol` — length-prefixed JSON frames, canonical
+  payload encoding, result digests;
+* :mod:`repro.serve.daemon` — :class:`~repro.serve.daemon.ServeContext`
+  (shared stores + indexes), :class:`~repro.serve.daemon.GraphQueryDaemon`
+  (asyncio frontend, worker pool, backpressure) and
+  :class:`~repro.serve.daemon.DaemonHandle` (own-thread lifecycle);
+* :mod:`repro.serve.loadgen` — :class:`~repro.serve.loadgen.ServeClient`
+  and :func:`~repro.serve.loadgen.run_load`, the Figure 11 mix driver
+  behind ``repro loadgen`` and the ``serve`` benchmark.
+"""
+
+from repro.serve.daemon import (
+    DaemonHandle,
+    GraphQueryDaemon,
+    ServeContext,
+)
+from repro.serve.loadgen import LoadResult, ServeClient, run_load
+
+__all__ = [
+    "DaemonHandle",
+    "GraphQueryDaemon",
+    "LoadResult",
+    "ServeClient",
+    "ServeContext",
+    "run_load",
+]

@@ -1,0 +1,466 @@
+"""The graph query daemon: concurrent Figure 11 queries over one store.
+
+Architecture (the paper's runtime organization, made multi-client):
+
+* **one shared store pair** — forward and transpose S-Node stores with
+  their pinned supernode graphs and one byte-budgeted buffer pool each
+  (lock-striped for concurrent readers);
+* **per-client sessions** — every connection gets its own
+  :class:`~repro.snode.store.ReadSession` pair wrapped in a
+  :class:`~repro.query.engine.QueryEngine`, so its hits, misses, seeks
+  and navigation timers are attributable to exactly that client while
+  the cached graphs are shared by everyone;
+* **asyncio frontend, thread-pool backend** — the event loop owns
+  accept/read/write; query execution (decode-heavy, disk-touching) runs
+  on a bounded worker pool;
+* **admission control** — at most ``queue_limit`` requests may be in
+  flight (running + queued).  Excess requests are not queued without
+  bound and not errored: they receive an immediate typed
+  ``backpressure`` reply, and well-behaved clients (the load generator)
+  retry with backoff.  Overload therefore degrades throughput, never
+  correctness.
+
+``ping`` and ``stats`` are served inline on the event loop — they touch
+no disk and must stay responsive under query overload (``stats`` is how
+an operator sees the overload).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import QueryError, ReproError, ServeError, StorageError
+from repro.query.engine import QueryEngine
+from repro.query.workload import PAPER_QUERIES, run_query
+from repro.serve import protocol
+
+#: Worker threads executing queries (each owns no state; engines are
+#: per-connection, stores are shared).
+DEFAULT_WORKERS = 8
+#: Maximum requests in flight (running + queued) before shedding.
+DEFAULT_QUEUE_LIMIT = 32
+#: Buffer-pool lock stripes for the shared stores in serving mode.
+DEFAULT_STRIPES = 8
+#: Shared buffer budget per direction (matches the Figure 11 bound).
+DEFAULT_BUFFER_BYTES = 512 * 1024
+
+_QUERY_NAMES = tuple(name for name, _fn in PAPER_QUERIES)
+
+
+@dataclass
+class ClientEngine:
+    """One connection's engine plus the sessions it reads through."""
+
+    engine: QueryEngine
+    forward: object  # SNodeSessionRepresentation
+    backward: object
+
+    def io_stats(self) -> dict[str, dict[str, int]]:
+        """This client's own counters, per direction."""
+        return {
+            "forward": self.forward.io_stats(),
+            "backward": self.backward.io_stats(),
+        }
+
+    def close(self) -> None:
+        """Fold both sessions' metrics back into the shared stores."""
+        self.forward.close()
+        self.backward.close()
+
+
+class ServeContext:
+    """Everything the daemon serves from: stores, indexes, repository.
+
+    Owns the *shared* side (one forward + one transpose
+    :class:`~repro.baselines.base.SNodeRepresentation`, the text and
+    PageRank indexes); :meth:`make_engine` stamps out the per-client
+    side.
+    """
+
+    def __init__(
+        self, repository, text_index, pagerank_index, forward, backward
+    ) -> None:
+        self.repository = repository
+        self.text_index = text_index
+        self.pagerank_index = pagerank_index
+        self.forward = forward
+        self.backward = backward
+
+    @classmethod
+    def build(
+        cls,
+        repository,
+        workdir: Path | str,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        stripes: int = DEFAULT_STRIPES,
+        refinement=None,
+    ) -> "ServeContext":
+        """Build forward + transpose S-Node stores and the indexes.
+
+        The stores are reopened with ``stripes`` buffer-pool segments —
+        the serving configuration; experiments that need the exact
+        single-LRU eviction order open their own stores with the default
+        ``stripes=1``.
+        """
+        from repro.baselines import SNodeRepresentation
+        from repro.experiments.harness import experiment_refinement_config
+        from repro.index.pagerank_index import PageRankIndex
+        from repro.index.textindex import TextIndex
+        from repro.snode.build import BuildOptions, build_snode
+        from repro.snode.store import SNodeStore
+
+        workdir = Path(workdir)
+        refinement = (
+            refinement if refinement is not None else experiment_refinement_config()
+        )
+        forward_build = build_snode(
+            repository,
+            workdir / "serve_f",
+            BuildOptions(refinement=refinement, buffer_bytes=buffer_bytes),
+        )
+        backward_build = build_snode(
+            repository,
+            workdir / "serve_b",
+            BuildOptions(
+                refinement=refinement, buffer_bytes=buffer_bytes, transpose=True
+            ),
+        )
+        if stripes != 1:
+            for build in (forward_build, backward_build):
+                build.store.close()
+                build.store = SNodeStore(
+                    build.root, buffer_bytes=buffer_bytes, stripes=stripes
+                )
+        return cls(
+            repository,
+            TextIndex(repository),
+            PageRankIndex(repository),
+            SNodeRepresentation(forward_build),
+            SNodeRepresentation(backward_build),
+        )
+
+    def make_engine(self, label: str) -> ClientEngine:
+        """A per-client engine reading through fresh sessions."""
+        forward = self.forward.session(label=f"{label}/forward")
+        backward = self.backward.session(label=f"{label}/backward")
+        engine = QueryEngine(
+            self.repository,
+            self.text_index,
+            self.pagerank_index,
+            forward,
+            backward,
+        )
+        return ClientEngine(engine=engine, forward=forward, backward=backward)
+
+    def serial_engine(self) -> QueryEngine:
+        """An engine on the shared (root) path — the serial baseline."""
+        return QueryEngine(
+            self.repository,
+            self.text_index,
+            self.pagerank_index,
+            self.forward,
+            self.backward,
+        )
+
+    def shared_totals(self) -> dict[str, dict[str, float]]:
+        """Merged metrics (base + live sessions), per direction."""
+        return {
+            "forward": self.forward.store.metrics.merged_snapshot(),
+            "backward": self.backward.store.metrics.merged_snapshot(),
+        }
+
+    def buffer_stats(self) -> dict[str, dict[str, int]]:
+        """Shared buffer-pool occupancy and hit counters, per direction."""
+        return {
+            "forward": self.forward.store.buffer_stats(),
+            "backward": self.backward.store.buffer_stats(),
+        }
+
+    def close(self) -> None:
+        """Close both shared stores."""
+        self.forward.close()
+        self.backward.close()
+
+
+@dataclass
+class DaemonCounters:
+    """Daemon-level request accounting (event-loop confined)."""
+
+    connections: int = 0
+    requests_ok: int = 0
+    requests_shed: int = 0
+    requests_failed: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        # "backpressure_replies", not "requests_shed": the count varies
+        # with thread interleaving, and a key containing "_s" would be
+        # threshold-compared as a cost by bench-diff.
+        return {
+            "connections": self.connections,
+            "requests_ok": self.requests_ok,
+            "backpressure_replies": self.requests_shed,
+            "requests_failed": self.requests_failed,
+        }
+
+
+@dataclass
+class GraphQueryDaemon:
+    """Asyncio TCP daemon serving the Figure 11 workload."""
+
+    context: ServeContext
+    host: str = "127.0.0.1"
+    port: int = 0
+    workers: int = DEFAULT_WORKERS
+    queue_limit: int = DEFAULT_QUEUE_LIMIT
+    counters: DaemonCounters = field(default_factory=DaemonCounters)
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ServeError(f"workers must be >= 1, got {self.workers}")
+        if self.queue_limit < 1:
+            raise ServeError(
+                f"queue_limit must be >= 1, got {self.queue_limit}"
+            )
+        self._server: asyncio.AbstractServer | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._inflight = 0
+        self._next_client = 0
+
+    @property
+    def bound_port(self) -> int:
+        """The actual listening port (after binding port 0)."""
+        if self._server is None:
+            raise ServeError("daemon is not started")
+        return self._server.sockets[0].getsockname()[1]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="serve-worker"
+        )
+        self._server = await asyncio.start_server(
+            self._handle_client, self.host, self.port
+        )
+
+    async def stop(self) -> None:
+        """Stop accepting, drain workers, release the port."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    async def serve_forever(self) -> None:
+        """Start (if needed) and serve until cancelled."""
+        if self._server is None:
+            await self.start()
+        try:
+            await self._server.serve_forever()
+        finally:
+            await self.stop()
+
+    # -- connection handling ---------------------------------------------------
+
+    async def _handle_client(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        client_id = self._next_client
+        self._next_client += 1
+        self.counters.connections += 1
+        engine = self.context.make_engine(f"client-{client_id}")
+        try:
+            while True:
+                try:
+                    request = await protocol.read_frame(reader)
+                except ServeError as exc:
+                    with contextlib.suppress(Exception):
+                        await protocol.write_frame(
+                            writer,
+                            protocol.error_reply(
+                                None, protocol.ERROR_BAD_REQUEST, str(exc)
+                            ),
+                        )
+                    break
+                if request is None:
+                    break
+                reply = await self._dispatch(engine, request)
+                await protocol.write_frame(writer, reply)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            engine.close()
+            writer.close()
+            # CancelledError is a BaseException on 3.11: suppress it too,
+            # or a shutdown mid-close logs a spurious task traceback.
+            with contextlib.suppress(Exception, asyncio.CancelledError):
+                await writer.wait_closed()
+
+    async def _dispatch(self, engine: ClientEngine, request) -> dict:
+        if not isinstance(request, dict):
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                None, protocol.ERROR_BAD_REQUEST, "request frame must be an object"
+            )
+        request_id = request.get("id")
+        op = request.get("op")
+        if op == "ping":
+            self.counters.requests_ok += 1
+            return protocol.ok_reply(request_id, {"pong": True})
+        if op == "stats":
+            self.counters.requests_ok += 1
+            return protocol.ok_reply(request_id, self._stats(engine))
+        if op not in ("query", "neighbors"):
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                request_id, protocol.ERROR_BAD_REQUEST, f"unknown op {op!r}"
+            )
+        # Admission control: _inflight is only touched on the event loop,
+        # so the check-then-increment is race-free without a lock.
+        if self._inflight >= self.queue_limit:
+            self.counters.requests_shed += 1
+            return protocol.error_reply(
+                request_id,
+                protocol.ERROR_BACKPRESSURE,
+                f"{self._inflight} requests in flight (limit "
+                f"{self.queue_limit}); retry later",
+            )
+        self._inflight += 1
+        try:
+            loop = asyncio.get_running_loop()
+            result = await loop.run_in_executor(
+                self._executor, self._execute, engine, op, request
+            )
+        except (QueryError, ServeError, StorageError, ValueError) as exc:
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                request_id, protocol.ERROR_BAD_REQUEST, str(exc)
+            )
+        except ReproError as exc:
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                request_id, protocol.ERROR_SERVER, str(exc)
+            )
+        except Exception as exc:  # noqa: BLE001 — a query bug must not kill the daemon
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                request_id, protocol.ERROR_SERVER, f"{type(exc).__name__}: {exc}"
+            )
+        finally:
+            self._inflight -= 1
+        self.counters.requests_ok += 1
+        return protocol.ok_reply(request_id, result)
+
+    # -- request execution (worker threads) ------------------------------------
+
+    def _execute(self, engine: ClientEngine, op: str, request: dict):
+        if op == "query":
+            name = request.get("name")
+            if name not in _QUERY_NAMES:
+                raise QueryError(
+                    f"unknown paper query {name!r}; choose from {_QUERY_NAMES}"
+                )
+            result = run_query(engine.engine, name)
+            payload = protocol.canonicalize(result.payload)
+            return {
+                "name": name,
+                "payload": payload,
+                "digest": protocol.payload_digest(result.payload),
+                "navigation_seconds": result.navigation_seconds,
+            }
+        if op == "neighbors":
+            page = request.get("page")
+            if not isinstance(page, int) or isinstance(page, bool):
+                raise QueryError("neighbors op needs an integer 'page'")
+            if not 0 <= page < self.context.repository.num_pages:
+                raise QueryError(f"page {page} out of range")
+            with engine.engine.navigation_timer("out_neighborhood"):
+                row = engine.engine.forward.out_neighbors(page)
+            return {"page": page, "neighbors": row}
+        raise ServeError(f"unhandled op {op!r}")  # pragma: no cover
+
+    # -- stats (event loop; registries are internally locked) ------------------
+
+    def _stats(self, engine: ClientEngine) -> dict:
+        return {
+            "client": engine.io_stats(),
+            "shared": self.context.shared_totals(),
+            "buffer": self.context.buffer_stats(),
+            "daemon": {
+                **self.counters.as_dict(),
+                "inflight": self._inflight,
+                "workers": self.workers,
+                "queue_limit": self.queue_limit,
+            },
+        }
+
+
+class DaemonHandle:
+    """A daemon running on its own event-loop thread (tests, benchmarks)."""
+
+    def __init__(self, daemon: GraphQueryDaemon) -> None:
+        self.daemon = daemon
+        self._started = threading.Event()
+        self._stop: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._failure: BaseException | None = None
+        self._thread = threading.Thread(
+            target=self._run, name="serve-daemon", daemon=True
+        )
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            try:
+                await self.daemon.start()
+            finally:
+                self._started.set()
+            try:
+                await self._stop.wait()
+            finally:
+                await self.daemon.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:  # noqa: BLE001 — surfaced by start()/stop()
+            self._failure = exc
+            self._started.set()
+
+    def start(self, timeout: float = 30.0) -> "DaemonHandle":
+        """Start the thread; returns once the daemon is listening."""
+        self._thread.start()
+        if not self._started.wait(timeout):
+            raise ServeError("daemon did not start in time")
+        if self._failure is not None:
+            raise ServeError(f"daemon failed to start: {self._failure}")
+        return self
+
+    @property
+    def port(self) -> int:
+        """The daemon's bound port."""
+        return self.daemon.bound_port
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Shut the daemon down and join its thread."""
+        if self._loop is not None and self._stop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout)
+        if self._thread.is_alive():
+            raise ServeError("daemon did not shut down in time")
+        if self._failure is not None:
+            raise ServeError(f"daemon thread failed: {self._failure}")
+
+    def __enter__(self) -> "DaemonHandle":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,250 @@
+"""Load generator for the graph query daemon.
+
+Drives the Figure 11 query mix at a configurable concurrency: N client
+threads, each with its own connection, each issuing its share of
+requests *sequentially* (so concurrency == open connections, the way a
+fleet of analysis frontends would drive the daemon).  The query for
+client ``i``'s ``j``-th request is ``MIX[(i + j) % 6]`` — a fixed,
+deterministic assignment, so two runs issue exactly the same multiset of
+queries and the result digests are comparable across runs and against a
+serial baseline.
+
+Backpressure is part of the protocol, not an error: a ``backpressure``
+reply is retried with linear backoff until the daemon admits the
+request.  Every request therefore eventually succeeds (or fails hard),
+which keeps ``requests_ok`` deterministic even when the daemon sheds
+most of the offered load.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ServeError
+from repro.obs.histogram import LatencyHistogram
+from repro.query.workload import PAPER_QUERIES
+from repro.serve import protocol
+
+#: The Figure 11 mix, in paper order.
+DEFAULT_MIX = tuple(name for name, _fn in PAPER_QUERIES)
+
+#: Base backoff after a backpressure reply (grows linearly per retry).
+BACKPRESSURE_BACKOFF_S = 0.002
+#: Hard cap on backpressure retries per request — the load generator
+#: gives up (and reports a failure) rather than spinning forever against
+#: a daemon that never admits anything.
+MAX_BACKPRESSURE_RETRIES = 10_000
+
+
+class ServeClient:
+    """Blocking-socket client speaking the daemon's frame protocol."""
+
+    def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._next_id = 0
+
+    def request(self, op: str, **fields):
+        """Send one request; returns the raw reply frame."""
+        request_id = self._next_id
+        self._next_id += 1
+        protocol.send_frame(
+            self._sock, {"id": request_id, "op": op, **fields}
+        )
+        reply = protocol.recv_frame(self._sock)
+        if reply is None:
+            raise ServeError("daemon closed the connection mid-request")
+        return reply
+
+    def request_ok(self, op: str, **fields):
+        """Send one request; returns ``result`` or raises on any error."""
+        reply = self.request(op, **fields)
+        if not reply.get("ok"):
+            error = reply.get("error", {})
+            raise ServeError(
+                f"{op} failed: {error.get('type')}: {error.get('message')}"
+            )
+        return reply["result"]
+
+    def ping(self) -> bool:
+        """Round-trip liveness check."""
+        return bool(self.request_ok("ping").get("pong"))
+
+    def stats(self) -> dict:
+        """The daemon's stats view for this connection."""
+        return self.request_ok("stats")
+
+    def close(self) -> None:
+        """Close the connection (ends the daemon-side session)."""
+        self._sock.close()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+@dataclass
+class ClientResult:
+    """One load-generator client's outcome."""
+
+    client_index: int
+    requests_ok: int = 0
+    requests_failed: int = 0
+    shed_retries: int = 0
+    latencies_s: list[float] = field(default_factory=list)
+    #: query name -> digest(s) observed (must be a singleton per name).
+    digests: dict[str, set[str]] = field(default_factory=dict)
+    #: The daemon-side per-client io stats (final ``stats`` request).
+    io_stats: dict = field(default_factory=dict)
+    error: str | None = None
+
+
+@dataclass
+class LoadResult:
+    """Aggregated load-generator outcome."""
+
+    concurrency: int
+    requests_per_client: int
+    wall_seconds: float
+    clients: list[ClientResult] = field(default_factory=list)
+
+    @property
+    def requests_ok(self) -> int:
+        """Successfully answered query requests."""
+        return sum(client.requests_ok for client in self.clients)
+
+    @property
+    def requests_failed(self) -> int:
+        """Query requests that failed hard (non-backpressure)."""
+        return sum(client.requests_failed for client in self.clients)
+
+    @property
+    def shed_retries(self) -> int:
+        """Backpressure replies received (each was retried)."""
+        return sum(client.shed_retries for client in self.clients)
+
+    @property
+    def throughput_qps(self) -> float:
+        """Answered queries per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.requests_ok / self.wall_seconds
+
+    def latency_histogram(self) -> LatencyHistogram:
+        """Distribution over every successful request's latency."""
+        histogram = LatencyHistogram()
+        for client in self.clients:
+            histogram.record_many(client.latencies_s)
+        return histogram
+
+    def digests(self) -> dict[str, set[str]]:
+        """query name -> all digests observed across clients."""
+        merged: dict[str, set[str]] = {}
+        for client in self.clients:
+            for name, digests in client.digests.items():
+                merged.setdefault(name, set()).update(digests)
+        return merged
+
+    def consistent(self) -> bool:
+        """True when every query name produced exactly one digest."""
+        return all(len(digests) == 1 for digests in self.digests().values())
+
+
+def _client_worker(
+    host: str,
+    port: int,
+    client_index: int,
+    requests_per_client: int,
+    mix: tuple[str, ...],
+    barrier: threading.Barrier,
+    result: ClientResult,
+) -> None:
+    try:
+        client = ServeClient(host, port)
+    except OSError as exc:
+        result.error = f"connect failed: {exc}"
+        barrier.wait()
+        return
+    try:
+        barrier.wait()
+        for j in range(requests_per_client):
+            name = mix[(client_index + j) % len(mix)]
+            retries = 0
+            while True:
+                start = time.perf_counter()
+                reply = client.request("query", name=name)
+                elapsed = time.perf_counter() - start
+                if reply.get("ok"):
+                    result.requests_ok += 1
+                    result.latencies_s.append(elapsed)
+                    payload = reply["result"]
+                    result.digests.setdefault(name, set()).add(
+                        payload["digest"]
+                    )
+                    break
+                error = reply.get("error", {})
+                if error.get("type") == protocol.ERROR_BACKPRESSURE:
+                    result.shed_retries += 1
+                    retries += 1
+                    if retries > MAX_BACKPRESSURE_RETRIES:
+                        result.requests_failed += 1
+                        result.error = "backpressure retry limit exceeded"
+                        break
+                    time.sleep(BACKPRESSURE_BACKOFF_S * min(retries, 50))
+                    continue
+                result.requests_failed += 1
+                result.error = (
+                    f"{name}: {error.get('type')}: {error.get('message')}"
+                )
+                break
+        result.io_stats = client.stats().get("client", {})
+    except (ServeError, OSError) as exc:
+        result.error = str(exc)
+    finally:
+        client.close()
+
+
+def run_load(
+    host: str,
+    port: int,
+    concurrency: int = 8,
+    requests_per_client: int = 12,
+    mix: tuple[str, ...] = DEFAULT_MIX,
+) -> LoadResult:
+    """Drive the daemon with ``concurrency`` clients; blocks until done.
+
+    All clients connect first, then start issuing requests together (a
+    barrier), so the daemon sees the full offered concurrency from the
+    first request on.
+    """
+    if concurrency < 1:
+        raise ServeError(f"concurrency must be >= 1, got {concurrency}")
+    results = [ClientResult(client_index=i) for i in range(concurrency)]
+    # +1: the main thread releases the barrier, so the wall clock starts
+    # when every client is connected and ready.
+    barrier = threading.Barrier(concurrency + 1)
+    threads = [
+        threading.Thread(
+            target=_client_worker,
+            args=(host, port, i, requests_per_client, mix, barrier, results[i]),
+            name=f"loadgen-{i}",
+        )
+        for i in range(concurrency)
+    ]
+    for thread in threads:
+        thread.start()
+    barrier.wait()
+    start = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - start
+    return LoadResult(
+        concurrency=concurrency,
+        requests_per_client=requests_per_client,
+        wall_seconds=wall,
+        clients=results,
+    )

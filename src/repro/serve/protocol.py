@@ -1,0 +1,179 @@
+"""Wire protocol of the graph query daemon.
+
+Frames are **length-prefixed JSON**: a 4-byte big-endian payload length
+followed by that many bytes of UTF-8 JSON.  JSON keeps the protocol
+inspectable (``printf '...' | nc`` debugging works) while the length
+prefix gives exact message boundaries over TCP without sentinel parsing.
+
+Requests carry ``{"id": <client-chosen>, "op": <name>, ...}``; replies
+echo the id with either ``{"ok": true, "result": ...}`` or
+``{"ok": false, "error": {"type": ..., "message": ...}}``.  Error types
+are part of the protocol: ``backpressure`` (admission control shed the
+request — retry later), ``bad_request`` (malformed frame or unknown
+op/query), ``server_error`` (the query raised).
+
+**Canonical JSON.** Query payloads contain sets, tuples and int-keyed
+dicts; :func:`canonicalize` maps them onto plain JSON (sorted lists,
+lists, string keys) deterministically, and :func:`payload_digest` hashes
+that canonical form — two runs returning the same answer produce the
+same digest regardless of thread interleaving, which is how the serve
+benchmark proves concurrent results match the serial run byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import hashlib
+import json
+import socket
+import struct
+
+from repro.errors import ServeError
+
+#: Upper bound on one frame's JSON payload; a peer announcing more is
+#: protocol-broken (or hostile) and the connection is dropped.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+#: Protocol error types (the ``error.type`` field of failure replies).
+ERROR_BACKPRESSURE = "backpressure"
+ERROR_BAD_REQUEST = "bad_request"
+ERROR_SERVER = "server_error"
+
+
+def canonicalize(value):
+    """Map a query payload onto deterministic plain-JSON values.
+
+    Sets become sorted lists, tuples become lists, non-string dict keys
+    become strings (entries sorted by that string key).  The result
+    round-trips through ``json`` unchanged, so digests computed on
+    either side of the wire agree.
+    """
+    if isinstance(value, dict):
+        items = [(str(key), canonicalize(item)) for key, item in value.items()]
+        items.sort(key=lambda kv: kv[0])
+        if len({key for key, _ in items}) != len(items):
+            raise ServeError("payload dict keys collide after stringification")
+        return dict(items)
+    if isinstance(value, (set, frozenset)):
+        return sorted(canonicalize(item) for item in value)
+    if isinstance(value, (list, tuple)):
+        return [canonicalize(item) for item in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        return value
+    raise ServeError(f"cannot canonicalize payload value of type {type(value).__name__}")
+
+
+def canonical_json(value) -> str:
+    """Deterministic JSON text of ``value`` (after :func:`canonicalize`)."""
+    return json.dumps(
+        canonicalize(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+def payload_digest(value) -> str:
+    """sha256 hex digest of the canonical JSON form of ``value``."""
+    return hashlib.sha256(canonical_json(value).encode("utf-8")).hexdigest()
+
+
+def encode_frame(message) -> bytes:
+    """One wire frame: length header + canonical JSON payload."""
+    payload = canonical_json(message).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte protocol limit"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_payload(payload: bytes):
+    """Parse one frame payload; raises :class:`ServeError` on bad JSON."""
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ServeError(f"malformed frame payload: {exc}") from exc
+
+
+# -- asyncio side (daemon) --------------------------------------------------
+
+
+async def read_frame(reader: asyncio.StreamReader):
+    """Read one frame; returns None on clean EOF before a header."""
+    try:
+        header = await reader.readexactly(_HEADER.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ServeError("connection closed mid-header") from exc
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise ServeError("connection closed mid-frame") from exc
+    return decode_payload(payload)
+
+
+async def write_frame(writer: asyncio.StreamWriter, message) -> None:
+    """Write one frame and drain the transport."""
+    writer.write(encode_frame(message))
+    await writer.drain()
+
+
+# -- blocking-socket side (clients) -----------------------------------------
+
+
+def _recv_exactly(sock: socket.socket, length: int) -> bytes:
+    chunks = []
+    remaining = length
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ServeError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def send_frame(sock: socket.socket, message) -> None:
+    """Blocking-socket frame send (load generator / CLI client)."""
+    sock.sendall(encode_frame(message))
+
+
+def recv_frame(sock: socket.socket):
+    """Blocking-socket frame receive; None on clean EOF before a header."""
+    first = sock.recv(_HEADER.size)
+    if not first:
+        return None
+    header = first + (
+        _recv_exactly(sock, _HEADER.size - len(first))
+        if len(first) < _HEADER.size
+        else b""
+    )
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ServeError(
+            f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
+        )
+    return decode_payload(_recv_exactly(sock, length))
+
+
+def error_reply(request_id, error_type: str, message: str) -> dict:
+    """A failure reply frame."""
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"type": error_type, "message": message},
+    }
+
+
+def ok_reply(request_id, result) -> dict:
+    """A success reply frame."""
+    return {"id": request_id, "ok": True, "result": result}

@@ -16,11 +16,22 @@ An :class:`SNodeStore` mirrors the paper's runtime organization:
   read that does not continue exactly where the previous read on the same
   file ended counts as one seek, which is how the benefit of the linear
   ordering (Figure 8) becomes measurable.
+
+**Concurrent readers.** One store may serve many threads at once: every
+read method takes an optional ``registry`` so a :class:`ReadSession`
+(created by :meth:`SNodeStore.session`) can attribute its hits, misses,
+seeks and bytes to its own child registry while sharing the store's
+buffer pool.  The serial path — calling the store directly — charges the
+store's own registry and is byte-identical to the single-threaded
+behaviour; shared events (evictions, quarantines) always charge the
+store's base registry, so per-session numbers plus the base sum to the
+shared totals.
 """
 
 from __future__ import annotations
 
 import bisect
+import threading
 from pathlib import Path
 
 from repro.errors import CorruptionError, StorageError
@@ -124,6 +135,7 @@ class SNodeStore:
         record_events: bool = True,
         cache_decoded: bool = True,
         on_corruption: str = "raise",
+        stripes: int = 1,
     ) -> None:
         """Open a stored representation.
 
@@ -142,6 +154,11 @@ class SNodeStore:
         rows come back empty, each such answer counting one
         ``degraded_reads``.  Regions already quarantined on disk by
         ``repro fsck --repair`` are honoured in both modes.
+
+        ``stripes`` configures buffer-pool lock striping for concurrent
+        serving (see :class:`~repro.storage.bufferpool.BufferPool`); the
+        default of 1 keeps the exact single-LRU eviction order that the
+        experiments and their committed baselines depend on.
         """
         if on_corruption not in ("raise", "degrade"):
             raise ValueError(
@@ -163,9 +180,14 @@ class SNodeStore:
         self.metrics = MetricsRegistry()
         self.stats = StoreStats(self.metrics)
         self._pool = BufferPool(
-            buffer_bytes, registry=self.metrics, on_evict=self._on_evict
+            buffer_bytes,
+            registry=self.metrics,
+            on_evict=self._on_evict,
+            stripes=stripes,
         )
         self._devices: dict[int, CountedFile] = {}
+        self._devices_lock = threading.Lock()
+        self._quarantined_lock = threading.Lock()
         # The paper pins the supernode graph and both indexes for the
         # lifetime of the store; account for them as pinned buffer bytes.
         self._pool.pin(
@@ -181,9 +203,11 @@ class SNodeStore:
 
     def close(self) -> None:
         """Close open payload file handles."""
-        for device in self._devices.values():
+        with self._devices_lock:
+            devices = list(self._devices.values())
+            self._devices.clear()
+        for device in devices:
             device.close()
-        self._devices.clear()
 
     def __enter__(self) -> "SNodeStore":
         return self
@@ -241,14 +265,22 @@ class SNodeStore:
     def _device(self, file_index: int) -> CountedFile:
         device = self._devices.get(file_index)
         if device is None:
-            name = self._layout.index_files[file_index]
-            device = CountedFile(self._root / name, registry=self.metrics)
-            self._devices[file_index] = device
+            with self._devices_lock:
+                device = self._devices.get(file_index)
+                if device is None:
+                    name = self._layout.index_files[file_index]
+                    device = CountedFile(self._root / name, registry=self.metrics)
+                    self._devices[file_index] = device
         return device
 
-    def _read_payload(self, location: GraphLocation, region: str) -> bytes:
+    def _read_payload(
+        self,
+        location: GraphLocation,
+        region: str,
+        registry: MetricsRegistry | None = None,
+    ) -> bytes:
         payload = self._device(location.file_index).read_at(
-            location.offset, location.length
+            location.offset, location.length, registry=registry
         )
         actual = integrity.crc32(payload)
         if actual != location.crc:
@@ -260,15 +292,23 @@ class SNodeStore:
             )
         return payload
 
-    def _degraded(self, key: tuple, rows: int) -> list[list[int]]:
+    def _degraded(
+        self, key: tuple, rows: int, registry: MetricsRegistry
+    ) -> list[list[int]]:
         """Serve a quarantined region: empty adjacency, counted."""
-        self.metrics.inc("degraded_reads")
+        registry.inc("degraded_reads")
         if self._record_events:
-            self.metrics.record("degraded", key)
+            registry.record("degraded", key)
         return [[] for _ in range(rows)]
 
     def _quarantine(self, key: tuple, error: CorruptionError) -> None:
-        self._quarantined.add(key)
+        # Quarantining is a store-wide state change, so it always charges
+        # the base registry regardless of which session hit the bad region.
+        with self._quarantined_lock:
+            already = key in self._quarantined
+            self._quarantined.add(key)
+        if already:
+            return
         self.metrics.inc("regions_quarantined")
         if self._record_events:
             self.metrics.record("quarantine", (*key, str(error)))
@@ -276,53 +316,64 @@ class SNodeStore:
     def _graph_cost(self, rows: list[list[int]]) -> int:
         return _ROW_COST * len(rows) + _EDGE_COST * sum(len(r) for r in rows)
 
-    def _loaded(self, kind: str, key: tuple) -> None:
-        self.metrics.inc("loads")
-        self.metrics.inc(f"{kind}_loads")
-        self.metrics.mark(kind, key)
+    def _loaded(self, kind: str, key: tuple, registry: MetricsRegistry) -> None:
+        registry.inc("loads")
+        registry.inc(f"{kind}_loads")
+        registry.mark(kind, key)
         # Attribute the load to the innermost open tracing span (if a
         # tracer is active), so span trees show which phase/operation
         # pulled which graph kind from disk.
         tracing.note(f"{kind}_loads")
         if self._record_events:
-            self.metrics.record(f"load-{'intra' if kind == 'intranode' else 'super'}", key)
+            registry.record(f"load-{'intra' if kind == 'intranode' else 'super'}", key)
 
-    def intranode_rows(self, supernode: int) -> list[list[int]]:
+    def intranode_rows(
+        self, supernode: int, registry: MetricsRegistry | None = None
+    ) -> list[list[int]]:
         """Decoded intranode graph of ``supernode`` (local target indices)."""
+        reg = registry if registry is not None else self.metrics
         key = ("intra", supernode)
         size = self._boundaries[supernode + 1] - self._boundaries[supernode]
         if key in self._quarantined:
-            return self._degraded(key, size)
-        cached = self._pool.get(key, kind="intranode")
+            return self._degraded(key, size, reg)
+        cached = self._pool.get(key, kind="intranode", registry=reg)
         if cached is not None:
             if not self._cache_decoded:
                 return decode_intranode(cached)
             return cached
         try:
             payload = self._read_payload(
-                self._layout.intranode[supernode], f"intranode {supernode}"
+                self._layout.intranode[supernode],
+                f"intranode {supernode}",
+                registry=reg,
             )
         except CorruptionError as error:
             if self._on_corruption != "degrade":
                 raise
             self._quarantine(key, error)
-            return self._degraded(key, size)
+            return self._degraded(key, size, reg)
         rows = decode_intranode(payload)
         if self._cache_decoded:
             self._pool.put(key, rows, self._graph_cost(rows), kind="intranode")
         else:
             self._pool.put(key, payload, len(payload), kind="intranode")
-        self._loaded("intranode", (supernode,))
+        self._loaded("intranode", (supernode,), reg)
         return rows
 
-    def superedge_rows(self, source: int, target: int) -> list[list[int]]:
+    def superedge_rows(
+        self,
+        source: int,
+        target: int,
+        registry: MetricsRegistry | None = None,
+    ) -> list[list[int]]:
         """Positive rows of superedge (source, target), decoded on demand."""
+        reg = registry if registry is not None else self.metrics
         key = ("super", source, target)
         source_size = self._boundaries[source + 1] - self._boundaries[source]
         target_size = self._boundaries[target + 1] - self._boundaries[target]
         if key in self._quarantined:
-            return self._degraded(key, source_size)
-        cached = self._pool.get(key, kind="superedge")
+            return self._degraded(key, source_size, reg)
+        cached = self._pool.get(key, kind="superedge", registry=reg)
         if cached is not None:
             if not self._cache_decoded:
                 return positive_rows_from_payload(cached, source_size, target_size)
@@ -332,23 +383,27 @@ class SNodeStore:
             raise StorageError(f"no superedge {source} -> {target}")
         location, _negative = entry
         try:
-            payload = self._read_payload(location, f"superedge {source}->{target}")
+            payload = self._read_payload(
+                location, f"superedge {source}->{target}", registry=reg
+            )
         except CorruptionError as error:
             if self._on_corruption != "degrade":
                 raise
             self._quarantine(key, error)
-            return self._degraded(key, source_size)
+            return self._degraded(key, source_size, reg)
         rows = positive_rows_from_payload(payload, source_size, target_size)
         if self._cache_decoded:
             self._pool.put(key, rows, self._graph_cost(rows), kind="superedge")
         else:
             self._pool.put(key, payload, len(payload), kind="superedge")
-        self._loaded("superedge", (source, target))
+        self._loaded("superedge", (source, target), reg)
         return rows
 
     # -- adjacency access ----------------------------------------------------
 
-    def out_neighbors(self, page: int) -> list[int]:
+    def out_neighbors(
+        self, page: int, registry: MetricsRegistry | None = None
+    ) -> list[int]:
         """Complete adjacency list of ``page`` in (new) page-id space.
 
         Assembles the list from the intranode graph plus every outgoing
@@ -358,15 +413,20 @@ class SNodeStore:
         supernode = self.supernode_of(page)
         first = self._boundaries[supernode]
         local = page - first
-        result = [first + t for t in self.intranode_rows(supernode)[local]]
+        result = [
+            first + t
+            for t in self.intranode_rows(supernode, registry=registry)[local]
+        ]
         for target_super in self._super_adjacency[supernode]:
-            rows = self.superedge_rows(supernode, target_super)
+            rows = self.superedge_rows(supernode, target_super, registry=registry)
             base = self._boundaries[target_super]
             result.extend(base + t for t in rows[local])
         result.sort()
         return result
 
-    def out_neighbors_many(self, pages: list[int]) -> dict[int, list[int]]:
+    def out_neighbors_many(
+        self, pages: list[int], registry: MetricsRegistry | None = None
+    ) -> dict[int, list[int]]:
         """Adjacency lists for several pages, grouped to reuse loads.
 
         Pages are processed supernode-by-supernode so each intranode /
@@ -378,9 +438,12 @@ class SNodeStore:
         result: dict[int, list[int]] = {}
         for supernode in sorted(by_super):
             first = self._boundaries[supernode]
-            intra = self.intranode_rows(supernode)
+            intra = self.intranode_rows(supernode, registry=registry)
             super_rows = [
-                (self._boundaries[t], self.superedge_rows(supernode, t))
+                (
+                    self._boundaries[t],
+                    self.superedge_rows(supernode, t, registry=registry),
+                )
                 for t in self._super_adjacency[supernode]
             ]
             for page in by_super[supernode]:
@@ -448,6 +511,19 @@ class SNodeStore:
         """Buffer-manager counters."""
         return self._pool.stats()
 
+    # -- sessions ------------------------------------------------------------
+
+    def session(self, label: str | None = None) -> "ReadSession":
+        """Open a :class:`ReadSession` over this store.
+
+        Each session owns a child metrics registry: its reads charge that
+        child (uncontended, attributable to the client), while the pages
+        themselves come from the store's shared buffer pool.  Close the
+        session (or use it as a context manager) to fold its numbers back
+        into the store's totals.
+        """
+        return ReadSession(self, label=label)
+
     # -- graceful degradation ------------------------------------------------
 
     @property
@@ -466,9 +542,97 @@ class SNodeStore:
     @property
     def quarantined(self) -> list[tuple]:
         """Regions quarantined this session or by ``repro fsck --repair``."""
-        return sorted(self._quarantined)
+        with self._quarantined_lock:
+            return sorted(self._quarantined)
 
     @property
     def degraded_reads(self) -> int:
-        """Answers served from quarantined (empty) regions."""
-        return self.metrics.get("degraded_reads")
+        """Answers served from quarantined (empty) regions (all sessions)."""
+        return self.metrics.get_total("degraded_reads")
+
+
+class ReadSession:
+    """One client's view of a shared :class:`SNodeStore`.
+
+    Exposes the store's read API with every metric charged to the
+    session's own child registry: concurrent sessions share the buffer
+    pool (and benefit from each other's cached graphs) but keep fully
+    attributable I/O accounting.  Sessions are intended to be used from
+    one thread at a time — that is what makes their hot-path counting
+    uncontended — while any number of sessions run in parallel.
+
+    Closing the session merges its counters back into the store's
+    registry; the store's ``metrics.merged_snapshot()`` view includes
+    still-open sessions, so per-client numbers always sum to the shared
+    totals.
+    """
+
+    def __init__(self, store: SNodeStore, label: str | None = None) -> None:
+        self._store = store
+        self.registry = store.metrics.child(label=label)
+        self.stats = StoreStats(self.registry)
+        self._closed = False
+
+    @property
+    def store(self) -> SNodeStore:
+        """The shared store this session reads through."""
+        return self._store
+
+    @property
+    def label(self) -> str | None:
+        """The session label (shown in per-client reports)."""
+        return self.registry.label
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` has folded this session's metrics."""
+        return self._closed
+
+    # -- read API (mirrors SNodeStore) --------------------------------------
+
+    def supernode_of(self, page: int) -> int:
+        """See :meth:`SNodeStore.supernode_of`."""
+        return self._store.supernode_of(page)
+
+    def supernode_range(self, supernode: int) -> tuple[int, int]:
+        """See :meth:`SNodeStore.supernode_range`."""
+        return self._store.supernode_range(supernode)
+
+    def supernodes_of_domain(self, domain: str) -> list[int]:
+        """See :meth:`SNodeStore.supernodes_of_domain`."""
+        return self._store.supernodes_of_domain(domain)
+
+    def intranode_rows(self, supernode: int) -> list[list[int]]:
+        """See :meth:`SNodeStore.intranode_rows`; charges this session."""
+        return self._store.intranode_rows(supernode, registry=self.registry)
+
+    def superedge_rows(self, source: int, target: int) -> list[list[int]]:
+        """See :meth:`SNodeStore.superedge_rows`; charges this session."""
+        return self._store.superedge_rows(source, target, registry=self.registry)
+
+    def out_neighbors(self, page: int) -> list[int]:
+        """See :meth:`SNodeStore.out_neighbors`; charges this session."""
+        return self._store.out_neighbors(page, registry=self.registry)
+
+    def out_neighbors_many(self, pages: list[int]) -> dict[int, list[int]]:
+        """See :meth:`SNodeStore.out_neighbors_many`; charges this session."""
+        return self._store.out_neighbors_many(pages, registry=self.registry)
+
+    def io_stats(self) -> dict[str, int]:
+        """This session's own counters (not the shared totals)."""
+        return self.registry.io_stats()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self) -> None:
+        """Fold this session's metrics into the store and detach."""
+        if self._closed:
+            return
+        self._closed = True
+        self._store.metrics.merge(self.registry)
+
+    def __enter__(self) -> "ReadSession":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

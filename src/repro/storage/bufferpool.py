@@ -11,7 +11,22 @@ runtime architecture needs:
   kind (``<kind>_loads``) in the shared metrics registry;
 * **uniform resize** — :meth:`set_buffer_bytes` is the single Figure 12
   sweep protocol: every representation resizes through it with identical
-  semantics (cache dropped silently, pins kept).
+  semantics (cache dropped silently, pins kept).  Shrinking the budget
+  below the pinned floor raises a typed
+  :class:`~repro.errors.BufferCapacityError` — pins are resident for the
+  store's lifetime, so a budget that cannot cover them is infeasible and
+  sweeps skip the point explicitly instead of getting silently wrong
+  accounting;
+* **concurrent readers** — the cache is *lock-striped*: keys hash onto
+  ``stripes`` independent LRU segments, each with its own lock and an
+  equal share of the byte budget, so N sessions hitting different
+  stripes never serialize on one mutex.  ``stripes=1`` (the default) is
+  a single exact LRU with byte-identical behaviour to the serial pool —
+  the configuration every experiment and the Mattson miss-ratio
+  validation use; the query daemon opens its shared store with more
+  stripes.  Pinned entries and their byte accounting sit behind one
+  dedicated lock, so capacity/pinned-byte bookkeeping is atomic under
+  contention.
 
 Hit/miss/eviction counters live in the owning representation's
 :class:`~repro.storage.metrics.MetricsRegistry` (``buffer_hits``,
@@ -22,16 +37,32 @@ ratios (intranode vs. superedge vs. heap page vs. index page) are
 recoverable; hits served by pinned entries are additionally counted as
 ``buffer_pinned_hits`` because they are capacity-independent and must be
 excluded when comparing measured ratios against LRU predictions.
+
+Per-session attribution: lookups and loads accept an optional
+``registry`` — a session's child registry — charged *instead of* the
+pool's own.  Evictions are a shared-pool event (one session's admission
+evicts another session's entry) and always charge the pool's base
+registry, so per-client counters plus the base sum to the true totals.
 """
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Hashable
 
+from repro.errors import BufferCapacityError, StorageError
 from repro.obs import tracing
 from repro.obs.profile import trace as _profile
 from repro.storage.metrics import MetricsRegistry
 from repro.util.lru import LRUCache
+
+
+def _split_budget(capacity_bytes: int, stripes: int) -> list[int]:
+    """Per-stripe byte budgets (stripe 0 absorbs the remainder)."""
+    share = capacity_bytes // stripes
+    budgets = [share] * stripes
+    budgets[0] += capacity_bytes - share * stripes
+    return budgets
 
 
 class BufferPool:
@@ -42,55 +73,87 @@ class BufferPool:
         capacity_bytes: int,
         registry: MetricsRegistry | None = None,
         on_evict: Callable[[Hashable, object], None] | None = None,
+        stripes: int = 1,
     ) -> None:
+        if stripes < 1:
+            raise ValueError(f"stripes must be >= 1, got {stripes}")
         self.registry = registry if registry is not None else MetricsRegistry()
         self._on_evict = on_evict
+        self._capacity_bytes = capacity_bytes
+        self._stripes = stripes
+        self._pin_lock = threading.RLock()
         self._pinned: dict[Hashable, tuple[object, int]] = {}
-        self._cache: LRUCache = LRUCache(capacity_bytes, on_evict=self._evicted)
+        self._pinned_bytes = 0
+        self._locks = [threading.RLock() for _ in range(stripes)]
+        self._caches: list[LRUCache] = [
+            LRUCache(budget, on_evict=self._evicted)
+            for budget in _split_budget(capacity_bytes, stripes)
+        ]
+
+    def _stripe(self, key: Hashable) -> int:
+        if self._stripes == 1:
+            return 0
+        return hash(key) % self._stripes
 
     # -- eviction accounting -----------------------------------------------
 
     def _evicted(self, key: Hashable, value: object) -> None:
+        # Evictions are shared-pool events (session A's admission can push
+        # out session B's entry), so they always charge the base registry.
         self.registry.inc("buffer_evictions")
         if self._on_evict is not None:
             self._on_evict(key, value)
 
     # -- cache protocol ----------------------------------------------------
 
-    def get(self, key: Hashable, kind: str | None = None):
+    def get(
+        self,
+        key: Hashable,
+        kind: str | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         """Cached value for ``key`` or None, counting hit/miss.
 
         A ``kind`` additionally attributes the lookup to
-        ``buffer_hits_<kind>`` / ``buffer_misses_<kind>``.
+        ``buffer_hits_<kind>`` / ``buffer_misses_<kind>``; a ``registry``
+        (a session's) is charged instead of the pool's own.
         """
-        pinned = self._pinned.get(key)
+        target = registry if registry is not None else self.registry
+        with self._pin_lock:
+            pinned = self._pinned.get(key)
         if pinned is not None:
-            self.registry.inc("buffer_hits")
-            self.registry.inc("buffer_pinned_hits")
+            target.inc("buffer_hits")
+            target.inc("buffer_pinned_hits")
             if kind is not None:
-                self.registry.inc(f"buffer_hits_{kind}")
+                target.inc(f"buffer_hits_{kind}")
             _profile.buffer_access(self, key, kind, hit=True, pinned=True)
             return pinned[0]
-        value = self._cache.get(key)
+        index = self._stripe(key)
+        with self._locks[index]:
+            value = self._caches[index].get(key)
         if value is None:
-            self.registry.inc("buffer_misses")
+            target.inc("buffer_misses")
             if kind is not None:
-                self.registry.inc(f"buffer_misses_{kind}")
+                target.inc(f"buffer_misses_{kind}")
             _profile.buffer_access(self, key, kind, hit=False, pinned=False)
             return None
-        self.registry.inc("buffer_hits")
+        target.inc("buffer_hits")
         if kind is not None:
-            self.registry.inc(f"buffer_hits_{kind}")
+            target.inc(f"buffer_hits_{kind}")
         _profile.buffer_access(self, key, kind, hit=True, pinned=False)
         return value
 
     def put(self, key: Hashable, value, cost_bytes: int, kind: str | None = None) -> None:
         """Admit ``value`` under the byte budget (evicting LRU entries)."""
-        if key in self._pinned:
-            self._pinned[key] = (value, cost_bytes)
-            return
+        with self._pin_lock:
+            if key in self._pinned:
+                self._pinned_bytes += cost_bytes - self._pinned[key][1]
+                self._pinned[key] = (value, cost_bytes)
+                return
         _profile.buffer_admit(self, key, kind, cost_bytes)
-        self._cache.put(key, value, cost_bytes)
+        index = self._stripe(key)
+        with self._locks[index]:
+            self._caches[index].put(key, value, cost_bytes)
 
     def get_or_load(
         self,
@@ -98,6 +161,7 @@ class BufferPool:
         loader: Callable[[], object],
         cost: Callable[[object], int] | int | None = None,
         kind: str | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         """Return the cached value for ``key``, loading and admitting on miss.
 
@@ -105,9 +169,11 @@ class BufferPool:
         value, or None (``len(value)`` — raw byte payloads).  ``kind``
         names the load in the registry (``<kind>_loads`` plus the total
         ``loads`` counter) — how "loads by graph kind" reach Figure 11's
-        instrumentation table.
+        instrumentation table.  ``registry`` attributes the lookup and
+        the load to a session instead of the pool's base registry.
         """
-        value = self.get(key, kind=kind)
+        target = registry if registry is not None else self.registry
+        value = self.get(key, kind=kind, registry=registry)
         if value is not None:
             return value
         value = loader()
@@ -118,9 +184,9 @@ class BufferPool:
         else:
             cost_bytes = cost
         self.put(key, value, cost_bytes, kind=kind)
-        self.registry.inc("loads")
+        target.inc("loads")
         if kind is not None:
-            self.registry.inc(f"{kind}_loads")
+            target.inc(f"{kind}_loads")
         # Span attribution: an active tracer sees which span triggered
         # the load, by kind.
         tracing.note(f"{kind}_loads" if kind is not None else "loads")
@@ -130,20 +196,45 @@ class BufferPool:
 
     def pin(self, key: Hashable, value, cost_bytes: int) -> None:
         """Keep ``value`` resident outside the LRU budget until unpinned."""
-        if self._cache.pop(key) is not None:  # never hold a pinned key twice
+        index = self._stripe(key)
+        with self._locks[index]:
+            dropped = self._caches[index].pop(key) is not None
+        if dropped:  # never hold a pinned key twice
             _profile.buffer_drop(self, key)
-        self._pinned[key] = (value, cost_bytes)
+        with self._pin_lock:
+            previous = self._pinned.get(key)
+            if previous is not None:
+                self._pinned_bytes -= previous[1]
+            self._pinned[key] = (value, cost_bytes)
+            self._pinned_bytes += cost_bytes
 
     def unpin(self, key: Hashable) -> None:
         """Release a pinned entry (dropped, not demoted to the LRU)."""
-        self._pinned.pop(key, None)
+        with self._pin_lock:
+            entry = self._pinned.pop(key, None)
+            if entry is not None:
+                self._pinned_bytes -= entry[1]
 
     def invalidate(self, key: Hashable) -> None:
         """Drop ``key`` without eviction accounting (after an in-place write)."""
-        if self._cache.pop(key) is not None:
+        index = self._stripe(key)
+        with self._locks[index]:
+            dropped = self._caches[index].pop(key) is not None
+        if dropped:
             _profile.buffer_drop(self, key)
 
     # -- maintenance -------------------------------------------------------
+
+    def _lock_all(self) -> list[threading.RLock]:
+        # Whole-pool operations take every stripe lock in index order so
+        # two concurrent maintenance calls cannot deadlock.
+        for lock in self._locks:
+            lock.acquire()
+        return self._locks
+
+    def _unlock_all(self) -> None:
+        for lock in reversed(self._locks):
+            lock.release()
 
     def clear(self, record: bool = True) -> None:
         """Drop every unpinned entry.
@@ -153,45 +244,126 @@ class BufferPool:
         instrumentation of an actual buffer-pressure eviction;
         ``record=False`` discards silently (resize protocol).
         """
-        if record:
-            self._cache.clear()
-        else:
-            capacity = self._cache.capacity_bytes
-            self._cache = LRUCache(capacity, on_evict=self._evicted)
+        self._lock_all()
+        try:
+            if record:
+                for cache in self._caches:
+                    cache.clear()
+            else:
+                self._caches = [
+                    LRUCache(budget, on_evict=self._evicted)
+                    for budget in _split_budget(
+                        self._capacity_bytes, self._stripes
+                    )
+                ]
+        finally:
+            self._unlock_all()
         _profile.buffer_drop(self)
 
     def set_buffer_bytes(self, capacity_bytes: int) -> None:
-        """Uniform resize protocol: new budget, cache dropped, pins kept."""
-        self._cache = LRUCache(capacity_bytes, on_evict=self._evicted)
+        """Uniform resize protocol: new budget, cache dropped, pins kept.
+
+        Raises :class:`~repro.errors.BufferCapacityError` when the new
+        budget is below :attr:`pinned_bytes`: pinned roots are resident
+        whatever the budget, so a budget that cannot cover them would
+        leave the capacity accounting negative — the Figure 12 sweep
+        treats such a point as infeasible rather than measurable.
+        """
+        with self._pin_lock:
+            pinned_bytes = self._pinned_bytes
+        if capacity_bytes < pinned_bytes:
+            raise BufferCapacityError(
+                f"cannot shrink buffer budget to {capacity_bytes} bytes: "
+                f"{pinned_bytes} bytes are pinned (supernode graph, root "
+                f"pages); the budget must at least cover the pinned floor"
+            )
+        self._lock_all()
+        try:
+            self._capacity_bytes = capacity_bytes
+            self._caches = [
+                LRUCache(budget, on_evict=self._evicted)
+                for budget in _split_budget(capacity_bytes, self._stripes)
+            ]
+        finally:
+            self._unlock_all()
         _profile.buffer_drop(self)
 
     # -- introspection -----------------------------------------------------
 
     @property
+    def stripes(self) -> int:
+        """Number of independent LRU segments."""
+        return self._stripes
+
+    @property
     def capacity_bytes(self) -> int:
         """Configured LRU byte budget (pins live outside it)."""
-        return self._cache.capacity_bytes
+        return self._capacity_bytes
 
     @property
     def used_bytes(self) -> int:
-        """Bytes held by unpinned entries."""
-        return self._cache.used_bytes
+        """Bytes held by unpinned entries (summed over stripes)."""
+        return sum(cache.used_bytes for cache in self._caches)
 
     @property
     def pinned_bytes(self) -> int:
         """Bytes held by pinned entries."""
-        return sum(cost for _value, cost in self._pinned.values())
+        with self._pin_lock:
+            return self._pinned_bytes
+
+    def check_invariants(self) -> None:
+        """Verify capacity/pinned accounting; raises ``StorageError``.
+
+        Checked under all locks, so it is safe to call from a watchdog
+        thread while readers hammer the pool:
+
+        * each stripe's ``used_bytes`` equals the sum of its entry costs
+          and respects its budget (one over-budget entry may sit alone,
+          matching :class:`~repro.util.lru.LRUCache` admission);
+        * ``pinned_bytes`` equals the sum of pinned entry costs;
+        * no key is both pinned and cached.
+        """
+        self._lock_all()
+        try:
+            with self._pin_lock:
+                pinned_sum = sum(
+                    cost for _value, cost in self._pinned.values()
+                )
+                if pinned_sum != self._pinned_bytes:
+                    raise StorageError(
+                        f"pinned accounting drifted: tracked "
+                        f"{self._pinned_bytes}, actual {pinned_sum}"
+                    )
+                pinned_keys = set(self._pinned)
+            for index, cache in enumerate(self._caches):
+                overlap = pinned_keys.intersection(cache.keys())
+                if overlap:
+                    raise StorageError(
+                        f"key(s) both pinned and cached: {sorted(map(str, overlap))}"
+                    )
+                if cache.used_bytes > cache.capacity_bytes and len(cache) > 1:
+                    raise StorageError(
+                        f"stripe {index} over budget with multiple entries: "
+                        f"{cache.used_bytes} > {cache.capacity_bytes}"
+                    )
+        finally:
+            self._unlock_all()
 
     def stats(self) -> dict[str, int]:
-        """Occupancy plus the registry's hit/miss/eviction counters."""
+        """Occupancy plus the registry's hit/miss/eviction counters.
+
+        Counters aggregate over the base registry and any live session
+        registries (``get_total``), so the totals stay meaningful whether
+        reads went through the pool directly or through sessions.
+        """
         return {
-            "hits": self.registry.get("buffer_hits"),
-            "pinned_hits": self.registry.get("buffer_pinned_hits"),
-            "misses": self.registry.get("buffer_misses"),
-            "evictions": self.registry.get("buffer_evictions"),
-            "entries": len(self._cache),
-            "used_bytes": self._cache.used_bytes,
-            "capacity_bytes": self._cache.capacity_bytes,
+            "hits": self.registry.get_total("buffer_hits"),
+            "pinned_hits": self.registry.get_total("buffer_pinned_hits"),
+            "misses": self.registry.get_total("buffer_misses"),
+            "evictions": self.registry.get_total("buffer_evictions"),
+            "entries": sum(len(cache) for cache in self._caches),
+            "used_bytes": self.used_bytes,
+            "capacity_bytes": self._capacity_bytes,
             "pinned_entries": len(self._pinned),
             "pinned_bytes": self.pinned_bytes,
         }

@@ -8,14 +8,23 @@ Link3 blocks, the flat adjacency file) read through a :class:`CountedFile`
 or its paged wrapper :class:`PageDevice`, charging ``bytes_read`` /
 ``disk_seeks`` to a shared :class:`~repro.storage.metrics.MetricsRegistry`
 so cross-scheme comparisons use one cost model.
+
+Reads are *positional* (``os.pread``): a read never moves a shared file
+offset, so any number of sessions can read one device concurrently
+without racing on the cursor.  The only shared read-path state is the
+seek-accounting watermark (where the previous read ended), which models
+the single disk head per file and is updated atomically under a small
+lock; under interleaved readers the seek count reflects the actual
+interleaving, exactly as one head servicing many clients would.
 """
 
 from __future__ import annotations
 
 import errno
+import os
+import threading
 import time
 from pathlib import Path
-from typing import BinaryIO
 
 from repro.errors import CorruptionError, StorageError
 from repro.obs.profile import trace as _profile
@@ -26,11 +35,12 @@ from repro.storage.metrics import MetricsRegistry
 class CountedFile:
     """One on-disk file with metered reads and writes.
 
-    Reads go through a persistent handle; the device remembers where the
-    previous read ended and counts a ``disk_seeks`` whenever the next read
-    starts elsewhere (the linear-layout benefit of Figure 8 is measured by
-    exactly this rule).  Writes are metered as ``bytes_written`` but do not
-    participate in seek accounting — the experiments measure read paths.
+    Reads go through a persistent descriptor; the device remembers where
+    the previous read ended and counts a ``disk_seeks`` whenever the next
+    read starts elsewhere (the linear-layout benefit of Figure 8 is
+    measured by exactly this rule).  Writes are metered as
+    ``bytes_written`` but do not participate in seek accounting — the
+    experiments measure read paths.
     """
 
     def __init__(
@@ -38,25 +48,37 @@ class CountedFile:
     ) -> None:
         self._path = Path(path)
         self.registry = registry if registry is not None else MetricsRegistry()
-        self._handle: BinaryIO | None = None
+        self._fd: int | None = None
         self._last_read_end: int | None = None
+        # Guards the descriptor and the seek watermark; never held across
+        # the actual pread, so concurrent reads overlap on the device.
+        self._lock = threading.Lock()
 
     @property
     def path(self) -> Path:
         """Backing file path."""
         return self._path
 
-    def _reader(self) -> BinaryIO:
-        if self._handle is None:
+    def _descriptor(self) -> int:
+        # Callers hold self._lock.
+        if self._fd is None:
             if not self._path.exists():
                 raise StorageError(f"no such file: {self._path}")
-            self._handle = open(self._path, "rb")
-        return self._handle
+            self._fd = os.open(self._path, os.O_RDONLY)
+        return self._fd
 
     # -- reads -------------------------------------------------------------
 
-    def read_at(self, offset: int, length: int) -> bytes:
+    def read_at(
+        self,
+        offset: int,
+        length: int,
+        registry: MetricsRegistry | None = None,
+    ) -> bytes:
         """Read exactly ``length`` bytes at ``offset``, metering the I/O.
+
+        ``registry`` (a session's) is charged for ``bytes_read`` /
+        ``disk_seeks`` / ``io_retries`` instead of the device's own.
 
         Transient ``EIO`` errors and short reads are retried up to
         :data:`repro.storage.faults.READ_RETRY_LIMIT` times with a small
@@ -67,30 +89,44 @@ class CountedFile:
         """
         if offset < 0 or length < 0:
             raise StorageError(f"bad read range ({offset}, {length})")
-        seek = self._last_read_end != offset
+        target = registry if registry is not None else self.registry
+        with self._lock:
+            seek = self._last_read_end != offset
+            # Optimistically advance the watermark: positional reads do
+            # not block each other, so the head position is claimed up
+            # front; a failed read resets it (position unknown).
+            self._last_read_end = offset + length
         if seek:
-            self.registry.inc("disk_seeks")
+            target.inc("disk_seeks")
         _profile.io_read(self._path, offset, length, seek)
-        data = self._read_with_retry(offset, length)
+        try:
+            data = self._read_with_retry(offset, length, target)
+        except Exception:
+            with self._lock:
+                self._last_read_end = None
+            raise
         if len(data) != length:
+            with self._lock:
+                self._last_read_end = None
             raise StorageError(
                 f"short read from {self._path.name}: wanted {length} bytes "
                 f"at offset {offset}, got {len(data)}"
             )
-        self._last_read_end = offset + length
-        self.registry.inc("bytes_read", length)
+        target.inc("bytes_read", length)
         return data
 
-    def _read_with_retry(self, offset: int, length: int) -> bytes:
+    def _read_with_retry(
+        self, offset: int, length: int, registry: MetricsRegistry
+    ) -> bytes:
         attempt = 0
         while True:
             error: OSError | None = None
             data = b""
             try:
-                handle = self._reader()
-                handle.seek(offset)
-                data = handle.read(length)
-                data = faults.on_read(self._path, offset, data, self.registry)
+                with self._lock:
+                    fd = self._descriptor()
+                data = os.pread(fd, length, offset)
+                data = faults.on_read(self._path, offset, data, registry)
             except OSError as exc:
                 if exc.errno != errno.EIO:
                     raise
@@ -107,7 +143,7 @@ class CountedFile:
                     ) from error
                 return data  # persistently short: caller reports it
             attempt += 1
-            self.registry.inc("io_retries")
+            registry.inc("io_retries")
             time.sleep(faults.READ_RETRY_BACKOFF_S * (1 << (attempt - 1)))
 
     def forget_position(self) -> None:
@@ -116,7 +152,8 @@ class CountedFile:
         Called by cold-cache resets: dropping buffers models a disk head
         whose position is unknown.
         """
-        self._last_read_end = None
+        with self._lock:
+            self._last_read_end = None
         _profile.position_forgotten(self._path)
 
     # -- writes ------------------------------------------------------------
@@ -125,11 +162,12 @@ class CountedFile:
         # A write landing on the cached read-end moves the head there for
         # writing, so treating the next read as sequential would undercount
         # seeks; forget the position and let the next read pay honestly.
-        if (
-            self._last_read_end is not None
-            and offset <= self._last_read_end <= offset + length
-        ):
-            self._last_read_end = None
+        with self._lock:
+            if (
+                self._last_read_end is not None
+                and offset <= self._last_read_end <= offset + length
+            ):
+                self._last_read_end = None
 
     def write_at(self, offset: int, data: bytes) -> None:
         """Overwrite ``data`` at ``offset`` (file must exist)."""
@@ -167,11 +205,12 @@ class CountedFile:
         return self._path.stat().st_size if self._path.exists() else 0
 
     def close(self) -> None:
-        """Close the persistent read handle (reopened lazily if needed)."""
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
-        self._last_read_end = None
+        """Close the persistent descriptor (reopened lazily if needed)."""
+        with self._lock:
+            if self._fd is not None:
+                os.close(self._fd)
+                self._fd = None
+            self._last_read_end = None
 
     def __enter__(self) -> "CountedFile":
         return self
@@ -232,13 +271,19 @@ class PageDevice:
         """Whole pages currently in the file."""
         return self._file.size_bytes() // self._page_size
 
-    def read_page(self, page_number: int) -> bytes:
-        """Read one full page, verifying its checksum when attached."""
+    def read_page(
+        self, page_number: int, registry: MetricsRegistry | None = None
+    ) -> bytes:
+        """Read one full page, verifying its checksum when attached.
+
+        ``registry`` attributes the read to a session instead of the
+        device's own registry (see :meth:`CountedFile.read_at`).
+        """
         if page_number < 0:
             raise StorageError(f"page {page_number} out of range")
         _profile.page_read(self._file.path, page_number)
         data = self._file.read_at(
-            page_number * self._page_size, self._page_size
+            page_number * self._page_size, self._page_size, registry=registry
         )
         if self._checksums is not None and page_number < len(self._checksums):
             actual = integrity.crc32(data)

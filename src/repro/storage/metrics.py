@@ -11,10 +11,22 @@ The event log is a bounded ring buffer (it replaces the unbounded
 recent events, while the section-4.3 "graphs touched per query" analysis
 is served by the distinct-key tallies, which are plain counters and never
 grow with the event volume.
+
+**Sessions.** Concurrent readers over one shared store each accumulate
+into their own *child* registry (:meth:`MetricsRegistry.child`): the
+child is thread-confined, so its hot-path increments are uncontended and
+need no coordination, and a client's I/O is attributable to exactly that
+client.  :meth:`merge` folds a child back into its parent (done when a
+session closes), and the ``*_total`` accessors aggregate a parent with
+its still-live children — by construction, per-client metrics sum to the
+shared totals.  Mutators on a single registry take its internal lock, so
+the rare genuinely shared counters (buffer evictions, quarantine events)
+stay exact when charged from several threads.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import deque
 from contextlib import contextmanager
@@ -85,20 +97,30 @@ class MetricsRegistry:
     * ``mark(name, key)`` / ``distinct(name)`` — distinct-key tallies
       (how many *different* intranode graphs were loaded, etc.);
     * ``record(kind, key)`` — bounded event log (see :class:`EventLog`);
+    * ``child()`` / ``merge()`` / ``get_total()`` — session protocol
+      (per-client accumulation that sums back to shared totals);
     * ``snapshot()`` / ``diff()`` / ``reset()`` — experiment protocol.
     """
 
-    def __init__(self, event_capacity: int = DEFAULT_EVENT_CAPACITY) -> None:
+    def __init__(
+        self,
+        event_capacity: int = DEFAULT_EVENT_CAPACITY,
+        label: str | None = None,
+    ) -> None:
         self._counters: dict[str, int] = {}
         self._timers: dict[str, float] = {}
         self._distinct: dict[str, set] = {}
         self.events = EventLog(event_capacity)
+        self.label = label
+        self._lock = threading.RLock()
+        self._children: list[MetricsRegistry] = []
 
     # -- counters ----------------------------------------------------------
 
     def inc(self, name: str, amount: int = 1) -> None:
         """Add ``amount`` to counter ``name`` (created at zero)."""
-        self._counters[name] = self._counters.get(name, 0) + amount
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (zero if never incremented)."""
@@ -108,7 +130,8 @@ class MetricsRegistry:
 
     def add_time(self, name: str, seconds: float) -> None:
         """Accumulate ``seconds`` into timer ``name``."""
-        self._timers[name] = self._timers.get(name, 0.0) + seconds
+        with self._lock:
+            self._timers[name] = self._timers.get(name, 0.0) + seconds
 
     def get_time(self, name: str) -> float:
         """Accumulated seconds of timer ``name``."""
@@ -130,11 +153,12 @@ class MetricsRegistry:
 
         Returns True the first time ``key`` is seen since the last reset.
         """
-        seen = self._distinct.setdefault(name, set())
-        if key in seen:
-            return False
-        seen.add(key)
-        return True
+        with self._lock:
+            seen = self._distinct.setdefault(name, set())
+            if key in seen:
+                return False
+            seen.add(key)
+            return True
 
     def distinct(self, name: str) -> int:
         """Number of distinct keys marked under ``name``."""
@@ -148,7 +172,75 @@ class MetricsRegistry:
 
     def record(self, kind: str, key: tuple = ()) -> None:
         """Append one event to the bounded log."""
-        self.events.append(kind, key)
+        with self._lock:
+            self.events.append(kind, key)
+
+    # -- sessions ----------------------------------------------------------
+    #
+    # A child registry is thread-confined to its session, so its hot-path
+    # increments never contend; the parent tracks live children for the
+    # aggregated ``*_total`` views and absorbs them on merge.
+
+    def child(self, label: str | None = None) -> "MetricsRegistry":
+        """A fresh registry whose totals roll up into this one.
+
+        The child starts empty; the parent keeps a reference so the
+        ``get_total`` / ``distinct_total`` / ``merged_snapshot`` views
+        include it while the session is live.  Call :meth:`merge` with
+        the child (normally via the owning session's ``close()``) to fold
+        its final numbers into the parent and drop the reference.
+        """
+        child = MetricsRegistry(self.events.capacity, label=label)
+        with self._lock:
+            self._children.append(child)
+        return child
+
+    def children(self) -> "list[MetricsRegistry]":
+        """Live (unmerged) child registries, in creation order."""
+        with self._lock:
+            return list(self._children)
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other``'s counters/timers/tallies/events into this one.
+
+        If ``other`` is a live child of this registry it is detached
+        afterwards, so nothing is double-counted by the ``*_total``
+        views.  Merging preserves conservation: parent totals after the
+        merge equal the aggregated totals before it.
+        """
+        if other is self:
+            return
+        with other._lock:
+            counters = dict(other._counters)
+            timers = dict(other._timers)
+            distinct = {name: set(keys) for name, keys in other._distinct.items()}
+            events = other.events.to_list()
+            dropped = other.events.dropped
+        with self._lock:
+            for name, amount in counters.items():
+                self._counters[name] = self._counters.get(name, 0) + amount
+            for name, seconds in timers.items():
+                self._timers[name] = self._timers.get(name, 0.0) + seconds
+            for name, keys in distinct.items():
+                self._distinct.setdefault(name, set()).update(keys)
+            self.events.dropped += dropped
+            for kind, key in events:
+                self.events.append(kind, key)
+            if other in self._children:
+                self._children.remove(other)
+
+    def get_total(self, name: str) -> int:
+        """Counter ``name`` aggregated over this registry + live children."""
+        return self.get(name) + sum(
+            child.get_total(name) for child in self.children()
+        )
+
+    def distinct_total(self, name: str) -> int:
+        """Distinct keys under ``name`` across this registry + children."""
+        keys = self.distinct_keys(name)
+        for child in self.children():
+            keys |= child.distinct_keys(name)
+        return len(keys)
 
     # -- experiment protocol -----------------------------------------------
 
@@ -171,6 +263,46 @@ class MetricsRegistry:
             out[f"distinct_{name}"] = len(keys)
         return out
 
+    def merged_snapshot(self) -> dict[str, float]:
+        """Like :meth:`snapshot`, but aggregated over live children.
+
+        Counters and timers sum; distinct tallies union their key sets —
+        the same numbers a serial caller would have accumulated in one
+        registry, however the work was spread across sessions.
+        """
+        counters: dict[str, int] = {}
+        timers: dict[str, float] = {}
+        distinct: dict[str, set] = {}
+        self._collect(counters, timers, distinct)
+        result: dict[str, float] = dict(counters)
+        for name, seconds in timers.items():
+            result[f"time_{name}"] = seconds
+        for name, keys in distinct.items():
+            result[f"distinct_{name}"] = len(keys)
+        return result
+
+    def _collect(
+        self,
+        counters: dict[str, int],
+        timers: dict[str, float],
+        distinct: dict[str, set],
+    ) -> None:
+        with self._lock:
+            own_counters = dict(self._counters)
+            own_timers = dict(self._timers)
+            own_distinct = {
+                name: set(keys) for name, keys in self._distinct.items()
+            }
+            children = list(self._children)
+        for name, amount in own_counters.items():
+            counters[name] = counters.get(name, 0) + amount
+        for name, seconds in own_timers.items():
+            timers[name] = timers.get(name, 0.0) + seconds
+        for name, keys in own_distinct.items():
+            distinct.setdefault(name, set()).update(keys)
+        for child in children:
+            child._collect(counters, timers, distinct)
+
     @staticmethod
     def diff(
         before: dict[str, float], after: dict[str, float]
@@ -182,8 +314,17 @@ class MetricsRegistry:
         }
 
     def reset(self) -> None:
-        """Zero every counter, timer and tally; clear the event log."""
-        self._counters.clear()
-        self._timers.clear()
-        self._distinct.clear()
-        self.events.clear()
+        """Zero every counter, timer and tally; clear the event log.
+
+        Live children are reset too: a reset marks the start of a
+        measured phase, and a session surviving the boundary must not
+        leak pre-reset work into the new totals.
+        """
+        with self._lock:
+            self._counters.clear()
+            self._timers.clear()
+            self._distinct.clear()
+            self.events.clear()
+            children = list(self._children)
+        for child in children:
+            child.reset()

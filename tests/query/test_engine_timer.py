@@ -1,0 +1,121 @@
+"""Tests for the engine's navigation timer: re-entrancy, thread safety."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.baselines import FlatFileRepresentation
+from repro.index.pagerank_index import PageRankIndex
+from repro.index.textindex import TextIndex
+from repro.query.engine import QueryEngine
+from repro.webdata.corpus import Repository
+
+URLS = [
+    "http://a.example/p0.html",
+    "http://a.example/p1.html",
+    "http://b.example/p2.html",
+]
+TERMS = [("alpha",), ("beta",), ("gamma",)]
+EDGES = [(0, 1), (1, 2), (2, 0)]
+
+
+@pytest.fixture(scope="module")
+def engine(tmp_path_factory):
+    repo = Repository.from_parts(URLS, EDGES, TERMS)
+    base = tmp_path_factory.mktemp("timer")
+    forward = FlatFileRepresentation(repo.graph, base / "f")
+    yield QueryEngine(repo, TextIndex(repo), PageRankIndex(repo), forward)
+    forward.close()
+
+
+class TestNavigationTimer:
+    def test_accumulates_wall_time(self, engine):
+        engine.reset_navigation_time()
+        with engine.navigation_timer():
+            time.sleep(0.01)
+        assert engine.navigation_seconds >= 0.01
+
+    def test_reset_zeroes_accumulator(self, engine):
+        with engine.navigation_timer():
+            pass
+        engine.reset_navigation_time()
+        assert engine.navigation_seconds == 0.0
+
+    def test_nested_blocks_count_once(self, engine):
+        # A timed block calling a timed helper must charge its wall time
+        # once: only the outermost block reaches the accumulator.
+        engine.reset_navigation_time()
+        with engine.navigation_timer("out_neighborhood"):
+            with engine.navigation_timer("in_neighborhood"):
+                time.sleep(0.05)
+        seconds = engine.navigation_seconds
+        assert 0.05 <= seconds < 0.1  # double-counting would be >= 0.1
+
+    def test_nested_blocks_each_reach_their_histogram(self, engine):
+        engine.histograms.clear()
+        with engine.navigation_timer("outer_op"):
+            with engine.navigation_timer("inner_op"):
+                pass
+        assert engine.histograms.get("outer_op").count == 1
+        assert engine.histograms.get("inner_op").count == 1
+
+    def test_exception_still_accumulates(self, engine):
+        engine.reset_navigation_time()
+        with pytest.raises(RuntimeError):
+            with engine.navigation_timer():
+                time.sleep(0.01)
+                raise RuntimeError("boom")
+        assert engine.navigation_seconds >= 0.01
+
+    def test_concurrent_timers_lose_no_updates(self, engine):
+        engine.reset_navigation_time()
+        engine.histograms.clear()
+        threads = 8
+        blocks = 50
+        barrier = threading.Barrier(threads)
+
+        def worker() -> None:
+            barrier.wait()
+            for _ in range(blocks):
+                with engine.navigation_timer("concurrent_op"):
+                    pass
+
+        workers = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in workers:
+            thread.start()
+        for thread in workers:
+            thread.join()
+        assert engine.histograms.get("concurrent_op").count == threads * blocks
+        assert engine.navigation_seconds > 0.0
+
+    def test_nesting_is_per_thread(self, engine):
+        # Thread B's outermost block must accumulate even while thread A
+        # sits inside a nested block: depth tracking is thread-local.
+        engine.reset_navigation_time()
+        inside = threading.Event()
+        release = threading.Event()
+
+        def holder() -> None:
+            with engine.navigation_timer("hold"):
+                inside.set()
+                release.wait(5)
+
+        def independent() -> None:
+            inside.wait(5)
+            with engine.navigation_timer("independent"):
+                time.sleep(0.02)
+            release.set()
+
+        threads = [
+            threading.Thread(target=holder),
+            threading.Thread(target=independent),
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        # Both were outermost in their own thread: both accumulate.
+        assert engine.navigation_seconds >= 0.04

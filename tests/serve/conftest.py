@@ -1,0 +1,21 @@
+"""Serve-test fixtures: one built ServeContext shared by the module."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session")
+def serve_context(tiny_repo, test_refinement_config, tmp_path_factory):
+    """Forward + transpose stores and indexes over ``tiny_repo``."""
+    from repro.serve.daemon import ServeContext
+
+    context = ServeContext.build(
+        tiny_repo,
+        tmp_path_factory.mktemp("serve"),
+        buffer_bytes=128 * 1024,
+        stripes=4,
+        refinement=test_refinement_config,
+    )
+    yield context
+    context.close()

@@ -1,0 +1,137 @@
+"""Tests for the serve wire protocol: framing, canonical JSON, digests."""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import protocol
+
+
+class TestCanonicalize:
+    def test_sets_become_sorted_lists(self):
+        assert protocol.canonicalize({3, 1, 2}) == [1, 2, 3]
+        assert protocol.canonicalize(frozenset({"b", "a"})) == ["a", "b"]
+
+    def test_tuples_become_lists(self):
+        assert protocol.canonicalize((1, (2, 3))) == [1, [2, 3]]
+
+    def test_int_dict_keys_become_sorted_strings(self):
+        value = {10: "a", 2: "b"}
+        assert protocol.canonicalize(value) == {"10": "a", "2": "b"}
+        # Entries are emitted sorted by the string key.
+        assert list(protocol.canonicalize(value)) == ["10", "2"]
+
+    def test_key_collision_after_stringification_rejected(self):
+        with pytest.raises(ServeError):
+            protocol.canonicalize({1: "a", "1": "b"})
+
+    def test_scalars_and_none_pass_through(self):
+        for value in (True, False, None, 7, 1.5, "s"):
+            assert protocol.canonicalize(value) == value
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ServeError):
+            protocol.canonicalize(object())
+
+    def test_nested_query_payload_shape(self):
+        payload = {"base_set": {7, 0}, "domains": [("mit.edu", 2)]}
+        assert protocol.canonicalize(payload) == {
+            "base_set": [0, 7],
+            "domains": [["mit.edu", 2]],
+        }
+
+
+class TestDigests:
+    def test_digest_independent_of_iteration_order(self):
+        first = protocol.payload_digest({"a": {1, 2, 3}, "b": (1, 2)})
+        second = protocol.payload_digest({"b": [1, 2], "a": {3, 2, 1}})
+        assert first == second
+
+    def test_digest_distinguishes_values(self):
+        assert protocol.payload_digest({"a": 1}) != protocol.payload_digest(
+            {"a": 2}
+        )
+
+    def test_canonical_json_is_compact_and_sorted(self):
+        text = protocol.canonical_json({"b": 1, "a": (1, 2)})
+        assert text == '{"a":[1,2],"b":1}'
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"id": 1, "op": "query", "name": "query1"}
+        frame = protocol.encode_frame(message)
+        (length,) = struct.unpack(">I", frame[:4])
+        assert length == len(frame) - 4
+        assert protocol.decode_payload(frame[4:]) == message
+
+    def test_bad_json_payload_rejected(self):
+        with pytest.raises(ServeError):
+            protocol.decode_payload(b"{not json")
+        with pytest.raises(ServeError):
+            protocol.decode_payload(b"\xff\xfe")
+
+    def test_oversized_frame_rejected_on_encode(self):
+        huge = {"blob": "x" * (protocol.MAX_FRAME_BYTES + 16)}
+        with pytest.raises(ServeError):
+            protocol.encode_frame(huge)
+
+    def test_socketpair_round_trip(self):
+        import socket
+
+        left, right = socket.socketpair()
+        try:
+            message = {"id": 9, "op": "ping"}
+            protocol.send_frame(left, message)
+            assert protocol.recv_frame(right) == message
+            left.close()
+            assert protocol.recv_frame(right) is None  # clean EOF
+        finally:
+            right.close()
+
+    def test_async_round_trip(self):
+        import asyncio
+
+        async def scenario():
+            import socket
+
+            left, right = socket.socketpair()
+            reader, writer = await asyncio.open_connection(sock=left)
+            try:
+                protocol.send_frame(right, {"op": "ping", "id": 0})
+                assert await protocol.read_frame(reader) == {
+                    "op": "ping",
+                    "id": 0,
+                }
+                await protocol.write_frame(writer, protocol.ok_reply(0, {"pong": True}))
+                assert protocol.recv_frame(right) == {
+                    "id": 0,
+                    "ok": True,
+                    "result": {"pong": True},
+                }
+                right.close()
+                assert await protocol.read_frame(reader) is None  # clean EOF
+            finally:
+                writer.close()
+
+        asyncio.run(scenario())
+
+
+class TestReplies:
+    def test_ok_reply_shape(self):
+        assert protocol.ok_reply(4, {"x": 1}) == {
+            "id": 4,
+            "ok": True,
+            "result": {"x": 1},
+        }
+
+    def test_error_reply_shape(self):
+        reply = protocol.error_reply(5, protocol.ERROR_BACKPRESSURE, "busy")
+        assert reply == {
+            "id": 5,
+            "ok": False,
+            "error": {"type": "backpressure", "message": "busy"},
+        }

@@ -104,8 +104,21 @@ class TestBufferManager:
     def test_set_buffer_bytes_resets(self, small_build):
         store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
         store.out_neighbors(0)
-        store.set_buffer_bytes(4096)
-        assert store.buffer_stats()["capacity_bytes"] == 4096
+        store.set_buffer_bytes(16384)
+        assert store.buffer_stats()["capacity_bytes"] == 16384
+        store.close()
+
+    def test_set_buffer_bytes_below_pinned_floor_raises(self, small_build):
+        from repro.errors import BufferCapacityError
+
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        pinned = store.buffer_stats()["pinned_bytes"]
+        assert pinned > 0
+        with pytest.raises(BufferCapacityError):
+            store.set_buffer_bytes(pinned - 1)
+        # The failed resize must leave the pool untouched.
+        assert store.buffer_stats()["capacity_bytes"] == 1 << 26
+        store.out_neighbors(0)
         store.close()
 
 
@@ -163,4 +176,70 @@ class TestInstrumentation:
         store.stats.reset()
         assert store.stats.graphs_loaded == 0
         assert store.stats.events == []
+        store.close()
+
+
+class TestReadSessions:
+    def test_session_results_match_store(self, small_repo, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        with store.session(label="client-0") as session:
+            for page in range(0, small_repo.num_pages, 53):
+                assert session.out_neighbors(page) == store.out_neighbors(page)
+            pages = list(range(0, small_repo.num_pages, 71))
+            assert session.out_neighbors_many(pages) == {
+                page: store.out_neighbors(page) for page in pages
+            }
+        store.close()
+
+    def test_session_io_attributed_not_global(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        base_before = store.metrics.get("bytes_read")
+        session = store.session(label="c")
+        session.out_neighbors(0)
+        assert session.io_stats()["bytes_read"] > 0
+        assert session.stats.graphs_loaded > 0
+        # The store's own registry was not charged for session reads ...
+        assert store.metrics.get("bytes_read") == base_before
+        # ... but the merged view includes the live session.
+        assert (
+            store.metrics.get_total("bytes_read")
+            == base_before + session.io_stats()["bytes_read"]
+        )
+        session.close()
+        store.close()
+
+    def test_close_merges_and_conserves_totals(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        session = store.session()
+        session.out_neighbors(0)
+        total_before = store.metrics.get_total("bytes_read")
+        session.close()
+        assert session.closed
+        assert store.metrics.get("bytes_read") == total_before
+        assert store.metrics.children() == []
+        session.close()  # idempotent
+        store.close()
+
+    def test_sessions_share_the_buffer_pool(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        first = store.session(label="warm")
+        second = store.session(label="cold")
+        first.out_neighbors(0)
+        loads_before = second.stats.graphs_loaded
+        second.out_neighbors(0)  # cached by the first session's read
+        assert second.stats.graphs_loaded == loads_before
+        assert second.stats.buffer_hits > 0
+        first.close()
+        second.close()
+        store.close()
+
+    def test_distinct_loaded_aggregates_across_sessions(self, small_build):
+        store = SNodeStore(small_build.root, buffer_bytes=1 << 26)
+        store.stats.reset()
+        first, last = store.supernode_range(0)
+        with store.session() as a, store.session() as b:
+            a.out_neighbors(first)
+            b.out_neighbors(last - 1)
+        intranode = store.metrics.distinct("intranode")
+        assert intranode == 1  # same supernode, merged as one distinct graph
         store.close()

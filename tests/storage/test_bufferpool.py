@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.storage.bufferpool import BufferPool
 from repro.storage.metrics import MetricsRegistry
 
@@ -247,3 +249,145 @@ class TestMaintenance:
             "pinned_entries": 1,
             "pinned_bytes": 4,
         }
+
+
+class TestStriping:
+    def test_striped_pool_partitions_budget(self):
+        pool = BufferPool(100, stripes=4)
+        assert pool.stripes == 4
+        assert pool.capacity_bytes == 100
+
+    def test_stripe_count_validation(self):
+        with pytest.raises(ValueError):
+            BufferPool(100, stripes=0)
+
+    def test_single_stripe_is_exact_lru(self):
+        # stripes=1 must reproduce the serial single-LRU eviction order
+        # (the committed benchmark baselines depend on it).
+        pool = BufferPool(30, stripes=1)
+        pool.put("a", b"x", 10)
+        pool.put("b", b"x", 10)
+        pool.put("c", b"x", 10)
+        pool.get("a")  # refresh "a": "b" is now LRU
+        pool.put("d", b"x", 10)
+        assert pool.get("b") is None
+        assert pool.get("a") == b"x"
+
+    def test_striped_capacity_never_exceeded(self):
+        pool = BufferPool(100, stripes=8)
+        for i in range(200):
+            pool.put(("k", i), b"x", 7)
+        assert pool.used_bytes <= 100
+        pool.check_invariants()
+
+    def test_resize_below_pinned_floor_raises_typed(self):
+        from repro.errors import BufferCapacityError, StorageError
+
+        pool = BufferPool(1000, stripes=2)
+        pool.pin("root", b"meta", 400)
+        pool.put("a", b"x", 10)
+        with pytest.raises(BufferCapacityError) as excinfo:
+            pool.set_buffer_bytes(399)
+        assert isinstance(excinfo.value, StorageError)
+        # Failed resize leaves the pool untouched: capacity and cached
+        # entries unchanged, invariants intact.
+        assert pool.capacity_bytes == 1000
+        assert pool.get("a") == b"x"
+        pool.check_invariants()
+
+    def test_resize_at_pinned_floor_allowed(self):
+        pool = BufferPool(1000)
+        pool.pin("root", b"meta", 400)
+        pool.set_buffer_bytes(400)
+        assert pool.capacity_bytes == 400
+        assert pool.get("root") == b"meta"
+
+    def test_check_invariants_catches_accounting_drift(self):
+        from repro.errors import StorageError
+
+        pool = BufferPool(100, stripes=4)
+        pool.pin("root", b"meta", 10)
+        pool.put("a", b"x", 10)
+        pool.check_invariants()  # healthy pool passes
+        pool._pinned_bytes += 5  # simulate drifted accounting
+        with pytest.raises(StorageError):
+            pool.check_invariants()
+
+
+class TestConcurrency:
+    def test_concurrent_get_or_load_stays_within_budget(self):
+        import threading
+
+        pool = BufferPool(500, stripes=4)
+        pool.pin("root", b"meta", 64)
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(300):
+                    key = ("graph", (seed * 31 + i) % 60)
+                    value = pool.get_or_load(key, lambda: b"v" * 25)
+                    assert value == b"v" * 25
+                    assert pool.get("root") == b"meta"  # pins never evicted
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert pool.used_bytes <= 500
+        assert pool.pinned_bytes == 64
+        pool.check_invariants()
+
+    def test_session_registries_sum_to_shared_totals(self):
+        pool = BufferPool(10_000)
+        sessions = [pool.registry.child(f"client-{i}") for i in range(3)]
+        for index, session in enumerate(sessions):
+            for i in range(5):
+                pool.get_or_load(
+                    ("k", index, i), lambda: b"x" * 8, registry=session
+                )
+            pool.get(("k", index, 0), registry=session)  # one hit each
+        # The base registry saw nothing directly ...
+        assert pool.registry.get("loads") == 0
+        # ... yet the aggregated view equals the serial accounting.
+        assert pool.registry.get_total("loads") == 15
+        assert pool.registry.get_total("buffer_hits") == 3
+        assert pool.registry.get_total("buffer_misses") == 15
+        for session in sessions:
+            pool.registry.merge(session)
+        assert pool.registry.get("loads") == 15
+        assert pool.registry.children() == []
+
+    def test_concurrent_resize_and_reads(self):
+        import threading
+
+        pool = BufferPool(400, stripes=2)
+        stop = threading.Event()
+        errors = []
+
+        def reader() -> None:
+            try:
+                i = 0
+                while not stop.is_set():
+                    pool.get_or_load(("r", i % 40), lambda: b"x" * 20)
+                    i += 1
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for capacity in (200, 800, 400, 600):
+            pool.set_buffer_bytes(capacity)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert pool.capacity_bytes == 600
+        pool.check_invariants()

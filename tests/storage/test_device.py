@@ -277,3 +277,68 @@ class TestProfilerHooks:
         with activated(tracer):
             pass
         assert tracer.io_events() == []
+
+
+class TestConcurrentReads:
+    def test_parallel_reads_return_correct_bytes(self, datafile):
+        import threading
+
+        device = CountedFile(datafile)
+        expected = datafile.read_bytes()
+        errors = []
+
+        def worker(seed: int) -> None:
+            try:
+                for i in range(200):
+                    offset = ((seed * 37 + i * 13) % 128) * 8
+                    assert (
+                        device.read_at(offset, 8)
+                        == expected[offset : offset + 8]
+                    )
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(seed,)) for seed in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert errors == []
+        assert device.registry.get("bytes_read") == 8 * 200 * 8
+        device.close()
+
+    def test_per_session_registry_attribution(self, datafile):
+        device = CountedFile(datafile)
+        session_a = device.registry.child("a")
+        session_b = device.registry.child("b")
+        device.read_at(0, 16, registry=session_a)
+        device.read_at(512, 16, registry=session_b)
+        device.read_at(16, 16)  # base registry
+        assert session_a.io_stats()["bytes_read"] == 16
+        assert session_b.io_stats()["bytes_read"] == 16
+        assert device.registry.get("bytes_read") == 16
+        # Aggregated view equals the serial accounting.
+        assert device.registry.get_total("bytes_read") == 48
+        assert device.registry.get_total("disk_seeks") == 3
+        device.close()
+
+    def test_seek_rule_is_shared_across_sessions(self, datafile):
+        # The read head is physical: session B continuing at session A's
+        # end offset is sequential, whoever pays for it.
+        device = CountedFile(datafile)
+        session_a = device.registry.child("a")
+        session_b = device.registry.child("b")
+        device.read_at(0, 32, registry=session_a)
+        device.read_at(32, 32, registry=session_b)  # continues A's read
+        assert session_a.get("disk_seeks") == 1
+        assert session_b.get("disk_seeks") == 0
+        device.close()
+
+    def test_reads_allowed_after_close_reopen(self, datafile):
+        device = CountedFile(datafile)
+        device.read_at(0, 8)
+        device.close()
+        assert device.read_at(8, 8) == bytes(range(8, 16))
+        device.close()

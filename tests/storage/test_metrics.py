@@ -119,3 +119,97 @@ class TestMetricsRegistry:
         assert registry.get_time("t") == 0.0
         assert registry.distinct("intranode") == 0
         assert len(registry.events) == 0
+
+
+class TestSessions:
+    def test_child_starts_empty_and_is_tracked(self):
+        parent = MetricsRegistry()
+        parent.inc("bytes_read", 10)
+        child = parent.child("client-0")
+        assert child.label == "client-0"
+        assert child.get("bytes_read") == 0
+        assert parent.children() == [child]
+
+    def test_totals_aggregate_live_children(self):
+        parent = MetricsRegistry()
+        parent.inc("bytes_read", 10)
+        a = parent.child("a")
+        b = parent.child("b")
+        a.inc("bytes_read", 5)
+        b.inc("bytes_read", 7)
+        assert parent.get("bytes_read") == 10  # own view unchanged
+        assert parent.get_total("bytes_read") == 22
+
+    def test_distinct_total_unions_keys(self):
+        parent = MetricsRegistry()
+        parent.mark("intranode", (1,))
+        child = parent.child()
+        child.mark("intranode", (1,))  # overlap must not double-count
+        child.mark("intranode", (2,))
+        assert parent.distinct_total("intranode") == 2
+
+    def test_merge_detaches_and_conserves(self):
+        parent = MetricsRegistry()
+        child = parent.child("c")
+        child.inc("disk_seeks", 3)
+        child.add_time("navigation", 0.5)
+        child.mark("intranode", (9,))
+        child.record("load-intra", (9,))
+        total_before = parent.get_total("disk_seeks")
+        parent.merge(child)
+        assert parent.children() == []
+        assert parent.get("disk_seeks") == 3 == total_before
+        assert parent.get_time("navigation") == 0.5
+        assert parent.distinct("intranode") == 1
+        assert ("load-intra", (9,)) in parent.events.to_list()
+
+    def test_merge_self_is_noop(self):
+        registry = MetricsRegistry()
+        registry.inc("x", 1)
+        registry.merge(registry)
+        assert registry.get("x") == 1
+
+    def test_merged_snapshot_includes_grandchildren(self):
+        parent = MetricsRegistry()
+        child = parent.child("c")
+        grandchild = child.child("g")
+        parent.inc("bytes_read", 1)
+        child.inc("bytes_read", 2)
+        grandchild.inc("bytes_read", 4)
+        grandchild.mark("intranode", (1,))
+        child.mark("intranode", (1,))  # same key: union, not sum
+        snapshot = parent.merged_snapshot()
+        assert snapshot["bytes_read"] == 7
+        assert snapshot["distinct_intranode"] == 1
+
+    def test_reset_cascades_to_live_children(self):
+        parent = MetricsRegistry()
+        child = parent.child()
+        child.inc("bytes_read", 5)
+        parent.reset()
+        assert parent.get_total("bytes_read") == 0
+        assert parent.children() == [child]  # still attached, just zeroed
+
+    def test_concurrent_children_merge_to_serial_totals(self):
+        import threading
+
+        parent = MetricsRegistry()
+        children = [parent.child(f"t{i}") for i in range(4)]
+
+        def worker(child: MetricsRegistry) -> None:
+            for _ in range(1000):
+                child.inc("bytes_read", 2)
+                child.inc("disk_seeks")
+
+        threads = [
+            threading.Thread(target=worker, args=(child,)) for child in children
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert parent.get_total("bytes_read") == 4 * 1000 * 2
+        for child in children:
+            parent.merge(child)
+        assert parent.get("bytes_read") == 8000
+        assert parent.get("disk_seeks") == 4000
