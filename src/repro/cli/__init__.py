@@ -24,7 +24,13 @@ Gives a repository operator the whole pipeline without writing Python:
 * ``repro serve`` — run the graph query daemon: concurrent Figure 11
   queries over one shared store behind admission control;
 * ``repro loadgen`` — drive a running daemon with the Figure 11 mix at
-  a configurable concurrency and report throughput/latency;
+  a configurable concurrency and report throughput/latency
+  (client-measured next to server-measured; ``--json`` writes the
+  summary as a machine-readable file);
+* ``repro top`` — refresh-loop terminal dashboard polling a daemon's
+  ``metrics`` op: windowed QPS, in-flight, queue depth, shed rate and
+  per-op p50/p99 (``--once`` for scripts, ``--prometheus`` for the text
+  exposition);
 * ``repro bench-diff`` — compare two bench reports and flag regressions
   (``--ignore`` skips machine-dependent metrics, ``--exact`` pins
   determinism markers like digests and shard counts).
@@ -38,7 +44,7 @@ pipeline phases.
 The package splits one module per subcommand group — ``build`` (generate,
 build), ``query`` (stats, neighbors), ``fsck`` (verify, fsck), ``bench``
 (experiment, bench-validate, bench-diff), ``profile``, ``serve`` (serve,
-loadgen) — each exposing a
+loadgen), ``top`` — each exposing a
 ``register(commands)`` hook this module assembles into the parser.  The
 entry point (``repro.cli:main``) and every flag are unchanged from the
 single-module days.
@@ -49,7 +55,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli import bench, build, fsck, profile, query, serve
+from repro.cli import bench, build, fsck, profile, query, serve, top
 from repro.errors import ReproError
 
 
@@ -64,6 +70,7 @@ def build_parser() -> argparse.ArgumentParser:
     query.register(commands)
     profile.register(commands)
     serve.register(commands)
+    top.register(commands)
     bench.register(commands)
     return parser
 

@@ -12,7 +12,9 @@ from pathlib import Path
 
 def _cmd_serve(arguments: argparse.Namespace) -> int:
     from repro.experiments.harness import dataset, sweep_sizes
+    from repro.obs.accesslog import AccessLog, SlowQueryLog
     from repro.serve.daemon import GraphQueryDaemon, ServeContext
+    from repro.serve.telemetry import ServeTelemetry
 
     size = arguments.size or sweep_sizes()[3]
     if not arguments.quiet:
@@ -32,6 +34,19 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             buffer_bytes=arguments.buffer_kb * 1024,
             stripes=arguments.stripes,
         )
+        telemetry = ServeTelemetry(
+            window_seconds=arguments.window_seconds,
+            windows=arguments.windows,
+            access_log=AccessLog(
+                sample_every=arguments.access_sample,
+                path=arguments.access_log,
+            ),
+            slow_log=SlowQueryLog(
+                threshold_s=arguments.slow_threshold_ms / 1000.0,
+                top_k=arguments.slow_top,
+                path=arguments.slow_log,
+            ),
+        )
         try:
             daemon = GraphQueryDaemon(
                 context,
@@ -39,6 +54,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
                 port=arguments.port,
                 workers=arguments.workers,
                 queue_limit=arguments.queue_limit,
+                telemetry=telemetry,
             )
 
             async def serve() -> None:
@@ -55,6 +71,8 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             with contextlib.suppress(KeyboardInterrupt):
                 asyncio.run(serve())
         finally:
+            telemetry.access_log.close()
+            telemetry.slow_log.close()
             context.close()
     finally:
         if own_tmp is not None:
@@ -63,6 +81,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(arguments: argparse.Namespace) -> int:
+    from repro.experiments.harness import emit_report
     from repro.serve.loadgen import run_load
 
     load = run_load(
@@ -71,22 +90,50 @@ def _cmd_loadgen(arguments: argparse.Namespace) -> int:
         concurrency=arguments.concurrency,
         requests_per_client=arguments.requests,
     )
-    histogram = load.latency_histogram()
+    summary = load.summary()
+    client_hist = load.latency_histogram()
     print(
         f"requests ok {load.requests_ok} / "
         f"{load.concurrency * load.requests_per_client}, "
         f"failed {load.requests_failed}, "
         f"backpressure retries {load.shed_retries}"
     )
-    print(
-        f"throughput {load.throughput_qps:.1f} q/s, latency p50 "
-        f"{histogram.p50 * 1000:.1f} ms, p99 {histogram.p99 * 1000:.1f} ms"
-    )
+    if client_hist.count:
+        print(
+            f"throughput {load.throughput_qps:.1f} q/s, client latency p50 "
+            f"{summary['client_latency']['latency_ms_p50']:.1f} ms, p99 "
+            f"{summary['client_latency']['latency_ms_p99']:.1f} ms"
+        )
+        print(
+            f"server latency p50 "
+            f"{summary['server_latency']['latency_ms_p50']:.1f} ms, p99 "
+            f"{summary['server_latency']['latency_ms_p99']:.1f} ms "
+            f"(queue wait p99 "
+            f"{summary['server_latency']['queue_wait_ms_p99']:.1f} ms)"
+        )
+    else:
+        print("throughput 0.0 q/s (no request succeeded)")
     consistent = load.consistent()
     print(f"results consistent across clients: {consistent}")
     for client in load.clients:
         if client.error:
             print(f"client {client.client_index}: ERROR {client.error}")
+    emit_report(
+        arguments.json_dir,
+        "loadgen",
+        summary,
+        params={
+            "host": arguments.host,
+            "port": arguments.port,
+            "concurrency": arguments.concurrency,
+            "requests_per_client": arguments.requests,
+        },
+        histograms={
+            "client_latency": client_hist.to_dict(),
+            "server_latency": load.server_latency_histogram().to_dict(),
+            "queue_wait": load.queue_wait_histogram().to_dict(),
+        },
+    )
     failed = (
         load.requests_failed > 0
         or not consistent
@@ -97,6 +144,13 @@ def _cmd_loadgen(arguments: argparse.Namespace) -> int:
 
 def register(commands) -> None:
     """Attach the ``serve`` and ``loadgen`` subparsers."""
+    from repro.experiments.harness import add_report_arguments
+    from repro.obs.accesslog import (
+        DEFAULT_SAMPLE_EVERY,
+        DEFAULT_SLOW_TOP_K,
+    )
+    from repro.obs.windowed import DEFAULT_WINDOW_SECONDS, DEFAULT_WINDOWS
+
     serve = commands.add_parser(
         "serve", help="run the graph query daemon over a synthesized store"
     )
@@ -112,6 +166,34 @@ def register(commands) -> None:
     serve.add_argument("--stripes", type=int, default=8)
     serve.add_argument("--workdir", default=None,
                        help="build directory (default: temporary)")
+    serve.add_argument(
+        "--window-seconds", type=float, default=DEFAULT_WINDOW_SECONDS,
+        help="telemetry window width (seconds)",
+    )
+    serve.add_argument(
+        "--windows", type=int, default=DEFAULT_WINDOWS,
+        help="live windows retained (the decay horizon)",
+    )
+    serve.add_argument(
+        "--access-log", default=None, metavar="FILE",
+        help="append sampled request records as JSONL to FILE",
+    )
+    serve.add_argument(
+        "--access-sample", type=int, default=DEFAULT_SAMPLE_EVERY,
+        metavar="N", help="log every Nth request (default: every request)",
+    )
+    serve.add_argument(
+        "--slow-log", default=None, metavar="FILE",
+        help="append slow-query records as JSONL to FILE",
+    )
+    serve.add_argument(
+        "--slow-threshold-ms", type=float, default=100.0,
+        help="slow-query threshold in milliseconds (default 100)",
+    )
+    serve.add_argument(
+        "--slow-top", type=int, default=DEFAULT_SLOW_TOP_K,
+        help="slowest requests retained in memory (default 32)",
+    )
     serve.add_argument("--quiet", action="store_true")
     serve.set_defaults(handler=_cmd_serve)
 
@@ -123,4 +205,5 @@ def register(commands) -> None:
     loadgen.add_argument("--concurrency", type=int, default=8)
     loadgen.add_argument("--requests", type=int, default=12,
                          help="query requests per client")
+    add_report_arguments(loadgen)
     loadgen.set_defaults(handler=_cmd_loadgen)

@@ -1,0 +1,151 @@
+"""``repro top`` — live terminal dashboard over a running daemon.
+
+Polls the daemon's inline ``metrics`` op (never queued, so it works even
+when the query pool is saturated) and renders the operator's view:
+QPS and shed rate over the decay window, in-flight and queue depth,
+per-op p50/p99 (windowed next to cumulative — a live spike shows in the
+windowed column long before it moves the lifetime percentile), the
+request lifecycle phase breakdown, buffer-pool pressure and the
+slowest recent requests with their request ids.
+
+``--once`` prints a single snapshot and exits (scripts, CI smoke);
+``--prometheus`` prints the Prometheus text exposition instead.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+
+
+def _ms(value: float) -> str:
+    return f"{value * 1000.0:8.2f}"
+
+
+def _rate(value: float) -> str:
+    return f"{value:7.1f}/s"
+
+
+def render_top(snapshot: dict) -> str:
+    """Human-readable dashboard text for one ``metrics`` snapshot."""
+    from repro.experiments.harness import format_table
+
+    gauges = snapshot.get("gauges", {})
+    outcomes = snapshot.get("outcomes", {})
+
+    def outcome(name: str, key: str):
+        return outcomes.get(name, {}).get(key, 0)
+
+    lines = [
+        f"repro top — uptime {snapshot.get('uptime_seconds', 0.0):.0f}s, "
+        f"window {snapshot.get('windows', 0)} x "
+        f"{snapshot.get('window_seconds', 0.0):.0f}s",
+        f"qps {_rate(outcome('ok', 'per_second'))} ok"
+        f"  {_rate(outcome('backpressure', 'per_second'))} shed"
+        f"  {_rate(outcome('bad_request', 'per_second') + outcome('server_error', 'per_second'))} err"
+        f"  {_rate(outcome('degraded', 'per_second'))} degraded",
+        f"inflight {gauges.get('inflight', 0)}"
+        f"  queue {gauges.get('queue_depth', 0)}/{gauges.get('queue_limit', 0)}"
+        f"  workers {gauges.get('workers', 0)}"
+        f"  connections live {len(snapshot.get('connections', {}))}"
+        f" total {gauges.get('connections_total', 0)}",
+    ]
+    pool = [
+        f"{direction[len('buffer_'):-len('_used_bytes')]} "
+        f"{gauges[direction] // 1024}K/"
+        f"{gauges[direction.replace('used', 'capacity')] // 1024}K "
+        f"(+{gauges[direction.replace('used', 'pinned')] // 1024}K pinned)"
+        for direction in sorted(gauges)
+        if direction.startswith("buffer_") and direction.endswith("_used_bytes")
+    ]
+    if pool:
+        lines.append("buffer pool: " + "  ".join(pool))
+
+    ops = snapshot.get("ops", {})
+    op_rows = []
+    phase_rows = []
+    for name in sorted(ops):
+        data = ops[name]
+        windowed = data.get("windowed", {})
+        cumulative = data.get("cumulative", {})
+        row = (
+            name.removeprefix("phase:"),
+            cumulative.get("count", 0),
+            _ms(windowed.get("p50", 0.0)),
+            _ms(windowed.get("p99", 0.0)),
+            _ms(cumulative.get("p50", 0.0)),
+            _ms(cumulative.get("p99", 0.0)),
+        )
+        (phase_rows if name.startswith("phase:") else op_rows).append(row)
+    headers = ["op", "count", "win p50ms", "win p99ms", "cum p50ms", "cum p99ms"]
+    if op_rows:
+        lines.append("")
+        lines.append(format_table(headers, op_rows))
+    if phase_rows:
+        lines.append("")
+        lines.append(format_table(["phase"] + headers[1:], phase_rows))
+
+    slow = snapshot.get("slow_queries", {})
+    if slow:
+        lines.append("")
+        lines.append(
+            f"slow queries (>= {slow.get('threshold_ms', 0.0):.0f} ms): "
+            f"{slow.get('slow', 0)} of {slow.get('observed', 0)}"
+        )
+        for entry in slow.get("top", [])[:5]:
+            lines.append(
+                f"  rid={entry.get('rid')} op={entry.get('op')} "
+                f"outcome={entry.get('outcome')} "
+                f"server={entry.get('server_us', 0) / 1000.0:.2f} ms"
+            )
+    access = snapshot.get("access_log", {})
+    if access:
+        lines.append(
+            f"access log: {access.get('logged', 0)} logged of "
+            f"{access.get('offered', 0)} offered "
+            f"(1 in {access.get('sample_every', 1)})"
+        )
+    return "\n".join(lines)
+
+
+def _cmd_top(arguments: argparse.Namespace) -> int:
+    from repro.serve.loadgen import ServeClient
+
+    with ServeClient(arguments.host, arguments.port) as client:
+        if arguments.prometheus:
+            print(client.request_ok("metrics", format="text")["text"], end="")
+            return 0
+        while True:
+            snapshot = client.request_ok("metrics")
+            text = render_top(snapshot)
+            if arguments.once:
+                print(text)
+                return 0
+            # ANSI clear-screen + home keeps the dashboard in place.
+            print(f"\x1b[2J\x1b[H{text}", flush=True)
+            try:
+                time.sleep(arguments.interval)
+            except KeyboardInterrupt:
+                return 0
+
+
+def register(commands) -> None:
+    """Attach the ``top`` subparser."""
+    top = commands.add_parser(
+        "top", help="live dashboard polling a running daemon's metrics op"
+    )
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7411)
+    top.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh interval in seconds (default 2)",
+    )
+    top.add_argument(
+        "--once", action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
+    )
+    top.add_argument(
+        "--prometheus", action="store_true",
+        help="print the Prometheus text exposition once and exit",
+    )
+    top.set_defaults(handler=_cmd_top)

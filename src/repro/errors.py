@@ -52,6 +52,17 @@ class BufferCapacityError(StorageError):
     """
 
 
+class EmptyHistogramError(ReproError):
+    """A percentile was requested of a histogram with no observations.
+
+    An empty distribution has no percentiles; silently returning 0 made
+    a daemon that served nothing look like one serving in zero time.
+    Callers that want a placeholder for display catch this and render
+    one explicitly (serialized histograms emit 0.0 with ``count: 0`` so
+    the reader can tell).
+    """
+
+
 class QueryError(ReproError):
     """A complex query was malformed or referenced unknown pages/domains."""
 

@@ -14,12 +14,23 @@ concurrency, and checks three properties the serving refactor promises:
 * **graceful overload** — the default configuration offers more
   concurrency than the admission queue admits, so a healthy run *sheds*
   requests with typed backpressure replies (retried by the generator)
-  and still answers every request (``requests_ok`` is exact).
+  and still answers every request (``requests_ok`` is exact);
+* **request conservation** — the daemon's telemetry accounts for every
+  frame the generator sent: per-op totals equal the client's
+  ok + shed + failed counts, and the backpressure outcome count equals
+  the client's retry count exactly (``requests_conserved``).
 
-Reported costs: throughput, request latency percentiles, hit rates.
-Latency and throughput are machine-dependent (CI ignores them); the
-digests, ``matches_serial``, ``metrics_conserved`` and ``requests_ok``
-are deterministic and CI-gated exactly.
+After the reference run, an **overload sweep** drives the same daemon
+configuration at an offered-concurrency ladder (at, past and far past
+the admission limit) and emits per-level shed-rate and server-measured
+queue-wait columns — the ``results.overload`` rows in
+``BENCH_serve.json`` that plot saturation behaviour.
+
+Reported costs: throughput, request latency percentiles, queue-wait
+percentiles, hit rates.  Latency, throughput and shed counts are
+machine-/interleaving-dependent (CI ignores them); the digests,
+``matches_serial``, ``metrics_conserved``, ``requests_conserved`` and
+``requests_ok`` are deterministic and CI-gated exactly.
 """
 
 from __future__ import annotations
@@ -91,6 +102,84 @@ def _client_sums(load) -> dict[str, int]:
     return totals
 
 
+def _conservation(daemon: GraphQueryDaemon, load) -> tuple[bool, dict]:
+    """Check the daemon's telemetry accounts for every frame sent.
+
+    Three identities must hold whatever the thread interleaving:
+
+    * telemetry's ``query`` op total equals the client-side frame count
+      ok + shed + failed (every retry is its own frame);
+    * the ``backpressure`` outcome total equals the client's retry count;
+    * successful outcomes (ok + degraded) equal the client's successful
+      queries plus its non-query frames (the per-client ``stats`` call).
+    """
+    snapshot = daemon.telemetry.snapshot()
+    op_totals = {
+        name: data.get("requests", {}).get("total", 0)
+        for name, data in snapshot["ops"].items()
+        if not name.startswith("phase:")
+    }
+    outcome_totals = {
+        name: data["total"] for name, data in snapshot["outcomes"].items()
+    }
+    query_frames = load.requests_ok + load.shed_retries + load.requests_failed
+    other_frames = sum(
+        total for name, total in op_totals.items() if name != "query"
+    )
+    conserved = (
+        op_totals.get("query", 0) == query_frames
+        and outcome_totals["backpressure"] == load.shed_retries
+        and outcome_totals["ok"] + outcome_totals["degraded"]
+        == load.requests_ok + other_frames
+    )
+    return conserved, outcome_totals
+
+
+def _overload_levels(queue_limit: int, concurrency: int) -> tuple[int, ...]:
+    """Offered-concurrency ladder: at, past and far past admission."""
+    return tuple(
+        sorted({queue_limit, max(2 * queue_limit, concurrency), 4 * queue_limit})
+    )
+
+
+def _overload_level(
+    context: ServeContext,
+    clients: int,
+    requests_per_client: int,
+    workers: int,
+    queue_limit: int,
+) -> dict:
+    """One sweep level: fresh daemon, ``clients`` offered concurrency."""
+    daemon = GraphQueryDaemon(context, workers=workers, queue_limit=queue_limit)
+    with DaemonHandle(daemon) as handle:
+        load = run_load(
+            "127.0.0.1",
+            handle.port,
+            concurrency=clients,
+            requests_per_client=requests_per_client,
+        )
+    conserved, _ = _conservation(daemon, load)
+    queue_hist = load.queue_wait_histogram()
+    server_hist = load.server_latency_histogram()
+    attempts = load.requests_ok + load.shed_retries + load.requests_failed
+    # Key names deliberately avoid both bench-diff cost markers and the
+    # exact-pinned names of the reference run (shed counts and latencies
+    # vary with interleaving; only the conservation flag is pinned).
+    return {
+        "clients": clients,
+        "offered": clients * requests_per_client,
+        "completed": load.requests_ok,
+        "shed": load.shed_retries,
+        "gave_up": load.requests_failed,
+        "shed_rate_pct": 100.0 * load.shed_retries / attempts if attempts else 0.0,
+        "queue_wait_ms_p50": (queue_hist.p50 if queue_hist.count else 0.0) * 1000.0,
+        "queue_wait_ms_p99": (queue_hist.p99 if queue_hist.count else 0.0) * 1000.0,
+        "server_ms_p50": (server_hist.p50 if server_hist.count else 0.0) * 1000.0,
+        "server_ms_p99": (server_hist.p99 if server_hist.count else 0.0) * 1000.0,
+        "requests_conserved": conserved,
+    }
+
+
 def run(
     size: int | None = None,
     buffer_bytes: int = DEFAULT_BUFFER_BYTES,
@@ -152,7 +241,21 @@ def run(
                 name: after[name] - before[name] for name in _ATTRIBUTABLE
             }
             metrics_conserved = growth == session_sums
+            requests_conserved, outcome_totals = _conservation(daemon, load)
             histogram = load.latency_histogram()
+            queue_hist = load.queue_wait_histogram()
+            server_hist = load.server_latency_histogram()
+            with tracing.span("serve.overload"):
+                overload = [
+                    _overload_level(
+                        context,
+                        clients,
+                        requests_per_client,
+                        workers,
+                        queue_limit,
+                    )
+                    for clients in _overload_levels(queue_limit, concurrency)
+                ]
             results = {
                 "num_pages": repository.num_pages,
                 "buffer_bytes": buffer_bytes,
@@ -172,8 +275,21 @@ def run(
                     "latency_ms_p99": histogram.p99 * 1000.0,
                     "latency_ms_max": histogram.max * 1000.0,
                 },
+                "queue_wait": {
+                    "queue_wait_ms_p50": (
+                        queue_hist.p50 if queue_hist.count else 0.0
+                    ) * 1000.0,
+                    "queue_wait_ms_p99": (
+                        queue_hist.p99 if queue_hist.count else 0.0
+                    ) * 1000.0,
+                },
                 "matches_serial": matches_serial,
                 "metrics_conserved": metrics_conserved,
+                "requests_conserved": requests_conserved,
+                # Per-outcome telemetry totals; backpressure varies with
+                # interleaving, so these are reported, not gated.
+                "outcome_totals": outcome_totals,
+                "overload": overload,
                 "per_query_digests": {
                     name: sorted(digests)[0]
                     for name, digests in sorted(observed.items())
@@ -206,7 +322,11 @@ def run(
             )
             return {
                 "results": results,
-                "histograms": {"serve_latency": histogram.to_dict()},
+                "histograms": {
+                    "serve_latency": histogram.to_dict(),
+                    "server_latency": server_hist.to_dict(),
+                    "queue_wait": queue_hist.to_dict(),
+                },
             }
         finally:
             context.close()
@@ -228,11 +348,35 @@ def report(results: dict) -> str:
         ("latency p50 / p99 (ms)",
          f"{results['latency']['latency_ms_p50']:.1f} / "
          f"{results['latency']['latency_ms_p99']:.1f}"),
+        ("queue wait p50 / p99 (ms)",
+         f"{results['queue_wait']['queue_wait_ms_p50']:.1f} / "
+         f"{results['queue_wait']['queue_wait_ms_p99']:.1f}"),
         ("buffer hit rate", f"{results['hit_rate_pct']:.1f}%"),
         ("matches serial", results["matches_serial"]),
         ("metrics conserved", results["metrics_conserved"]),
+        ("requests conserved", results["requests_conserved"]),
     ]
-    return format_table(["metric", "value"], rows)
+    table = format_table(["metric", "value"], rows)
+    overload_rows = [
+        (
+            level["clients"],
+            level["offered"],
+            level["completed"],
+            level["shed"],
+            f"{level['shed_rate_pct']:.1f}%",
+            f"{level['queue_wait_ms_p50']:.1f}",
+            f"{level['queue_wait_ms_p99']:.1f}",
+            level["requests_conserved"],
+        )
+        for level in results.get("overload", [])
+    ]
+    if overload_rows:
+        table += "\n\noverload sweep:\n" + format_table(
+            ["clients", "offered", "completed", "shed", "shed rate",
+             "qwait p50ms", "qwait p99ms", "conserved"],
+            overload_rows,
+        )
+    return table
 
 
 def main() -> None:
@@ -274,6 +418,17 @@ def main() -> None:
         raise ServeError("concurrent results diverged from the serial baseline")
     if not results["metrics_conserved"]:
         raise ServeError("per-client metrics do not sum to the shared totals")
+    if not results["requests_conserved"]:
+        raise ServeError("telemetry did not account for every request sent")
+    unconserved = [
+        level["clients"]
+        for level in results["overload"]
+        if not level["requests_conserved"]
+    ]
+    if unconserved:
+        raise ServeError(
+            f"overload sweep lost requests at concurrency {unconserved}"
+        )
     emit_report(
         arguments.json_dir,
         "serve",

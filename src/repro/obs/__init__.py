@@ -9,9 +9,15 @@ Layered on the storage engine's :class:`~repro.storage.metrics.MetricsRegistry`:
 * :mod:`repro.obs.progress` — throttled phase-aware stderr progress with
   rate and ETA for long builds;
 * :mod:`repro.obs.report` — versioned ``BENCH_<experiment>.json`` bench
-  reports plus schema validation and regression-flagging diffs.
+  reports plus schema validation and regression-flagging diffs;
+* :mod:`repro.obs.windowed` — time-windowed histograms/counters rotated
+  on an injectable clock (live percentiles that decay instead of
+  averaging over the process lifetime);
+* :mod:`repro.obs.accesslog` — bounded sampled JSONL access log and
+  always-on top-K slow-query log for the serving layer.
 """
 
+from repro.obs.accesslog import AccessLog, SlowQueryLog
 from repro.obs.histogram import HistogramSet, LatencyHistogram
 from repro.obs.progress import NULL_PROGRESS, NullProgress, ProgressReporter
 from repro.obs.report import (
@@ -24,8 +30,18 @@ from repro.obs.report import (
     write_report,
 )
 from repro.obs.tracing import Span, Tracer, activated, current_tracer, note, span
+from repro.obs.windowed import (
+    WindowedCounter,
+    WindowedHistogram,
+    WindowedHistogramSet,
+)
 
 __all__ = [
+    "AccessLog",
+    "SlowQueryLog",
+    "WindowedCounter",
+    "WindowedHistogram",
+    "WindowedHistogramSet",
     "HistogramSet",
     "LatencyHistogram",
     "NULL_PROGRESS",

@@ -1,0 +1,203 @@
+"""Structured serving logs: sampled access log + always-on slow-query log.
+
+Two complementary views of a live request stream, both keyed by request
+id so one can be joined against the other (and against the per-request
+phase breakdown the daemon returns):
+
+* :class:`AccessLog` — one JSON record per *sampled* request, bounded
+  two ways: deterministic 1-in-N sampling (``sample_every``) caps the
+  write rate, and an in-memory ring (``capacity``) caps retention.  With
+  a ``path`` it also appends each sampled record as a JSONL line, which
+  is what CI uploads as an artifact.
+* :class:`SlowQueryLog` — never sampled: *every* request at or above the
+  duration threshold is counted and written, and the top-K slowest seen
+  so far are retained in memory (a bounded heap) whatever the request
+  volume.  A latency investigation starts here and joins back to the
+  access log / phase timings by request id.
+
+Entries are plain dicts; the daemon supplies ``rid``, op, outcome, phase
+timings and counter deltas.  Both logs are thread-safe and cheap when
+idle: an unsampled request costs a counter increment, a fast request a
+single comparison.
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+from collections import deque
+from pathlib import Path
+from typing import IO
+
+#: Default in-memory entries retained by the access log.
+DEFAULT_CAPACITY = 1024
+#: Default sampling: log every request (operators tune this down under load).
+DEFAULT_SAMPLE_EVERY = 1
+#: Default slow-query threshold (seconds).
+DEFAULT_SLOW_THRESHOLD_S = 0.100
+#: Default number of slowest requests retained.
+DEFAULT_SLOW_TOP_K = 32
+
+
+def _jsonline(entry: dict) -> str:
+    return json.dumps(entry, sort_keys=True, separators=(",", ":"))
+
+
+class AccessLog:
+    """Bounded, sampled JSONL log of served requests.
+
+    ``sample_every=N`` keeps request 0, N, 2N, ... of the *offered*
+    stream — deterministic, so a replayed run samples the same requests.
+    """
+
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        sample_every: int = DEFAULT_SAMPLE_EVERY,
+        path: Path | str | None = None,
+    ) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if sample_every < 1:
+            raise ValueError(f"sample_every must be >= 1, got {sample_every}")
+        self.capacity = capacity
+        self.sample_every = sample_every
+        self.offered = 0
+        self.logged = 0
+        self.ring_dropped = 0
+        self._lock = threading.Lock()
+        self._entries: deque[dict] = deque(maxlen=capacity)
+        self._sink: IO[str] | None = None
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = self.path.open("a")
+
+    def log(self, entry: dict) -> bool:
+        """Offer one request record; returns True when it was sampled in."""
+        with self._lock:
+            offered = self.offered
+            self.offered += 1
+            if offered % self.sample_every != 0:
+                return False
+            self.logged += 1
+            if len(self._entries) == self.capacity:
+                self.ring_dropped += 1
+            self._entries.append(entry)
+            if self._sink is not None:
+                self._sink.write(_jsonline(entry) + "\n")
+                self._sink.flush()
+            return True
+
+    def entries(self) -> list[dict]:
+        """Retained entries, oldest first (a copy)."""
+        with self._lock:
+            return list(self._entries)
+
+    def to_dict(self) -> dict:
+        """Summary counters (not the entries themselves)."""
+        with self._lock:
+            return {
+                "offered": self.offered,
+                "logged": self.logged,
+                "ring_dropped": self.ring_dropped,
+                "sample_every": self.sample_every,
+                "capacity": self.capacity,
+            }
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink (the in-memory ring survives)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+    def __enter__(self) -> "AccessLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SlowQueryLog:
+    """Always-on log of requests at or above a duration threshold.
+
+    Retains the top-K slowest entries in memory; with a ``path`` every
+    slow request is also appended as a JSONL line (the unbounded trail
+    lives on disk, the bounded one in memory).
+    """
+
+    def __init__(
+        self,
+        threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+        top_k: int = DEFAULT_SLOW_TOP_K,
+        path: Path | str | None = None,
+    ) -> None:
+        if threshold_s < 0:
+            raise ValueError(f"threshold_s must be >= 0, got {threshold_s}")
+        if top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {top_k}")
+        self.threshold_s = float(threshold_s)
+        self.top_k = top_k
+        self.observed = 0
+        self.slow_count = 0
+        self._lock = threading.Lock()
+        #: Min-heap of (duration_s, sequence, entry): the root is the
+        #: fastest of the retained slowest, evicted first.
+        self._heap: list[tuple[float, int, dict]] = []
+        self._sequence = 0
+        self._sink: IO[str] | None = None
+        self.path = Path(path) if path is not None else None
+        if self.path is not None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._sink = self.path.open("a")
+
+    def observe(self, duration_s: float, entry: dict) -> bool:
+        """Consider one finished request; returns True when it was slow."""
+        with self._lock:
+            self.observed += 1
+            if duration_s < self.threshold_s:
+                return False
+            self.slow_count += 1
+            item = (duration_s, self._sequence, entry)
+            self._sequence += 1
+            if len(self._heap) < self.top_k:
+                heapq.heappush(self._heap, item)
+            elif duration_s > self._heap[0][0]:
+                heapq.heapreplace(self._heap, item)
+            if self._sink is not None:
+                self._sink.write(_jsonline(entry) + "\n")
+                self._sink.flush()
+            return True
+
+    def top(self) -> list[dict]:
+        """Retained slowest entries, slowest first (copies of the dicts)."""
+        with self._lock:
+            ordered = sorted(self._heap, key=lambda item: (-item[0], item[1]))
+        return [dict(entry) for _duration, _seq, entry in ordered]
+
+    def to_dict(self) -> dict:
+        """Summary counters plus the retained top-K entries."""
+        with self._lock:
+            observed = self.observed
+            slow_count = self.slow_count
+        return {
+            "threshold_ms": self.threshold_s * 1000.0,
+            "observed": observed,
+            "slow": slow_count,
+            "top": self.top(),
+        }
+
+    def close(self) -> None:
+        """Flush and close the JSONL sink (retained top-K survives)."""
+        with self._lock:
+            if self._sink is not None:
+                self._sink.close()
+                self._sink = None
+
+    def __enter__(self) -> "SlowQueryLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -25,6 +25,8 @@ import math
 import time
 from contextlib import contextmanager
 
+from repro.errors import EmptyHistogramError
+
 #: Default smallest resolvable value (seconds): 100 ns.
 DEFAULT_MIN_VALUE = 1e-7
 #: Default bucket growth factor: sqrt(2) per bucket.
@@ -106,17 +108,21 @@ class LatencyHistogram:
         return self.sum / self.count if self.count else 0.0
 
     def percentile(self, p: float) -> float:
-        """Upper bound on the ``p``-th percentile (0 when empty).
+        """Upper bound on the ``p``-th percentile.
 
         Defined over ranks: the value returned is the upper bound of the
         bucket holding the ``ceil(p/100 * count)``-th smallest
         observation, clamped into ``[min, max]`` so p100 is the exact
-        maximum.
+        maximum.  An empty histogram has no percentiles: raises
+        :class:`~repro.errors.EmptyHistogramError` (callers that want a
+        display placeholder catch it — see :meth:`to_dict`).
         """
         if not 0 <= p <= 100:
             raise ValueError(f"percentile must be in [0, 100], got {p}")
         if self.count == 0:
-            return 0.0
+            raise EmptyHistogramError(
+                f"cannot take p{p:g} of a histogram with no observations"
+            )
         rank = max(1, math.ceil(p / 100.0 * self.count))
         cumulative = 0
         for index in sorted(self._buckets):
@@ -141,7 +147,13 @@ class LatencyHistogram:
     # -- serialization -----------------------------------------------------
 
     def to_dict(self) -> dict:
-        """JSON-serializable state, including headline percentiles."""
+        """JSON-serializable state, including headline percentiles.
+
+        An empty histogram serializes its percentiles as the explicit
+        placeholder 0.0 (``count: 0`` disambiguates) — JSON has no NaN,
+        and a report consumer must not have to catch exceptions.
+        """
+        empty = self.count == 0
         return {
             "min_value": self.min_value,
             "growth": self.growth,
@@ -150,9 +162,9 @@ class LatencyHistogram:
             "min": self.min if self.count else 0.0,
             "max": self.max,
             "mean": self.mean,
-            "p50": self.p50,
-            "p90": self.p90,
-            "p99": self.p99,
+            "p50": 0.0 if empty else self.p50,
+            "p90": 0.0 if empty else self.p90,
+            "p99": 0.0 if empty else self.p99,
             "buckets": {str(k): v for k, v in sorted(self._buckets.items())},
         }
 

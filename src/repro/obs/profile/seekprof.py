@@ -97,12 +97,15 @@ class FileSeekProfile:
             "forward_seeks": self.forward_seeks,
             "backward_seeks": self.backward_seeks,
             "sequential_fraction": self.sequential_fraction,
+            # Percentiles of an empty distance distribution (an all-
+            # sequential file) serialize as the 0.0 placeholder, matching
+            # LatencyHistogram.to_dict (count: 0 disambiguates).
             "seek_distance_bytes": {
                 "count": self.seek_distance.count,
                 "mean": self.seek_distance.mean,
-                "p50": self.seek_distance.p50,
-                "p90": self.seek_distance.p90,
-                "p99": self.seek_distance.p99,
+                "p50": self.seek_distance.p50 if self.seek_distance.count else 0.0,
+                "p90": self.seek_distance.p90 if self.seek_distance.count else 0.0,
+                "p99": self.seek_distance.p99 if self.seek_distance.count else 0.0,
                 "max": self.seek_distance.max,
             },
             "sequential_runs": {
@@ -188,7 +191,8 @@ class SeekProfile:
             lines.append(
                 f"{short:<28s} {entry.reads:>8d} "
                 f"{entry.sequential_fraction * 100.0:>5.1f}% {entry.seeks:>7d} "
-                f"{entry.seek_distance.p50:>10.0f} {entry.seek_distance.max:>10.0f} "
+                f"{entry.seek_distance.p50 if entry.seek_distance.count else 0.0:>10.0f} "
+                f"{entry.seek_distance.max:>10.0f} "
                 f"{entry.run_reads.mean:>9.1f} {entry.run_reads.max:>8.0f}"
             )
         lines.append(

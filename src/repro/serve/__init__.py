@@ -13,7 +13,12 @@ with its own metrics session, behind explicit admission control.
   :class:`~repro.serve.daemon.DaemonHandle` (own-thread lifecycle);
 * :mod:`repro.serve.loadgen` — :class:`~repro.serve.loadgen.ServeClient`
   and :func:`~repro.serve.loadgen.run_load`, the Figure 11 mix driver
-  behind ``repro loadgen`` and the ``serve`` benchmark.
+  behind ``repro loadgen`` and the ``serve`` benchmark;
+* :mod:`repro.serve.telemetry` — per-request lifecycle records
+  (:class:`~repro.serve.telemetry.RequestRecord`) aggregated by
+  :class:`~repro.serve.telemetry.ServeTelemetry` into windowed
+  histograms, outcome rates, access/slow-query logs and the
+  ``metrics`` op's JSON + Prometheus expositions.
 """
 
 from repro.serve.daemon import (
@@ -22,12 +27,20 @@ from repro.serve.daemon import (
     ServeContext,
 )
 from repro.serve.loadgen import LoadResult, ServeClient, run_load
+from repro.serve.telemetry import (
+    RequestRecord,
+    ServeTelemetry,
+    render_prometheus,
+)
 
 __all__ = [
     "DaemonHandle",
     "GraphQueryDaemon",
     "LoadResult",
+    "RequestRecord",
     "ServeClient",
     "ServeContext",
+    "ServeTelemetry",
+    "render_prometheus",
     "run_load",
 ]

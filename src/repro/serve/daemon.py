@@ -20,9 +20,19 @@ Architecture (the paper's runtime organization, made multi-client):
   retry with backoff.  Overload therefore degrades throughput, never
   correctness.
 
-``ping`` and ``stats`` are served inline on the event loop — they touch
-no disk and must stay responsive under query overload (``stats`` is how
-an operator sees the overload).
+``ping``, ``stats`` and ``metrics`` are served inline on the event loop
+— they touch no disk and must stay responsive under query overload
+(``stats``/``metrics`` are how an operator sees the overload).
+
+**Telemetry.**  Every frame becomes a
+:class:`~repro.serve.telemetry.RequestRecord`: a request id (the
+client's ``rid`` or a daemon-generated one), per-phase timings along
+``accept -> decode -> queue-wait -> execute -> encode -> reply``, an
+outcome (``ok | backpressure | bad_request | server_error | degraded``)
+and the session counter deltas the request caused.  Records feed the
+shared :class:`~repro.serve.telemetry.ServeTelemetry` (windowed
+histograms, outcome rates, access + slow-query logs) and are echoed to
+the client in the reply's ``server`` section.
 """
 
 from __future__ import annotations
@@ -38,6 +48,12 @@ from repro.errors import QueryError, ReproError, ServeError, StorageError
 from repro.query.engine import QueryEngine
 from repro.query.workload import PAPER_QUERIES, run_query
 from repro.serve import protocol
+from repro.serve.telemetry import (
+    DELTA_COUNTERS,
+    RequestRecord,
+    ServeTelemetry,
+    render_prometheus,
+)
 
 #: Worker threads executing queries (each owns no state; engines are
 #: per-connection, stores are shared).
@@ -218,6 +234,9 @@ class GraphQueryDaemon:
     workers: int = DEFAULT_WORKERS
     queue_limit: int = DEFAULT_QUEUE_LIMIT
     counters: DaemonCounters = field(default_factory=DaemonCounters)
+    #: Shared telemetry sink; pass one with a fake clock / log sinks to
+    #: control windows and capture JSONL logs.
+    telemetry: ServeTelemetry = field(default_factory=ServeTelemetry)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -230,6 +249,7 @@ class GraphQueryDaemon:
         self._executor: ThreadPoolExecutor | None = None
         self._inflight = 0
         self._next_client = 0
+        self._next_rid = 0
 
     @property
     def bound_port(self) -> int:
@@ -276,11 +296,14 @@ class GraphQueryDaemon:
         client_id = self._next_client
         self._next_client += 1
         self.counters.connections += 1
-        engine = self.context.make_engine(f"client-{client_id}")
+        label = f"client-{client_id}"
+        engine = self.context.make_engine(label)
+        self.telemetry.connection_opened(label)
+        clock = self.telemetry.clock
         try:
             while True:
                 try:
-                    request = await protocol.read_frame(reader)
+                    raw = await protocol.read_frame_raw(reader)
                 except ServeError as exc:
                     with contextlib.suppress(Exception):
                         await protocol.write_frame(
@@ -290,13 +313,39 @@ class GraphQueryDaemon:
                             ),
                         )
                     break
-                if request is None:
+                if raw is None:
                     break
-                reply = await self._dispatch(engine, request)
-                await protocol.write_frame(writer, reply)
+                # Accept boundary: the frame's last byte has arrived.
+                accepted = clock()
+                record = RequestRecord(
+                    rid="",
+                    client=label,
+                    op="invalid",
+                    outcome="bad_request",
+                    unix=self.telemetry.wall_clock(),
+                )
+                try:
+                    request = protocol.decode_payload(raw)
+                except ServeError as exc:
+                    record.phases["decode"] = clock() - accepted
+                    record.rid = self._generate_rid()
+                    record.error = str(exc)
+                    self.counters.requests_failed += 1
+                    reply = protocol.error_reply(
+                        None,
+                        protocol.ERROR_BAD_REQUEST,
+                        str(exc),
+                        server=record.reply_view(),
+                    )
+                    await self._send(writer, reply, record)
+                    break
+                record.phases["decode"] = clock() - accepted
+                reply = await self._dispatch(engine, request, record)
+                await self._send(writer, reply, record)
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
+            self.telemetry.connection_closed(label)
             engine.close()
             writer.close()
             # CancelledError is a BaseException on 3.11: suppress it too,
@@ -304,62 +353,195 @@ class GraphQueryDaemon:
             with contextlib.suppress(Exception, asyncio.CancelledError):
                 await writer.wait_closed()
 
-    async def _dispatch(self, engine: ClientEngine, request) -> dict:
+    def _generate_rid(self) -> str:
+        """A daemon-assigned request id (event-loop confined counter)."""
+        rid = f"srv-{self._next_rid}"
+        self._next_rid += 1
+        return rid
+
+    async def _send(
+        self, writer: asyncio.StreamWriter, reply: dict, record: RequestRecord
+    ) -> None:
+        """Encode and write one reply, measuring the last two phases.
+
+        The record is folded into the telemetry whatever happens to the
+        socket — a request the peer never read still ran.
+        """
+        clock = self.telemetry.clock
+        try:
+            start = clock()
+            data = protocol.encode_frame(reply)
+            encoded = clock()
+            record.phases["encode"] = encoded - start
+            writer.write(data)
+            await writer.drain()
+            record.phases["reply"] = clock() - encoded
+        finally:
+            self.telemetry.record(record)
+
+    async def _dispatch(
+        self, engine: ClientEngine, request, record: RequestRecord
+    ) -> dict:
+        clock = self.telemetry.clock
         if not isinstance(request, dict):
+            record.rid = self._generate_rid()
+            record.error = "request frame must be an object"
             self.counters.requests_failed += 1
             return protocol.error_reply(
-                None, protocol.ERROR_BAD_REQUEST, "request frame must be an object"
+                None,
+                protocol.ERROR_BAD_REQUEST,
+                record.error,
+                server=record.reply_view(),
             )
+        rid = request.get("rid")
+        if isinstance(rid, (str, int)) and not isinstance(rid, bool):
+            record.rid = str(rid)
+        else:
+            record.rid = self._generate_rid()
         request_id = request.get("id")
         op = request.get("op")
-        if op == "ping":
+        if isinstance(op, str):
+            record.op = op
+        if op in ("ping", "stats", "metrics"):
+            # Inline ops: no disk, no queue — measured as pure execute.
+            start = clock()
+            try:
+                if op == "ping":
+                    result = {"pong": True}
+                elif op == "stats":
+                    result = self._stats(engine)
+                else:
+                    result = self._metrics(request.get("format"))
+            except QueryError as exc:
+                record.phases["execute"] = clock() - start
+                record.error = str(exc)
+                self.counters.requests_failed += 1
+                return protocol.error_reply(
+                    request_id,
+                    protocol.ERROR_BAD_REQUEST,
+                    str(exc),
+                    server=record.reply_view(),
+                )
+            record.phases["execute"] = clock() - start
+            record.outcome = "ok"
             self.counters.requests_ok += 1
-            return protocol.ok_reply(request_id, {"pong": True})
-        if op == "stats":
-            self.counters.requests_ok += 1
-            return protocol.ok_reply(request_id, self._stats(engine))
+            return protocol.ok_reply(
+                request_id, result, server=record.reply_view()
+            )
         if op not in ("query", "neighbors"):
+            record.error = f"unknown op {op!r}"
             self.counters.requests_failed += 1
             return protocol.error_reply(
-                request_id, protocol.ERROR_BAD_REQUEST, f"unknown op {op!r}"
+                request_id,
+                protocol.ERROR_BAD_REQUEST,
+                record.error,
+                server=record.reply_view(),
             )
         # Admission control: _inflight is only touched on the event loop,
         # so the check-then-increment is race-free without a lock.
         if self._inflight >= self.queue_limit:
             self.counters.requests_shed += 1
+            record.outcome = "backpressure"
+            record.error = (
+                f"{self._inflight} requests in flight (limit "
+                f"{self.queue_limit}); retry later"
+            )
             return protocol.error_reply(
                 request_id,
                 protocol.ERROR_BACKPRESSURE,
-                f"{self._inflight} requests in flight (limit "
-                f"{self.queue_limit}); retry later",
+                record.error,
+                server=record.reply_view(),
             )
         self._inflight += 1
+        submitted = clock()
         try:
             loop = asyncio.get_running_loop()
             result = await loop.run_in_executor(
-                self._executor, self._execute, engine, op, request
+                self._executor,
+                self._execute_measured,
+                engine,
+                op,
+                request,
+                record,
+                submitted,
             )
         except (QueryError, ServeError, StorageError, ValueError) as exc:
+            record.outcome = "bad_request"
+            record.error = str(exc)
             self.counters.requests_failed += 1
             return protocol.error_reply(
-                request_id, protocol.ERROR_BAD_REQUEST, str(exc)
+                request_id,
+                protocol.ERROR_BAD_REQUEST,
+                str(exc),
+                server=record.reply_view(),
             )
         except ReproError as exc:
+            record.outcome = "server_error"
+            record.error = str(exc)
             self.counters.requests_failed += 1
             return protocol.error_reply(
-                request_id, protocol.ERROR_SERVER, str(exc)
+                request_id,
+                protocol.ERROR_SERVER,
+                str(exc),
+                server=record.reply_view(),
             )
         except Exception as exc:  # noqa: BLE001 — a query bug must not kill the daemon
+            record.outcome = "server_error"
+            record.error = f"{type(exc).__name__}: {exc}"
             self.counters.requests_failed += 1
             return protocol.error_reply(
-                request_id, protocol.ERROR_SERVER, f"{type(exc).__name__}: {exc}"
+                request_id,
+                protocol.ERROR_SERVER,
+                record.error,
+                server=record.reply_view(),
             )
         finally:
             self._inflight -= 1
+        # A request served from quarantined regions answered, but an
+        # operator must see it was not served whole.
+        record.outcome = (
+            "degraded" if record.counters.get("degraded_reads", 0) else "ok"
+        )
         self.counters.requests_ok += 1
-        return protocol.ok_reply(request_id, result)
+        return protocol.ok_reply(request_id, result, server=record.reply_view())
 
     # -- request execution (worker threads) ------------------------------------
+
+    def _session_counters(self, engine: ClientEngine) -> dict[str, int]:
+        """Attributable session counters summed over both directions.
+
+        Requests on one connection are strictly sequential (the read
+        loop awaits each dispatch), so before/after differences of the
+        connection's sessions are exactly this request's I/O.
+        """
+        totals: dict[str, int] = {}
+        for direction in engine.io_stats().values():
+            for name in DELTA_COUNTERS:
+                totals[name] = totals.get(name, 0) + int(direction.get(name, 0))
+        return totals
+
+    def _execute_measured(
+        self,
+        engine: ClientEngine,
+        op: str,
+        request: dict,
+        record: RequestRecord,
+        submitted: float,
+    ):
+        """Worker-thread wrapper: queue-wait + execute spans, counter deltas."""
+        clock = self.telemetry.clock
+        begin = clock()
+        record.phases["queue_wait"] = begin - submitted
+        before = self._session_counters(engine)
+        try:
+            return self._execute(engine, op, request)
+        finally:
+            record.phases["execute"] = clock() - begin
+            after = self._session_counters(engine)
+            record.counters = {
+                name: after.get(name, 0) - before.get(name, 0)
+                for name in DELTA_COUNTERS
+            }
 
     def _execute(self, engine: ClientEngine, op: str, request: dict):
         if op == "query":
@@ -387,20 +569,55 @@ class GraphQueryDaemon:
             return {"page": page, "neighbors": row}
         raise ServeError(f"unhandled op {op!r}")  # pragma: no cover
 
-    # -- stats (event loop; registries are internally locked) ------------------
+    # -- stats / metrics (event loop; registries are internally locked) --------
+
+    @property
+    def queue_depth(self) -> int:
+        """Admitted requests waiting for a worker (in flight - running)."""
+        return max(0, self._inflight - self.workers)
 
     def _stats(self, engine: ClientEngine) -> dict:
         return {
             "client": engine.io_stats(),
             "shared": self.context.shared_totals(),
+            # Per-direction pool pressure: capacity_bytes is the byte
+            # budget, pinned_bytes the resident floor, used_bytes the
+            # LRU occupancy (see BufferPool.stats()).
             "buffer": self.context.buffer_stats(),
             "daemon": {
                 **self.counters.as_dict(),
                 "inflight": self._inflight,
+                "queue_depth": self.queue_depth,
                 "workers": self.workers,
                 "queue_limit": self.queue_limit,
+                "uptime_seconds": self.telemetry.uptime_seconds,
             },
         }
+
+    def _gauges(self) -> dict:
+        """Instantaneous daemon values merged into metrics snapshots."""
+        gauges = {
+            "inflight": self._inflight,
+            "queue_depth": self.queue_depth,
+            "queue_limit": self.queue_limit,
+            "workers": self.workers,
+            "connections_total": self.counters.connections,
+        }
+        for direction, stats in self.context.buffer_stats().items():
+            for key in ("capacity_bytes", "used_bytes", "pinned_bytes"):
+                gauges[f"buffer_{direction}_{key}"] = stats[key]
+        return gauges
+
+    def _metrics(self, fmt) -> dict:
+        """The ``metrics`` inline op: JSON snapshot or Prometheus text."""
+        if fmt not in (None, "json", "text"):
+            raise QueryError(
+                f"metrics format must be 'json' or 'text', got {fmt!r}"
+            )
+        snapshot = self.telemetry.snapshot(gauges=self._gauges())
+        if fmt == "text":
+            return {"text": render_prometheus(snapshot)}
+        return snapshot
 
 
 class DaemonHandle:

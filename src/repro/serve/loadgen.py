@@ -14,6 +14,16 @@ reply is retried with linear backoff until the daemon admits the
 request.  Every request therefore eventually succeeds (or fails hard),
 which keeps ``requests_ok`` deterministic even when the daemon sheds
 most of the offered load.
+
+Every request carries a deterministic request id (``lg<client>-<j>``,
+kept across backpressure retries of the same logical request) which the
+daemon echoes in its reply's ``server`` section and writes to its access
+and slow-query logs — so a load-generator request can be joined to its
+server-side phase breakdown.  From that section the generator also
+collects the **server-measured** latency next to its own
+client-measured one: the difference is network plus reply transit, and
+under overload the ``queue_wait`` phase explains most of the gap between
+a quiet daemon's latency and a saturated one's.
 """
 
 from __future__ import annotations
@@ -96,6 +106,12 @@ class ClientResult:
     requests_failed: int = 0
     shed_retries: int = 0
     latencies_s: list[float] = field(default_factory=list)
+    #: Server-measured latency per successful request (sum of the phase
+    #: spans echoed in the reply's ``server`` section), aligned with
+    #: :attr:`latencies_s`.
+    server_latencies_s: list[float] = field(default_factory=list)
+    #: Server-measured queue-wait per successful request.
+    queue_waits_s: list[float] = field(default_factory=list)
     #: query name -> digest(s) observed (must be a singleton per name).
     digests: dict[str, set[str]] = field(default_factory=dict)
     #: The daemon-side per-client io stats (final ``stats`` request).
@@ -141,6 +157,64 @@ class LoadResult:
             histogram.record_many(client.latencies_s)
         return histogram
 
+    def server_latency_histogram(self) -> LatencyHistogram:
+        """Distribution over the server-measured latencies."""
+        histogram = LatencyHistogram()
+        for client in self.clients:
+            histogram.record_many(client.server_latencies_s)
+        return histogram
+
+    def queue_wait_histogram(self) -> LatencyHistogram:
+        """Distribution over the server-measured queue waits."""
+        histogram = LatencyHistogram()
+        for client in self.clients:
+            histogram.record_many(client.queue_waits_s)
+        return histogram
+
+    def summary(self) -> dict:
+        """Client-side summary document (the ``repro loadgen --json`` body).
+
+        Percentiles use the serialized placeholder convention: 0.0 with
+        ``count`` 0 when nothing succeeded.
+        """
+        client_hist = self.latency_histogram()
+        server_hist = self.server_latency_histogram()
+        queue_hist = self.queue_wait_histogram()
+
+        def _ms(histogram: LatencyHistogram, accessor: str) -> float:
+            if histogram.count == 0:
+                return 0.0
+            return getattr(histogram, accessor) * 1000.0
+
+        return {
+            "concurrency": self.concurrency,
+            "requests_per_client": self.requests_per_client,
+            "requests_sent": self.concurrency * self.requests_per_client,
+            "requests_ok": self.requests_ok,
+            "requests_failed": self.requests_failed,
+            "backpressure_retries": self.shed_retries,
+            "throughput_qps": self.throughput_qps,
+            "consistent": self.consistent(),
+            "client_latency": {
+                "latency_ms_p50": _ms(client_hist, "p50"),
+                "latency_ms_p90": _ms(client_hist, "p90"),
+                "latency_ms_p99": _ms(client_hist, "p99"),
+                "latency_ms_max": client_hist.max * 1000.0,
+            },
+            # Server-measured spend on the same requests; the p50 gap to
+            # client_latency is network + reply transit, and queue_wait
+            # is the admission-queue share of the server time.
+            "server_latency": {
+                "latency_ms_p50": _ms(server_hist, "p50"),
+                "latency_ms_p99": _ms(server_hist, "p99"),
+                "queue_wait_ms_p50": _ms(queue_hist, "p50"),
+                "queue_wait_ms_p99": _ms(queue_hist, "p99"),
+            },
+            "errors": [
+                client.error for client in self.clients if client.error
+            ],
+        }
+
     def digests(self) -> dict[str, set[str]]:
         """query name -> all digests observed across clients."""
         merged: dict[str, set[str]] = {}
@@ -173,14 +247,23 @@ def _client_worker(
         barrier.wait()
         for j in range(requests_per_client):
             name = mix[(client_index + j) % len(mix)]
+            rid = f"lg{client_index}-{j}"
             retries = 0
             while True:
                 start = time.perf_counter()
-                reply = client.request("query", name=name)
+                reply = client.request("query", name=name, rid=rid)
                 elapsed = time.perf_counter() - start
                 if reply.get("ok"):
                     result.requests_ok += 1
                     result.latencies_s.append(elapsed)
+                    server = reply.get("server", {})
+                    phases_us = server.get("phases_us", {})
+                    result.server_latencies_s.append(
+                        sum(phases_us.values()) / 1e6
+                    )
+                    result.queue_waits_s.append(
+                        phases_us.get("queue_wait", 0) / 1e6
+                    )
                     payload = reply["result"]
                     result.digests.setdefault(name, set()).add(
                         payload["digest"]

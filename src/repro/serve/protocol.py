@@ -12,6 +12,15 @@ are part of the protocol: ``backpressure`` (admission control shed the
 request — retry later), ``bad_request`` (malformed frame or unknown
 op/query), ``server_error`` (the query raised).
 
+**Request ids and server telemetry.**  Every request additionally gets a
+*request id*: the client's ``rid`` field if it sent one (a string or
+int), else one the daemon generates.  Replies echo it inside a
+``server`` section along with the request's measured lifecycle —
+outcome, per-phase timings in microseconds and the session counter
+deltas it caused — so a client can compare its observed latency against
+the server-side spend (queue-wait explains the difference under load)
+and join its requests against the daemon's access and slow-query logs.
+
 **Canonical JSON.** Query payloads contain sets, tuples and int-keyed
 dicts; :func:`canonicalize` maps them onto plain JSON (sorted lists,
 lists, string keys) deterministically, and :func:`payload_digest` hashes
@@ -101,8 +110,12 @@ def decode_payload(payload: bytes):
 # -- asyncio side (daemon) --------------------------------------------------
 
 
-async def read_frame(reader: asyncio.StreamReader):
-    """Read one frame; returns None on clean EOF before a header."""
+async def read_frame_raw(reader: asyncio.StreamReader) -> bytes | None:
+    """Read one frame's payload bytes; None on clean EOF before a header.
+
+    Split from :func:`read_frame` so the daemon can time the decode
+    phase separately from the socket read.
+    """
     try:
         header = await reader.readexactly(_HEADER.size)
     except asyncio.IncompleteReadError as exc:
@@ -115,9 +128,16 @@ async def read_frame(reader: asyncio.StreamReader):
             f"peer announced a {length}-byte frame (limit {MAX_FRAME_BYTES})"
         )
     try:
-        payload = await reader.readexactly(length)
+        return await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
         raise ServeError("connection closed mid-frame") from exc
+
+
+async def read_frame(reader: asyncio.StreamReader):
+    """Read one frame; returns None on clean EOF before a header."""
+    payload = await read_frame_raw(reader)
+    if payload is None:
+        return None
     return decode_payload(payload)
 
 
@@ -165,15 +185,23 @@ def recv_frame(sock: socket.socket):
     return decode_payload(_recv_exactly(sock, length))
 
 
-def error_reply(request_id, error_type: str, message: str) -> dict:
-    """A failure reply frame."""
-    return {
+def error_reply(
+    request_id, error_type: str, message: str, server: dict | None = None
+) -> dict:
+    """A failure reply frame (``server`` echoes the request telemetry)."""
+    reply = {
         "id": request_id,
         "ok": False,
         "error": {"type": error_type, "message": message},
     }
+    if server is not None:
+        reply["server"] = server
+    return reply
 
 
-def ok_reply(request_id, result) -> dict:
-    """A success reply frame."""
-    return {"id": request_id, "ok": True, "result": result}
+def ok_reply(request_id, result, server: dict | None = None) -> dict:
+    """A success reply frame (``server`` echoes the request telemetry)."""
+    reply = {"id": request_id, "ok": True, "result": result}
+    if server is not None:
+        reply["server"] = server
+    return reply

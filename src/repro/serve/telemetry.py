@@ -1,0 +1,338 @@
+"""Live serving telemetry: request lifecycle records -> windowed views.
+
+The daemon measures every request as a :class:`RequestRecord` — request
+id, op, outcome, per-phase timings and the session counter deltas the
+request caused — and feeds it to one shared :class:`ServeTelemetry`,
+which maintains:
+
+* **windowed aggregates** (:mod:`repro.obs.windowed`): per-op and
+  per-phase latency histograms plus per-outcome counters, all rotated on
+  one injectable clock, so ``metrics`` reports p99 *over the last
+  windows*, not over the process lifetime;
+* **cumulative aggregates**: the same histograms' lifetime view (the two
+  are conserved by construction — see ``WindowedHistogram``);
+* **structured logs** (:mod:`repro.obs.accesslog`): a sampled, bounded
+  access log and an always-on slow-query log, both carrying the request
+  id so a slow entry joins back to its phase breakdown;
+* **per-connection counters** for live connections (requests by outcome,
+  attributable I/O via the connection's metrics session).
+
+The request lifecycle and its phase spans::
+
+    accept ──▶ decode ──▶ queue-wait ──▶ execute ──▶ encode ──▶ reply
+          decode_s     queue_wait_s   execute_s    encode_s   reply_s
+
+``accept`` is the boundary event (the frame's last byte arrived; its
+wall-clock time is the record's ``unix`` stamp); each arrow is a
+measured span and their sum is the server-side latency ``server_s`` —
+which the daemon echoes in every reply, so a client can subtract it from
+its own measurement and attribute the difference to the network.
+
+:func:`render_prometheus` turns a snapshot into the Prometheus text
+exposition format for scrape-style integration.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.obs.accesslog import AccessLog, SlowQueryLog
+from repro.obs.windowed import (
+    DEFAULT_WINDOW_SECONDS,
+    DEFAULT_WINDOWS,
+    WindowedCounter,
+    WindowedHistogramSet,
+)
+
+#: The request outcomes of the serving protocol, in reporting order.
+OUTCOMES = ("ok", "backpressure", "bad_request", "server_error", "degraded")
+
+#: The measured phase spans, in lifecycle order.
+PHASES = ("decode", "queue_wait", "execute", "encode", "reply")
+
+#: Session counters attributed per request (deltas of the connection's
+#: metrics session around the execute phase).
+DELTA_COUNTERS = (
+    "buffer_hits",
+    "buffer_pinned_hits",
+    "buffer_misses",
+    "disk_seeks",
+    "bytes_read",
+    "degraded_reads",
+)
+
+
+@dataclass
+class RequestRecord:
+    """One measured request, as fed to :meth:`ServeTelemetry.record`."""
+
+    rid: str
+    client: str
+    op: str
+    outcome: str
+    #: Wall-clock (unix) time of the accept boundary.
+    unix: float
+    #: Phase name -> seconds; missing phases did not happen (a shed
+    #: request has no execute span).
+    phases: dict[str, float] = field(default_factory=dict)
+    #: Session counter growth caused by this request (hits/misses/seeks).
+    counters: dict[str, int] = field(default_factory=dict)
+    error: str | None = None
+
+    @property
+    def server_s(self) -> float:
+        """Server-side latency: the sum of the measured phase spans."""
+        return sum(self.phases.values())
+
+    def reply_view(self) -> dict:
+        """The ``server`` section echoed to the client in the reply.
+
+        Built *before* the encode/reply spans run (they are measured
+        around the reply itself), so it carries the phases known at
+        encode time; the full record — including encode/reply — goes to
+        the logs and histograms.
+        """
+        return {
+            "rid": self.rid,
+            "outcome": self.outcome,
+            "phases_us": {
+                name: round(seconds * 1e6)
+                for name, seconds in sorted(self.phases.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+        }
+
+    def log_view(self) -> dict:
+        """The JSONL form written to the access / slow-query logs."""
+        return {
+            "rid": self.rid,
+            "client": self.client,
+            "op": self.op,
+            "outcome": self.outcome,
+            "unix": self.unix,
+            "server_us": round(self.server_s * 1e6),
+            "phases_us": {
+                name: round(seconds * 1e6)
+                for name, seconds in sorted(self.phases.items())
+            },
+            "counters": dict(sorted(self.counters.items())),
+            **({"error": self.error} if self.error else {}),
+        }
+
+
+class ServeTelemetry:
+    """Shared aggregation point for every request the daemon serves."""
+
+    def __init__(
+        self,
+        window_seconds: float = DEFAULT_WINDOW_SECONDS,
+        windows: int = DEFAULT_WINDOWS,
+        clock: Callable[[], float] = time.monotonic,
+        wall_clock: Callable[[], float] = time.time,
+        access_log: AccessLog | None = None,
+        slow_log: SlowQueryLog | None = None,
+    ) -> None:
+        self.clock = clock
+        self.wall_clock = wall_clock
+        self.started = clock()
+        self.started_unix = wall_clock()
+        self.access_log = access_log if access_log is not None else AccessLog()
+        self.slow_log = slow_log if slow_log is not None else SlowQueryLog()
+        #: Per-op server latency (one histogram per op name) and
+        #: per-phase spans (under ``phase:<name>``), windowed + cumulative.
+        self.latency = WindowedHistogramSet(
+            window_seconds=window_seconds, windows=windows, clock=clock
+        )
+        #: Per-outcome windowed counters (ok / backpressure / ...).
+        self.outcomes = {
+            outcome: WindowedCounter(
+                window_seconds=window_seconds, windows=windows, clock=clock
+            )
+            for outcome in OUTCOMES
+        }
+        #: Per-op windowed request counters (rates per op).
+        self._op_counts: dict[str, WindowedCounter] = {}
+        self._window_seconds = window_seconds
+        self._windows = windows
+        self._lock = threading.Lock()
+        #: Live connections: label -> {"requests": n, "<outcome>": n, ...}.
+        self._connections: dict[str, dict[str, int]] = {}
+
+    # -- connection lifecycle ------------------------------------------------
+
+    def connection_opened(self, client: str) -> None:
+        """Register a live connection under its label."""
+        with self._lock:
+            self._connections[client] = {"requests": 0}
+
+    def connection_closed(self, client: str) -> None:
+        """Drop a connection's live entry (its requests stay aggregated)."""
+        with self._lock:
+            self._connections.pop(client, None)
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, record: RequestRecord) -> None:
+        """Fold one finished request into every aggregate and log."""
+        if record.outcome not in self.outcomes:
+            raise ValueError(f"unknown outcome {record.outcome!r}")
+        server_s = record.server_s
+        self.latency.observe(record.op, server_s)
+        for phase, seconds in record.phases.items():
+            self.latency.observe(f"phase:{phase}", seconds)
+        self.outcomes[record.outcome].add()
+        with self._lock:
+            counter = self._op_counts.get(record.op)
+            if counter is None:
+                counter = WindowedCounter(
+                    window_seconds=self._window_seconds,
+                    windows=self._windows,
+                    clock=self.clock,
+                )
+                self._op_counts[record.op] = counter
+            connection = self._connections.get(record.client)
+        counter.add()
+        if connection is not None:
+            with self._lock:
+                connection["requests"] = connection.get("requests", 0) + 1
+                connection[record.outcome] = connection.get(record.outcome, 0) + 1
+        entry = record.log_view()
+        self.access_log.log(entry)
+        self.slow_log.observe(server_s, entry)
+
+    # -- exposition ----------------------------------------------------------
+
+    @property
+    def uptime_seconds(self) -> float:
+        """Seconds since this telemetry (the daemon) started."""
+        return self.clock() - self.started
+
+    def requests_total(self) -> int:
+        """Requests recorded across every outcome (lifetime)."""
+        return sum(counter.total for counter in self.outcomes.values())
+
+    def snapshot(self, gauges: dict | None = None) -> dict:
+        """The ``metrics`` op's JSON document (windowed + cumulative).
+
+        ``gauges`` carries the daemon's instantaneous values (in-flight,
+        queue depth, connections) — they belong to the daemon, not the
+        telemetry, and are merged in verbatim.
+        """
+        per_op = {}
+        for name in self.latency.names():
+            histogram = self.latency.get(name)
+            per_op[name] = histogram.to_dict()
+            count = self._op_counts.get(name)
+            if count is not None:
+                per_op[name]["requests"] = count.to_dict()
+        with self._lock:
+            connections = {
+                client: dict(counts)
+                for client, counts in sorted(self._connections.items())
+            }
+        return {
+            "uptime_seconds": self.uptime_seconds,
+            "started_unix": self.started_unix,
+            "window_seconds": self._window_seconds,
+            "windows": self._windows,
+            "outcomes": {
+                outcome: counter.to_dict()
+                for outcome, counter in self.outcomes.items()
+            },
+            "ops": per_op,
+            "connections": connections,
+            "gauges": dict(gauges or {}),
+            "access_log": self.access_log.to_dict(),
+            "slow_queries": self.slow_log.to_dict(),
+        }
+
+
+def _fmt(value: float) -> str:
+    """Prometheus sample value: repr keeps full float precision."""
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
+    """Prometheus text exposition of a :meth:`ServeTelemetry.snapshot`.
+
+    Windowed percentiles render as summary-style quantile samples (the
+    decaying view an alerting rule wants); lifetime counts render as
+    counters; daemon gauges as gauges.
+    """
+    lines: list[str] = []
+
+    def header(name: str, kind: str, help_text: str) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    header(f"{prefix}_uptime_seconds", "gauge", "Daemon uptime.")
+    lines.append(
+        f"{prefix}_uptime_seconds {_fmt(snapshot['uptime_seconds'])}"
+    )
+
+    header(
+        f"{prefix}_requests_total",
+        "counter",
+        "Requests by outcome (lifetime).",
+    )
+    for outcome, counter in sorted(snapshot["outcomes"].items()):
+        lines.append(
+            f'{prefix}_requests_total{{outcome="{outcome}"}} '
+            f"{_fmt(counter['total'])}"
+        )
+
+    header(
+        f"{prefix}_request_rate",
+        "gauge",
+        "Requests per second by outcome (windowed).",
+    )
+    for outcome, counter in sorted(snapshot["outcomes"].items()):
+        lines.append(
+            f'{prefix}_request_rate{{outcome="{outcome}"}} '
+            f"{_fmt(counter['per_second'])}"
+        )
+
+    header(
+        f"{prefix}_request_seconds",
+        "summary",
+        "Server-side request latency by op (windowed quantiles, "
+        "lifetime count/sum).",
+    )
+    for op, data in sorted(snapshot["ops"].items()):
+        windowed = data["windowed"]
+        cumulative = data["cumulative"]
+        for quantile, key in (("0.5", "p50"), ("0.9", "p90"), ("0.99", "p99")):
+            lines.append(
+                f'{prefix}_request_seconds{{op="{op}",quantile="{quantile}"}} '
+                f"{_fmt(windowed[key])}"
+            )
+        lines.append(
+            f'{prefix}_request_seconds_count{{op="{op}"}} '
+            f"{_fmt(cumulative['count'])}"
+        )
+        lines.append(
+            f'{prefix}_request_seconds_sum{{op="{op}"}} '
+            f"{_fmt(cumulative['sum'])}"
+        )
+
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        header(f"{prefix}_gauge", "gauge", "Daemon instantaneous values.")
+        for name, value in sorted(gauges.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            lines.append(f'{prefix}_gauge{{name="{name}"}} {_fmt(value)}')
+
+    slow = snapshot.get("slow_queries", {})
+    if slow:
+        header(
+            f"{prefix}_slow_queries_total",
+            "counter",
+            "Requests at or above the slow-query threshold (lifetime).",
+        )
+        lines.append(f"{prefix}_slow_queries_total {_fmt(slow['slow'])}")
+
+    return "\n".join(lines) + "\n"

@@ -193,3 +193,37 @@ class TestAblations:
         )
         assert by_name["always-positive superedges"].negative_superedges == 0
         assert "bits/edge" in ablations.report(rows)
+
+
+class TestServeExperiment:
+    def test_run_shape_with_overload_sweep(self):
+        from repro.experiments import serve
+
+        outcome = serve.run(
+            size=400,
+            concurrency=3,
+            requests_per_client=6,
+            workers=2,
+            queue_limit=2,
+        )
+        results = outcome["results"]
+        assert results["matches_serial"] is True
+        assert results["metrics_conserved"] is True
+        assert results["requests_conserved"] is True
+        assert results["requests_ok"] == 18
+        assert set(results["queue_wait"]) == {
+            "queue_wait_ms_p50", "queue_wait_ms_p99",
+        }
+        assert results["outcome_totals"]["ok"] >= 18
+        # The sweep covers at, past and far past the admission limit.
+        levels = results["overload"]
+        assert [level["clients"] for level in levels] == [2, 4, 8]
+        for level in levels:
+            assert level["requests_conserved"] is True
+            assert level["completed"] + level["gave_up"] == level["offered"]
+            assert level["queue_wait_ms_p99"] >= 0
+            assert 0 <= level["shed_rate_pct"] <= 100
+        assert outcome["histograms"]["queue_wait"]["count"] == 18
+        text = serve.report(results)
+        assert "overload sweep" in text
+        assert "requests conserved" in text

@@ -1,0 +1,106 @@
+"""Tests for the sampled access log and the slow-query log."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.accesslog import AccessLog, SlowQueryLog
+
+
+def _entry(rid: str, **extra) -> dict:
+    return {"rid": rid, "op": "query", "outcome": "ok", **extra}
+
+
+class TestAccessLog:
+    def test_logs_every_request_by_default(self):
+        log = AccessLog()
+        assert log.log(_entry("r0")) is True
+        assert log.log(_entry("r1")) is True
+        assert [e["rid"] for e in log.entries()] == ["r0", "r1"]
+
+    def test_sampling_is_deterministic_one_in_n(self):
+        log = AccessLog(sample_every=3)
+        sampled = [log.log(_entry(f"r{i}")) for i in range(9)]
+        assert sampled == [True, False, False] * 3
+        assert log.offered == 9
+        assert log.logged == 3
+        assert [e["rid"] for e in log.entries()] == ["r0", "r3", "r6"]
+
+    def test_ring_caps_retention_and_counts_drops(self):
+        log = AccessLog(capacity=2)
+        for i in range(5):
+            log.log(_entry(f"r{i}"))
+        assert [e["rid"] for e in log.entries()] == ["r3", "r4"]
+        assert log.ring_dropped == 3
+        assert log.logged == 5  # logged counts samples, not retention
+
+    def test_jsonl_sink(self, tmp_path):
+        path = tmp_path / "logs" / "access.jsonl"
+        with AccessLog(sample_every=2, path=path) as log:
+            for i in range(4):
+                log.log(_entry(f"r{i}"))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert [line["rid"] for line in lines] == ["r0", "r2"]
+
+    def test_to_dict_summary(self):
+        log = AccessLog(capacity=8, sample_every=2)
+        for i in range(4):
+            log.log(_entry(f"r{i}"))
+        assert log.to_dict() == {
+            "offered": 4,
+            "logged": 2,
+            "ring_dropped": 0,
+            "sample_every": 2,
+            "capacity": 8,
+        }
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            AccessLog(capacity=0)
+        with pytest.raises(ValueError):
+            AccessLog(sample_every=0)
+
+
+class TestSlowQueryLog:
+    def test_threshold_splits_fast_from_slow(self):
+        log = SlowQueryLog(threshold_s=0.100)
+        assert log.observe(0.050, _entry("fast")) is False
+        assert log.observe(0.100, _entry("at")) is True
+        assert log.observe(0.500, _entry("slow")) is True
+        assert log.observed == 3
+        assert log.slow_count == 2
+
+    def test_top_k_keeps_the_slowest(self):
+        log = SlowQueryLog(threshold_s=0.0, top_k=3)
+        for i, duration in enumerate([0.1, 0.5, 0.2, 0.9, 0.3]):
+            log.observe(duration, _entry(f"r{i}", duration=duration))
+        top = log.top()
+        assert [e["rid"] for e in top] == ["r3", "r1", "r4"]  # slowest first
+        assert log.slow_count == 5  # counting is unbounded, retention is not
+
+    def test_every_slow_request_hits_the_sink(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        with SlowQueryLog(threshold_s=0.1, top_k=1, path=path) as log:
+            log.observe(0.2, _entry("r0"))
+            log.observe(0.3, _entry("r1"))
+            log.observe(0.01, _entry("r2"))
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        # top_k bounds memory, not the on-disk trail.
+        assert [line["rid"] for line in lines] == ["r0", "r1"]
+
+    def test_to_dict_carries_threshold_and_top(self):
+        log = SlowQueryLog(threshold_s=0.25, top_k=2)
+        log.observe(0.3, _entry("r0"))
+        data = log.to_dict()
+        assert data["threshold_ms"] == pytest.approx(250.0)
+        assert data["observed"] == 1
+        assert data["slow"] == 1
+        assert [e["rid"] for e in data["top"]] == ["r0"]
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold_s=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(top_k=0)

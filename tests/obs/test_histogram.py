@@ -7,6 +7,7 @@ import random
 
 import pytest
 
+from repro.errors import EmptyHistogramError
 from repro.obs.histogram import LatencyHistogram, HistogramSet
 
 
@@ -51,10 +52,24 @@ class TestBucketBoundaries:
 
 
 class TestPercentiles:
-    def test_empty_histogram(self):
+    def test_empty_histogram_raises_typed_error(self):
         histogram = LatencyHistogram()
-        assert histogram.percentile(50) == 0.0
+        with pytest.raises(EmptyHistogramError):
+            histogram.percentile(50)
+        for accessor in ("p50", "p90", "p99"):
+            with pytest.raises(EmptyHistogramError):
+                getattr(histogram, accessor)
         assert histogram.mean == 0.0
+
+    def test_empty_histogram_serializes_placeholder(self):
+        # to_dict must stay exception-free: empty percentiles are the
+        # documented 0.0 placeholder with count disambiguating.
+        data = LatencyHistogram().to_dict()
+        assert data["count"] == 0
+        assert data["p50"] == data["p90"] == data["p99"] == 0.0
+        restored = LatencyHistogram.from_dict(data)
+        with pytest.raises(EmptyHistogramError):
+            restored.percentile(99)
 
     def test_single_value(self):
         histogram = LatencyHistogram()

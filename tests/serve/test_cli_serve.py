@@ -1,0 +1,76 @@
+"""CLI tests for ``repro top`` and ``repro loadgen --json``."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.serve.daemon import DaemonHandle, GraphQueryDaemon
+
+
+@pytest.fixture
+def daemon(serve_context):
+    handle = DaemonHandle(
+        GraphQueryDaemon(serve_context, port=0, workers=4, queue_limit=16)
+    )
+    with handle:
+        yield handle
+
+
+class TestTopCommand:
+    def test_top_once_renders_dashboard(self, daemon, capsys):
+        code = main(
+            ["loadgen", "--port", str(daemon.port),
+             "--concurrency", "2", "--requests", "3"]
+        )
+        assert code == 0
+        code = main(["top", "--port", str(daemon.port), "--once"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "repro top — uptime" in captured.out
+        assert "qps" in captured.out
+        assert "query" in captured.out  # per-op table row
+        assert "queue" in captured.out
+
+    def test_top_prometheus_prints_exposition(self, daemon, capsys):
+        code = main(["top", "--port", str(daemon.port), "--prometheus"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "# TYPE repro_requests_total counter" in captured.out
+        assert "repro_uptime_seconds" in captured.out
+
+
+class TestLoadgenJson:
+    def test_loadgen_writes_summary_report(self, daemon, capsys, tmp_path):
+        code = main(
+            ["loadgen", "--port", str(daemon.port),
+             "--concurrency", "2", "--requests", "3",
+             "--json", str(tmp_path)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "server latency p50" in captured.out
+        report = json.loads((tmp_path / "BENCH_loadgen.json").read_text())
+        assert report["experiment"] == "loadgen"
+        results = report["results"]
+        assert results["requests_sent"] == 6
+        assert results["requests_ok"] == 6
+        assert results["consistent"] is True
+        assert results["client_latency"]["latency_ms_p99"] > 0
+        assert "queue_wait_ms_p99" in results["server_latency"]
+        assert report["histograms"]["client_latency"]["count"] == 6
+        assert report["histograms"]["queue_wait"]["count"] == 6
+
+    def test_loadgen_report_validates(self, daemon, tmp_path, capsys):
+        main(
+            ["loadgen", "--port", str(daemon.port),
+             "--concurrency", "1", "--requests", "2",
+             "--json", str(tmp_path)]
+        )
+        capsys.readouterr()
+        code = main(
+            ["bench-validate", str(tmp_path / "BENCH_loadgen.json")]
+        )
+        assert code == 0
