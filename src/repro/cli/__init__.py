@@ -29,8 +29,13 @@ Gives a repository operator the whole pipeline without writing Python:
   summary as a machine-readable file);
 * ``repro top`` — refresh-loop terminal dashboard polling a daemon's
   ``metrics`` op: windowed QPS, in-flight, queue depth, shed rate and
-  per-op p50/p99 (``--once`` for scripts, ``--prometheus`` for the text
-  exposition);
+  per-op p50/p99 with per-bucket exemplar trace ids (``--once`` for
+  scripts, ``--prometheus`` for the text exposition); exits non-zero
+  when no daemon is listening;
+* ``repro trace`` — render recorded request traces from a debug bundle
+  or a live daemon's flight recorder: phase/I/O waterfall for one
+  request, folded flamegraph over many (``--dump`` writes a live
+  daemon's recorder as a bundle);
 * ``repro bench-diff`` — compare two bench reports and flag regressions
   (``--ignore`` skips machine-dependent metrics, ``--exact`` pins
   determinism markers like digests and shard counts).
@@ -44,7 +49,7 @@ pipeline phases.
 The package splits one module per subcommand group — ``build`` (generate,
 build), ``query`` (stats, neighbors), ``fsck`` (verify, fsck), ``bench``
 (experiment, bench-validate, bench-diff), ``profile``, ``serve`` (serve,
-loadgen), ``top`` — each exposing a
+loadgen), ``top``, ``trace`` — each exposing a
 ``register(commands)`` hook this module assembles into the parser.  The
 entry point (``repro.cli:main``) and every flag are unchanged from the
 single-module days.
@@ -55,7 +60,7 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.cli import bench, build, fsck, profile, query, serve, top
+from repro.cli import bench, build, fsck, profile, query, serve, top, trace
 from repro.errors import ReproError
 
 
@@ -71,6 +76,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.register(commands)
     serve.register(commands)
     top.register(commands)
+    trace.register(commands)
     bench.register(commands)
     return parser
 

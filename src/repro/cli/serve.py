@@ -11,8 +11,11 @@ from pathlib import Path
 
 
 def _cmd_serve(arguments: argparse.Namespace) -> int:
+    import signal
+
     from repro.experiments.harness import dataset, sweep_sizes
     from repro.obs.accesslog import AccessLog, SlowQueryLog
+    from repro.obs.flightrecorder import FlightRecorder
     from repro.serve.daemon import GraphQueryDaemon, ServeContext
     from repro.serve.telemetry import ServeTelemetry
 
@@ -55,6 +58,11 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
                 workers=arguments.workers,
                 queue_limit=arguments.queue_limit,
                 telemetry=telemetry,
+                flight=FlightRecorder(
+                    recent=arguments.flight_recent,
+                    slow_threshold_s=arguments.slow_threshold_ms / 1000.0,
+                    slow_top=arguments.slow_top,
+                ),
             )
 
             async def serve() -> None:
@@ -68,8 +76,22 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
                 )
                 await daemon.serve_forever()
 
+            # SIGTERM (`kill`, service managers) must take the same
+            # graceful path as Ctrl-C, or the shutdown debug bundle
+            # below would never be written.
+            def _terminate(signum, frame):
+                raise KeyboardInterrupt
+
+            with contextlib.suppress(ValueError):  # non-main thread
+                signal.signal(signal.SIGTERM, _terminate)
+
             with contextlib.suppress(KeyboardInterrupt):
                 asyncio.run(serve())
+            if arguments.debug_bundle:
+                path = daemon.dump_debug_bundle(arguments.debug_bundle)
+                if not arguments.quiet:
+                    print(f"[serve] debug bundle written to {path}",
+                          file=sys.stderr)
         finally:
             telemetry.access_log.close()
             telemetry.slow_log.close()
@@ -149,6 +171,7 @@ def register(commands) -> None:
         DEFAULT_SAMPLE_EVERY,
         DEFAULT_SLOW_TOP_K,
     )
+    from repro.obs.flightrecorder import DEFAULT_RECENT
     from repro.obs.windowed import DEFAULT_WINDOW_SECONDS, DEFAULT_WINDOWS
 
     serve = commands.add_parser(
@@ -193,6 +216,16 @@ def register(commands) -> None:
     serve.add_argument(
         "--slow-top", type=int, default=DEFAULT_SLOW_TOP_K,
         help="slowest requests retained in memory (default 32)",
+    )
+    serve.add_argument(
+        "--flight-recent", type=int, default=DEFAULT_RECENT, metavar="N",
+        help="recent request traces retained by the flight recorder "
+             "(slow/error traces are retained separately)",
+    )
+    serve.add_argument(
+        "--debug-bundle", default=None, metavar="DIR",
+        help="write a debug bundle (traces + stats + config + slow log) "
+             "to DIR on shutdown",
     )
     serve.add_argument("--quiet", action="store_true")
     serve.set_defaults(handler=_cmd_serve)

@@ -85,6 +85,26 @@ def render_top(snapshot: dict) -> str:
         lines.append("")
         lines.append(format_table(["phase"] + headers[1:], phase_rows))
 
+    # Per-op slowest-bucket exemplars: the concrete trace id behind the
+    # worst live latency bucket — feed it to `repro trace <id>`.
+    exemplar_rows = []
+    for name in sorted(ops):
+        if name.startswith("phase:"):
+            continue
+        exemplars = ops[name].get("exemplars") or {}
+        if not exemplars:
+            continue
+        bucket = max(exemplars, key=lambda key: int(key))
+        entry = exemplars[bucket]
+        exemplar_rows.append(
+            f"  {name}: trace={entry.get('trace')} "
+            f"({entry.get('value', 0.0) * 1000.0:.2f} ms)"
+        )
+    if exemplar_rows:
+        lines.append("")
+        lines.append("slowest-bucket exemplars (repro trace <id>):")
+        lines.extend(exemplar_rows)
+
     slow = snapshot.get("slow_queries", {})
     if slow:
         lines.append("")
@@ -93,8 +113,11 @@ def render_top(snapshot: dict) -> str:
             f"{slow.get('slow', 0)} of {slow.get('observed', 0)}"
         )
         for entry in slow.get("top", [])[:5]:
+            trace = entry.get("trace")
             lines.append(
-                f"  rid={entry.get('rid')} op={entry.get('op')} "
+                f"  rid={entry.get('rid')} "
+                + (f"trace={trace} " if trace else "")
+                + f"op={entry.get('op')} "
                 f"outcome={entry.get('outcome')} "
                 f"server={entry.get('server_us', 0) / 1000.0:.2f} ms"
             )
@@ -109,9 +132,22 @@ def render_top(snapshot: dict) -> str:
 
 
 def _cmd_top(arguments: argparse.Namespace) -> int:
+    import sys
+
     from repro.serve.loadgen import ServeClient
 
-    with ServeClient(arguments.host, arguments.port) as client:
+    try:
+        client = ServeClient(arguments.host, arguments.port)
+    except OSError as exc:
+        # No daemon there: say so and fail, instead of rendering an
+        # empty dashboard a script would happily treat as healthy.
+        print(
+            f"repro top: cannot connect to daemon at "
+            f"{arguments.host}:{arguments.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 2
+    with client:
         if arguments.prometheus:
             print(client.request_ok("metrics", format="text")["text"], end="")
             return 0

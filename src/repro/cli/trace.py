@@ -1,0 +1,164 @@
+"""``repro trace`` — render recorded request traces.
+
+Reads traces from either a **debug bundle** on disk (``--bundle DIR``,
+written by ``repro serve --debug-bundle`` at shutdown or by
+``repro trace --dump`` from a live daemon) or straight from a **running
+daemon** (``--host/--port``, via the inline ``debug`` op).
+
+* default — one request as a **waterfall**: lifecycle phases over the
+  server time, the span tree beneath (offset into the execute phase),
+  every span carrying its attributed storage counters.  Select the
+  request by trace id (positional), ``--rid``, or let it default to the
+  slowest retained trace;
+* ``--folded`` — every selected trace folded into flamegraph input
+  (op -> phase -> span stacks, weighted by self time in µs);
+* ``--list`` — one summary line per retained trace;
+* ``--dump DIR`` — fetch a live daemon's flight recorder and write it
+  as a debug bundle to DIR (then render nothing).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _load_traces(arguments: argparse.Namespace) -> tuple[list[dict], dict]:
+    """The traces to render plus bundle-ish context (slow log etc.)."""
+    from repro.errors import ServeError
+    from repro.obs.flightrecorder import read_debug_bundle
+
+    if arguments.bundle:
+        try:
+            bundle = read_debug_bundle(arguments.bundle)
+        except ValueError as exc:
+            raise ServeError(str(exc)) from exc
+        return bundle["traces"], bundle
+    from repro.serve.loadgen import ServeClient
+
+    try:
+        client = ServeClient(arguments.host, arguments.port)
+    except OSError as exc:
+        raise ServeError(
+            f"cannot connect to daemon at "
+            f"{arguments.host}:{arguments.port}: {exc} "
+            f"(use --bundle DIR for a recorded bundle)"
+        ) from exc
+    with client:
+        debug = client.debug()
+    return debug.get("traces", []), debug
+
+
+def _select(traces: list[dict], arguments: argparse.Namespace) -> list[dict]:
+    """Apply the trace-id / rid selection; default to the slowest."""
+    from repro.errors import ServeError
+
+    if arguments.trace_ids:
+        wanted = set(arguments.trace_ids)
+        selected = [t for t in traces if str(t.get("trace")) in wanted]
+        missing = wanted - {str(t.get("trace")) for t in selected}
+        if missing:
+            raise ServeError(
+                f"no retained trace with id(s): {', '.join(sorted(missing))}"
+            )
+        return selected
+    if arguments.rid:
+        selected = [t for t in traces if str(t.get("rid")) == arguments.rid]
+        if not selected:
+            raise ServeError(f"no retained trace with rid {arguments.rid!r}")
+        return selected
+    return traces
+
+
+def _cmd_trace(arguments: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.obs.flightrecorder import (
+        fold_traces,
+        render_waterfall,
+        write_debug_bundle,
+    )
+
+    if arguments.dump:
+        if arguments.bundle:
+            raise ServeError("--dump reads a live daemon, not --bundle")
+        traces, debug = _load_traces(arguments)
+        path = write_debug_bundle(
+            arguments.dump,
+            traces,
+            stats=debug.get("stats"),
+            config=debug.get("config"),
+            slow_entries=debug.get("slow"),
+        )
+        print(f"debug bundle with {len(traces)} traces written to {path}")
+        return 0
+
+    traces, _context = _load_traces(arguments)
+    if not traces:
+        print("no traces retained", file=sys.stderr)
+        return 1
+    selected = _select(traces, arguments)
+
+    if arguments.list:
+        for trace in selected:
+            print(
+                f"trace={trace.get('trace')} rid={trace.get('rid')} "
+                f"op={trace.get('op')} outcome={trace.get('outcome')} "
+                f"server={trace.get('server_us', 0) / 1e3:.3f}ms "
+                f"spans={len(trace.get('spans', []))}"
+            )
+        return 0
+
+    if arguments.folded:
+        text = fold_traces(selected)
+        if text:
+            print(text)
+        return 0
+
+    # Waterfall: explicit selections render all; the default renders the
+    # slowest retained trace (the one an operator wants explained).
+    if not arguments.trace_ids and not arguments.rid:
+        selected = [max(selected, key=lambda t: t.get("server_us", 0))]
+    for index, trace in enumerate(selected):
+        if index:
+            print()
+        print(render_waterfall(trace, width=arguments.width))
+    return 0
+
+
+def register(commands) -> None:
+    """Attach the ``trace`` subparser."""
+    trace = commands.add_parser(
+        "trace",
+        help="render recorded request traces (waterfall / flamegraph)",
+    )
+    trace.add_argument(
+        "trace_ids", nargs="*", metavar="TRACE_ID",
+        help="trace id(s) to render (default: the slowest retained)",
+    )
+    trace.add_argument(
+        "--bundle", default=None, metavar="DIR",
+        help="read traces from a debug bundle instead of a live daemon",
+    )
+    trace.add_argument("--host", default="127.0.0.1")
+    trace.add_argument("--port", type=int, default=7411)
+    trace.add_argument(
+        "--rid", default=None,
+        help="select by request id instead of trace id",
+    )
+    trace.add_argument(
+        "--list", action="store_true",
+        help="one summary line per retained trace",
+    )
+    trace.add_argument(
+        "--folded", action="store_true",
+        help="print folded flamegraph stacks over the selected traces",
+    )
+    trace.add_argument(
+        "--dump", default=None, metavar="DIR",
+        help="write a live daemon's flight recorder as a debug bundle",
+    )
+    trace.add_argument(
+        "--width", type=int, default=48,
+        help="waterfall bar width in characters (default 48)",
+    )
+    trace.set_defaults(handler=_cmd_trace)

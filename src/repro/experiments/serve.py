@@ -18,7 +18,16 @@ concurrency, and checks three properties the serving refactor promises:
 * **request conservation** — the daemon's telemetry accounts for every
   frame the generator sent: per-op totals equal the client's
   ok + shed + failed counts, and the backpressure outcome count equals
-  the client's retry count exactly (``requests_conserved``).
+  the client's retry count exactly (``requests_conserved``);
+* **attribution conservation** — every reply echoes the request's exact
+  session counter delta; summed per query name over the whole run, those
+  per-request attributions must reproduce the session totals bit-for-bit
+  (``attribution_conserved``) — so the tracing layer's "this request did
+  those seeks" claims add up to the truth, with nothing lost or
+  double-counted.  The per-op split is reported as the ``attribution``
+  section (values vary with cache interleaving; only the conservation
+  flag is deterministic).  Every reply must also echo the propagated
+  trace id (``traces_propagated``).
 
 After the reference run, an **overload sweep** drives the same daemon
 configuration at an offered-concurrency ladder (at, past and far past
@@ -29,8 +38,9 @@ queue-wait columns — the ``results.overload`` rows in
 Reported costs: throughput, request latency percentiles, queue-wait
 percentiles, hit rates.  Latency, throughput and shed counts are
 machine-/interleaving-dependent (CI ignores them); the digests,
-``matches_serial``, ``metrics_conserved``, ``requests_conserved`` and
-``requests_ok`` are deterministic and CI-gated exactly.
+``matches_serial``, ``metrics_conserved``, ``requests_conserved``,
+``attribution_conserved``, ``traces_propagated`` and ``requests_ok``
+are deterministic and CI-gated exactly.
 """
 
 from __future__ import annotations
@@ -59,6 +69,7 @@ from repro.serve.daemon import (
     ServeContext,
 )
 from repro.serve.loadgen import DEFAULT_MIX, run_load
+from repro.serve.telemetry import DELTA_COUNTERS
 from repro.query.workload import run_query
 
 DEFAULT_CONCURRENCY = 8
@@ -69,18 +80,26 @@ DEFAULT_WORKERS = 4
 DEFAULT_QUEUE_LIMIT = 4
 
 #: Counters that sessions accumulate (everything else — evictions,
-#: quarantines — charges the shared base registry by design).
-_ATTRIBUTABLE = (
-    "bytes_read",
-    "disk_seeks",
-    "buffer_hits",
-    "buffer_pinned_hits",
-    "buffer_misses",
-    "loads",
-    "intranode_loads",
-    "superedge_loads",
-    "degraded_reads",
-)
+#: quarantines — charges the shared base registry by design).  The same
+#: set the daemon attributes per request, so the per-request attribution
+#: echoes can be conservation-checked against the session totals.
+_ATTRIBUTABLE = DELTA_COUNTERS
+
+#: Raw session counter -> report key for the ``attribution`` section.
+#: Mirrors the ``counter_growth`` convention: the names carry no
+#: bench-diff cost markers, because per-op splits vary with cache
+#: interleaving and must never be threshold-compared as costs.
+_ATTRIBUTION_KEYS = {
+    "bytes_read": "bytes",
+    "disk_seeks": "seek_count",
+    "buffer_hits": "hits",
+    "buffer_pinned_hits": "pinned_hits",
+    "buffer_misses": "misses",
+    "loads": "loads",
+    "intranode_loads": "intranode",
+    "superedge_loads": "superedge",
+    "degraded_reads": "degraded",
+}
 
 
 def _counter_totals(context: ServeContext) -> dict[str, int]:
@@ -242,6 +261,14 @@ def run(
             }
             metrics_conserved = growth == session_sums
             requests_conserved, outcome_totals = _conservation(daemon, load)
+            # Attribution conservation: the per-request session deltas
+            # echoed in every ok reply, summed over the run, must equal
+            # the session totals the clients read back — bit-for-bit.
+            attributed = load.attributed_totals()
+            attribution_conserved = all(
+                attributed.get(name, 0) == session_sums[name]
+                for name in _ATTRIBUTABLE
+            )
             histogram = load.latency_histogram()
             queue_hist = load.queue_wait_histogram()
             server_hist = load.server_latency_histogram()
@@ -286,6 +313,20 @@ def run(
                 "matches_serial": matches_serial,
                 "metrics_conserved": metrics_conserved,
                 "requests_conserved": requests_conserved,
+                "attribution_conserved": attribution_conserved,
+                "traces_propagated": load.traces_propagated(),
+                # Per-query-name share of the run's I/O, from the
+                # server-echoed per-request deltas.  Interleaving-
+                # dependent (cache state decides hits vs misses), so CI
+                # ignores the values and exact-gates only the flag.
+                "attribution": {
+                    name: {
+                        _ATTRIBUTION_KEYS[counter]: value
+                        for counter, value in sorted(counters.items())
+                        if counter in _ATTRIBUTION_KEYS
+                    }
+                    for name, counters in sorted(load.attribution().items())
+                },
                 # Per-outcome telemetry totals; backpressure varies with
                 # interleaving, so these are reported, not gated.
                 "outcome_totals": outcome_totals,
@@ -355,8 +396,26 @@ def report(results: dict) -> str:
         ("matches serial", results["matches_serial"]),
         ("metrics conserved", results["metrics_conserved"]),
         ("requests conserved", results["requests_conserved"]),
+        ("attribution conserved", results["attribution_conserved"]),
+        ("traces propagated", results["traces_propagated"]),
     ]
     table = format_table(["metric", "value"], rows)
+    attribution_rows = [
+        (
+            name,
+            counters.get("bytes", 0),
+            counters.get("seek_count", 0),
+            counters.get("hits", 0),
+            counters.get("misses", 0),
+            counters.get("loads", 0),
+        )
+        for name, counters in sorted(results.get("attribution", {}).items())
+    ]
+    if attribution_rows:
+        table += "\n\nper-query attributed I/O:\n" + format_table(
+            ["query", "bytes", "seeks", "hits", "misses", "loads"],
+            attribution_rows,
+        )
     overload_rows = [
         (
             level["clients"],
@@ -420,6 +479,12 @@ def main() -> None:
         raise ServeError("per-client metrics do not sum to the shared totals")
     if not results["requests_conserved"]:
         raise ServeError("telemetry did not account for every request sent")
+    if not results["attribution_conserved"]:
+        raise ServeError(
+            "per-request attributed I/O does not sum to the session totals"
+        )
+    if not results["traces_propagated"]:
+        raise ServeError("a reply failed to echo its propagated trace id")
     unconserved = [
         level["clients"]
         for level in results["overload"]

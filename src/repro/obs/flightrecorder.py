@@ -1,0 +1,462 @@
+"""Flight recorder: bounded retention of complete request traces.
+
+The serving daemon produces one **trace document** per request — a plain
+JSON-ready dict joining the request's lifecycle record (phases, outcome,
+attributed session counter deltas) with its span tree (stable-id records
+from :meth:`repro.obs.tracing.Tracer.span_records`).  A
+:class:`FlightRecorder` keeps those documents *after* the reply has been
+sent, so a slow request can be explained hours later without re-running
+it:
+
+* a **recent ring** — the last N traces regardless of speed (context for
+  "what was the daemon doing around then");
+* a **slow top-K** — the K slowest traces at or above a threshold, a
+  min-heap keyed on server time (the same shape as
+  :class:`~repro.obs.accesslog.SlowQueryLog`, but retaining the whole
+  trace, not a log line);
+* an **error ring** — the last traces whose outcome was not ``ok``.
+
+Recording is always on and near-zero cost for fast requests: one lock,
+one deque append, one threshold comparison.  The expensive part —
+building the span records — is paid once per request by the daemon and
+only for requests that were traced at all.
+
+A recorder (plus surrounding state) dumps to a **debug bundle**: one
+directory holding ``MANIFEST.json``, ``traces.jsonl`` (schema header
+line + one trace per line), ``stats.json``, ``config.json`` and
+``slow.jsonl`` — everything needed to reproduce a "why was this slow"
+investigation offline.  :func:`write_debug_bundle` /
+:func:`read_debug_bundle` are the two directions;
+:func:`render_waterfall` and :func:`fold_traces` turn traces back into
+something a human reads (the ``repro trace`` CLI).
+"""
+
+from __future__ import annotations
+
+import heapq
+import json
+import threading
+import time
+from collections import deque
+from pathlib import Path
+
+from repro.obs.tracing import ROOT_PARENT
+
+#: Schema name/version of a trace document and of ``traces.jsonl``.
+TRACE_SCHEMA = "repro-trace"
+TRACE_SCHEMA_VERSION = 1
+
+#: Schema name/version of a debug-bundle manifest.
+BUNDLE_SCHEMA = "repro-debug-bundle"
+BUNDLE_SCHEMA_VERSION = 1
+
+#: File names inside a debug bundle.
+BUNDLE_MANIFEST = "MANIFEST.json"
+BUNDLE_TRACES = "traces.jsonl"
+BUNDLE_STATS = "stats.json"
+BUNDLE_CONFIG = "config.json"
+BUNDLE_SLOW = "slow.jsonl"
+
+#: Request lifecycle phases in order (must match
+#: ``repro.serve.telemetry.PHASES``; the serve tests assert equality so
+#: the two layers cannot drift).
+LIFECYCLE_PHASES = ("decode", "queue_wait", "execute", "encode", "reply")
+
+#: Defaults for the three retention classes.
+DEFAULT_RECENT = 256
+DEFAULT_SLOW_TOP = 32
+DEFAULT_ERRORS = 64
+DEFAULT_SLOW_THRESHOLD_S = 0.050
+
+
+class FlightRecorder:
+    """Bounded retention of finished request traces (recent/slow/error).
+
+    ``record()`` takes one trace document (see the module docstring) and
+    files it in up to three places: the recent ring (always), the slow
+    top-K heap (when ``server_us`` meets the threshold) and the error
+    ring (when ``outcome`` is not ``ok``).  All three are bounded, so an
+    arbitrarily long serving run holds flat memory.
+    """
+
+    def __init__(
+        self,
+        recent: int = DEFAULT_RECENT,
+        slow_threshold_s: float = DEFAULT_SLOW_THRESHOLD_S,
+        slow_top: int = DEFAULT_SLOW_TOP,
+        errors: int = DEFAULT_ERRORS,
+    ) -> None:
+        if recent < 1:
+            raise ValueError(f"recent must be >= 1, got {recent}")
+        if slow_top < 1:
+            raise ValueError(f"slow_top must be >= 1, got {slow_top}")
+        if errors < 1:
+            raise ValueError(f"errors must be >= 1, got {errors}")
+        if slow_threshold_s < 0:
+            raise ValueError(
+                f"slow_threshold_s must be >= 0, got {slow_threshold_s}"
+            )
+        self.slow_threshold_s = float(slow_threshold_s)
+        self.slow_top = slow_top
+        #: Traces ever offered to :meth:`record`.
+        self.recorded = 0
+        #: Traces that met the slow threshold (not all are retained).
+        self.slow_seen = 0
+        self._lock = threading.Lock()
+        self._recent: deque[dict] = deque(maxlen=recent)
+        #: Min-heap of (server_us, seq, trace): the root is the *fastest*
+        #: retained slow trace, evicted first when a slower one arrives.
+        self._slow: list[tuple[int, int, dict]] = []
+        self._errors: deque[dict] = deque(maxlen=errors)
+        self._seq = 0
+
+    def record(self, trace: dict) -> None:
+        """File one finished trace document (thread-safe, O(log K))."""
+        server_us = int(trace.get("server_us", 0))
+        outcome = trace.get("outcome", "ok")
+        with self._lock:
+            self.recorded += 1
+            self._seq += 1
+            self._recent.append(trace)
+            if server_us >= self.slow_threshold_s * 1e6:
+                self.slow_seen += 1
+                entry = (server_us, self._seq, trace)
+                if len(self._slow) < self.slow_top:
+                    heapq.heappush(self._slow, entry)
+                elif server_us > self._slow[0][0]:
+                    heapq.heapreplace(self._slow, entry)
+            if outcome != "ok":
+                self._errors.append(trace)
+
+    # -- views ---------------------------------------------------------------
+
+    def recent_traces(self) -> list[dict]:
+        """The recent ring, oldest first."""
+        with self._lock:
+            return list(self._recent)
+
+    def slow_traces(self) -> list[dict]:
+        """Retained slow traces, slowest first."""
+        with self._lock:
+            ordered = sorted(self._slow, key=lambda e: (-e[0], e[1]))
+        return [trace for _us, _seq, trace in ordered]
+
+    def error_traces(self) -> list[dict]:
+        """The error ring, oldest first."""
+        with self._lock:
+            return list(self._errors)
+
+    def traces(self) -> list[dict]:
+        """Every retained trace, deduplicated by trace id.
+
+        Recent traces first (oldest to newest), then slow and error
+        traces that have already aged out of the recent ring — so the
+        dump is a superset of every retention class with each request
+        appearing once.
+        """
+        out: list[dict] = []
+        seen: set[str] = set()
+        for trace in (
+            self.recent_traces() + self.slow_traces() + self.error_traces()
+        ):
+            key = str(trace.get("trace", id(trace)))
+            if key in seen:
+                continue
+            seen.add(key)
+            out.append(trace)
+        return out
+
+    def snapshot(self) -> dict:
+        """Counts + retained trace ids (the ``debug`` op's summary)."""
+        with self._lock:
+            recent_ids = [str(t.get("trace")) for t in self._recent]
+            slow = sorted(self._slow, key=lambda e: (-e[0], e[1]))
+            slow_ids = [str(t.get("trace")) for _us, _seq, t in slow]
+            error_ids = [str(t.get("trace")) for t in self._errors]
+        return {
+            "recorded": self.recorded,
+            "slow_seen": self.slow_seen,
+            "slow_threshold_ms": self.slow_threshold_s * 1e3,
+            "retained": {
+                "recent": recent_ids,
+                "slow": slow_ids,
+                "errors": error_ids,
+            },
+        }
+
+
+# -- debug bundles -----------------------------------------------------------
+
+
+def write_debug_bundle(
+    directory,
+    traces: list[dict],
+    stats: dict | None = None,
+    config: dict | None = None,
+    slow_entries: list[dict] | None = None,
+) -> Path:
+    """Write a debug bundle directory and return its path.
+
+    ``traces`` is typically :meth:`FlightRecorder.traces`; ``stats`` a
+    daemon stats/metrics snapshot; ``config`` the serving configuration;
+    ``slow_entries`` the slow-query log's retained entries.  Every file
+    is optional except the manifest and ``traces.jsonl`` (which may hold
+    zero traces — the header line still records that).
+    """
+    path = Path(directory)
+    path.mkdir(parents=True, exist_ok=True)
+
+    header = {
+        "schema": TRACE_SCHEMA,
+        "version": TRACE_SCHEMA_VERSION,
+        "traces": len(traces),
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(json.dumps(trace, sort_keys=True) for trace in traces)
+    (path / BUNDLE_TRACES).write_text("\n".join(lines) + "\n")
+
+    files = [BUNDLE_TRACES]
+    if stats is not None:
+        (path / BUNDLE_STATS).write_text(
+            json.dumps(stats, sort_keys=True, indent=2) + "\n"
+        )
+        files.append(BUNDLE_STATS)
+    if config is not None:
+        (path / BUNDLE_CONFIG).write_text(
+            json.dumps(config, sort_keys=True, indent=2) + "\n"
+        )
+        files.append(BUNDLE_CONFIG)
+    if slow_entries is not None:
+        slow_text = "\n".join(
+            json.dumps(entry, sort_keys=True) for entry in slow_entries
+        )
+        (path / BUNDLE_SLOW).write_text(slow_text + "\n" if slow_text else "")
+        files.append(BUNDLE_SLOW)
+
+    manifest = {
+        "schema": BUNDLE_SCHEMA,
+        "version": BUNDLE_SCHEMA_VERSION,
+        "created_unix": time.time(),
+        "traces": len(traces),
+        "files": files,
+    }
+    (path / BUNDLE_MANIFEST).write_text(
+        json.dumps(manifest, sort_keys=True, indent=2) + "\n"
+    )
+    return path
+
+
+def read_debug_bundle(directory) -> dict:
+    """Read a debug bundle back into memory.
+
+    Returns ``{"manifest", "traces", "stats", "config", "slow"}`` with
+    absent optional files as None/empty.  Raises :class:`ValueError` on
+    a missing manifest or a schema mismatch — the errors a CLI user sees
+    when pointing ``repro trace`` at the wrong directory.
+    """
+    path = Path(directory)
+    manifest_path = path / BUNDLE_MANIFEST
+    if not manifest_path.is_file():
+        raise ValueError(f"not a debug bundle (no {BUNDLE_MANIFEST}): {path}")
+    manifest = json.loads(manifest_path.read_text())
+    if manifest.get("schema") != BUNDLE_SCHEMA:
+        raise ValueError(
+            f"unexpected bundle schema {manifest.get('schema')!r} in {path}"
+        )
+    return {
+        "manifest": manifest,
+        "traces": load_traces(path / BUNDLE_TRACES),
+        "stats": _read_json(path / BUNDLE_STATS),
+        "config": _read_json(path / BUNDLE_CONFIG),
+        "slow": _read_jsonl(path / BUNDLE_SLOW),
+    }
+
+
+def load_traces(path) -> list[dict]:
+    """Read a ``traces.jsonl`` file (validating its schema header)."""
+    path = Path(path)
+    if not path.is_file():
+        return []
+    traces: list[dict] = []
+    with open(path) as handle:
+        first = True
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if first:
+                first = False
+                if record.get("schema") == TRACE_SCHEMA:
+                    continue  # header line
+            traces.append(record)
+    return traces
+
+
+def _read_json(path: Path):
+    return json.loads(path.read_text()) if path.is_file() else None
+
+
+def _read_jsonl(path: Path) -> list[dict]:
+    if not path.is_file():
+        return []
+    return [
+        json.loads(line)
+        for line in path.read_text().splitlines()
+        if line.strip()
+    ]
+
+
+# -- rendering ---------------------------------------------------------------
+
+
+def _span_children(spans: list[dict]) -> tuple[list[dict], dict[int, list[dict]]]:
+    """Rebuild the span tree from stable ids: (roots, parent -> children)."""
+    children: dict[int, list[dict]] = {}
+    roots: list[dict] = []
+    for span in spans:
+        parent = span.get("parent", ROOT_PARENT)
+        if parent == ROOT_PARENT:
+            roots.append(span)
+        else:
+            children.setdefault(parent, []).append(span)
+    return roots, children
+
+
+def _bar(offset_us: float, duration_us: float, total_us: float, width: int) -> str:
+    """One waterfall bar: position and length proportional to the total."""
+    if total_us <= 0:
+        return " " * width
+    start = int(round(offset_us / total_us * width))
+    start = min(max(start, 0), width - 1)
+    length = int(round(duration_us / total_us * width))
+    length = max(length, 1)
+    length = min(length, width - start)
+    return " " * start + "#" * length + " " * (width - start - length)
+
+
+def _fmt_counters(counters: dict) -> str:
+    items = sorted((k, v) for k, v in counters.items() if v)
+    return " ".join(f"{k}={v}" for k, v in items)
+
+
+def render_waterfall(trace: dict, width: int = 48) -> str:
+    """Render one trace document as a phase + span waterfall.
+
+    Lifecycle phases render as bars over the request's server time; the
+    span tree (recorded during the execute phase) renders beneath,
+    offset to the execute phase's start, each span carrying its
+    attributed storage counters.  This is the "explain this request"
+    view of ``repro trace``.
+    """
+    phases_us: dict = trace.get("phases_us", {})
+    total_us = float(trace.get("server_us", sum(phases_us.values())))
+    lines = [
+        "trace={trace} rid={rid} op={op} outcome={outcome} "
+        "client={client} server={ms:.3f}ms".format(
+            trace=trace.get("trace", "-"),
+            rid=trace.get("rid", "-"),
+            op=trace.get("op", "-"),
+            outcome=trace.get("outcome", "-"),
+            client=trace.get("client", "-"),
+            ms=total_us / 1e3,
+        )
+    ]
+    if trace.get("error"):
+        lines.append(f"error: {trace['error']}")
+    counters = trace.get("counters", {})
+    if counters:
+        lines.append(f"counters: {_fmt_counters(counters)}")
+
+    offset_us = 0.0
+    execute_offset_us = 0.0
+    ordered = [p for p in LIFECYCLE_PHASES if p in phases_us]
+    ordered += [p for p in sorted(phases_us) if p not in LIFECYCLE_PHASES]
+    for phase in ordered:
+        duration_us = float(phases_us[phase])
+        if phase == "execute":
+            execute_offset_us = offset_us
+        bar = _bar(offset_us, duration_us, total_us, width)
+        lines.append(f"  {phase:<26s} {duration_us / 1e3:9.3f}ms |{bar}|")
+        offset_us += duration_us
+
+    spans: list[dict] = trace.get("spans", [])
+    if spans:
+        lines.append("  spans (within execute):")
+        roots, children = _span_children(spans)
+
+        def emit(span: dict, depth: int) -> None:
+            start_us = float(span.get("start_s", 0.0)) * 1e6
+            duration_us = float(span.get("duration_s", 0.0)) * 1e6
+            bar = _bar(
+                execute_offset_us + start_us, duration_us, total_us, width
+            )
+            name = "  " * depth + span.get("name", "?")
+            extra = ""
+            span_counters = span.get("counters", {})
+            notes = span.get("notes", {})
+            detail = _fmt_counters({**notes, **span_counters})
+            if detail:
+                extra = f"  [{detail}]"
+            status = span.get("status", "ok")
+            if status != "ok":
+                extra += f"  !{status}"
+            lines.append(
+                f"  {name:<26s} {duration_us / 1e3:9.3f}ms |{bar}|{extra}"
+            )
+            for child in sorted(
+                children.get(span.get("id"), []), key=lambda s: s.get("id", 0)
+            ):
+                emit(child, depth + 1)
+
+        for root in sorted(roots, key=lambda s: s.get("id", 0)):
+            emit(root, 1)
+    return "\n".join(lines)
+
+
+def fold_traces(traces: list[dict]) -> str:
+    """Fold many traces into flamegraph input (``stack µs`` lines).
+
+    Stacks root at the op name, branch into lifecycle phases, and nest
+    the span tree under ``execute`` — so a folded view over a bundle
+    answers "where does query time go, across every retained request".
+    Weights are *self* time in integer microseconds, matching
+    :meth:`repro.obs.tracing.Tracer.to_folded`.
+    """
+    folded: dict[str, int] = {}
+
+    def add(path: str, us: float) -> None:
+        us = int(us)
+        if us <= 0:
+            return
+        folded[path] = folded.get(path, 0) + us
+
+    for trace in traces:
+        op = str(trace.get("op", "?"))
+        phases_us: dict = trace.get("phases_us", {})
+        spans: list[dict] = trace.get("spans", [])
+        roots, children = _span_children(spans)
+
+        def emit(span: dict, prefix: str) -> None:
+            path = f"{prefix};{span.get('name', '?')}"
+            kids = children.get(span.get("id"), [])
+            self_us = float(span.get("duration_s", 0.0)) * 1e6 - sum(
+                float(child.get("duration_s", 0.0)) * 1e6 for child in kids
+            )
+            add(path, self_us)
+            for child in kids:
+                emit(child, path)
+
+        for phase, duration_us in phases_us.items():
+            path = f"{op};{phase}"
+            if phase == "execute" and roots:
+                roots_us = sum(
+                    float(root.get("duration_s", 0.0)) * 1e6 for root in roots
+                )
+                add(path, float(duration_us) - roots_us)
+                for root in roots:
+                    emit(root, path)
+            else:
+                add(path, float(duration_us))
+
+    return "\n".join(f"{path} {us}" for path, us in sorted(folded.items()))

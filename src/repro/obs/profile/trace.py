@@ -27,6 +27,7 @@ installs the tracer for the enclosed block.
 
 from __future__ import annotations
 
+import contextvars
 import json
 from collections import deque
 from contextlib import contextmanager
@@ -267,68 +268,83 @@ class AccessTracer:
 
 
 # -- module-level current profiler ------------------------------------------
+#
+# Like repro.obs.tracing, the active-profiler stack is a ContextVar:
+# activation is confined to the current thread / async task, so a
+# request-scoped access tracer on one daemon worker thread never records
+# another thread's I/O.  An AccessTracer itself is not thread-safe; this
+# confinement is what makes per-request tracing sound without locks.
 
-_ACTIVE: list[AccessTracer] = []
+_ACTIVE: contextvars.ContextVar[tuple[AccessTracer, ...]] = (
+    contextvars.ContextVar("repro_active_profilers", default=())
+)
 
 
 def current_profiler() -> AccessTracer | None:
-    """The innermost activated access tracer, or None."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """The access tracer activated innermost in this thread/task, or None."""
+    stack = _ACTIVE.get()
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def activated(tracer: AccessTracer) -> Iterator[AccessTracer]:
     """Install ``tracer`` as the current profiler for the enclosed block."""
-    _ACTIVE.append(tracer)
+    token = _ACTIVE.set(_ACTIVE.get() + (tracer,))
     try:
         yield tracer
     finally:
-        _ACTIVE.pop()
+        _ACTIVE.reset(token)
 
 
 # -- storage-engine hooks ----------------------------------------------------
 #
-# Each hook's first statement is the emptiness check on _ACTIVE, so calling
-# them with no profiler active does no work and allocates nothing.
+# Each hook's first statement is the emptiness check on the contextvar, so
+# calling them with no profiler active does no work and allocates nothing.
 
 
 def io_read(file, offset: int, length: int, seek: bool) -> None:
     """Hook: one ``CountedFile.read_at`` call."""
-    if not _ACTIVE:
+    stack = _ACTIVE.get()
+    if not stack:
         return
-    _ACTIVE[-1].record_io(str(file), offset, length, seek)
+    stack[-1].record_io(str(file), offset, length, seek)
 
 
 def page_read(file, page: int) -> None:
     """Hook: one ``PageDevice.read_page`` call."""
-    if not _ACTIVE:
+    stack = _ACTIVE.get()
+    if not stack:
         return
-    _ACTIVE[-1].record_page(str(file), page)
+    stack[-1].record_page(str(file), page)
 
 
 def position_forgotten(file) -> None:
     """Hook: a ``forget_position`` reset."""
-    if not _ACTIVE:
+    stack = _ACTIVE.get()
+    if not stack:
         return
-    _ACTIVE[-1].record_forget(str(file))
+    stack[-1].record_forget(str(file))
 
 
 def buffer_access(pool, key, kind: str | None, hit: bool, pinned: bool) -> None:
     """Hook: one ``BufferPool.get`` lookup."""
-    if not _ACTIVE:
+    stack = _ACTIVE.get()
+    if not stack:
         return
-    _ACTIVE[-1].record_buffer(id(pool), key, kind, hit, pinned)
+    stack[-1].record_buffer(id(pool), key, kind, hit, pinned)
 
 
 def buffer_admit(pool, key, kind: str | None, cost: int) -> None:
     """Hook: one buffer admission."""
-    if not _ACTIVE:
+    stack = _ACTIVE.get()
+    if not stack:
         return
-    _ACTIVE[-1].record_admit(id(pool), key, kind, cost)
+    stack[-1].record_admit(id(pool), key, kind, cost)
 
 
 def buffer_drop(pool, key=None) -> None:
     """Hook: an invalidation (``key`` None = whole pool)."""
-    if not _ACTIVE:
+    stack = _ACTIVE.get()
+    if not stack:
         return
-    _ACTIVE[-1].record_drop(id(pool), key)
+    stack[-1].record_drop(id(pool), key)

@@ -20,13 +20,29 @@ are no longer *stored* but are still *aggregated* into the per-name
 summary, so ``summary()`` stays exact for arbitrarily long runs while
 memory stays flat — the same contract as the metrics event ring buffer.
 
-Exporters: :meth:`Tracer.to_jsonl` emits one JSON object per span
-(depth-first, with ``id``/``parent`` links) and :meth:`Tracer.render`
-produces the indented text tree shown by ``repro build --trace``.
+Spans carry **stable ids**: every span is numbered when it is *opened*
+(``span_id``, with ``parent_id`` linking to the enclosing span), so an
+exported tree survives reordering, filtering and concatenation of its
+JSONL lines — the ids are properties of the spans, not of the export
+walk.  The id sequence also covers spans dropped by the tree bound, so
+ids reveal gaps where spans were not stored.
+
+The *current tracer* is tracked per thread / async task (a
+``contextvars.ContextVar``): activating a tracer on one daemon worker
+thread is invisible to every other thread, which is what makes
+request-scoped tracing sound — two concurrent requests each see only
+their own tracer.  Code that never activates a tracer pays one context
+variable read per hook call and allocates nothing.
+
+Exporters: :meth:`Tracer.to_jsonl` emits a schema-version header line
+followed by one JSON object per span (depth-first, with ``id``/
+``parent`` links) and :meth:`Tracer.render` produces the indented text
+tree shown by ``repro build --trace``.
 """
 
 from __future__ import annotations
 
+import contextvars
 import json
 import time
 from contextlib import contextmanager
@@ -36,6 +52,13 @@ from repro.storage.metrics import MetricsRegistry
 
 #: Default bound on stored span-tree nodes.
 DEFAULT_MAX_SPANS = 10_000
+
+#: Version of the span JSONL export schema.  Version 2 added the header
+#: line and stable span ids (ids assigned at span open, not at export).
+SPAN_SCHEMA_VERSION = 2
+
+#: ``parent`` value of root spans in the JSONL export.
+ROOT_PARENT = -1
 
 
 class Span:
@@ -50,16 +73,30 @@ class Span:
         "children",
         "counters",
         "notes",
+        "span_id",
+        "parent_id",
         "_entry_snapshot",
     )
 
-    def __init__(self, name: str, attrs: dict, start_s: float) -> None:
+    def __init__(
+        self,
+        name: str,
+        attrs: dict,
+        start_s: float,
+        span_id: int = 0,
+        parent_id: int = ROOT_PARENT,
+    ) -> None:
         self.name = name
         self.attrs = attrs
         self.start_s = start_s
         self.duration_s = 0.0
         self.status = "ok"
         self.children: list[Span] = []
+        #: Stable id assigned when the span was opened (export order and
+        #: tree walks never renumber it).
+        self.span_id = span_id
+        #: The enclosing span's ``span_id`` (:data:`ROOT_PARENT` for roots).
+        self.parent_id = parent_id
         #: Registry counter deltas captured at span exit (entry vs exit).
         self.counters: dict[str, float] = {}
         #: Span-local event counts attached via :func:`note`.
@@ -95,6 +132,11 @@ class Tracer:
         registry: MetricsRegistry | None = None,
         max_spans: int = DEFAULT_MAX_SPANS,
     ) -> None:
+        """``registry`` may be a :class:`MetricsRegistry` or any object
+        with a compatible ``snapshot() -> dict`` — the tracer only ever
+        snapshots and diffs, so a composite view over several session
+        registries (the daemon's per-connection pair) plugs in directly.
+        """
         if max_spans <= 0:
             raise ValueError(f"max_spans must be > 0, got {max_spans}")
         self.registry = registry
@@ -103,6 +145,7 @@ class Tracer:
         self.dropped = 0
         self._stack: list[Span] = []
         self._stored = 0
+        self._next_span_id = 0
         self._origin = time.perf_counter()
         # Per-name aggregates, exact even after the tree bound is hit:
         # name -> [count, total_s, max_s, error_count].
@@ -119,7 +162,10 @@ class Tracer:
     def span(self, name: str, **attrs) -> Iterator[Span]:
         """Open a nested span; exception-safe (status records the error)."""
         started = time.perf_counter()
-        node = Span(name, attrs, started - self._origin)
+        span_id = self._next_span_id
+        self._next_span_id += 1
+        parent_id = self._stack[-1].span_id if self._stack else ROOT_PARENT
+        node = Span(name, attrs, started - self._origin, span_id, parent_id)
         stored = self._stored < self.max_spans
         if stored:
             self._stored += 1
@@ -196,24 +242,45 @@ class Tracer:
             for name, entry in sorted(self._summary.items())
         }
 
-    def _walk(self) -> Iterator[tuple[Span, int, int]]:
-        """(span, id, parent_id) depth-first; parent_id -1 for roots."""
-        next_id = 0
-        stack: list[tuple[Span, int]] = [(root, -1) for root in reversed(self.roots)]
+    def _walk(self) -> Iterator[Span]:
+        """Stored spans, depth-first (ids live on the spans themselves)."""
+        stack: list[Span] = list(reversed(self.roots))
         while stack:
-            node, parent = stack.pop()
-            node_id = next_id
-            next_id += 1
-            yield node, node_id, parent
-            for child in reversed(node.children):
-                stack.append((child, node_id))
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children))
+
+    def span_records(self) -> list[dict]:
+        """Stored spans as JSON-ready dicts, depth-first, with stable ids.
+
+        Each record carries the span's ``id`` (assigned at open time) and
+        ``parent`` (:data:`ROOT_PARENT` for roots), so a consumer can
+        rebuild the tree from the records in any order.
+        """
+        records = []
+        for node in self._walk():
+            record = {"id": node.span_id, "parent": node.parent_id}
+            record.update(node.to_dict())
+            records.append(record)
+        return records
 
     def to_jsonl(self) -> str:
-        """One JSON object per stored span, depth-first."""
-        lines = []
-        for node, node_id, parent in self._walk():
-            record = {"id": node_id, "parent": parent}
-            record.update(node.to_dict())
+        """Schema header line + one JSON object per stored span.
+
+        The first line is ``{"schema": "repro-spans", "version": ...}``
+        with the stored/dropped counts; every following line is one span
+        with its stable ``id``/``parent`` links, depth-first.  A reader
+        reconstructs the tree from the ids alone — line order carries no
+        information beyond the header coming first.
+        """
+        header = {
+            "schema": "repro-spans",
+            "version": SPAN_SCHEMA_VERSION,
+            "spans": self._stored,
+            "dropped": self.dropped,
+        }
+        lines = [json.dumps(header, sort_keys=True)]
+        for record in self.span_records():
             lines.append(json.dumps(record, sort_keys=True))
         return "\n".join(lines)
 
@@ -290,23 +357,36 @@ class Tracer:
 
 
 # -- module-level current tracer -------------------------------------------
+#
+# The active-tracer stack is a ContextVar, so it is confined to the
+# current thread (and async task): a request-scoped tracer activated on
+# one daemon worker thread can never capture another thread's spans or
+# notes.  The default is the empty tuple, so the no-tracer fast path is
+# one contextvar read.
 
-_ACTIVE: list[Tracer] = []
+_ACTIVE: contextvars.ContextVar[tuple[Tracer, ...]] = contextvars.ContextVar(
+    "repro_active_tracers", default=()
+)
 
 
 def current_tracer() -> Tracer | None:
-    """The innermost activated tracer, or None."""
-    return _ACTIVE[-1] if _ACTIVE else None
+    """The innermost tracer activated in this thread/task, or None."""
+    stack = _ACTIVE.get()
+    return stack[-1] if stack else None
 
 
 @contextmanager
 def activated(tracer: Tracer) -> Iterator[Tracer]:
-    """Install ``tracer`` as the current tracer for the enclosed block."""
-    _ACTIVE.append(tracer)
+    """Install ``tracer`` as the current tracer for the enclosed block.
+
+    Activation is scoped to the current thread / async task: other
+    threads keep (or lack) their own active tracers independently.
+    """
+    token = _ACTIVE.set(_ACTIVE.get() + (tracer,))
     try:
         yield tracer
     finally:
-        _ACTIVE.pop()
+        _ACTIVE.reset(token)
 
 
 class _NullSpan:
@@ -326,21 +406,21 @@ _NULL_SPAN = _NullSpan()
 
 def span(name: str, **attrs):
     """Open a span on the current tracer; cheap no-op when none is active."""
-    tracer = current_tracer()
-    if tracer is None:
+    stack = _ACTIVE.get()
+    if not stack:
         return _NULL_SPAN
-    return tracer.span(name, **attrs)
+    return stack[-1].span(name, **attrs)
 
 
 def note(name: str, amount: int = 1) -> None:
     """Attach an event count to the current tracer's open span, if any."""
-    tracer = current_tracer()
-    if tracer is not None:
-        tracer.note(name, amount)
+    stack = _ACTIVE.get()
+    if stack:
+        stack[-1].note(name, amount)
 
 
 def absorb_summary(summary: dict, prefix: str = "") -> None:
     """Merge a child span summary into the current tracer (no-op when none)."""
-    tracer = current_tracer()
-    if tracer is not None:
-        tracer.absorb_summary(summary, prefix)
+    stack = _ACTIVE.get()
+    if stack:
+        stack[-1].absorb_summary(summary, prefix)

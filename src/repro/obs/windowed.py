@@ -16,6 +16,13 @@ histogram, so the merge of all window buckets ever produced (closed ones
 are handed to ``on_rotate``) equals the cumulative histogram bit for bit
 — the property the tests drive with a fake clock.
 
+A windowed histogram can also carry **exemplars**: ``record(value,
+exemplar=...)`` remembers, per latency bucket, the id of the most recent
+observation that landed there (typically a trace id).  Exemplars age out
+with their window, so ``exemplars()`` answers "which *recent* request is
+a concrete witness for this p99 bucket" — the link from a percentile an
+operator reads in ``repro top`` to a flight-recorder trace.
+
 :class:`WindowedCounter` is the scalar sibling (per-window event counts
 -> rates over the live horizon), and :class:`WindowedHistogramSet` the
 named-family convenience mirroring
@@ -77,6 +84,9 @@ class WindowedHistogram:
         self._lock = threading.Lock()
         #: (window_index, histogram), oldest first; at most ``windows``.
         self._ring: deque[tuple[int, LatencyHistogram]] = deque()
+        #: latency bucket -> (window_index, value, exemplar id); pruned
+        #: with the windows, so an exemplar never outlives its window.
+        self._exemplars: dict[int, tuple[int, float, str]] = {}
 
     def _window_index(self, now: float) -> int:
         return int(now // self.window_seconds)
@@ -88,9 +98,22 @@ class WindowedHistogram:
             index, histogram = self._ring.popleft()
             if self.on_rotate is not None:
                 self.on_rotate(index, histogram)
+        if self._exemplars:
+            stale = [
+                bucket
+                for bucket, (index, _value, _mark) in self._exemplars.items()
+                if index < floor
+            ]
+            for bucket in stale:
+                del self._exemplars[bucket]
 
-    def record(self, value: float) -> None:
-        """Record one observation into the current window + cumulative."""
+    def record(self, value: float, exemplar: str | None = None) -> None:
+        """Record one observation into the current window + cumulative.
+
+        When ``exemplar`` is given (a trace/request id), it replaces the
+        stored exemplar for the latency bucket ``value`` falls in —
+        latest wins, so the exemplar is always a fresh witness.
+        """
         now = self.clock()
         index = self._window_index(now)
         with self._lock:
@@ -101,6 +124,24 @@ class WindowedHistogram:
                 )
             self._ring[-1][1].record(value)
             self.cumulative.record(value)
+            if exemplar is not None:
+                bucket = self.cumulative.bucket_index(value)
+                self._exemplars[bucket] = (index, value, exemplar)
+
+    def exemplars(self) -> dict[int, dict]:
+        """{latency bucket: {"value", "trace"}} over the live windows.
+
+        Buckets are the cumulative histogram's bucket indices; each entry
+        names the most recent exemplar-carrying observation that landed
+        in that bucket within the decay horizon.
+        """
+        now = self.clock()
+        with self._lock:
+            self._advance(now)
+            return {
+                bucket: {"value": value, "trace": mark}
+                for bucket, (_index, value, mark) in sorted(self._exemplars.items())
+            }
 
     def snapshot(self) -> LatencyHistogram:
         """Merged histogram over the live windows (may be empty)."""
@@ -127,12 +168,16 @@ class WindowedHistogram:
     def to_dict(self) -> dict:
         """Serializable view: windowed summary + cumulative histogram."""
         snapshot = self.snapshot()
-        return {
+        out = {
             "window_seconds": self.window_seconds,
             "windows": self.windows,
             "windowed": snapshot.to_dict(),
             "cumulative": self.cumulative.to_dict(),
         }
+        exemplars = self.exemplars()
+        if exemplars:
+            out["exemplars"] = {str(bucket): entry for bucket, entry in exemplars.items()}
+        return out
 
 
 class WindowedCounter:
@@ -240,9 +285,9 @@ class WindowedHistogramSet:
                 self._histograms[name] = histogram
             return histogram
 
-    def observe(self, name: str, value: float) -> None:
-        """Record ``value`` under operation ``name``."""
-        self.get(name).record(value)
+    def observe(self, name: str, value: float, exemplar: str | None = None) -> None:
+        """Record ``value`` under operation ``name`` (optional exemplar id)."""
+        self.get(name).record(value, exemplar)
 
     def names(self) -> list[str]:
         """Recorded operation names, sorted."""

@@ -19,6 +19,7 @@ from repro.baselines.base import GraphRepresentation
 from repro.errors import QueryError
 from repro.index.pagerank_index import PageRankIndex
 from repro.index.textindex import TextIndex
+from repro.obs import tracing
 from repro.obs.histogram import HistogramSet
 from repro.webdata.corpus import Repository
 
@@ -84,7 +85,12 @@ class QueryEngine:
         self._nav_state.depth = depth + 1
         start = time.perf_counter()
         try:
-            yield
+            # When a tracer is active (request-scoped tracing in the
+            # daemon), each navigation block is also a span — storage
+            # counter deltas then attribute hits/seeks/bytes to exactly
+            # this operation.  Free when no tracer is active.
+            with tracing.span(f"nav.{op}"):
+                yield
         finally:
             elapsed = time.perf_counter() - start
             self._nav_state.depth = depth

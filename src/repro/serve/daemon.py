@@ -33,6 +33,20 @@ and the session counter deltas the request caused.  Records feed the
 shared :class:`~repro.serve.telemetry.ServeTelemetry` (windowed
 histograms, outcome rates, access + slow-query logs) and are echoed to
 the client in the reply's ``server`` section.
+
+**Request tracing.**  Every request carries a trace id — the client's
+propagated ``trace`` context (:func:`repro.serve.protocol.
+parse_trace_context`), else a daemon-generated one — and every executed
+request runs under a *request-scoped*
+:class:`~repro.obs.tracing.Tracer` bound to the connection's session
+pair: activation is contextvar-confined to the worker thread, the root
+span is ``request.<op>``, navigation blocks open ``nav.<op>`` child
+spans, and each span captures the session counter deltas it caused —
+so "this request did 12 seeks" decomposes into *which* navigation did
+them.  Finished traces (lifecycle record + span tree) go to the
+:class:`~repro.obs.flightrecorder.FlightRecorder`, dumpable live via
+the inline ``debug`` op or at shutdown via :meth:`GraphQueryDaemon.
+dump_debug_bundle`.
 """
 
 from __future__ import annotations
@@ -45,6 +59,9 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.errors import QueryError, ReproError, ServeError, StorageError
+from repro.obs import tracing
+from repro.obs.flightrecorder import FlightRecorder, write_debug_bundle
+from repro.obs.tracing import Tracer
 from repro.query.engine import QueryEngine
 from repro.query.workload import PAPER_QUERIES, run_query
 from repro.serve import protocol
@@ -82,6 +99,20 @@ class ClientEngine:
             "forward": self.forward.io_stats(),
             "backward": self.backward.io_stats(),
         }
+
+    def snapshot(self) -> dict[str, float]:
+        """Merged counters over both directions' sessions.
+
+        This is the duck-typed registry face a request-scoped
+        :class:`~repro.obs.tracing.Tracer` binds to — the tracer only
+        snapshots and diffs, so span counter deltas attribute the
+        connection's combined forward+backward I/O to each span.
+        """
+        totals: dict[str, float] = {}
+        for stats in self.io_stats().values():
+            for name, value in stats.items():
+                totals[name] = totals.get(name, 0) + value
+        return totals
 
     def close(self) -> None:
         """Fold both sessions' metrics back into the shared stores."""
@@ -237,6 +268,9 @@ class GraphQueryDaemon:
     #: Shared telemetry sink; pass one with a fake clock / log sinks to
     #: control windows and capture JSONL logs.
     telemetry: ServeTelemetry = field(default_factory=ServeTelemetry)
+    #: Always-on retention of complete request traces (recent ring +
+    #: slow top-K + errors); dumped by the ``debug`` op / debug bundles.
+    flight: FlightRecorder = field(default_factory=FlightRecorder)
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -250,6 +284,7 @@ class GraphQueryDaemon:
         self._inflight = 0
         self._next_client = 0
         self._next_rid = 0
+        self._next_trace = 0
 
     @property
     def bound_port(self) -> int:
@@ -329,6 +364,7 @@ class GraphQueryDaemon:
                 except ServeError as exc:
                     record.phases["decode"] = clock() - accepted
                     record.rid = self._generate_rid()
+                    record.trace = self._generate_trace()
                     record.error = str(exc)
                     self.counters.requests_failed += 1
                     reply = protocol.error_reply(
@@ -359,6 +395,12 @@ class GraphQueryDaemon:
         self._next_rid += 1
         return rid
 
+    def _generate_trace(self) -> str:
+        """A daemon-assigned trace id (event-loop confined counter)."""
+        trace = f"srvtr-{self._next_trace}"
+        self._next_trace += 1
+        return trace
+
     async def _send(
         self, writer: asyncio.StreamWriter, reply: dict, record: RequestRecord
     ) -> None:
@@ -378,6 +420,7 @@ class GraphQueryDaemon:
             record.phases["reply"] = clock() - encoded
         finally:
             self.telemetry.record(record)
+            self.flight.record(record.trace_view())
 
     async def _dispatch(
         self, engine: ClientEngine, request, record: RequestRecord
@@ -385,6 +428,7 @@ class GraphQueryDaemon:
         clock = self.telemetry.clock
         if not isinstance(request, dict):
             record.rid = self._generate_rid()
+            record.trace = self._generate_trace()
             record.error = "request frame must be an object"
             self.counters.requests_failed += 1
             return protocol.error_reply(
@@ -398,11 +442,17 @@ class GraphQueryDaemon:
             record.rid = str(rid)
         else:
             record.rid = self._generate_rid()
+        # Trace context: propagate the client's trace id when present
+        # (lenient parse — unknown/malformed sections never fail the
+        # request), else assign a server-side one.
+        context = protocol.parse_trace_context(request)
+        record.trace = context.trace_id or self._generate_trace()
+        record.parent = context.parent
         request_id = request.get("id")
         op = request.get("op")
         if isinstance(op, str):
             record.op = op
-        if op in ("ping", "stats", "metrics"):
+        if op in ("ping", "stats", "metrics", "debug"):
             # Inline ops: no disk, no queue — measured as pure execute.
             start = clock()
             try:
@@ -410,6 +460,8 @@ class GraphQueryDaemon:
                     result = {"pong": True}
                 elif op == "stats":
                     result = self._stats(engine)
+                elif op == "debug":
+                    result = self._debug()
                 else:
                     result = self._metrics(request.get("format"))
             except QueryError as exc:
@@ -528,13 +580,25 @@ class GraphQueryDaemon:
         record: RequestRecord,
         submitted: float,
     ):
-        """Worker-thread wrapper: queue-wait + execute spans, counter deltas."""
+        """Worker-thread wrapper: queue-wait + execute spans, counter deltas.
+
+        Opens a *request-scoped* tracer bound to the connection's
+        session pair and activates it for this worker thread only
+        (contextvar confinement): the root span is ``request.<op>``,
+        navigation helpers add ``nav.*`` children, and every span's
+        counter delta is this connection's I/O — another worker's
+        request can never leak into it.  The resulting span records ride
+        on the request record into the flight recorder.
+        """
         clock = self.telemetry.clock
         begin = clock()
         record.phases["queue_wait"] = begin - submitted
         before = self._session_counters(engine)
+        tracer = Tracer(registry=engine)
         try:
-            return self._execute(engine, op, request)
+            with tracing.activated(tracer):
+                with tracer.span(f"request.{op}", rid=record.rid):
+                    return self._execute(engine, op, request)
         finally:
             record.phases["execute"] = clock() - begin
             after = self._session_counters(engine)
@@ -542,6 +606,7 @@ class GraphQueryDaemon:
                 name: after.get(name, 0) - before.get(name, 0)
                 for name in DELTA_COUNTERS
             }
+            record.spans = tracer.span_records()
 
     def _execute(self, engine: ClientEngine, op: str, request: dict):
         if op == "query":
@@ -618,6 +683,46 @@ class GraphQueryDaemon:
         if fmt == "text":
             return {"text": render_prometheus(snapshot)}
         return snapshot
+
+    # -- flight recorder / debug bundles ---------------------------------------
+
+    def config_view(self) -> dict:
+        """The serving configuration, as recorded in debug bundles."""
+        return {
+            "host": self.host,
+            "port": self.port,
+            "workers": self.workers,
+            "queue_limit": self.queue_limit,
+            "flight": {
+                "slow_threshold_ms": self.flight.slow_threshold_s * 1e3,
+                "slow_top": self.flight.slow_top,
+            },
+        }
+
+    def _debug(self) -> dict:
+        """The ``debug`` inline op: every retained trace plus context.
+
+        Returns the same material a shutdown debug bundle holds, so a
+        client (``repro trace --dump``) can write a bundle from a live
+        daemon without stopping it.
+        """
+        return {
+            "flight": self.flight.snapshot(),
+            "traces": self.flight.traces(),
+            "slow": self.telemetry.slow_log.top(),
+            "config": self.config_view(),
+            "stats": self.telemetry.snapshot(gauges=self._gauges()),
+        }
+
+    def dump_debug_bundle(self, directory) -> Path:
+        """Write the flight recorder + stats/config/slow log as a bundle."""
+        return write_debug_bundle(
+            directory,
+            self.flight.traces(),
+            stats=self.telemetry.snapshot(gauges=self._gauges()),
+            config=self.config_view(),
+            slow_entries=self.telemetry.slow_log.top(),
+        )
 
 
 class DaemonHandle:

@@ -19,11 +19,21 @@ Every request carries a deterministic request id (``lg<client>-<j>``,
 kept across backpressure retries of the same logical request) which the
 daemon echoes in its reply's ``server`` section and writes to its access
 and slow-query logs — so a load-generator request can be joined to its
-server-side phase breakdown.  From that section the generator also
+server-side phase breakdown.  The echoed ``counters`` (the request's
+session I/O delta) accumulate per query name into
+:meth:`LoadResult.attribution`, the client-side half of the
+attribution-conservation check.  From that section the generator also
 collects the **server-measured** latency next to its own
 client-measured one: the difference is network plus reply transit, and
 under overload the ``queue_wait`` phase explains most of the gap between
 a quiet daemon's latency and a saturated one's.
+
+Requests also propagate a **trace context** (``lgt<client>-<j>``, again
+stable across retries): the daemon adopts it as the request's trace id,
+echoes it in the ``server`` section (the generator verifies the echo —
+``traces_propagated`` in the summary) and files the request's full
+span tree under it in the flight recorder, so ``repro trace`` can
+explain any load-generator request by its trace id.
 """
 
 from __future__ import annotations
@@ -86,6 +96,15 @@ class ServeClient:
         """The daemon's stats view for this connection."""
         return self.request_ok("stats")
 
+    def metrics(self, fmt: str | None = None) -> dict:
+        """The daemon's metrics snapshot (JSON or Prometheus text)."""
+        fields = {"format": fmt} if fmt is not None else {}
+        return self.request_ok("metrics", **fields)
+
+    def debug(self) -> dict:
+        """The daemon's flight-recorder dump (traces + stats + config)."""
+        return self.request_ok("debug")
+
     def close(self) -> None:
         """Close the connection (ends the daemon-side session)."""
         self._sock.close()
@@ -116,6 +135,11 @@ class ClientResult:
     digests: dict[str, set[str]] = field(default_factory=dict)
     #: The daemon-side per-client io stats (final ``stats`` request).
     io_stats: dict = field(default_factory=dict)
+    #: query name -> summed server-attributed counters (the per-request
+    #: session deltas echoed in each ok reply's ``server.counters``).
+    op_counters: dict[str, dict[str, int]] = field(default_factory=dict)
+    #: False if any reply failed to echo the propagated trace id.
+    traces_echoed: bool = True
     error: str | None = None
 
 
@@ -195,6 +219,7 @@ class LoadResult:
             "backpressure_retries": self.shed_retries,
             "throughput_qps": self.throughput_qps,
             "consistent": self.consistent(),
+            "traces_propagated": self.traces_propagated(),
             "client_latency": {
                 "latency_ms_p50": _ms(client_hist, "p50"),
                 "latency_ms_p90": _ms(client_hist, "p90"),
@@ -227,6 +252,34 @@ class LoadResult:
         """True when every query name produced exactly one digest."""
         return all(len(digests) == 1 for digests in self.digests().values())
 
+    def traces_propagated(self) -> bool:
+        """True when every reply echoed its propagated trace id."""
+        return all(client.traces_echoed for client in self.clients)
+
+    def attribution(self) -> dict[str, dict[str, int]]:
+        """query name -> server-attributed counter sums, over all clients.
+
+        Each ok reply's ``server.counters`` section is that request's
+        exact session counter delta, so these sums are the per-op share
+        of the I/O the whole run caused — the serve benchmark checks
+        they reproduce the session totals bit-for-bit.
+        """
+        merged: dict[str, dict[str, int]] = {}
+        for client in self.clients:
+            for name, counters in client.op_counters.items():
+                sums = merged.setdefault(name, {})
+                for counter, value in counters.items():
+                    sums[counter] = sums.get(counter, 0) + value
+        return merged
+
+    def attributed_totals(self) -> dict[str, int]:
+        """Server-attributed counters summed over every op."""
+        totals: dict[str, int] = {}
+        for counters in self.attribution().values():
+            for counter, value in counters.items():
+                totals[counter] = totals.get(counter, 0) + value
+        return totals
+
 
 def _client_worker(
     host: str,
@@ -248,15 +301,20 @@ def _client_worker(
         for j in range(requests_per_client):
             name = mix[(client_index + j) % len(mix)]
             rid = f"lg{client_index}-{j}"
+            trace_id = f"lgt{client_index}-{j}"
             retries = 0
             while True:
                 start = time.perf_counter()
-                reply = client.request("query", name=name, rid=rid)
+                reply = client.request(
+                    "query", name=name, rid=rid, trace={"id": trace_id}
+                )
                 elapsed = time.perf_counter() - start
                 if reply.get("ok"):
                     result.requests_ok += 1
                     result.latencies_s.append(elapsed)
                     server = reply.get("server", {})
+                    if server.get("trace") != trace_id:
+                        result.traces_echoed = False
                     phases_us = server.get("phases_us", {})
                     result.server_latencies_s.append(
                         sum(phases_us.values()) / 1e6
@@ -264,6 +322,9 @@ def _client_worker(
                     result.queue_waits_s.append(
                         phases_us.get("queue_wait", 0) / 1e6
                     )
+                    sums = result.op_counters.setdefault(name, {})
+                    for counter, value in server.get("counters", {}).items():
+                        sums[counter] = sums.get(counter, 0) + int(value)
                     payload = reply["result"]
                     result.digests.setdefault(name, set()).add(
                         payload["digest"]

@@ -21,6 +21,16 @@ deltas it caused — so a client can compare its observed latency against
 the server-side spend (queue-wait explains the difference under load)
 and join its requests against the daemon's access and slow-query logs.
 
+**Trace context.**  A request may carry a ``trace`` section —
+``{"trace": {"id": <string>, "parent": <span id>}}`` — propagating the
+client's trace id (and optionally the client-side span the request
+belongs under) into the daemon's per-request span tree.
+:func:`parse_trace_context` extracts it *leniently*: the section is
+observability metadata, so a missing, malformed or future-versioned
+context never fails a request — unknown fields are ignored (forward
+compatibility) and a request without one simply gets a server-generated
+trace id.
+
 **Canonical JSON.** Query payloads contain sets, tuples and int-keyed
 dicts; :func:`canonicalize` maps them onto plain JSON (sorted lists,
 lists, string keys) deterministically, and :func:`payload_digest` hashes
@@ -36,6 +46,7 @@ import hashlib
 import json
 import socket
 import struct
+from typing import NamedTuple
 
 from repro.errors import ServeError
 
@@ -49,6 +60,41 @@ _HEADER = struct.Struct(">I")
 ERROR_BACKPRESSURE = "backpressure"
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_SERVER = "server_error"
+
+#: ``parent`` value meaning "no client-side parent span".
+NO_PARENT_SPAN = -1
+
+
+class TraceContext(NamedTuple):
+    """Trace context propagated in a request's ``trace`` section."""
+
+    #: The client's trace id, or None when the request carried none
+    #: (the daemon then generates one).
+    trace_id: str | None
+    #: Client-side parent span id (:data:`NO_PARENT_SPAN` when absent).
+    parent: int
+
+
+def parse_trace_context(request) -> TraceContext:
+    """Extract the trace context from a request, leniently.
+
+    Observability metadata must never fail a request: a missing or
+    malformed ``trace`` section yields an empty context, and fields this
+    protocol version does not know are ignored — a newer client can add
+    them without breaking an older daemon.
+    """
+    raw = request.get("trace") if isinstance(request, dict) else None
+    if not isinstance(raw, dict):
+        return TraceContext(None, NO_PARENT_SPAN)
+    trace_id = raw.get("id")
+    if isinstance(trace_id, (str, int)) and not isinstance(trace_id, bool):
+        trace_id = str(trace_id)
+    else:
+        trace_id = None
+    parent = raw.get("parent")
+    if not isinstance(parent, int) or isinstance(parent, bool):
+        parent = NO_PARENT_SPAN
+    return TraceContext(trace_id, parent)
 
 
 def canonicalize(value):

@@ -54,13 +54,19 @@ OUTCOMES = ("ok", "backpressure", "bad_request", "server_error", "degraded")
 PHASES = ("decode", "queue_wait", "execute", "encode", "reply")
 
 #: Session counters attributed per request (deltas of the connection's
-#: metrics session around the execute phase).
+#: metrics session around the execute phase).  This is the complete set
+#: of counters sessions accumulate, so summing the per-request deltas
+#: over a connection's requests reproduces its session totals exactly —
+#: the conservation identity the serve benchmark gates.
 DELTA_COUNTERS = (
     "buffer_hits",
     "buffer_pinned_hits",
     "buffer_misses",
     "disk_seeks",
     "bytes_read",
+    "loads",
+    "intranode_loads",
+    "superedge_loads",
     "degraded_reads",
 )
 
@@ -81,6 +87,13 @@ class RequestRecord:
     #: Session counter growth caused by this request (hits/misses/seeks).
     counters: dict[str, int] = field(default_factory=dict)
     error: str | None = None
+    #: Trace id: the client's propagated id, else daemon-generated.
+    trace: str = ""
+    #: Client-side parent span id from the trace context (-1 = none).
+    parent: int = -1
+    #: Span records (stable-id dicts) from the request-scoped tracer;
+    #: start times are relative to the execute phase.
+    spans: list = field(default_factory=list)
 
     @property
     def server_s(self) -> float:
@@ -97,6 +110,7 @@ class RequestRecord:
         """
         return {
             "rid": self.rid,
+            "trace": self.trace,
             "outcome": self.outcome,
             "phases_us": {
                 name: round(seconds * 1e6)
@@ -109,6 +123,7 @@ class RequestRecord:
         """The JSONL form written to the access / slow-query logs."""
         return {
             "rid": self.rid,
+            "trace": self.trace,
             "client": self.client,
             "op": self.op,
             "outcome": self.outcome,
@@ -121,6 +136,18 @@ class RequestRecord:
             "counters": dict(sorted(self.counters.items())),
             **({"error": self.error} if self.error else {}),
         }
+
+    def trace_view(self) -> dict:
+        """The complete trace document fed to the flight recorder.
+
+        Everything :meth:`log_view` carries plus the trace-context link
+        and the span tree — the unit :func:`repro.obs.flightrecorder.
+        render_waterfall` renders and debug bundles retain.
+        """
+        doc = self.log_view()
+        doc["parent"] = self.parent
+        doc["spans"] = self.spans
+        return doc
 
 
 class ServeTelemetry:
@@ -180,9 +207,12 @@ class ServeTelemetry:
         if record.outcome not in self.outcomes:
             raise ValueError(f"unknown outcome {record.outcome!r}")
         server_s = record.server_s
-        self.latency.observe(record.op, server_s)
+        # The trace id rides along as the histogram bucket's exemplar, so
+        # a p99 bucket in `repro top` names a concrete witness request.
+        exemplar = record.trace or record.rid or None
+        self.latency.observe(record.op, server_s, exemplar)
         for phase, seconds in record.phases.items():
-            self.latency.observe(f"phase:{phase}", seconds)
+            self.latency.observe(f"phase:{phase}", seconds, exemplar)
         self.outcomes[record.outcome].add()
         with self._lock:
             counter = self._op_counts.get(record.op)

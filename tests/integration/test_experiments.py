@@ -210,7 +210,23 @@ class TestServeExperiment:
         assert results["matches_serial"] is True
         assert results["metrics_conserved"] is True
         assert results["requests_conserved"] is True
+        assert results["attribution_conserved"] is True
+        assert results["traces_propagated"] is True
         assert results["requests_ok"] == 18
+        # Per-op attribution uses marker-free keys mirroring
+        # counter_growth, and attributes real work to every query.
+        assert set(results["attribution"]) == {
+            f"query{i}" for i in range(1, 7)
+        }
+        for counters in results["attribution"].values():
+            assert set(counters) <= {
+                "bytes", "seek_count", "hits", "pinned_hits", "misses",
+                "loads", "intranode", "superedge", "degraded",
+            }
+        assert sum(
+            counters.get("hits", 0) + counters.get("misses", 0)
+            for counters in results["attribution"].values()
+        ) > 0
         assert set(results["queue_wait"]) == {
             "queue_wait_ms_p50", "queue_wait_ms_p99",
         }

@@ -1,0 +1,228 @@
+"""Tests for the flight recorder, debug bundles and trace rendering."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.flightrecorder import (
+    BUNDLE_MANIFEST,
+    BUNDLE_SCHEMA,
+    BUNDLE_TRACES,
+    FlightRecorder,
+    TRACE_SCHEMA,
+    fold_traces,
+    load_traces,
+    read_debug_bundle,
+    render_waterfall,
+    write_debug_bundle,
+)
+
+
+def make_trace(
+    trace_id: str,
+    server_us: int = 1000,
+    outcome: str = "ok",
+    op: str = "query",
+    spans: list | None = None,
+) -> dict:
+    """A minimal trace document of the shape the daemon records."""
+    return {
+        "trace": trace_id,
+        "rid": f"rid-{trace_id}",
+        "client": "client-0",
+        "op": op,
+        "outcome": outcome,
+        "unix": 0.0,
+        "server_us": server_us,
+        "phases_us": {"decode": 10, "execute": server_us - 10},
+        "counters": {"disk_seeks": 2, "bytes_read": 100},
+        "parent": -1,
+        "spans": spans or [],
+    }
+
+
+class TestFlightRecorder:
+    def test_recent_ring_is_bounded_keeps_newest(self):
+        recorder = FlightRecorder(recent=3, slow_threshold_s=10.0)
+        for i in range(5):
+            recorder.record(make_trace(f"t{i}"))
+        ids = [t["trace"] for t in recorder.recent_traces()]
+        assert ids == ["t2", "t3", "t4"]
+        assert recorder.recorded == 5
+
+    def test_slow_top_k_keeps_the_k_slowest(self):
+        recorder = FlightRecorder(
+            recent=2, slow_threshold_s=0.001, slow_top=2
+        )
+        for i, us in enumerate((5000, 1500, 9000, 2500)):
+            recorder.record(make_trace(f"t{i}", server_us=us))
+        ids = [t["trace"] for t in recorder.slow_traces()]
+        assert ids == ["t2", "t0"]  # slowest first
+        assert recorder.slow_seen == 4
+
+    def test_fast_requests_never_enter_the_slow_heap(self):
+        recorder = FlightRecorder(slow_threshold_s=0.050)
+        recorder.record(make_trace("fast", server_us=100))
+        assert recorder.slow_traces() == []
+        assert recorder.slow_seen == 0
+
+    def test_error_ring_captures_non_ok_outcomes(self):
+        recorder = FlightRecorder(errors=2, slow_threshold_s=10.0)
+        recorder.record(make_trace("ok1"))
+        for i in range(3):
+            recorder.record(make_trace(f"e{i}", outcome="bad_request"))
+        ids = [t["trace"] for t in recorder.error_traces()]
+        assert ids == ["e1", "e2"]
+
+    def test_traces_dedups_across_retention_classes(self):
+        # A slow error trace sits in all three structures but must dump
+        # once; a slow trace aged out of the recent ring must survive.
+        recorder = FlightRecorder(
+            recent=1, slow_threshold_s=0.001, slow_top=4
+        )
+        recorder.record(
+            make_trace("both", server_us=9000, outcome="server_error")
+        )
+        recorder.record(make_trace("newer", server_us=20))
+        ids = [t["trace"] for t in recorder.traces()]
+        assert sorted(ids) == ["both", "newer"]
+
+    def test_snapshot_reports_counts_and_retained_ids(self):
+        recorder = FlightRecorder(slow_threshold_s=0.001)
+        recorder.record(make_trace("a", server_us=5000))
+        recorder.record(make_trace("b", server_us=10, outcome="bad_request"))
+        snapshot = recorder.snapshot()
+        assert snapshot["recorded"] == 2
+        assert snapshot["slow_seen"] == 1
+        assert snapshot["retained"]["recent"] == ["a", "b"]
+        assert snapshot["retained"]["slow"] == ["a"]
+        assert snapshot["retained"]["errors"] == ["b"]
+
+    def test_invalid_configuration_rejected(self):
+        for kwargs in (
+            {"recent": 0},
+            {"slow_top": 0},
+            {"errors": 0},
+            {"slow_threshold_s": -1.0},
+        ):
+            with pytest.raises(ValueError):
+                FlightRecorder(**kwargs)
+
+
+class TestDebugBundle:
+    def test_round_trip(self, tmp_path):
+        traces = [make_trace("t1"), make_trace("t2", server_us=7000)]
+        path = write_debug_bundle(
+            tmp_path / "bundle",
+            traces,
+            stats={"uptime_seconds": 4.0},
+            config={"workers": 4},
+            slow_entries=[{"rid": "rid-t2", "server_us": 7000}],
+        )
+        bundle = read_debug_bundle(path)
+        assert bundle["manifest"]["schema"] == BUNDLE_SCHEMA
+        assert bundle["manifest"]["traces"] == 2
+        assert bundle["traces"] == traces
+        assert bundle["stats"] == {"uptime_seconds": 4.0}
+        assert bundle["config"] == {"workers": 4}
+        assert bundle["slow"] == [{"rid": "rid-t2", "server_us": 7000}]
+
+    def test_traces_jsonl_has_schema_header(self, tmp_path):
+        path = write_debug_bundle(tmp_path / "bundle", [make_trace("t1")])
+        lines = (path / BUNDLE_TRACES).read_text().splitlines()
+        header = json.loads(lines[0])
+        assert header["schema"] == TRACE_SCHEMA
+        assert header["traces"] == 1
+        assert len(lines) == 2
+
+    def test_empty_bundle_round_trips(self, tmp_path):
+        path = write_debug_bundle(tmp_path / "bundle", [])
+        bundle = read_debug_bundle(path)
+        assert bundle["traces"] == []
+        assert bundle["stats"] is None
+        assert bundle["slow"] == []
+
+    def test_missing_manifest_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match=BUNDLE_MANIFEST):
+            read_debug_bundle(tmp_path)
+
+    def test_schema_mismatch_rejected(self, tmp_path):
+        (tmp_path / BUNDLE_MANIFEST).write_text(
+            json.dumps({"schema": "something-else", "version": 1})
+        )
+        with pytest.raises(ValueError, match="schema"):
+            read_debug_bundle(tmp_path)
+
+    def test_load_traces_tolerates_headerless_files(self, tmp_path):
+        # A hand-built JSONL file without the header line still loads.
+        path = tmp_path / "traces.jsonl"
+        path.write_text(json.dumps(make_trace("t9")) + "\n")
+        assert [t["trace"] for t in load_traces(path)] == ["t9"]
+
+    def test_load_traces_missing_file_is_empty(self, tmp_path):
+        assert load_traces(tmp_path / "absent.jsonl") == []
+
+
+SPANS = [
+    {
+        "id": 0,
+        "parent": -1,
+        "name": "request.query",
+        "start_s": 0.0,
+        "duration_s": 0.0009,
+        "status": "ok",
+        "counters": {"disk_seeks": 2},
+        "notes": {},
+    },
+    {
+        "id": 1,
+        "parent": 0,
+        "name": "nav.query1",
+        "start_s": 0.0001,
+        "duration_s": 0.0006,
+        "status": "ok",
+        "counters": {"disk_seeks": 2, "bytes_read": 100},
+        "notes": {},
+    },
+]
+
+
+class TestRendering:
+    def test_waterfall_shows_phases_spans_and_counters(self):
+        trace = make_trace("t1", server_us=1000, spans=SPANS)
+        text = render_waterfall(trace, width=20)
+        assert "trace=t1" in text
+        assert "decode" in text and "execute" in text
+        assert "request.query" in text
+        assert "nav.query1" in text
+        assert "disk_seeks=2" in text
+        # Every bar renders at the same width.
+        bars = [line for line in text.splitlines() if "|" in line]
+        assert bars and all(
+            line.split("|")[1] == line.split("|")[1][:20] for line in bars
+        )
+
+    def test_waterfall_carries_error_line(self):
+        trace = make_trace("t1", outcome="bad_request")
+        trace["error"] = "unknown op"
+        assert "error: unknown op" in render_waterfall(trace)
+
+    def test_folded_weights_are_self_time(self):
+        trace = make_trace("t1", server_us=1000, spans=SPANS)
+        folded = dict(
+            line.rsplit(" ", 1)
+            for line in fold_traces([trace]).splitlines()
+        )
+        assert folded["query;decode"] == "10"
+        # execute (990us) minus the root span (900us).
+        assert folded["query;execute"] == "90"
+        # root span self time: 900 - 600 child.
+        assert folded["query;execute;request.query"] == "300"
+        assert folded["query;execute;request.query;nav.query1"] == "600"
+
+    def test_folded_sums_across_traces(self):
+        trace = make_trace("t1", server_us=1000)
+        folded = fold_traces([trace, trace])
+        assert "query;decode 20" in folded.splitlines()

@@ -6,6 +6,7 @@ import json
 
 import pytest
 
+from repro.obs import tracing
 from repro.obs.tracing import Tracer, activated, current_tracer, note, span
 from repro.storage.metrics import MetricsRegistry
 
@@ -145,13 +146,49 @@ class TestJsonlExport:
         with tracer.span("outer", kind="x"):
             with tracer.span("inner"):
                 pass
-        records = [json.loads(line) for line in tracer.to_jsonl().splitlines()]
+        header, *records = [
+            json.loads(line) for line in tracer.to_jsonl().splitlines()
+        ]
+        assert header["schema"] == "repro-spans"
+        assert header["version"] == tracing.SPAN_SCHEMA_VERSION
+        assert header["spans"] == 2
         assert len(records) == 2
         by_name = {record["name"]: record for record in records}
         assert by_name["outer"]["parent"] == -1
         assert by_name["inner"]["parent"] == by_name["outer"]["id"]
         assert by_name["outer"]["attrs"] == {"kind": "x"}
         assert by_name["inner"]["status"] == "ok"
+
+    def test_ids_are_stable_across_export_order(self):
+        # Ids are assigned at span open, so shuffling the exported lines
+        # loses nothing: the tree reconstructs from id/parent alone.
+        tracer = Tracer()
+        with tracer.span("a"):
+            with tracer.span("b"):
+                pass
+            with tracer.span("c"):
+                pass
+        records = [
+            json.loads(line)
+            for line in tracer.to_jsonl().splitlines()[1:]
+        ]
+        records.reverse()
+        by_id = {record["id"]: record for record in records}
+        children = {}
+        for record in records:
+            children.setdefault(record["parent"], []).append(record["name"])
+        root = by_id[0]
+        assert root["name"] == "a"
+        assert sorted(children[root["id"]]) == ["b", "c"]
+
+    def test_header_counts_dropped_spans(self):
+        tracer = Tracer(max_spans=1)
+        for _ in range(3):
+            with tracer.span("s"):
+                pass
+        header = json.loads(tracer.to_jsonl().splitlines()[0])
+        assert header["spans"] == 1
+        assert header["dropped"] == 2
 
     def test_write_jsonl(self, tmp_path):
         tracer = Tracer()
@@ -160,8 +197,9 @@ class TestJsonlExport:
         path = tmp_path / "spans.jsonl"
         tracer.write_jsonl(path)
         lines = path.read_text().splitlines()
-        assert len(lines) == 1
-        assert json.loads(lines[0])["name"] == "only"
+        assert len(lines) == 2  # header + one span
+        assert json.loads(lines[0])["schema"] == "repro-spans"
+        assert json.loads(lines[1])["name"] == "only"
 
     def test_render_mentions_notes(self):
         tracer = Tracer()

@@ -180,3 +180,65 @@ class TestWindowedHistogramSet:
         clock.advance(10.0)
         assert family.get("a").snapshot().count == 0
         assert family.get("a").cumulative.count == 1
+
+
+class TestExemplars:
+    def test_exemplar_attached_to_value_bucket(self):
+        clock = FakeClock()
+        windowed = WindowedHistogram(window_seconds=10.0, windows=2, clock=clock)
+        windowed.record(0.010, exemplar="tr-1")
+        exemplars = windowed.exemplars()
+        bucket = windowed.cumulative.bucket_index(0.010)
+        assert exemplars == {bucket: {"value": 0.010, "trace": "tr-1"}}
+
+    def test_latest_exemplar_wins_within_bucket(self):
+        clock = FakeClock()
+        windowed = WindowedHistogram(window_seconds=10.0, windows=2, clock=clock)
+        windowed.record(0.010, exemplar="tr-old")
+        windowed.record(0.010, exemplar="tr-new")
+        (entry,) = windowed.exemplars().values()
+        assert entry["trace"] == "tr-new"
+
+    def test_record_without_exemplar_keeps_previous(self):
+        clock = FakeClock()
+        windowed = WindowedHistogram(window_seconds=10.0, windows=2, clock=clock)
+        windowed.record(0.010, exemplar="tr-1")
+        windowed.record(0.010)  # unexemplared observation
+        (entry,) = windowed.exemplars().values()
+        assert entry["trace"] == "tr-1"
+
+    def test_exemplars_pruned_with_their_window(self):
+        clock = FakeClock()
+        windowed = WindowedHistogram(window_seconds=10.0, windows=2, clock=clock)
+        windowed.record(0.010, exemplar="tr-stale")
+        clock.advance(10.0)
+        windowed.record(0.080, exemplar="tr-live")
+        assert len(windowed.exemplars()) == 2  # both windows still live
+        clock.advance(10.0)
+        windowed.record(0.080, exemplar="tr-live2")
+        traces = {
+            entry["trace"] for entry in windowed.exemplars().values()
+        }
+        assert "tr-stale" not in traces
+        assert traces  # the live bucket's exemplar survives
+
+    def test_to_dict_carries_exemplars_only_when_present(self):
+        clock = FakeClock()
+        windowed = WindowedHistogram(window_seconds=10.0, windows=2, clock=clock)
+        windowed.record(0.010)
+        assert "exemplars" not in windowed.to_dict()
+        windowed.record(0.020, exemplar="tr-2")
+        data = windowed.to_dict()
+        (entry,) = data["exemplars"].values()
+        assert entry["trace"] == "tr-2"
+        # JSON-facing keys are strings.
+        assert all(isinstance(key, str) for key in data["exemplars"])
+
+    def test_histogram_set_observe_passes_exemplar(self):
+        clock = FakeClock()
+        family = WindowedHistogramSet(
+            window_seconds=10.0, windows=2, clock=clock
+        )
+        family.observe("query", 0.030, "tr-q")
+        (entry,) = family.get("query").exemplars().values()
+        assert entry == {"value": 0.030, "trace": "tr-q"}

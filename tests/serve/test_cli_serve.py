@@ -74,3 +74,137 @@ class TestLoadgenJson:
             ["bench-validate", str(tmp_path / "BENCH_loadgen.json")]
         )
         assert code == 0
+
+
+@pytest.fixture
+def free_port():
+    """A port with nothing listening on it (bound, then released)."""
+    import socket
+
+    sock = socket.socket()
+    sock.bind(("127.0.0.1", 0))
+    port = sock.getsockname()[1]
+    sock.close()
+    return port
+
+
+class TestTopConnectFailure:
+    def test_top_exits_nonzero_with_clear_message(self, free_port, capsys):
+        code = main(["top", "--port", str(free_port), "--once"])
+        captured = capsys.readouterr()
+        assert code == 2
+        assert "cannot connect to daemon" in captured.err
+        assert str(free_port) in captured.err
+        assert captured.out == ""  # no empty dashboard rendered
+
+
+@pytest.fixture
+def bundle(tmp_path):
+    """A written debug bundle with two traces (one slow, with spans)."""
+    from repro.obs.flightrecorder import write_debug_bundle
+
+    traces = [
+        {
+            "trace": "fast", "rid": "r1", "client": "client-0",
+            "op": "query", "outcome": "ok", "unix": 0.0, "server_us": 800,
+            "phases_us": {"decode": 10, "execute": 790},
+            "counters": {}, "parent": -1, "spans": [],
+        },
+        {
+            "trace": "slow", "rid": "r2", "client": "client-1",
+            "op": "query", "outcome": "ok", "unix": 0.0, "server_us": 9000,
+            "phases_us": {"decode": 15, "execute": 8985},
+            "counters": {"disk_seeks": 4},
+            "parent": -1,
+            "spans": [
+                {"id": 0, "parent": -1, "name": "request.query",
+                 "start_s": 0.0, "duration_s": 0.008, "status": "ok",
+                 "counters": {"disk_seeks": 4}, "notes": {}},
+                {"id": 1, "parent": 0, "name": "nav.query2",
+                 "start_s": 0.001, "duration_s": 0.006, "status": "ok",
+                 "counters": {"disk_seeks": 4}, "notes": {}},
+            ],
+        },
+    ]
+    return write_debug_bundle(
+        tmp_path / "bundle", traces, config={"workers": 2}
+    )
+
+
+class TestTraceCommand:
+    def test_list_renders_every_trace(self, bundle, capsys):
+        code = main(["trace", "--bundle", str(bundle), "--list"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace=fast" in captured.out
+        assert "trace=slow" in captured.out
+
+    def test_default_waterfall_is_the_slowest_trace(self, bundle, capsys):
+        code = main(["trace", "--bundle", str(bundle)])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace=slow" in captured.out
+        assert "trace=fast" not in captured.out
+        assert "request.query" in captured.out
+        assert "nav.query2" in captured.out
+        assert "disk_seeks=4" in captured.out
+
+    def test_select_by_id_and_rid(self, bundle, capsys):
+        assert main(["trace", "--bundle", str(bundle), "fast"]) == 0
+        assert "trace=fast" in capsys.readouterr().out
+        assert main(["trace", "--bundle", str(bundle), "--rid", "r2"]) == 0
+        assert "trace=slow" in capsys.readouterr().out
+
+    def test_missing_id_is_an_error(self, bundle, capsys):
+        code = main(["trace", "--bundle", str(bundle), "nope"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "no retained trace with id(s): nope" in captured.err
+
+    def test_folded_output(self, bundle, capsys):
+        code = main(["trace", "--bundle", str(bundle), "--folded"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "query;execute;request.query;nav.query2 6000" in captured.out
+
+    def test_connect_failure_suggests_bundle(self, free_port, capsys):
+        code = main(["trace", "--port", str(free_port)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "cannot connect" in captured.err
+        assert "--bundle" in captured.err
+
+    def test_dump_writes_bundle_from_live_daemon(
+        self, daemon, tmp_path, capsys
+    ):
+        code = main(
+            ["loadgen", "--port", str(daemon.port),
+             "--concurrency", "2", "--requests", "3"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        out_dir = tmp_path / "dumped"
+        code = main(
+            ["trace", "--port", str(daemon.port), "--dump", str(out_dir)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "debug bundle" in captured.out
+        code = main(["trace", "--bundle", str(out_dir), "--list"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "trace=lgt" in captured.out  # propagated loadgen trace ids
+
+    def test_dump_conflicts_with_bundle(self, bundle, tmp_path, capsys):
+        code = main(
+            ["trace", "--bundle", str(bundle), "--dump", str(tmp_path / "x")]
+        )
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "--dump reads a live daemon" in captured.err
+
+    def test_not_a_bundle_directory_is_an_error(self, tmp_path, capsys):
+        code = main(["trace", "--bundle", str(tmp_path)])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "not a debug bundle" in captured.err

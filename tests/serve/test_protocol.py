@@ -135,3 +135,121 @@ class TestReplies:
             "ok": False,
             "error": {"type": "backpressure", "message": "busy"},
         }
+
+
+class TestFramingEdgeCases:
+    def _reader_with(self, data: bytes):
+        import asyncio
+
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return reader
+
+    def test_oversized_announced_frame_rejected_async(self):
+        import asyncio
+
+        header = struct.pack(">I", protocol.MAX_FRAME_BYTES + 1)
+
+        async def scenario():
+            with pytest.raises(ServeError, match="limit"):
+                await protocol.read_frame_raw(self._reader_with(header))
+
+        asyncio.run(scenario())
+
+    def test_oversized_announced_frame_rejected_blocking(self):
+        import socket
+
+        left, right = socket.socketpair()
+        try:
+            left.sendall(struct.pack(">I", protocol.MAX_FRAME_BYTES + 1))
+            left.close()
+            with pytest.raises(ServeError, match="limit"):
+                protocol.recv_frame(right)
+        finally:
+            right.close()
+
+    def test_truncated_payload_is_error_not_eof(self):
+        import asyncio
+
+        # Header promises 100 bytes; only 3 arrive before EOF.
+        data = struct.pack(">I", 100) + b"abc"
+
+        async def scenario():
+            with pytest.raises(ServeError, match="mid-frame"):
+                await protocol.read_frame_raw(self._reader_with(data))
+
+        asyncio.run(scenario())
+
+    def test_truncated_header_is_error_not_eof(self):
+        import asyncio
+
+        async def scenario():
+            with pytest.raises(ServeError, match="mid-header"):
+                await protocol.read_frame_raw(self._reader_with(b"\x00\x00"))
+
+        asyncio.run(scenario())
+
+    def test_clean_eof_is_none(self):
+        import asyncio
+
+        async def scenario():
+            assert await protocol.read_frame_raw(self._reader_with(b"")) is None
+
+        asyncio.run(scenario())
+
+    def test_non_dict_json_payload_decodes(self):
+        # Valid JSON that is not an object decodes fine at this layer;
+        # rejecting it is the daemon's job (bad_request, not disconnect).
+        assert protocol.decode_payload(b"[1,2,3]") == [1, 2, 3]
+        assert protocol.decode_payload(b'"hello"') == "hello"
+
+
+class TestTraceContext:
+    def test_absent_or_malformed_yields_empty_context(self):
+        for request in (
+            {},
+            {"trace": None},
+            {"trace": "t-1"},
+            {"trace": ["t-1"]},
+            {"trace": 7},
+            "not a dict",
+        ):
+            context = protocol.parse_trace_context(request)
+            assert context.trace_id is None
+            assert context.parent == protocol.NO_PARENT_SPAN
+
+    def test_id_and_parent_extracted(self):
+        context = protocol.parse_trace_context(
+            {"trace": {"id": "cli-4", "parent": 2}}
+        )
+        assert context == protocol.TraceContext("cli-4", 2)
+
+    def test_int_id_stringified_bool_rejected(self):
+        assert protocol.parse_trace_context(
+            {"trace": {"id": 7}}
+        ).trace_id == "7"
+        assert protocol.parse_trace_context(
+            {"trace": {"id": True}}
+        ).trace_id is None
+
+    def test_bad_parent_falls_back_to_no_parent(self):
+        for parent in ("3", 3.5, True, None, [3]):
+            context = protocol.parse_trace_context(
+                {"trace": {"id": "t", "parent": parent}}
+            )
+            assert context.parent == protocol.NO_PARENT_SPAN
+
+    def test_unknown_fields_ignored_forward_compatible(self):
+        context = protocol.parse_trace_context(
+            {
+                "trace": {
+                    "id": "t-9",
+                    "parent": 5,
+                    "baggage": {"tenant": "a"},
+                    "version": 99,
+                    "sampled": False,
+                }
+            }
+        )
+        assert context == protocol.TraceContext("t-9", 5)

@@ -1,0 +1,223 @@
+"""End-to-end request tracing: propagation, attribution, flight recorder.
+
+These tests gate the tracing layer's central claims over a real daemon:
+
+* trace context propagates client -> daemon -> reply -> flight recorder;
+* per-request attributed I/O is *conserved* — the deltas echoed in every
+  reply sum, bit-for-bit, to the session totals the daemon reports;
+* the flight recorder retains complete traces the ``debug`` op serves;
+* with no tracer active, span entry points are shared no-ops (tracing
+  disabled costs no storage-layer work);
+* the lifecycle phase list is identical across the serve and obs layers
+  (they must not import each other, so the constant is duplicated and
+  pinned here).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import flightrecorder, tracing
+from repro.serve import telemetry as serve_telemetry
+from repro.serve.daemon import DaemonHandle, GraphQueryDaemon
+from repro.serve.loadgen import DEFAULT_MIX, ServeClient, run_load
+from repro.serve.telemetry import DELTA_COUNTERS
+
+
+def wait_for_trace(handle: DaemonHandle, trace_id: str) -> dict:
+    """Poll the flight recorder for a trace id.
+
+    Traces are filed *after* the reply is written, so a client can see
+    its reply a moment before the recorder does.
+    """
+    import time
+
+    deadline = time.monotonic() + 5.0
+    while time.monotonic() < deadline:
+        for trace in handle.daemon.flight.traces():
+            if trace.get("trace") == trace_id:
+                return trace
+        time.sleep(0.01)
+    raise AssertionError(f"trace {trace_id!r} never reached the recorder")
+
+
+@pytest.fixture
+def daemon(serve_context):
+    """A running daemon with an eager flight recorder (every trace slow)."""
+    handle = DaemonHandle(
+        GraphQueryDaemon(
+            serve_context,
+            port=0,
+            workers=4,
+            queue_limit=16,
+            flight=flightrecorder.FlightRecorder(slow_threshold_s=0.0),
+        )
+    )
+    with handle:
+        yield handle
+
+
+class TestTracePropagation:
+    def test_client_trace_id_echoed_and_retained(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            reply = client.request(
+                "query", name="query1", trace={"id": "mytrace", "parent": 7}
+            )
+        assert reply["server"]["trace"] == "mytrace"
+        retained = wait_for_trace(daemon, "mytrace")
+        assert retained["parent"] == 7
+        assert retained["op"] == "query"
+
+    def test_request_without_context_gets_server_trace_id(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            reply = client.request("query", name="query1")
+        assert reply["server"]["trace"].startswith("srvtr-")
+
+    def test_malformed_context_never_fails_the_request(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            for trace in ("plain-string", 7, ["x"], {"id": True}):
+                reply = client.request("query", name="query1", trace=trace)
+                assert reply["ok"] is True
+                assert reply["server"]["trace"]  # server-assigned
+
+    def test_unknown_context_fields_ignored(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            reply = client.request(
+                "query",
+                name="query1",
+                trace={"id": "fwd", "baggage": {"k": "v"}, "version": 99},
+            )
+        assert reply["ok"] is True
+        assert reply["server"]["trace"] == "fwd"
+
+    def test_loadgen_verifies_echo_on_every_request(self, daemon):
+        load = run_load("127.0.0.1", daemon.port, concurrency=3,
+                        requests_per_client=4)
+        assert load.requests_ok == 12
+        assert load.traces_propagated() is True
+
+
+class TestSpanTrees:
+    def test_query_trace_carries_request_and_nav_spans(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            client.request_ok("query", name="query1", trace={"id": "spans1"})
+        trace = wait_for_trace(daemon, "spans1")
+        names = [span["name"] for span in trace["spans"]]
+        assert "request.query" in names
+        assert any(name.startswith("nav.") for name in names)
+        root = next(s for s in trace["spans"] if s["name"] == "request.query")
+        assert root["parent"] == tracing.ROOT_PARENT
+        children = [
+            s for s in trace["spans"] if s["parent"] == root["id"]
+        ]
+        assert children  # the nav spans hang off the request root
+
+    def test_span_counters_sum_to_request_counters(self, daemon):
+        # Spans attribute the same session deltas the record reports:
+        # the root span's counters are the whole request's I/O.
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            client.request_ok("query", name="query3", trace={"id": "sums"})
+            server = client.request(
+                "query", name="query4", trace={"id": "sums2"}
+            )["server"]
+        trace = wait_for_trace(daemon, "sums2")
+        root = next(
+            s for s in trace["spans"] if s["name"] == "request.query"
+        )
+        for counter, value in server["counters"].items():
+            if value:
+                assert root["counters"].get(counter, 0) == value
+
+
+class TestAttributionConservation:
+    def test_per_request_deltas_sum_to_session_totals(self, daemon):
+        load = run_load("127.0.0.1", daemon.port, concurrency=4,
+                        requests_per_client=6)
+        assert load.requests_ok == 24
+        assert not load.requests_failed
+        attributed = load.attributed_totals()
+        session_sums: dict[str, int] = {}
+        for client in load.clients:
+            for direction in client.io_stats.values():
+                for name in DELTA_COUNTERS:
+                    session_sums[name] = (
+                        session_sums.get(name, 0) + int(direction.get(name, 0))
+                    )
+        for name in DELTA_COUNTERS:
+            assert attributed.get(name, 0) == session_sums[name]
+        # The run must have attributed real work, or the identity above
+        # is vacuous.
+        assert attributed.get("buffer_hits", 0) > 0
+
+    def test_attribution_split_by_query_name(self, daemon):
+        load = run_load("127.0.0.1", daemon.port, concurrency=2,
+                        requests_per_client=6)
+        attribution = load.attribution()
+        assert set(attribution) == set(DEFAULT_MIX)
+        for counters in attribution.values():
+            assert set(counters) == set(DELTA_COUNTERS)
+
+
+class TestFlightRecorderIntegration:
+    def test_debug_op_serves_retained_traces(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            client.request_ok("query", name="query1", trace={"id": "dbg1"})
+            wait_for_trace(daemon, "dbg1")
+            debug = client.debug()
+        assert debug["flight"]["recorded"] >= 1
+        assert "dbg1" in {t["trace"] for t in debug["traces"]}
+        assert debug["config"]["workers"] == 4
+        assert "uptime_seconds" in debug["stats"]
+
+    def test_every_send_path_records_a_trace(self, daemon):
+        # Error replies are traces too: the error ring retains them.
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            reply = client.request("query", name="query99")
+            assert reply["ok"] is False
+        trace_id = reply["server"]["trace"]
+        assert trace_id  # never an empty trace id
+        wait_for_trace(daemon, trace_id)
+        errors = daemon.daemon.flight.error_traces()
+        assert errors[-1]["outcome"] == "bad_request"
+
+    def test_dump_debug_bundle_round_trips(self, daemon, tmp_path):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            client.request_ok("query", name="query2", trace={"id": "bdl"})
+        wait_for_trace(daemon, "bdl")
+        path = daemon.daemon.dump_debug_bundle(tmp_path / "bundle")
+        bundle = flightrecorder.read_debug_bundle(path)
+        assert "bdl" in {t["trace"] for t in bundle["traces"]}
+        assert bundle["config"]["queue_limit"] == 16
+
+
+class TestDisabledTracingCost:
+    def test_span_entry_points_are_noops_without_tracer(self):
+        assert tracing.current_tracer() is None
+        # The no-tracer path returns the shared singleton — no per-call
+        # allocation, no tracer work.
+        assert tracing.span("anything") is tracing.span("other")
+        tracing.note("event")  # must not raise
+        tracing.absorb_summary({"spans": []})  # must not raise
+
+    def test_request_tracers_never_leak_across_requests(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            client.request_ok("query", name="query1", trace={"id": "one"})
+            client.request_ok("query", name="query1", trace={"id": "two"})
+        traces = {
+            trace_id: wait_for_trace(daemon, trace_id)
+            for trace_id in ("one", "two")
+        }
+        # Each request's span tree is its own: same shape, ids restart
+        # from 0 — nothing accumulated from the previous request.
+        assert len(traces["one"]["spans"]) == len(traces["two"]["spans"])
+        assert traces["one"]["spans"][0]["id"] == 0
+        assert traces["two"]["spans"][0]["id"] == 0
+        # And nothing leaked into this (main) thread's context.
+        assert tracing.current_tracer() is None
+
+
+class TestLayerConstants:
+    def test_lifecycle_phases_match_across_layers(self):
+        # flightrecorder (obs) cannot import serve, so it duplicates the
+        # phase list; this is the pin that keeps the copies identical.
+        assert flightrecorder.LIFECYCLE_PHASES == serve_telemetry.PHASES

@@ -174,9 +174,11 @@ class TestBuildTrace:
             )
             == 0
         )
-        records = [
+        header, *records = [
             json.loads(line) for line in spans_path.read_text().splitlines()
         ]
+        assert header["schema"] == "repro-spans"
+        assert header["spans"] == len(records)
         names = {record["name"] for record in records}
         assert {"build.stream", "build.refine", "build.encode"} <= names
 
