@@ -124,6 +124,35 @@ class SNodeRepresentation(GraphRepresentation):
         self._old_to_new = build.numbering.old_to_new
         self._new_to_old = build.numbering.new_to_old
 
+    @classmethod
+    def open(
+        cls,
+        root,
+        buffer_bytes: int | None = None,
+        stripes: int = 1,
+        on_corruption: str = "raise",
+    ) -> "SNodeRepresentation":
+        """Open a committed build directory without rebuilding.
+
+        The serving-side constructor (hot store swap, corrupt-store
+        fixtures): everything comes off disk via
+        :func:`~repro.snode.build.open_snode`, so the logical model is
+        absent and model-dependent accessors (``num_edges``) raise.
+        """
+        from repro.snode.build import open_snode
+        from repro.snode.store import DEFAULT_BUFFER_BYTES
+
+        return cls(
+            open_snode(
+                root,
+                buffer_bytes=(
+                    DEFAULT_BUFFER_BYTES if buffer_bytes is None else buffer_bytes
+                ),
+                stripes=stripes,
+                on_corruption=on_corruption,
+            )
+        )
+
     @property
     def store(self):
         """The underlying :class:`~repro.snode.store.SNodeStore`."""
@@ -157,9 +186,15 @@ class SNodeRepresentation(GraphRepresentation):
         from repro.snode.encode import supernode_graph_size_bytes
 
         manifest = self._store.manifest
+        if self._build.model is None:
+            # Opened from disk: the manifest records the encoded
+            # supernode-graph size, so no model is needed.
+            supernode_bytes = manifest["supernode_graph_bytes"]
+        else:
+            supernode_bytes = supernode_graph_size_bytes(self._build.model)
         return (
             manifest["payload_bytes"]
-            + supernode_graph_size_bytes(self._build.model)
+            + supernode_bytes
             + manifest["pageid_bytes"]
         )
 

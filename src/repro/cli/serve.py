@@ -18,6 +18,7 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
     from repro.obs.flightrecorder import FlightRecorder
     from repro.serve.daemon import GraphQueryDaemon, ServeContext
     from repro.serve.telemetry import ServeTelemetry
+    from repro.storage import faults
 
     size = arguments.size or sweep_sizes()[3]
     if not arguments.quiet:
@@ -36,7 +37,40 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
             base,
             buffer_bytes=arguments.buffer_kb * 1024,
             stripes=arguments.stripes,
+            on_corruption=arguments.on_corruption,
         )
+        if arguments.corrupt_pages:
+            # Chaos fixture: flip bytes inside committed payload regions,
+            # then reopen the stores cold so every read re-verifies CRCs.
+            context.close()
+            corrupted = 0
+            for name in ("serve_f", "serve_b"):
+                corrupted += faults.corrupt_snode_regions(
+                    base / name,
+                    limit=arguments.corrupt_pages,
+                    seed=arguments.fault_seed,
+                )
+            if not arguments.quiet:
+                print(
+                    f"[serve] corrupted {corrupted} stored regions "
+                    f"(on_corruption={arguments.on_corruption})",
+                    file=sys.stderr,
+                )
+            context = ServeContext.open(
+                repository,
+                base,
+                buffer_bytes=arguments.buffer_kb * 1024,
+                stripes=arguments.stripes,
+                on_corruption=arguments.on_corruption,
+            )
+        fault_plan = None
+        if arguments.fault_eio_rate or arguments.fault_slow_rate:
+            fault_plan = faults.FaultPlan(
+                seed=arguments.fault_seed,
+                eio_rate=arguments.fault_eio_rate,
+                slow_read_rate=arguments.fault_slow_rate,
+                slow_read_seconds=arguments.fault_slow_ms / 1000.0,
+            )
         telemetry = ServeTelemetry(
             window_seconds=arguments.window_seconds,
             windows=arguments.windows,
@@ -67,6 +101,43 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
 
             async def serve() -> None:
                 await daemon.start()
+                stop = asyncio.Event()
+                loop = asyncio.get_running_loop()
+                # SIGINT and SIGTERM (`kill`, Ctrl-C, service managers)
+                # take the same graceful path: stop accepting, drain
+                # in-flight work, then write the shutdown debug bundle.
+                for signum in (signal.SIGINT, signal.SIGTERM):
+                    with contextlib.suppress(
+                        NotImplementedError, ValueError, RuntimeError
+                    ):
+                        loop.add_signal_handler(signum, stop.set)
+
+                def _swap_done(task: asyncio.Task) -> None:
+                    try:
+                        outcome = task.result()
+                    except Exception as exc:  # noqa: BLE001 — report, keep serving
+                        print(f"[serve] store swap failed: {exc}",
+                              file=sys.stderr, flush=True)
+                    else:
+                        print(
+                            f"[serve] swapped stores to "
+                            f"{outcome['workdir']} (generation "
+                            f"{outcome['generation']}, drained "
+                            f"{outcome['drained']} in-flight)",
+                            file=sys.stderr, flush=True,
+                        )
+
+                def _on_hup() -> None:
+                    task = loop.create_task(
+                        daemon.swap_stores(arguments.swap_dir)
+                    )
+                    task.add_done_callback(_swap_done)
+
+                if arguments.swap_dir and hasattr(signal, "SIGHUP"):
+                    with contextlib.suppress(
+                        NotImplementedError, ValueError, RuntimeError
+                    ):
+                        loop.add_signal_handler(signal.SIGHUP, _on_hup)
                 print(
                     f"serving {repository.num_pages} pages on "
                     f"{arguments.host}:{daemon.bound_port} "
@@ -74,18 +145,26 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
                     f"queue_limit={daemon.queue_limit})",
                     flush=True,
                 )
-                await daemon.serve_forever()
+                try:
+                    await stop.wait()
+                finally:
+                    await daemon.stop()
 
-            # SIGTERM (`kill`, service managers) must take the same
-            # graceful path as Ctrl-C, or the shutdown debug bundle
-            # below would never be written.
+            # Fallback for platforms without add_signal_handler: turn
+            # SIGTERM into the KeyboardInterrupt that asyncio.run already
+            # handles (add_signal_handler, where supported, overrides it).
             def _terminate(signum, frame):
                 raise KeyboardInterrupt
 
             with contextlib.suppress(ValueError):  # non-main thread
                 signal.signal(signal.SIGTERM, _terminate)
 
-            with contextlib.suppress(KeyboardInterrupt):
+            plan_scope = (
+                faults.activated(fault_plan)
+                if fault_plan is not None
+                else contextlib.nullcontext()
+            )
+            with plan_scope, contextlib.suppress(KeyboardInterrupt):
                 asyncio.run(serve())
             if arguments.debug_bundle:
                 path = daemon.dump_debug_bundle(arguments.debug_bundle)
@@ -106,20 +185,41 @@ def _cmd_loadgen(arguments: argparse.Namespace) -> int:
     from repro.experiments.harness import emit_report
     from repro.serve.loadgen import run_load
 
+    deadline_ms = arguments.deadline_ms
+    deadline_every = arguments.deadline_every
+    if arguments.chaos:
+        # The chaos preset: deadlines on every third request, at the
+        # budget the chaos sweep gates on.  Explicit flags still win.
+        if deadline_ms is None:
+            deadline_ms = 250.0
+        if deadline_every == 0:
+            deadline_every = 3
     load = run_load(
         arguments.host,
         arguments.port,
         concurrency=arguments.concurrency,
         requests_per_client=arguments.requests,
+        deadline_ms=deadline_ms,
+        deadline_every=deadline_every,
+        retry_seed=arguments.retry_seed,
+        retry_budget=arguments.retry_budget,
     )
     summary = load.summary()
     client_hist = load.latency_histogram()
     print(
         f"requests ok {load.requests_ok} / "
         f"{load.concurrency * load.requests_per_client}, "
+        f"degraded {load.requests_degraded}, "
+        f"timeout {load.requests_timeout}, "
         f"failed {load.requests_failed}, "
         f"backpressure retries {load.shed_retries}"
     )
+    if load.deadline_requests:
+        print(
+            f"deadlines: {load.deadline_requests} requests carried "
+            f"{deadline_ms:g} ms, {load.requests_timeout} timed out, "
+            f"honored: {load.deadline_honored()}"
+        )
     if client_hist.count:
         print(
             f"throughput {load.throughput_qps:.1f} q/s, client latency p50 "
@@ -149,6 +249,9 @@ def _cmd_loadgen(arguments: argparse.Namespace) -> int:
             "port": arguments.port,
             "concurrency": arguments.concurrency,
             "requests_per_client": arguments.requests,
+            "deadline_ms": deadline_ms,
+            "deadline_every": deadline_every,
+            "retry_seed": arguments.retry_seed,
         },
         histograms={
             "client_latency": client_hist.to_dict(),
@@ -159,6 +262,7 @@ def _cmd_loadgen(arguments: argparse.Namespace) -> int:
     failed = (
         load.requests_failed > 0
         or not consistent
+        or not load.deadline_honored()
         or any(client.error for client in load.clients)
     )
     return 1 if failed else 0
@@ -227,6 +331,37 @@ def register(commands) -> None:
         help="write a debug bundle (traces + stats + config + slow log) "
              "to DIR on shutdown",
     )
+    serve.add_argument(
+        "--swap-dir", default=None, metavar="DIR",
+        help="on SIGHUP, hot-swap onto the serve_f/serve_b pair under DIR "
+             "(validate, open, drain, switch — no dropped requests)",
+    )
+    serve.add_argument(
+        "--on-corruption", choices=("raise", "degrade"), default="raise",
+        help="corrupt-region policy of the serving stores (degrade = "
+             "quarantine and answer without the region)",
+    )
+    serve.add_argument(
+        "--corrupt-pages", type=int, default=0, metavar="N",
+        help="chaos fixture: flip one byte in N stored regions per "
+             "direction after the build, then reopen cold",
+    )
+    serve.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="seed of the injected-fault schedule (and --corrupt-pages)",
+    )
+    serve.add_argument(
+        "--fault-eio-rate", type=float, default=0.0,
+        help="probability of an injected transient EIO per read",
+    )
+    serve.add_argument(
+        "--fault-slow-rate", type=float, default=0.0,
+        help="probability of an injected slow read per read",
+    )
+    serve.add_argument(
+        "--fault-slow-ms", type=float, default=5.0,
+        help="stall of each injected slow read (milliseconds)",
+    )
     serve.add_argument("--quiet", action="store_true")
     serve.set_defaults(handler=_cmd_serve)
 
@@ -238,5 +373,26 @@ def register(commands) -> None:
     loadgen.add_argument("--concurrency", type=int, default=8)
     loadgen.add_argument("--requests", type=int, default=12,
                          help="query requests per client")
+    loadgen.add_argument(
+        "--chaos", action="store_true",
+        help="chaos preset: attach a 250 ms deadline to every third "
+             "request (explicit --deadline-* flags override)",
+    )
+    loadgen.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="deadline budget attached to requests (default: none)",
+    )
+    loadgen.add_argument(
+        "--deadline-every", type=int, default=0, metavar="K",
+        help="attach the deadline to every Kth request (0 = all)",
+    )
+    loadgen.add_argument(
+        "--retry-seed", type=int, default=0,
+        help="seed of the backpressure retry jitter streams",
+    )
+    loadgen.add_argument(
+        "--retry-budget", type=int, default=None, metavar="TOKENS",
+        help="shared cap on total backpressure retries (default: none)",
+    )
     add_report_arguments(loadgen)
     loadgen.set_defaults(handler=_cmd_loadgen)

@@ -10,6 +10,13 @@ slowest recent requests with their request ids.
 
 ``--once`` prints a single snapshot and exits (scripts, CI smoke);
 ``--prometheus`` prints the Prometheus text exposition instead.
+
+In the refresh loop a lost connection (the daemon restarted, e.g.
+around a store swap) is ridden out: the dashboard reconnects under the
+shared :class:`~repro.serve.retry.RetryPolicy` instead of exiting, and
+only gives up (exit 2) when the daemon stays away for the whole retry
+schedule.  The *initial* connect stays a single attempt — pointing top
+at nothing should fail fast, and scripts rely on that.
 """
 
 from __future__ import annotations
@@ -60,6 +67,16 @@ def render_top(snapshot: dict) -> str:
     ]
     if pool:
         lines.append("buffer pool: " + "  ".join(pool))
+    storage = snapshot.get("storage", {})
+    if storage:
+        # I/O-resilience counters: transparent retries absorbed by the
+        # storage layer, injected faults seen, quarantined-region reads.
+        lines.append(
+            "storage: "
+            + "  ".join(
+                f"{name} {int(value)}" for name, value in sorted(storage.items())
+            )
+        )
 
     ops = snapshot.get("ops", {})
     op_rows = []
@@ -132,9 +149,12 @@ def render_top(snapshot: dict) -> str:
 
 
 def _cmd_top(arguments: argparse.Namespace) -> int:
+    import contextlib
     import sys
 
+    from repro.errors import ServeError
     from repro.serve.loadgen import ServeClient
+    from repro.serve.retry import RetryPolicy
 
     try:
         client = ServeClient(arguments.host, arguments.port)
@@ -147,12 +167,37 @@ def _cmd_top(arguments: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
-    with client:
+    # Reconnect policy for the refresh loop: patient enough to ride out
+    # a daemon restart (~20 jittered attempts capped at 2 s each), but
+    # it does give up eventually.
+    policy = RetryPolicy(base_s=0.2, cap_s=2.0, max_attempts=20)
+    try:
         if arguments.prometheus:
             print(client.request_ok("metrics", format="text")["text"], end="")
             return 0
         while True:
-            snapshot = client.request_ok("metrics")
+            try:
+                snapshot = client.request_ok("metrics")
+            except (ServeError, OSError) as exc:
+                if arguments.once:
+                    raise
+                with contextlib.suppress(Exception):
+                    client.close()
+                print(
+                    f"repro top: lost daemon at "
+                    f"{arguments.host}:{arguments.port} ({exc}); "
+                    f"reconnecting...",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                try:
+                    client = ServeClient.connect(
+                        arguments.host, arguments.port, policy=policy
+                    )
+                except ServeError as giveup:
+                    print(f"repro top: {giveup}", file=sys.stderr)
+                    return 2
+                continue
             text = render_top(snapshot)
             if arguments.once:
                 print(text)
@@ -163,6 +208,9 @@ def _cmd_top(arguments: argparse.Namespace) -> int:
                 time.sleep(arguments.interval)
             except KeyboardInterrupt:
                 return 0
+    finally:
+        with contextlib.suppress(Exception):
+            client.close()
 
 
 def register(commands) -> None:

@@ -35,10 +35,17 @@ def _load_traces(arguments: argparse.Namespace) -> tuple[list[dict], dict]:
             raise ServeError(str(exc)) from exc
         return bundle["traces"], bundle
     from repro.serve.loadgen import ServeClient
+    from repro.serve.retry import RetryPolicy
 
     try:
-        client = ServeClient(arguments.host, arguments.port)
-    except OSError as exc:
+        # A handful of jittered attempts rides out a daemon mid-restart
+        # (e.g. around a store swap) without hanging on a dead address.
+        client = ServeClient.connect(
+            arguments.host,
+            arguments.port,
+            policy=RetryPolicy(base_s=0.1, cap_s=1.0, max_attempts=5),
+        )
+    except ServeError as exc:
         raise ServeError(
             f"cannot connect to daemon at "
             f"{arguments.host}:{arguments.port}: {exc} "

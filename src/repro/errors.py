@@ -71,6 +71,16 @@ class ServeError(ReproError):
     """The graph query daemon or its client hit a protocol-level problem."""
 
 
+class DeadlineError(ServeError):
+    """A request's ``deadline_ms`` expired before it finished executing.
+
+    Typed so the daemon can map it to the wire-level ``timeout`` reply
+    (and count it separately from real failures): a deadline miss is the
+    *client's* latency contract expiring, not a server fault — the work
+    was shed or abandoned, never half-done.
+    """
+
+
 class BuildError(ReproError):
     """The S-Node build pipeline could not complete."""
 

@@ -35,18 +35,43 @@ the admission limit) and emits per-level shed-rate and server-measured
 queue-wait columns — the ``results.overload`` rows in
 ``BENCH_serve.json`` that plot saturation behaviour.
 
+Then two resilience phases:
+
+* **chaos sweep** — a corrupted *copy* of the store pair (one flipped
+  byte in every intranode region) is served with
+  ``on_corruption="degrade"`` under an activated
+  :class:`~repro.storage.faults.FaultPlan` (transient EIOs + seeded
+  slow reads) while the load generator attaches deadlines to every
+  third request.  Gates: no request lost (``chaos_conserved``,
+  ``chaos_zero_failed``), corruption answered as typed ``degraded``
+  replies with quarantine counters moving (``chaos_degraded_served``,
+  ``chaos_degraded_accounted``), deadlines honored under slow I/O
+  (``chaos_deadline_honored``).
+* **hot swap** — a second, freshly built store pair is swapped in via
+  the ``swap`` admin op *while the load generator is mid-run*.  Gates:
+  zero failed or dropped requests across the swap
+  (``swap_zero_failed``, ``swap_conserved``), the swap actually
+  happened (``swap_applied``) and every reply — before and after the
+  flip — carries the serial baseline's digest
+  (``swap_matches_serial``).
+
 Reported costs: throughput, request latency percentiles, queue-wait
-percentiles, hit rates.  Latency, throughput and shed counts are
-machine-/interleaving-dependent (CI ignores them); the digests,
+percentiles, hit rates.  Latency, throughput, shed/timeout counts and
+the ``chaos_detail``/``swap_detail`` sections are machine-/
+interleaving-dependent (CI ignores them); the digests,
 ``matches_serial``, ``metrics_conserved``, ``requests_conserved``,
-``attribution_conserved``, ``traces_propagated`` and ``requests_ok``
-are deterministic and CI-gated exactly.
+``attribution_conserved``, ``traces_propagated``, ``requests_ok`` and
+every ``chaos_*``/``swap_*`` boolean gate are deterministic and
+CI-gated exactly.
 """
 
 from __future__ import annotations
 
 import argparse
+import shutil
 import tempfile
+import threading
+import time
 from pathlib import Path
 
 from repro.errors import ServeError
@@ -68,9 +93,10 @@ from repro.serve.daemon import (
     GraphQueryDaemon,
     ServeContext,
 )
-from repro.serve.loadgen import DEFAULT_MIX, run_load
+from repro.serve.loadgen import DEFAULT_MIX, ServeClient, run_load
 from repro.serve.telemetry import DELTA_COUNTERS
 from repro.query.workload import run_query
+from repro.storage import faults
 
 DEFAULT_CONCURRENCY = 8
 DEFAULT_REQUESTS_PER_CLIENT = 12
@@ -124,13 +150,18 @@ def _client_sums(load) -> dict[str, int]:
 def _conservation(daemon: GraphQueryDaemon, load) -> tuple[bool, dict]:
     """Check the daemon's telemetry accounts for every frame sent.
 
-    Three identities must hold whatever the thread interleaving:
+    Five identities must hold whatever the thread interleaving:
 
     * telemetry's ``query`` op total equals the client-side frame count
-      ok + shed + failed (every retry is its own frame);
+      ok + degraded + shed + timeout + failed (every retry is its own
+      frame);
     * the ``backpressure`` outcome total equals the client's retry count;
-    * successful outcomes (ok + degraded) equal the client's successful
-      queries plus its non-query frames (the per-client ``stats`` call).
+    * the ``degraded`` outcome total equals the client's count of
+      answers served from quarantined regions;
+    * the ``timeout`` outcome total equals the client's typed timeout
+      replies;
+    * whole (``ok``) outcomes equal the client's successful queries plus
+      its non-query frames (the per-client ``stats`` call, a ``swap``).
     """
     snapshot = daemon.telemetry.snapshot()
     op_totals = {
@@ -141,15 +172,22 @@ def _conservation(daemon: GraphQueryDaemon, load) -> tuple[bool, dict]:
     outcome_totals = {
         name: data["total"] for name, data in snapshot["outcomes"].items()
     }
-    query_frames = load.requests_ok + load.shed_retries + load.requests_failed
+    query_frames = (
+        load.requests_ok
+        + load.requests_degraded
+        + load.shed_retries
+        + load.requests_timeout
+        + load.requests_failed
+    )
     other_frames = sum(
         total for name, total in op_totals.items() if name != "query"
     )
     conserved = (
         op_totals.get("query", 0) == query_frames
         and outcome_totals["backpressure"] == load.shed_retries
-        and outcome_totals["ok"] + outcome_totals["degraded"]
-        == load.requests_ok + other_frames
+        and outcome_totals.get("degraded", 0) == load.requests_degraded
+        and outcome_totals.get("timeout", 0) == load.requests_timeout
+        and outcome_totals["ok"] == load.requests_ok + other_frames
     )
     return conserved, outcome_totals
 
@@ -196,6 +234,206 @@ def _overload_level(
         "server_ms_p50": (server_hist.p50 if server_hist.count else 0.0) * 1000.0,
         "server_ms_p99": (server_hist.p99 if server_hist.count else 0.0) * 1000.0,
         "requests_conserved": conserved,
+    }
+
+
+#: Seed of the chaos fixture's byte flips (which byte of each region).
+_CHAOS_CORRUPT_SEED = 29
+#: Seeded fault schedule of the chaos sweep: transient EIOs well under
+#: the storage layer's bounded-retry coverage, slow reads frequent
+#: enough to stress the deadline path without starving it.
+_CHAOS_FAULT_SEED = 31
+_CHAOS_EIO_RATE = 0.02
+_CHAOS_SLOW_RATE = 0.05
+_CHAOS_SLOW_SECONDS = 0.004
+#: Deadline budget of the chaos sweep, attached to every third request.
+_CHAOS_DEADLINE_MS = 250.0
+_CHAOS_DEADLINE_EVERY = 3
+
+
+def _chaos_phase(
+    repository,
+    base: Path,
+    concurrency: int,
+    requests_per_client: int,
+    workers: int,
+    queue_limit: int,
+    buffer_bytes: int,
+    stripes: int,
+) -> dict:
+    """Serve a corrupted store copy under injected faults and deadlines.
+
+    Copies the committed pair, flips one byte in *every* intranode
+    region (so any adjacency read is guaranteed to hit a CRC mismatch),
+    reopens the copy cold with ``on_corruption="degrade"`` and drives
+    the Figure 11 mix through a fresh daemon while a seeded
+    :class:`~repro.storage.faults.FaultPlan` injects transient EIOs and
+    slow reads.  Returns the flat ``chaos_*`` gate booleans plus the
+    interleaving-dependent counts under ``chaos_detail``.
+    """
+    chaos_dir = base / "chaos"
+    corrupted = 0
+    for name in ("serve_f", "serve_b"):
+        shutil.copytree(base / name, chaos_dir / name)
+        corrupted += faults.corrupt_snode_regions(
+            chaos_dir / name, seed=_CHAOS_CORRUPT_SEED
+        )
+    context = ServeContext.open(
+        repository,
+        chaos_dir,
+        buffer_bytes=buffer_bytes,
+        stripes=stripes,
+        on_corruption="degrade",
+    )
+    try:
+        before = _counter_totals(context)
+        daemon = GraphQueryDaemon(
+            context, workers=workers, queue_limit=queue_limit
+        )
+        plan = faults.FaultPlan(
+            seed=_CHAOS_FAULT_SEED,
+            eio_rate=_CHAOS_EIO_RATE,
+            slow_read_rate=_CHAOS_SLOW_RATE,
+            slow_read_seconds=_CHAOS_SLOW_SECONDS,
+        )
+        with faults.activated(plan), DaemonHandle(daemon) as handle:
+            load = run_load(
+                "127.0.0.1",
+                handle.port,
+                concurrency=concurrency,
+                requests_per_client=requests_per_client,
+                deadline_ms=_CHAOS_DEADLINE_MS,
+                deadline_every=_CHAOS_DEADLINE_EVERY,
+            )
+        after = _counter_totals(context)
+        conserved, outcome_totals = _conservation(daemon, load)
+        degraded_read_growth = (
+            after["degraded_reads"] - before["degraded_reads"]
+        )
+        storage = daemon.io_resilience()
+        client_errors = [c.error for c in load.clients if c.error]
+        return {
+            # Deterministic gates (CI exact-pins these):
+            "chaos_conserved": conserved,
+            "chaos_zero_failed": load.requests_failed == 0
+            and not client_errors,
+            "chaos_degraded_served": load.requests_degraded > 0
+            and degraded_read_growth > 0,
+            "chaos_degraded_accounted": outcome_totals.get("degraded", 0)
+            == load.requests_degraded,
+            "chaos_deadline_honored": load.deadline_honored(),
+            # Interleaving-/timing-dependent observability (CI ignores):
+            "chaos_detail": {
+                "regions_corrupted": corrupted,
+                "degraded": load.requests_degraded,
+                "whole": load.requests_ok,
+                "timeouts": load.requests_timeout,
+                "shed": load.shed_retries,
+                "deadline_carried": load.deadline_requests,
+                "deadline_violations": load.deadline_violations,
+                "degraded_reads": degraded_read_growth,
+                "io_retries": storage.get("io_retries", 0),
+                "fault_eio": storage.get("fault_eio", 0),
+                "slow_reads": storage.get("fault_slow_reads", 0),
+                "errors": client_errors,
+            },
+        }
+    finally:
+        context.close()
+
+
+#: How long the swap-phase load runs before the swap op lands — long
+#: enough that requests are in flight, short enough that plenty follow
+#: the flip.
+_SWAP_DELAY_S = 0.05
+
+
+def _swap_phase(
+    repository,
+    context: ServeContext,
+    base: Path,
+    serial_digests: dict[str, str],
+    concurrency: int,
+    requests_per_client: int,
+    workers: int,
+    queue_limit: int,
+    buffer_bytes: int,
+    stripes: int,
+) -> dict:
+    """Hot-swap onto a freshly built pair while the load generator runs.
+
+    Builds a second, byte-identical store pair under ``base/swap_store``
+    (same repository, same refinement — so replies must carry the same
+    digests), starts the Figure 11 load in a background thread, sends
+    the ``swap`` admin op mid-run, and checks nothing failed, nothing
+    was lost and every digest still matches the serial baseline.
+
+    Mutates ``context``: on return it serves from the swapped-in pair
+    (the original stores are closed).
+    """
+    from repro.experiments.harness import experiment_refinement_config
+    from repro.snode.build import BuildOptions, build_snode
+
+    swap_dir = base / "swap_store"
+    refinement = experiment_refinement_config()
+    build_snode(
+        repository,
+        swap_dir / "serve_f",
+        BuildOptions(refinement=refinement, buffer_bytes=buffer_bytes),
+    ).store.close()
+    build_snode(
+        repository,
+        swap_dir / "serve_b",
+        BuildOptions(
+            refinement=refinement, buffer_bytes=buffer_bytes, transpose=True
+        ),
+    ).store.close()
+    daemon = GraphQueryDaemon(
+        context, workers=workers, queue_limit=queue_limit
+    )
+    box: dict = {}
+    with DaemonHandle(daemon) as handle:
+
+        def _drive() -> None:
+            box["load"] = run_load(
+                "127.0.0.1",
+                handle.port,
+                concurrency=concurrency,
+                requests_per_client=requests_per_client,
+            )
+
+        thread = threading.Thread(target=_drive, name="swap-load")
+        thread.start()
+        time.sleep(_SWAP_DELAY_S)
+        with ServeClient("127.0.0.1", handle.port) as admin:
+            swap_outcome = admin.swap(str(swap_dir))
+        thread.join()
+    load = box["load"]
+    conserved, _ = _conservation(daemon, load)
+    observed = load.digests()
+    matches_serial = load.consistent() and all(
+        observed.get(name) == {digest}
+        for name, digest in serial_digests.items()
+    )
+    client_errors = [c.error for c in load.clients if c.error]
+    return {
+        # Deterministic gates (CI exact-pins these):
+        "swap_applied": bool(swap_outcome.get("swapped"))
+        and daemon.counters.store_swaps == 1
+        and context.generation == 1,
+        "swap_matches_serial": matches_serial,
+        "swap_zero_failed": load.requests_failed == 0
+        and load.requests_timeout == 0
+        and not client_errors,
+        "swap_conserved": conserved,
+        # Timing-dependent observability (CI ignores):
+        "swap_detail": {
+            "drained_in_flight": swap_outcome.get("drained", 0),
+            "generation": swap_outcome.get("generation", 0),
+            "completed": load.requests_ok,
+            "shed": load.shed_retries,
+            "errors": client_errors,
+        },
     }
 
 
@@ -283,6 +521,32 @@ def run(
                     )
                     for clients in _overload_levels(queue_limit, concurrency)
                 ]
+            with tracing.span("serve.chaos"):
+                chaos = _chaos_phase(
+                    repository,
+                    base,
+                    concurrency,
+                    requests_per_client,
+                    workers,
+                    queue_limit,
+                    buffer_bytes,
+                    stripes,
+                )
+            # The swap phase runs last: it retires the original stores
+            # and leaves the context serving from the swapped-in pair.
+            with tracing.span("serve.swap"):
+                swap = _swap_phase(
+                    repository,
+                    context,
+                    base,
+                    serial_digests,
+                    concurrency,
+                    requests_per_client,
+                    workers,
+                    queue_limit,
+                    buffer_bytes,
+                    stripes,
+                )
             results = {
                 "num_pages": repository.num_pages,
                 "buffer_bytes": buffer_bytes,
@@ -356,6 +620,8 @@ def run(
                 },
                 "daemon": daemon.counters.as_dict(),
             }
+            results.update(chaos)
+            results.update(swap)
             hits = growth["buffer_hits"] - growth["buffer_pinned_hits"]
             lookups = hits + growth["buffer_misses"]
             results["hit_rate_pct"] = (
@@ -399,6 +665,28 @@ def report(results: dict) -> str:
         ("attribution conserved", results["attribution_conserved"]),
         ("traces propagated", results["traces_propagated"]),
     ]
+    if "chaos_conserved" in results:
+        detail = results.get("chaos_detail", {})
+        rows.extend([
+            ("chaos: conserved / zero failed",
+             f"{results['chaos_conserved']} / {results['chaos_zero_failed']}"),
+            ("chaos: degraded served / accounted",
+             f"{results['chaos_degraded_served']} / "
+             f"{results['chaos_degraded_accounted']}"),
+            ("chaos: deadlines honored", results["chaos_deadline_honored"]),
+            ("chaos: degraded / timeouts / retries",
+             f"{detail.get('degraded', 0)} / {detail.get('timeouts', 0)} / "
+             f"{detail.get('io_retries', 0)}"),
+        ])
+    if "swap_applied" in results:
+        detail = results.get("swap_detail", {})
+        rows.extend([
+            ("swap: applied / matches serial",
+             f"{results['swap_applied']} / {results['swap_matches_serial']}"),
+            ("swap: zero failed / conserved",
+             f"{results['swap_zero_failed']} / {results['swap_conserved']}"),
+            ("swap: drained in flight", detail.get("drained_in_flight", 0)),
+        ])
     table = format_table(["metric", "value"], rows)
     attribution_rows = [
         (
@@ -494,6 +782,24 @@ def main() -> None:
         raise ServeError(
             f"overload sweep lost requests at concurrency {unconserved}"
         )
+    chaos_gates = {
+        "chaos_conserved": "chaos sweep lost requests",
+        "chaos_zero_failed": "chaos sweep failed requests hard",
+        "chaos_degraded_served":
+            "chaos sweep never answered from quarantined regions",
+        "chaos_degraded_accounted":
+            "degraded replies do not match the degraded outcome total",
+        "chaos_deadline_honored":
+            "a deadline request answered later than deadline + grace",
+        "swap_applied": "the hot store swap did not happen",
+        "swap_matches_serial":
+            "replies across the swap diverged from the serial baseline",
+        "swap_zero_failed": "requests failed during the hot swap",
+        "swap_conserved": "telemetry lost requests across the hot swap",
+    }
+    for gate, message in chaos_gates.items():
+        if not results[gate]:
+            raise ServeError(message)
     emit_report(
         arguments.json_dir,
         "serve",

@@ -14,6 +14,10 @@ with its own metrics session, behind explicit admission control.
 * :mod:`repro.serve.loadgen` — :class:`~repro.serve.loadgen.ServeClient`
   and :func:`~repro.serve.loadgen.run_load`, the Figure 11 mix driver
   behind ``repro loadgen`` and the ``serve`` benchmark;
+* :mod:`repro.serve.retry` — :class:`~repro.serve.retry.RetryPolicy`,
+  the seeded decorrelated-jitter backoff (with shared
+  :class:`~repro.serve.retry.RetryBudget` and idempotency gating)
+  every daemon client retries through;
 * :mod:`repro.serve.telemetry` — per-request lifecycle records
   (:class:`~repro.serve.telemetry.RequestRecord`) aggregated by
   :class:`~repro.serve.telemetry.ServeTelemetry` into windowed
@@ -27,6 +31,7 @@ from repro.serve.daemon import (
     ServeContext,
 )
 from repro.serve.loadgen import LoadResult, ServeClient, run_load
+from repro.serve.retry import RetryBudget, RetryPolicy
 from repro.serve.telemetry import (
     RequestRecord,
     ServeTelemetry,
@@ -38,6 +43,8 @@ __all__ = [
     "GraphQueryDaemon",
     "LoadResult",
     "RequestRecord",
+    "RetryBudget",
+    "RetryPolicy",
     "ServeClient",
     "ServeContext",
     "ServeTelemetry",

@@ -24,11 +24,33 @@ Architecture (the paper's runtime organization, made multi-client):
 — they touch no disk and must stay responsive under query overload
 (``stats``/``metrics`` are how an operator sees the overload).
 
+**Deadlines.**  A query/neighbors request may carry ``deadline_ms``
+(:func:`repro.serve.protocol.parse_deadline_ms`), a budget measured
+from frame acceptance and enforced at three points: already-expired
+work is shed *before* admission (it never occupies a worker slot), a
+worker sheds a request whose deadline passed while it sat in the queue,
+and a request still executing at its deadline gets a typed ``timeout``
+reply sent *at the deadline* while the abandoned execution drains in
+the background (the connection's next frame is not read until it does,
+preserving the strictly-sequential per-connection invariant that
+per-request counter attribution depends on).
+
+**Hot store swap.**  The ``swap`` admin op (also reachable via SIGHUP
+in ``repro serve``) points the daemon at a freshly built store
+directory pair: the directories are validated off-loop (committed
+build, manifest digest, whole-file CRCs via quick fsck, matching page
+count), opened cold, then the context flips atomically on the event
+loop and in-flight requests drain against the old stores before they
+close.  Requests admitted before the flip finish on the old store,
+requests after it run on the new one; none fail.  Connections lazily
+rebuild their sessions when they observe the context generation moved.
+
 **Telemetry.**  Every frame becomes a
 :class:`~repro.serve.telemetry.RequestRecord`: a request id (the
 client's ``rid`` or a daemon-generated one), per-phase timings along
 ``accept -> decode -> queue-wait -> execute -> encode -> reply``, an
-outcome (``ok | backpressure | bad_request | server_error | degraded``)
+outcome (``ok | backpressure | bad_request | server_error | degraded |
+timeout``)
 and the session counter deltas the request caused.  Records feed the
 shared :class:`~repro.serve.telemetry.ServeTelemetry` (windowed
 histograms, outcome rates, access + slow-query logs) and are echoed to
@@ -58,7 +80,13 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.errors import QueryError, ReproError, ServeError, StorageError
+from repro.errors import (
+    DeadlineError,
+    QueryError,
+    ReproError,
+    ServeError,
+    StorageError,
+)
 from repro.obs import tracing
 from repro.obs.flightrecorder import FlightRecorder, write_debug_bundle
 from repro.obs.tracing import Tracer
@@ -92,6 +120,10 @@ class ClientEngine:
     engine: QueryEngine
     forward: object  # SNodeSessionRepresentation
     backward: object
+    #: The context generation the sessions were opened against; a hot
+    #: store swap bumps the context's counter and connections rebuild
+    #: their engine when the two disagree.
+    generation: int = 0
 
     def io_stats(self) -> dict[str, dict[str, int]]:
         """This client's own counters, per direction."""
@@ -130,13 +162,29 @@ class ServeContext:
     """
 
     def __init__(
-        self, repository, text_index, pagerank_index, forward, backward
+        self,
+        repository,
+        text_index,
+        pagerank_index,
+        forward,
+        backward,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        stripes: int = DEFAULT_STRIPES,
+        on_corruption: str = "raise",
     ) -> None:
         self.repository = repository
         self.text_index = text_index
         self.pagerank_index = pagerank_index
         self.forward = forward
         self.backward = backward
+        # Store-opening configuration, remembered so a hot swap opens
+        # the replacement pair exactly the way the originals were.
+        self.buffer_bytes = buffer_bytes
+        self.stripes = stripes
+        self.on_corruption = on_corruption
+        #: Bumped by every adopted store swap; connections compare it
+        #: against their engine's generation and rebuild lazily.
+        self.generation = 0
 
     @classmethod
     def build(
@@ -146,6 +194,7 @@ class ServeContext:
         buffer_bytes: int = DEFAULT_BUFFER_BYTES,
         stripes: int = DEFAULT_STRIPES,
         refinement=None,
+        on_corruption: str = "raise",
     ) -> "ServeContext":
         """Build forward + transpose S-Node stores and the indexes.
 
@@ -177,11 +226,14 @@ class ServeContext:
                 refinement=refinement, buffer_bytes=buffer_bytes, transpose=True
             ),
         )
-        if stripes != 1:
+        if stripes != 1 or on_corruption != "raise":
             for build in (forward_build, backward_build):
                 build.store.close()
                 build.store = SNodeStore(
-                    build.root, buffer_bytes=buffer_bytes, stripes=stripes
+                    build.root,
+                    buffer_bytes=buffer_bytes,
+                    stripes=stripes,
+                    on_corruption=on_corruption,
                 )
         return cls(
             repository,
@@ -189,7 +241,140 @@ class ServeContext:
             PageRankIndex(repository),
             SNodeRepresentation(forward_build),
             SNodeRepresentation(backward_build),
+            buffer_bytes=buffer_bytes,
+            stripes=stripes,
+            on_corruption=on_corruption,
         )
+
+    @classmethod
+    def open(
+        cls,
+        repository,
+        workdir: Path | str,
+        buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+        stripes: int = DEFAULT_STRIPES,
+        on_corruption: str = "raise",
+    ) -> "ServeContext":
+        """Open committed ``serve_f``/``serve_b`` directories, no rebuild.
+
+        The disk-only twin of :meth:`build`: stores come off the
+        committed directories via
+        :meth:`~repro.baselines.base.SNodeRepresentation.open`, indexes
+        are derived from the repository as usual.  Used by chaos
+        fixtures (reopen a deliberately corrupted copy with
+        ``on_corruption="degrade"``) and anywhere a store exists but the
+        build-time state does not.
+        """
+        from repro.baselines import SNodeRepresentation
+        from repro.index.pagerank_index import PageRankIndex
+        from repro.index.textindex import TextIndex
+
+        workdir = Path(workdir)
+        forward = SNodeRepresentation.open(
+            workdir / "serve_f",
+            buffer_bytes=buffer_bytes,
+            stripes=stripes,
+            on_corruption=on_corruption,
+        )
+        backward = SNodeRepresentation.open(
+            workdir / "serve_b",
+            buffer_bytes=buffer_bytes,
+            stripes=stripes,
+            on_corruption=on_corruption,
+        )
+        context = cls(
+            repository,
+            TextIndex(repository),
+            PageRankIndex(repository),
+            forward,
+            backward,
+            buffer_bytes=buffer_bytes,
+            stripes=stripes,
+            on_corruption=on_corruption,
+        )
+        for representation in (forward, backward):
+            if representation.num_pages != repository.num_pages:
+                context.close()
+                raise ServeError(
+                    f"store under {workdir} holds "
+                    f"{representation.num_pages} pages but the repository "
+                    f"has {repository.num_pages}"
+                )
+        return context
+
+    # -- hot store swap ------------------------------------------------------
+
+    def validate_store_dir(self, root: Path) -> None:
+        """Reject ``root`` unless it is a committed, intact, matching build.
+
+        The pre-open validation of the swap protocol: build digest and
+        whole-file CRCs via quick :func:`~repro.storage.fsck.fsck`
+        (region CRCs are still verified lazily on every read), page
+        count against the serving repository.
+        """
+        from repro.storage.fsck import fsck
+
+        report = fsck(root, quick=True)
+        if not report.ok:
+            problems = "; ".join(f.render() for f in report.findings[:3])
+            raise ServeError(
+                f"swap rejected: {root} failed validation "
+                f"(state={report.state}) {problems}"
+            )
+        if report.scheme != "s-node":
+            raise ServeError(
+                f"swap rejected: {root} holds a {report.scheme} build, "
+                "not an s-node store"
+            )
+
+    def open_pair(self, workdir: Path | str):
+        """Validate and open a fresh ``serve_f``/``serve_b`` pair.
+
+        Runs off the event loop (blocking I/O); returns the opened
+        representations without touching the serving state — adoption
+        is a separate, event-loop-confined step (:meth:`adopt`).
+        """
+        from repro.baselines import SNodeRepresentation
+
+        workdir = Path(workdir)
+        for name in ("serve_f", "serve_b"):
+            self.validate_store_dir(workdir / name)
+        opened = []
+        try:
+            for name in ("serve_f", "serve_b"):
+                representation = SNodeRepresentation.open(
+                    workdir / name,
+                    buffer_bytes=self.buffer_bytes,
+                    stripes=self.stripes,
+                    on_corruption=self.on_corruption,
+                )
+                opened.append(representation)
+                if representation.num_pages != self.repository.num_pages:
+                    raise ServeError(
+                        f"swap rejected: {workdir / name} holds "
+                        f"{representation.num_pages} pages, serving "
+                        f"repository has {self.repository.num_pages}"
+                    )
+        except BaseException:
+            for representation in opened:
+                representation.close()
+            raise
+        return opened[0], opened[1]
+
+    def adopt(self, forward, backward):
+        """Switch to a new store pair; returns the old pair, still open.
+
+        Must run on the daemon's event loop: the reference flip plus the
+        generation bump are one atomic step from every coroutine's point
+        of view, so a dispatch either sees the old pair or the new pair,
+        never a mix.  The caller drains in-flight work before closing
+        the returned old pair.
+        """
+        old = (self.forward, self.backward)
+        self.forward = forward
+        self.backward = backward
+        self.generation += 1
+        return old
 
     def make_engine(self, label: str) -> ClientEngine:
         """A per-client engine reading through fresh sessions."""
@@ -201,8 +386,17 @@ class ServeContext:
             self.pagerank_index,
             forward,
             backward,
+            # The engine pushes its corruption policy down onto the
+            # stores it reads; defaulting here would silently flip a
+            # degrade-mode serving store back to raise.
+            on_corruption=self.on_corruption,
         )
-        return ClientEngine(engine=engine, forward=forward, backward=backward)
+        return ClientEngine(
+            engine=engine,
+            forward=forward,
+            backward=backward,
+            generation=self.generation,
+        )
 
     def serial_engine(self) -> QueryEngine:
         """An engine on the shared (root) path — the serial baseline."""
@@ -212,6 +406,7 @@ class ServeContext:
             self.pagerank_index,
             self.forward,
             self.backward,
+            on_corruption=self.on_corruption,
         )
 
     def shared_totals(self) -> dict[str, dict[str, float]]:
@@ -242,6 +437,8 @@ class DaemonCounters:
     requests_ok: int = 0
     requests_shed: int = 0
     requests_failed: int = 0
+    requests_timeout: int = 0
+    store_swaps: int = 0
 
     def as_dict(self) -> dict[str, int]:
         # "backpressure_replies", not "requests_shed": the count varies
@@ -252,6 +449,8 @@ class DaemonCounters:
             "requests_ok": self.requests_ok,
             "backpressure_replies": self.requests_shed,
             "requests_failed": self.requests_failed,
+            "requests_timeout": self.requests_timeout,
+            "store_swaps": self.store_swaps,
         }
 
 
@@ -285,6 +484,11 @@ class GraphQueryDaemon:
         self._next_client = 0
         self._next_rid = 0
         self._next_trace = 0
+        # In-flight executor futures (event-loop confined); a store swap
+        # snapshots this set to drain pre-swap work before closing the
+        # old stores.
+        self._active: set = set()
+        self._swap_lock: asyncio.Lock | None = None
 
     @property
     def bound_port(self) -> int:
@@ -300,6 +504,7 @@ class GraphQueryDaemon:
         self._executor = ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="serve-worker"
         )
+        self._swap_lock = asyncio.Lock()
         self._server = await asyncio.start_server(
             self._handle_client, self.host, self.port
         )
@@ -376,8 +581,26 @@ class GraphQueryDaemon:
                     await self._send(writer, reply, record)
                     break
                 record.phases["decode"] = clock() - accepted
-                reply = await self._dispatch(engine, request, record)
+                # A hot swap moved the context generation: rebuild the
+                # engine on fresh sessions (between requests — never
+                # mid-flight, dispatches are strictly sequential here).
+                if engine.generation != self.context.generation:
+                    engine.close()
+                    engine = self.context.make_engine(label)
+                reply, pending = await self._dispatch(
+                    engine, request, record, accepted
+                )
                 await self._send(writer, reply, record)
+                if pending is not None:
+                    # A deadline fired mid-execution: the timeout reply
+                    # is out, but the abandoned work still occupies a
+                    # worker slot and this connection's sessions.  Wait
+                    # for it before reading the next frame — the
+                    # strictly-sequential invariant per connection is
+                    # what makes counter attribution exact.
+                    with contextlib.suppress(Exception):
+                        await pending
+                    self._inflight -= 1
         except (ConnectionError, asyncio.CancelledError):
             pass
         finally:
@@ -423,8 +646,20 @@ class GraphQueryDaemon:
             self.flight.record(record.trace_view())
 
     async def _dispatch(
-        self, engine: ClientEngine, request, record: RequestRecord
-    ) -> dict:
+        self,
+        engine: ClientEngine,
+        request,
+        record: RequestRecord,
+        accepted: float,
+    ) -> tuple[dict, asyncio.Future | None]:
+        """Route one decoded frame; returns (reply, still-draining future).
+
+        The second element is non-None only when a deadline fired while
+        the request was executing: the typed ``timeout`` reply goes out
+        immediately, and the caller must await the abandoned future (and
+        release its admission slot) before reading the connection's next
+        frame.
+        """
         clock = self.telemetry.clock
         if not isinstance(request, dict):
             record.rid = self._generate_rid()
@@ -436,7 +671,7 @@ class GraphQueryDaemon:
                 protocol.ERROR_BAD_REQUEST,
                 record.error,
                 server=record.reply_view(),
-            )
+            ), None
         rid = request.get("rid")
         if isinstance(rid, (str, int)) and not isinstance(rid, bool):
             record.rid = str(rid)
@@ -473,13 +708,15 @@ class GraphQueryDaemon:
                     protocol.ERROR_BAD_REQUEST,
                     str(exc),
                     server=record.reply_view(),
-                )
+                ), None
             record.phases["execute"] = clock() - start
             record.outcome = "ok"
             self.counters.requests_ok += 1
             return protocol.ok_reply(
                 request_id, result, server=record.reply_view()
-            )
+            ), None
+        if op == "swap":
+            return await self._swap_op(request, record, request_id), None
         if op not in ("query", "neighbors"):
             record.error = f"unknown op {op!r}"
             self.counters.requests_failed += 1
@@ -488,7 +725,24 @@ class GraphQueryDaemon:
                 protocol.ERROR_BAD_REQUEST,
                 record.error,
                 server=record.reply_view(),
-            )
+            ), None
+        try:
+            deadline_ms = protocol.parse_deadline_ms(request)
+        except ServeError as exc:
+            record.error = str(exc)
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                request_id,
+                protocol.ERROR_BAD_REQUEST,
+                str(exc),
+                server=record.reply_view(),
+            ), None
+        deadline = (
+            None if deadline_ms is None else accepted + deadline_ms / 1000.0
+        )
+        # Shed already-expired work before it ever takes a worker slot.
+        if deadline is not None and clock() >= deadline:
+            return self._timeout_reply(request_id, record, deadline_ms), None
         # Admission control: _inflight is only touched on the event loop,
         # so the check-then-increment is race-free without a lock.
         if self._inflight >= self.queue_limit:
@@ -503,21 +757,45 @@ class GraphQueryDaemon:
                 protocol.ERROR_BACKPRESSURE,
                 record.error,
                 server=record.reply_view(),
-            )
+            ), None
         self._inflight += 1
         submitted = clock()
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(
+            self._executor,
+            self._execute_measured,
+            engine,
+            op,
+            request,
+            record,
+            submitted,
+            deadline,
+        )
+        self._active.add(future)
+        future.add_done_callback(self._active.discard)
         try:
-            loop = asyncio.get_running_loop()
-            result = await loop.run_in_executor(
-                self._executor,
-                self._execute_measured,
-                engine,
-                op,
-                request,
-                record,
-                submitted,
-            )
+            if deadline is None:
+                result = await future
+            else:
+                # The shield keeps the executor future alive past the
+                # timer: threads cannot be cancelled, only abandoned.
+                result = await asyncio.wait_for(
+                    asyncio.shield(future), max(0.0, deadline - clock())
+                )
+        except asyncio.TimeoutError:
+            # Deadline fired mid-queue or mid-execute: the typed reply
+            # goes out *now* (deadline + one scheduling quantum is the
+            # contract); the caller drains the abandoned future and then
+            # releases its admission slot.
+            return self._timeout_reply(request_id, record, deadline_ms), future
+        except DeadlineError as exc:
+            # The worker shed it at queue exit — never executed.
+            self._inflight -= 1
+            return self._timeout_reply(
+                request_id, record, deadline_ms, message=str(exc)
+            ), None
         except (QueryError, ServeError, StorageError, ValueError) as exc:
+            self._inflight -= 1
             record.outcome = "bad_request"
             record.error = str(exc)
             self.counters.requests_failed += 1
@@ -526,8 +804,9 @@ class GraphQueryDaemon:
                 protocol.ERROR_BAD_REQUEST,
                 str(exc),
                 server=record.reply_view(),
-            )
+            ), None
         except ReproError as exc:
+            self._inflight -= 1
             record.outcome = "server_error"
             record.error = str(exc)
             self.counters.requests_failed += 1
@@ -536,8 +815,9 @@ class GraphQueryDaemon:
                 protocol.ERROR_SERVER,
                 str(exc),
                 server=record.reply_view(),
-            )
+            ), None
         except Exception as exc:  # noqa: BLE001 — a query bug must not kill the daemon
+            self._inflight -= 1
             record.outcome = "server_error"
             record.error = f"{type(exc).__name__}: {exc}"
             self.counters.requests_failed += 1
@@ -546,16 +826,104 @@ class GraphQueryDaemon:
                 protocol.ERROR_SERVER,
                 record.error,
                 server=record.reply_view(),
-            )
-        finally:
-            self._inflight -= 1
+            ), None
+        self._inflight -= 1
         # A request served from quarantined regions answered, but an
         # operator must see it was not served whole.
         record.outcome = (
             "degraded" if record.counters.get("degraded_reads", 0) else "ok"
         )
         self.counters.requests_ok += 1
+        return protocol.ok_reply(
+            request_id, result, server=record.reply_view()
+        ), None
+
+    def _timeout_reply(
+        self,
+        request_id,
+        record: RequestRecord,
+        deadline_ms,
+        message: str | None = None,
+    ) -> dict:
+        """Account and build one typed ``timeout`` reply."""
+        record.outcome = "timeout"
+        record.error = message or (
+            f"deadline of {deadline_ms:g} ms expired; request abandoned"
+        )
+        self.counters.requests_timeout += 1
+        return protocol.error_reply(
+            request_id,
+            protocol.ERROR_TIMEOUT,
+            record.error,
+            server=record.reply_view(),
+        )
+
+    # -- hot store swap ---------------------------------------------------------
+
+    async def _swap_op(
+        self, request: dict, record: RequestRecord, request_id
+    ) -> dict:
+        """The ``swap`` admin op: hot-swap onto a freshly built pair."""
+        clock = self.telemetry.clock
+        start = clock()
+        workdir = request.get("workdir")
+        try:
+            if not isinstance(workdir, str) or not workdir:
+                raise ServeError("swap op needs a 'workdir' string")
+            result = await self.swap_stores(workdir)
+        except (ServeError, StorageError) as exc:
+            record.phases["execute"] = clock() - start
+            record.error = str(exc)
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                request_id,
+                protocol.ERROR_BAD_REQUEST,
+                str(exc),
+                server=record.reply_view(),
+            )
+        record.phases["execute"] = clock() - start
+        record.outcome = "ok"
+        self.counters.requests_ok += 1
         return protocol.ok_reply(request_id, result, server=record.reply_view())
+
+    async def swap_stores(self, workdir) -> dict:
+        """Hot-swap the serving stores onto the pair under ``workdir``.
+
+        The protocol, in order: **validate** the candidate directories
+        off-loop (committed build, manifest digest + whole-file CRCs via
+        quick fsck, matching page count) and open them cold; **flip**
+        the context references and bump the generation — one atomic
+        event-loop step, so every dispatch sees either the old pair or
+        the new pair; **drain** the executor futures that were in flight
+        at the flip (they run against the old stores); **close** the old
+        pair.  Requests never fail because of a swap: pre-flip
+        admissions complete on the old store, post-flip admissions run
+        on the new one, and connections rebuild their sessions lazily on
+        their next request.
+        """
+        if self._swap_lock is None:
+            raise ServeError("daemon is not started")
+        if self._swap_lock.locked():
+            raise ServeError("a store swap is already in progress")
+        async with self._swap_lock:
+            forward, backward = await asyncio.to_thread(
+                self.context.open_pair, workdir
+            )
+            # Snapshot-then-flip with no await between: the snapshot is
+            # exactly the set of requests running against the old pair.
+            pending = list(self._active)
+            old_forward, old_backward = self.context.adopt(forward, backward)
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+            await asyncio.to_thread(old_forward.close)
+            await asyncio.to_thread(old_backward.close)
+            self.counters.store_swaps += 1
+            return {
+                "swapped": True,
+                "generation": self.context.generation,
+                "drained": len(pending),
+                "workdir": str(workdir),
+            }
 
     # -- request execution (worker threads) ------------------------------------
 
@@ -579,6 +947,7 @@ class GraphQueryDaemon:
         request: dict,
         record: RequestRecord,
         submitted: float,
+        deadline: float | None = None,
     ):
         """Worker-thread wrapper: queue-wait + execute spans, counter deltas.
 
@@ -589,10 +958,20 @@ class GraphQueryDaemon:
         counter delta is this connection's I/O — another worker's
         request can never leak into it.  The resulting span records ride
         on the request record into the flight recorder.
+
+        A request whose ``deadline`` passed while it waited in the queue
+        is shed here, at queue exit, without executing — the second
+        enforcement point after the pre-admission check (the event-loop
+        timer covers the third, mid-execution, case).
         """
         clock = self.telemetry.clock
         begin = clock()
         record.phases["queue_wait"] = begin - submitted
+        if deadline is not None and begin >= deadline:
+            raise DeadlineError(
+                f"deadline expired after {record.phases['queue_wait'] * 1e3:.1f} "
+                "ms of queue wait; request shed unexecuted"
+            )
         before = self._session_counters(engine)
         tracer = Tracer(registry=engine)
         try:
@@ -641,6 +1020,24 @@ class GraphQueryDaemon:
         """Admitted requests waiting for a worker (in flight - running)."""
         return max(0, self._inflight - self.workers)
 
+    def io_resilience(self) -> dict[str, int]:
+        """Storage-level retry and injected-fault counters, both stores.
+
+        ``io_retries`` counts transient read errors
+        (:class:`~repro.storage.faults.TransientIOError`) absorbed by
+        the device layer's bounded retry loop; ``fault_*`` counters
+        appear when a chaos :class:`~repro.storage.faults.FaultPlan` is
+        active.  Summed over base + live-session registries of both
+        shared stores, so retries are visible even though requests that
+        needed one still succeeded.
+        """
+        totals: dict[str, int] = {"io_retries": 0}
+        for direction in self.context.shared_totals().values():
+            for name, value in direction.items():
+                if name == "io_retries" or name.startswith("fault_"):
+                    totals[name] = totals.get(name, 0) + int(value)
+        return totals
+
     def _stats(self, engine: ClientEngine) -> dict:
         return {
             "client": engine.io_stats(),
@@ -649,6 +1046,9 @@ class GraphQueryDaemon:
             # budget, pinned_bytes the resident floor, used_bytes the
             # LRU occupancy (see BufferPool.stats()).
             "buffer": self.context.buffer_stats(),
+            # Storage-layer resilience: absorbed retries + injected
+            # faults (see io_resilience).
+            "storage": self.io_resilience(),
             "daemon": {
                 **self.counters.as_dict(),
                 "inflight": self._inflight,
@@ -679,7 +1079,9 @@ class GraphQueryDaemon:
             raise QueryError(
                 f"metrics format must be 'json' or 'text', got {fmt!r}"
             )
-        snapshot = self.telemetry.snapshot(gauges=self._gauges())
+        snapshot = self.telemetry.snapshot(
+            gauges=self._gauges(), storage=self.io_resilience()
+        )
         if fmt == "text":
             return {"text": render_prometheus(snapshot)}
         return snapshot
@@ -711,7 +1113,9 @@ class GraphQueryDaemon:
             "traces": self.flight.traces(),
             "slow": self.telemetry.slow_log.top(),
             "config": self.config_view(),
-            "stats": self.telemetry.snapshot(gauges=self._gauges()),
+            "stats": self.telemetry.snapshot(
+                gauges=self._gauges(), storage=self.io_resilience()
+            ),
         }
 
     def dump_debug_bundle(self, directory) -> Path:
@@ -719,7 +1123,9 @@ class GraphQueryDaemon:
         return write_debug_bundle(
             directory,
             self.flight.traces(),
-            stats=self.telemetry.snapshot(gauges=self._gauges()),
+            stats=self.telemetry.snapshot(
+                gauges=self._gauges(), storage=self.io_resilience()
+            ),
             config=self.config_view(),
             slow_entries=self.telemetry.slow_log.top(),
         )

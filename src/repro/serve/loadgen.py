@@ -10,10 +10,28 @@ queries and the result digests are comparable across runs and against a
 serial baseline.
 
 Backpressure is part of the protocol, not an error: a ``backpressure``
-reply is retried with linear backoff until the daemon admits the
-request.  Every request therefore eventually succeeds (or fails hard),
-which keeps ``requests_ok`` deterministic even when the daemon sheds
-most of the offered load.
+reply is retried under the shared :class:`~repro.serve.retry.RetryPolicy`
+(seeded decorrelated jitter, per-request attempt cap, optional shared
+retry budget) until the daemon admits the request.  Every request
+therefore eventually succeeds (or fails hard), which keeps
+``requests_ok`` deterministic even when the daemon sheds most of the
+offered load.
+
+**Deadlines.**  ``run_load(..., deadline_ms=250, deadline_every=3)``
+attaches a deadline to every third logical request; the daemon answers
+each such request either normally or with a typed ``timeout`` reply.
+Timed-out requests are *not* retried (the work was abandoned
+server-side) and are accounted separately (``requests_timeout``).  The
+generator checks the contract from the client side: a deadline request's
+final reply must arrive within ``deadline + DEADLINE_GRACE_S`` — any
+later reply is a ``deadline_violation`` and ``deadline_honored`` in the
+summary flips false.
+
+**Degradation.**  A reply served from quarantined regions comes back
+``ok`` on the wire but with ``server.outcome == "degraded"``; the
+generator counts it under ``requests_degraded`` (not ``requests_ok``)
+and keeps its digest out of the consistency check, since a degraded
+answer is by definition not the whole answer.
 
 Every request carries a deterministic request id (``lg<client>-<j>``,
 kept across backpressure retries of the same logical request) which the
@@ -47,16 +65,22 @@ from repro.errors import ServeError
 from repro.obs.histogram import LatencyHistogram
 from repro.query.workload import PAPER_QUERIES
 from repro.serve import protocol
+from repro.serve.retry import RetryBudget, RetryPolicy
 
 #: The Figure 11 mix, in paper order.
 DEFAULT_MIX = tuple(name for name, _fn in PAPER_QUERIES)
 
-#: Base backoff after a backpressure reply (grows linearly per retry).
-BACKPRESSURE_BACKOFF_S = 0.002
-#: Hard cap on backpressure retries per request — the load generator
-#: gives up (and reports a failure) rather than spinning forever against
-#: a daemon that never admits anything.
-MAX_BACKPRESSURE_RETRIES = 10_000
+#: Client-side slack on the deadline contract: the daemon promises the
+#: typed ``timeout`` reply within one scheduling quantum of the
+#: deadline, and the reply still has to cross the loopback.  Half a
+#: second absorbs a CI runner's worst scheduling hiccup while staying
+#: far below any latency that would mean the contract is actually
+#: broken.
+DEADLINE_GRACE_S = 0.5
+
+#: Stride between per-client retry-jitter seeds (a prime, so seeds
+#: never collide across any realistic concurrency).
+_RETRY_SEED_STRIDE = 7919
 
 
 class ServeClient:
@@ -65,6 +89,34 @@ class ServeClient:
     def __init__(self, host: str, port: int, timeout: float = 60.0) -> None:
         self._sock = socket.create_connection((host, port), timeout=timeout)
         self._next_id = 0
+
+    @classmethod
+    def connect(
+        cls,
+        host: str,
+        port: int,
+        policy: RetryPolicy | None = None,
+        timeout: float = 60.0,
+    ) -> "ServeClient":
+        """Connect, retrying refused/reset connects under ``policy``.
+
+        With no policy this is a single attempt (exactly
+        ``ServeClient(host, port)``).  With one, each ``OSError`` burns
+        one schedule slot and sleeps its jittered delay — the path
+        ``repro top`` and ``repro trace`` use to ride out a daemon
+        restart.
+        """
+        schedule = policy.for_request() if policy is not None else None
+        while True:
+            try:
+                return cls(host, port, timeout=timeout)
+            except OSError as exc:
+                delay = schedule.next_delay() if schedule is not None else None
+                if delay is None:
+                    raise ServeError(
+                        f"connect to {host}:{port} failed: {exc}"
+                    ) from exc
+                time.sleep(delay)
 
     def request(self, op: str, **fields):
         """Send one request; returns the raw reply frame."""
@@ -105,6 +157,10 @@ class ServeClient:
         """The daemon's flight-recorder dump (traces + stats + config)."""
         return self.request_ok("debug")
 
+    def swap(self, workdir: str) -> dict:
+        """Hot-swap the daemon onto the store pair under ``workdir``."""
+        return self.request_ok("swap", workdir=workdir)
+
     def close(self) -> None:
         """Close the connection (ends the daemon-side session)."""
         self._sock.close()
@@ -123,7 +179,16 @@ class ClientResult:
     client_index: int
     requests_ok: int = 0
     requests_failed: int = 0
+    #: Answered, but served from quarantined regions (``degraded``).
+    requests_degraded: int = 0
+    #: Typed ``timeout`` replies (the deadline expired server-side).
+    requests_timeout: int = 0
     shed_retries: int = 0
+    #: Logical requests that carried a ``deadline_ms``.
+    deadline_requests: int = 0
+    #: Deadline requests whose final reply broke the client-side
+    #: contract (later than deadline + :data:`DEADLINE_GRACE_S`).
+    deadline_violations: int = 0
     latencies_s: list[float] = field(default_factory=list)
     #: Server-measured latency per successful request (sum of the phase
     #: spans echoed in the reply's ``server`` section), aligned with
@@ -154,7 +219,7 @@ class LoadResult:
 
     @property
     def requests_ok(self) -> int:
-        """Successfully answered query requests."""
+        """Successfully answered query requests (served whole)."""
         return sum(client.requests_ok for client in self.clients)
 
     @property
@@ -163,9 +228,33 @@ class LoadResult:
         return sum(client.requests_failed for client in self.clients)
 
     @property
+    def requests_degraded(self) -> int:
+        """Answered requests served from quarantined regions."""
+        return sum(client.requests_degraded for client in self.clients)
+
+    @property
+    def requests_timeout(self) -> int:
+        """Requests that came back as typed ``timeout`` replies."""
+        return sum(client.requests_timeout for client in self.clients)
+
+    @property
     def shed_retries(self) -> int:
         """Backpressure replies received (each was retried)."""
         return sum(client.shed_retries for client in self.clients)
+
+    @property
+    def deadline_requests(self) -> int:
+        """Logical requests that carried a deadline."""
+        return sum(client.deadline_requests for client in self.clients)
+
+    @property
+    def deadline_violations(self) -> int:
+        """Deadline requests answered later than deadline + grace."""
+        return sum(client.deadline_violations for client in self.clients)
+
+    def deadline_honored(self) -> bool:
+        """True when no deadline request broke the client-side contract."""
+        return self.deadline_violations == 0
 
     @property
     def throughput_qps(self) -> float:
@@ -216,7 +305,12 @@ class LoadResult:
             "requests_sent": self.concurrency * self.requests_per_client,
             "requests_ok": self.requests_ok,
             "requests_failed": self.requests_failed,
+            "requests_degraded": self.requests_degraded,
+            "requests_timeout": self.requests_timeout,
             "backpressure_retries": self.shed_retries,
+            "deadline_requests": self.deadline_requests,
+            "deadline_violations": self.deadline_violations,
+            "deadline_honored": self.deadline_honored(),
             "throughput_qps": self.throughput_qps,
             "consistent": self.consistent(),
             "traces_propagated": self.traces_propagated(),
@@ -259,10 +353,10 @@ class LoadResult:
     def attribution(self) -> dict[str, dict[str, int]]:
         """query name -> server-attributed counter sums, over all clients.
 
-        Each ok reply's ``server.counters`` section is that request's
-        exact session counter delta, so these sums are the per-op share
-        of the I/O the whole run caused — the serve benchmark checks
-        they reproduce the session totals bit-for-bit.
+        Each answered reply's ``server.counters`` section is that
+        request's exact session counter delta, so these sums are the
+        per-op share of the I/O the whole run caused — the serve
+        benchmark checks they reproduce the session totals bit-for-bit.
         """
         merged: dict[str, dict[str, int]] = {}
         for client in self.clients:
@@ -289,6 +383,9 @@ def _client_worker(
     mix: tuple[str, ...],
     barrier: threading.Barrier,
     result: ClientResult,
+    policy: RetryPolicy,
+    deadline_ms: float | None,
+    deadline_every: int,
 ) -> None:
     try:
         client = ServeClient(host, port)
@@ -302,48 +399,77 @@ def _client_worker(
             name = mix[(client_index + j) % len(mix)]
             rid = f"lg{client_index}-{j}"
             trace_id = f"lgt{client_index}-{j}"
-            retries = 0
+            fields: dict = {"name": name, "rid": rid, "trace": {"id": trace_id}}
+            # Deterministic deadline placement: with deadline_every=k,
+            # every k-th logical request (in the same (i + j) phase the
+            # mix uses) carries the deadline; with k<=0, all do.
+            with_deadline = deadline_ms is not None and (
+                deadline_every <= 0
+                or (client_index + j) % deadline_every == 0
+            )
+            if with_deadline:
+                fields["deadline_ms"] = deadline_ms
+                result.deadline_requests += 1
+            schedule = policy.for_request()
             while True:
                 start = time.perf_counter()
-                reply = client.request(
-                    "query", name=name, rid=rid, trace={"id": trace_id}
-                )
+                reply = client.request("query", **fields)
                 elapsed = time.perf_counter() - start
-                if reply.get("ok"):
+                error = {} if reply.get("ok") else reply.get("error", {})
+                if error.get("type") == protocol.ERROR_BACKPRESSURE:
+                    result.shed_retries += 1
+                    delay = schedule.next_delay()
+                    if delay is None:
+                        result.requests_failed += 1
+                        result.error = "backpressure retry budget exhausted"
+                        break
+                    time.sleep(delay)
+                    continue
+                # Any other reply terminates the logical request; check
+                # the deadline contract on it (per attempt, because the
+                # daemon anchors the deadline at its accept boundary).
+                if with_deadline and elapsed > (
+                    deadline_ms / 1000.0 + DEADLINE_GRACE_S
+                ):
+                    result.deadline_violations += 1
+                server = reply.get("server", {})
+                if server.get("trace") != trace_id:
+                    result.traces_echoed = False
+                if not reply.get("ok"):
+                    if error.get("type") == protocol.ERROR_TIMEOUT:
+                        # The daemon abandoned the work; re-sending
+                        # would double-spend the worker pool.
+                        result.requests_timeout += 1
+                    else:
+                        result.requests_failed += 1
+                        result.error = (
+                            f"{name}: {error.get('type')}: "
+                            f"{error.get('message')}"
+                        )
+                    break
+                degraded = server.get("outcome") == "degraded"
+                if degraded:
+                    result.requests_degraded += 1
+                else:
                     result.requests_ok += 1
-                    result.latencies_s.append(elapsed)
-                    server = reply.get("server", {})
-                    if server.get("trace") != trace_id:
-                        result.traces_echoed = False
-                    phases_us = server.get("phases_us", {})
-                    result.server_latencies_s.append(
-                        sum(phases_us.values()) / 1e6
-                    )
-                    result.queue_waits_s.append(
-                        phases_us.get("queue_wait", 0) / 1e6
-                    )
-                    sums = result.op_counters.setdefault(name, {})
-                    for counter, value in server.get("counters", {}).items():
-                        sums[counter] = sums.get(counter, 0) + int(value)
+                result.latencies_s.append(elapsed)
+                phases_us = server.get("phases_us", {})
+                result.server_latencies_s.append(
+                    sum(phases_us.values()) / 1e6
+                )
+                result.queue_waits_s.append(
+                    phases_us.get("queue_wait", 0) / 1e6
+                )
+                sums = result.op_counters.setdefault(name, {})
+                for counter, value in server.get("counters", {}).items():
+                    sums[counter] = sums.get(counter, 0) + int(value)
+                if not degraded:
+                    # A degraded answer is not the whole answer — its
+                    # digest must not enter the consistency check.
                     payload = reply["result"]
                     result.digests.setdefault(name, set()).add(
                         payload["digest"]
                     )
-                    break
-                error = reply.get("error", {})
-                if error.get("type") == protocol.ERROR_BACKPRESSURE:
-                    result.shed_retries += 1
-                    retries += 1
-                    if retries > MAX_BACKPRESSURE_RETRIES:
-                        result.requests_failed += 1
-                        result.error = "backpressure retry limit exceeded"
-                        break
-                    time.sleep(BACKPRESSURE_BACKOFF_S * min(retries, 50))
-                    continue
-                result.requests_failed += 1
-                result.error = (
-                    f"{name}: {error.get('type')}: {error.get('message')}"
-                )
                 break
         result.io_stats = client.stats().get("client", {})
     except (ServeError, OSError) as exc:
@@ -358,15 +484,34 @@ def run_load(
     concurrency: int = 8,
     requests_per_client: int = 12,
     mix: tuple[str, ...] = DEFAULT_MIX,
+    deadline_ms: float | None = None,
+    deadline_every: int = 0,
+    retry_seed: int = 0,
+    retry_budget: int | RetryBudget | None = None,
 ) -> LoadResult:
     """Drive the daemon with ``concurrency`` clients; blocks until done.
 
     All clients connect first, then start issuing requests together (a
     barrier), so the daemon sees the full offered concurrency from the
-    first request on.
+    first request on.  Each client retries backpressure under its own
+    seeded :class:`~repro.serve.retry.RetryPolicy` (seed ``retry_seed +
+    index * stride``, so jitter streams are disjoint but reproducible);
+    ``retry_budget`` (a token count or a prebuilt
+    :class:`~repro.serve.retry.RetryBudget`) is shared across all of
+    them and bounds the run's total retry volume.
     """
     if concurrency < 1:
         raise ServeError(f"concurrency must be >= 1, got {concurrency}")
+    if deadline_ms is not None and deadline_ms <= 0:
+        raise ServeError(f"deadline_ms must be > 0, got {deadline_ms}")
+    if isinstance(retry_budget, int):
+        retry_budget = RetryBudget(retry_budget)
+    policies = [
+        RetryPolicy(
+            seed=retry_seed + i * _RETRY_SEED_STRIDE, budget=retry_budget
+        )
+        for i in range(concurrency)
+    ]
     results = [ClientResult(client_index=i) for i in range(concurrency)]
     # +1: the main thread releases the barrier, so the wall clock starts
     # when every client is connected and ready.
@@ -374,7 +519,18 @@ def run_load(
     threads = [
         threading.Thread(
             target=_client_worker,
-            args=(host, port, i, requests_per_client, mix, barrier, results[i]),
+            args=(
+                host,
+                port,
+                i,
+                requests_per_client,
+                mix,
+                barrier,
+                results[i],
+                policies[i],
+                deadline_ms,
+                deadline_every,
+            ),
             name=f"loadgen-{i}",
         )
         for i in range(concurrency)

@@ -10,7 +10,18 @@ echo the id with either ``{"ok": true, "result": ...}`` or
 ``{"ok": false, "error": {"type": ..., "message": ...}}``.  Error types
 are part of the protocol: ``backpressure`` (admission control shed the
 request — retry later), ``bad_request`` (malformed frame or unknown
-op/query), ``server_error`` (the query raised).
+op/query), ``server_error`` (the query raised), ``timeout`` (the
+request's ``deadline_ms`` expired before it finished — the work was
+shed or abandoned, never half-applied).
+
+**Deadlines.**  A request may carry ``deadline_ms`` — a relative budget
+in milliseconds, measured from the moment the daemon accepted the frame.
+The daemon enforces it across queue-wait and execution: work whose
+deadline has already passed is shed before it ever runs, and a request
+still executing at its deadline gets a typed ``timeout`` reply at the
+deadline while the abandoned execution drains in the background.
+:func:`parse_deadline_ms` is *strict* (unlike trace context): a deadline
+changes semantics, so a malformed one is a ``bad_request``.
 
 **Request ids and server telemetry.**  Every request additionally gets a
 *request id*: the client's ``rid`` field if it sent one (a string or
@@ -60,6 +71,7 @@ _HEADER = struct.Struct(">I")
 ERROR_BACKPRESSURE = "backpressure"
 ERROR_BAD_REQUEST = "bad_request"
 ERROR_SERVER = "server_error"
+ERROR_TIMEOUT = "timeout"
 
 #: ``parent`` value meaning "no client-side parent span".
 NO_PARENT_SPAN = -1
@@ -95,6 +107,26 @@ def parse_trace_context(request) -> TraceContext:
     if not isinstance(parent, int) or isinstance(parent, bool):
         parent = NO_PARENT_SPAN
     return TraceContext(trace_id, parent)
+
+
+def parse_deadline_ms(request) -> float | None:
+    """Extract and validate a request's ``deadline_ms`` field.
+
+    Returns the budget in milliseconds, or None when the request carries
+    no deadline.  Unlike trace context this is parsed *strictly* — a
+    deadline changes what the daemon does, so a non-numeric or negative
+    value raises :class:`ServeError` (mapped to ``bad_request``).
+    """
+    raw = request.get("deadline_ms") if isinstance(request, dict) else None
+    if raw is None:
+        return None
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise ServeError(
+            f"deadline_ms must be a number of milliseconds, got {raw!r}"
+        )
+    if raw < 0:
+        raise ServeError(f"deadline_ms must be >= 0, got {raw!r}")
+    return float(raw)
 
 
 def canonicalize(value):

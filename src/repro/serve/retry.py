@@ -1,0 +1,162 @@
+"""Shared retry/backoff policy for daemon clients.
+
+Every client of the graph query daemon — the load generator, ``repro
+top``, ``repro trace`` — faces the same two transient conditions: a
+typed ``backpressure`` reply (admission control shed the request; the
+daemon is healthy but full) and a refused/reset connection (the daemon
+is restarting, e.g. around a hot store swap).  Before this module each
+client improvised its own loop (the load generator used linear backoff,
+``repro top`` simply exited); now they share one :class:`RetryPolicy`.
+
+The policy implements **decorrelated jitter**: each delay is drawn
+uniformly from ``[base, previous * 3]`` and clamped to ``cap``, so a
+fleet of clients hammered off a saturated daemon de-synchronises
+instead of retrying in lockstep — the classic thundering-herd fix.  The
+jitter stream is **seeded**, so a load-generator run retries at exactly
+the same offsets every time and stays reproducible.
+
+Two safety rails bound the retries:
+
+* a per-request **attempt cap** (``max_attempts``) — a request gives up
+  rather than spinning forever against a daemon that never admits it;
+* an optional shared :class:`RetryBudget` — a process-wide token pool
+  capping the *total* retry volume a fleet of client threads may emit,
+  so overload cannot amplify itself (retries are offered load too).
+
+**Idempotency gating.**  :meth:`RetryPolicy.retryable` only approves a
+retry when re-sending cannot double-execute: a ``backpressure`` reply
+was *never executed* (safe for any op), otherwise only reads
+(:data:`IDEMPOTENT_OPS`) may be retried blind.  The one mutating op the
+protocol has — ``swap`` — is deliberately not retryable.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+from repro.errors import ServeError
+
+#: Default first backoff (matches the previous linear policy's base).
+DEFAULT_BASE_S = 0.002
+#: Default delay clamp — retries never sleep longer than this.
+DEFAULT_CAP_S = 0.1
+#: Default per-request attempt cap (the load generator's historical
+#: give-up bound against a daemon that never admits anything).
+DEFAULT_MAX_ATTEMPTS = 10_000
+
+#: Ops safe to re-send even when the first send may have executed: all
+#: of them read shared state and mutate nothing.  ``swap`` is absent on
+#: purpose — re-sending it would re-run a store swap.
+IDEMPOTENT_OPS = frozenset(
+    {"ping", "stats", "metrics", "debug", "query", "neighbors"}
+)
+
+
+class RetryBudget:
+    """A shared, thread-safe pool of retry tokens.
+
+    One budget is shared by every client thread of a run; each retry
+    takes one token and a drained budget turns further retries into
+    hard failures.  This bounds the *aggregate* retry storm a fleet can
+    emit, which per-request attempt caps alone cannot.
+    """
+
+    def __init__(self, tokens: int) -> None:
+        if tokens < 0:
+            raise ServeError(f"retry budget must be >= 0, got {tokens}")
+        self._tokens = tokens
+        self._lock = threading.Lock()
+
+    @property
+    def remaining(self) -> int:
+        """Tokens left in the pool."""
+        with self._lock:
+            return self._tokens
+
+    def take(self) -> bool:
+        """Consume one token; False when the budget is exhausted."""
+        with self._lock:
+            if self._tokens <= 0:
+                return False
+            self._tokens -= 1
+            return True
+
+
+class RetrySchedule:
+    """The delay sequence for one logical request.
+
+    Obtained from :meth:`RetryPolicy.for_request`; each
+    :meth:`next_delay` call returns the seconds to sleep before the next
+    attempt, or ``None`` when the request should give up (attempt cap or
+    shared budget exhausted).
+    """
+
+    def __init__(self, policy: "RetryPolicy", rng: random.Random) -> None:
+        self._policy = policy
+        self._rng = rng
+        self._previous = policy.base_s
+        self.attempts = 0
+
+    def next_delay(self) -> float | None:
+        """Seconds before the next attempt; None = stop retrying."""
+        policy = self._policy
+        if self.attempts >= policy.max_attempts:
+            return None
+        if policy.budget is not None and not policy.budget.take():
+            return None
+        self.attempts += 1
+        # Decorrelated jitter: uniform over [base, previous * 3], capped.
+        delay = min(
+            policy.cap_s, self._rng.uniform(policy.base_s, self._previous * 3)
+        )
+        self._previous = delay
+        return delay
+
+
+class RetryPolicy:
+    """Seeded decorrelated-jitter backoff with budget and idempotency gates.
+
+    One policy instance belongs to one client thread (the jitter RNG is
+    not locked); the optional :class:`RetryBudget` may be shared across
+    any number of policies.
+    """
+
+    def __init__(
+        self,
+        base_s: float = DEFAULT_BASE_S,
+        cap_s: float = DEFAULT_CAP_S,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        seed: int = 0,
+        budget: RetryBudget | None = None,
+    ) -> None:
+        if base_s <= 0:
+            raise ServeError(f"base_s must be > 0, got {base_s}")
+        if cap_s < base_s:
+            raise ServeError(
+                f"cap_s must be >= base_s, got cap {cap_s} < base {base_s}"
+            )
+        if max_attempts < 0:
+            raise ServeError(f"max_attempts must be >= 0, got {max_attempts}")
+        self.base_s = base_s
+        self.cap_s = cap_s
+        self.max_attempts = max_attempts
+        self.seed = seed
+        self.budget = budget
+        self._rng = random.Random(seed)
+
+    def for_request(self) -> RetrySchedule:
+        """A fresh delay schedule for one logical request."""
+        return RetrySchedule(self, self._rng)
+
+    def retryable(self, op: str, error_type: str | None = None) -> bool:
+        """May ``op`` be re-sent after ``error_type`` / a broken connection?
+
+        A ``backpressure`` reply proves the daemon *never executed* the
+        request, so any op may retry it.  Everything else (connect
+        failures, closed connections) is ambiguous — the request may
+        have run — so only idempotent ops retry blind.
+        """
+        if error_type == "backpressure":
+            return True
+        return op in IDEMPOTENT_OPS

@@ -48,7 +48,14 @@ from repro.obs.windowed import (
 )
 
 #: The request outcomes of the serving protocol, in reporting order.
-OUTCOMES = ("ok", "backpressure", "bad_request", "server_error", "degraded")
+OUTCOMES = (
+    "ok",
+    "backpressure",
+    "bad_request",
+    "server_error",
+    "degraded",
+    "timeout",
+)
 
 #: The measured phase spans, in lifecycle order.
 PHASES = ("decode", "queue_wait", "execute", "encode", "reply")
@@ -244,12 +251,17 @@ class ServeTelemetry:
         """Requests recorded across every outcome (lifetime)."""
         return sum(counter.total for counter in self.outcomes.values())
 
-    def snapshot(self, gauges: dict | None = None) -> dict:
+    def snapshot(
+        self, gauges: dict | None = None, storage: dict | None = None
+    ) -> dict:
         """The ``metrics`` op's JSON document (windowed + cumulative).
 
         ``gauges`` carries the daemon's instantaneous values (in-flight,
         queue depth, connections) — they belong to the daemon, not the
-        telemetry, and are merged in verbatim.
+        telemetry, and are merged in verbatim.  ``storage`` carries the
+        storage-layer resilience counters (``io_retries``, injected
+        ``fault_*`` tallies) summed over the shared stores, so transient
+        I/O errors absorbed below the request layer stay visible.
         """
         per_op = {}
         for name in self.latency.names():
@@ -275,6 +287,7 @@ class ServeTelemetry:
             "ops": per_op,
             "connections": connections,
             "gauges": dict(gauges or {}),
+            "storage": dict(storage or {}),
             "access_log": self.access_log.to_dict(),
             "slow_queries": self.slow_log.to_dict(),
         }
@@ -355,6 +368,21 @@ def render_prometheus(snapshot: dict, prefix: str = "repro") -> str:
             if isinstance(value, bool) or not isinstance(value, (int, float)):
                 continue
             lines.append(f'{prefix}_gauge{{name="{name}"}} {_fmt(value)}')
+
+    storage = snapshot.get("storage", {})
+    if storage:
+        header(
+            f"{prefix}_storage_total",
+            "counter",
+            "Storage-layer resilience counters (retries, injected "
+            "faults) over the shared stores (lifetime).",
+        )
+        for name, value in sorted(storage.items()):
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            lines.append(
+                f'{prefix}_storage_total{{counter="{name}"}} {_fmt(value)}'
+            )
 
     slow = snapshot.get("slow_queries", {})
     if slow:

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from repro.errors import StorageError
 from repro.partition.partition import Partition
 from repro.partition.refine import RefinementConfig, RefinementResult
 from repro.snode.encode import supernode_graph_size_bytes
@@ -58,11 +59,18 @@ class BuildOptions:
 
 @dataclass
 class SNodeBuild:
-    """Everything a caller needs after a build."""
+    """Everything a caller needs after a build.
+
+    ``model`` is None when the build was *opened* from a committed
+    directory (:func:`open_snode`) rather than built in-process: serving
+    only needs the store and the numbering, and the logical model is not
+    persisted.  Accessors that require it (``total_edges``,
+    ``bits_per_edge``) raise a typed error in that case.
+    """
 
     store: SNodeStore
     numbering: Numbering
-    model: SNodeModel
+    model: SNodeModel | None
     refinement: RefinementResult | None
     manifest: dict
     root: Path
@@ -95,6 +103,12 @@ class SNodeBuild:
 
     def total_edges(self) -> int:
         """Number of Web-graph edges represented."""
+        if self.model is None:
+            raise StorageError(
+                "edge counts need the logical model, which is not "
+                "persisted; this build was opened from disk "
+                f"({self.root}) — rebuild to recover it"
+            )
         intra = sum(
             len(row) for rows in self.model.intranode for row in rows
         )
@@ -147,3 +161,51 @@ def build_snode(
         progress=progress,
         resume=resume,
     ).run()
+
+
+def open_snode(
+    root: Path | str,
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    stripes: int = 1,
+    on_corruption: str = "raise",
+) -> SNodeBuild:
+    """Open a *committed* build directory for serving, without rebuilding.
+
+    Reconstructs the :class:`~repro.snode.numbering.Numbering` from the
+    stored tables (the new-id permutation inverts to ``old_to_new``, the
+    PageID index gives the boundaries, ``domain.json`` inverts to the
+    per-supernode domain list) and returns an :class:`SNodeBuild` with
+    ``model=None`` — everything the query engine needs, none of the
+    build-time state.  This is the open half of the hot-swap protocol: a
+    daemon validates a freshly built directory and opens it with this
+    function while still serving the old store.
+    """
+    root = Path(root)
+    store = SNodeStore(
+        root,
+        buffer_bytes=buffer_bytes,
+        stripes=stripes,
+        on_corruption=on_corruption,
+    )
+    new_to_old = tuple(store.new_to_old)
+    old_to_new = [0] * len(new_to_old)
+    for new_page, old_page in enumerate(new_to_old):
+        old_to_new[old_page] = new_page
+    supernode_domains = [""] * store.num_supernodes
+    for domain, supernodes in store.domains.items():
+        for supernode in supernodes:
+            supernode_domains[supernode] = domain
+    numbering = Numbering(
+        old_to_new=tuple(old_to_new),
+        new_to_old=new_to_old,
+        boundaries=tuple(store.boundaries),
+        supernode_domains=tuple(supernode_domains),
+    )
+    return SNodeBuild(
+        store=store,
+        numbering=numbering,
+        model=None,
+        refinement=None,
+        manifest=store.manifest,
+        root=root,
+    )

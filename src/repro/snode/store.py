@@ -242,6 +242,21 @@ class SNodeStore:
         """Permutation mapping new (stored) page ids to repository ids."""
         return self._layout.new_to_old
 
+    @property
+    def boundaries(self) -> list[int]:
+        """Supernode page boundaries (first new-id per supernode, + end).
+
+        Exposed so a committed build can be *opened* for serving — the
+        :class:`~repro.snode.numbering.Numbering` is fully reconstructible
+        from these tables without re-running the build.
+        """
+        return self._layout.boundaries
+
+    @property
+    def domains(self) -> dict[str, list[int]]:
+        """Domain name -> supernodes, as stored in ``domain.json``."""
+        return self._layout.domains
+
     def supernode_of(self, page: int) -> int:
         """PageID-index lookup."""
         if not 0 <= page < self.num_pages:

@@ -98,8 +98,17 @@ class FsckReport:
         return "\n".join(lines)
 
 
-def fsck(root: Path | str, repair: bool = False) -> FsckReport:
-    """Verify the build under ``root``; optionally quarantine (S-Node)."""
+def fsck(root: Path | str, repair: bool = False, quick: bool = False) -> FsckReport:
+    """Verify the build under ``root``; optionally quarantine (S-Node).
+
+    ``quick=True`` stops after the build-state, manifest and file-table
+    passes (existence, size, whole-file CRC, build digest) and skips the
+    per-region pass.  Whole-file CRCs already cover every payload byte,
+    so quick mode proves integrity without region granularity — it is
+    the validation the hot-swap protocol runs against a freshly built
+    store directory before opening it, where a full region walk would
+    stretch the swap window for no extra safety.
+    """
     root = Path(root)
     report = FsckReport(root=str(root))
     report.state = atomic.classify_build(root)
@@ -125,6 +134,8 @@ def fsck(root: Path | str, repair: bool = False) -> FsckReport:
         "s-node" if "index_files" in manifest else manifest.get("scheme", "unknown")
     )
     _check_file_table(root, manifest, report)
+    if quick:
+        return report
     if report.scheme == "s-node":
         _check_snode_regions(root, report, repair)
     elif report.scheme == "relational":

@@ -1,0 +1,166 @@
+"""Graceful degradation served through the daemon path.
+
+A corrupt region under ``on_corruption="degrade"`` must surface to a
+network client as a typed **degraded** success — quarantined region,
+empty rows, honest outcome — never as an error reply or a dropped
+connection.
+"""
+
+from __future__ import annotations
+
+import shutil
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.daemon import DaemonHandle, GraphQueryDaemon, ServeContext
+from repro.serve.loadgen import ServeClient
+
+
+@pytest.fixture
+def corrupted_pair(tiny_repo, test_refinement_config, tmp_path):
+    """Committed serve_f/serve_b directories with every region flipped."""
+    from repro.storage.faults import corrupt_snode_regions
+
+    pristine = ServeContext.build(
+        tiny_repo,
+        tmp_path / "pristine",
+        buffer_bytes=128 * 1024,
+        stripes=4,
+        refinement=test_refinement_config,
+    )
+    pristine.close()
+    chaos = tmp_path / "chaos"
+    for name in ("serve_f", "serve_b"):
+        shutil.copytree(tmp_path / "pristine" / name, chaos / name)
+        corrupt_snode_regions(chaos / name, seed=29)
+    return chaos
+
+
+class TestDegradeThroughDaemon:
+    def test_corrupt_region_serves_degraded_reply(
+        self, tiny_repo, corrupted_pair
+    ):
+        context = ServeContext.open(
+            tiny_repo,
+            corrupted_pair,
+            buffer_bytes=128 * 1024,
+            stripes=4,
+            on_corruption="degrade",
+        )
+        try:
+            daemon = GraphQueryDaemon(
+                context, port=0, workers=2, queue_limit=8
+            )
+            with DaemonHandle(daemon) as handle:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    reply = client.request("query", name="query1")
+                    # Served, not failed — and honestly marked.
+                    assert reply["ok"] is True
+                    assert reply["server"]["outcome"] == "degraded"
+                    assert reply["server"]["counters"]["degraded_reads"] > 0
+                    # The connection survives and the same query answers
+                    # again, now off the quarantine list.
+                    again = client.request("query", name="query1")
+                    assert again["ok"] is True
+                    assert again["server"]["outcome"] == "degraded"
+                    stats = client.stats()
+            shared = stats["shared"]
+            quarantined = sum(
+                direction.get("regions_quarantined", 0)
+                for direction in shared.values()
+            )
+            degraded = sum(
+                direction.get("degraded_reads", 0)
+                for direction in shared.values()
+            )
+            assert quarantined > 0
+            assert degraded > 0
+            assert stats["daemon"]["requests_failed"] == 0
+            # Degraded requests count as served in the daemon totals;
+            # telemetry tracks the degraded outcome separately.
+            assert stats["daemon"]["requests_ok"] >= 2
+            snapshot = daemon.telemetry.snapshot()
+            assert snapshot["outcomes"]["degraded"]["total"] >= 2
+        finally:
+            context.close()
+
+    def test_neighbors_degrades_too(self, tiny_repo, corrupted_pair):
+        context = ServeContext.open(
+            tiny_repo,
+            corrupted_pair,
+            buffer_bytes=128 * 1024,
+            stripes=4,
+            on_corruption="degrade",
+        )
+        try:
+            daemon = GraphQueryDaemon(
+                context, port=0, workers=2, queue_limit=8
+            )
+            with DaemonHandle(daemon) as handle:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    # Pages in supernodes without intranode edges have
+                    # no region to corrupt; scan until one degrades.
+                    degraded = None
+                    for page in range(context.repository.num_pages):
+                        reply = client.request("neighbors", page=page)
+                        assert reply["ok"] is True
+                        if reply["server"]["outcome"] == "degraded":
+                            degraded = reply
+                            break
+                    assert degraded is not None
+                    # Intranode rows are quarantined to empty; superedge
+                    # regions are untouched, so the row may keep its
+                    # cross-supernode edges — degraded, not invented.
+                    assert isinstance(degraded["result"]["neighbors"], list)
+                    assert client.ping() is True
+        finally:
+            context.close()
+
+    def test_raise_mode_fails_the_request_not_the_connection(
+        self, tiny_repo, corrupted_pair
+    ):
+        context = ServeContext.open(
+            tiny_repo,
+            corrupted_pair,
+            buffer_bytes=128 * 1024,
+            stripes=4,
+            on_corruption="raise",
+        )
+        try:
+            daemon = GraphQueryDaemon(
+                context, port=0, workers=2, queue_limit=8
+            )
+            with DaemonHandle(daemon) as handle:
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    reply = client.request("query", name="query1")
+                    assert reply["ok"] is False
+                    assert reply["error"]["type"] == protocol.ERROR_BAD_REQUEST
+                    assert "checksum mismatch" in reply["error"]["message"]
+                    assert client.ping() is True
+        finally:
+            context.close()
+
+    def test_engine_construction_preserves_store_policy(
+        self, tiny_repo, corrupted_pair
+    ):
+        # Regression: QueryEngine pushes its own on_corruption default
+        # onto the stores it reads; make_engine must thread the serving
+        # policy through or every new client silently flips the shared
+        # stores back to raise mode.
+        context = ServeContext.open(
+            tiny_repo,
+            corrupted_pair,
+            buffer_bytes=128 * 1024,
+            stripes=4,
+            on_corruption="degrade",
+        )
+        try:
+            engine = context.make_engine("client-1")
+            try:
+                assert context.forward.store.on_corruption == "degrade"
+                assert context.backward.store.on_corruption == "degrade"
+            finally:
+                engine.close()
+        finally:
+            context.close()

@@ -1,0 +1,144 @@
+"""Request-deadline enforcement through the live daemon."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.daemon import DaemonHandle, GraphQueryDaemon
+from repro.serve.loadgen import ServeClient
+from repro.storage import faults
+
+
+@pytest.fixture
+def daemon(serve_context):
+    handle = DaemonHandle(
+        GraphQueryDaemon(serve_context, port=0, workers=2, queue_limit=8)
+    )
+    with handle:
+        yield handle
+
+
+class TestDeadlinePlumbing:
+    def test_generous_deadline_serves_normally(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            result = client.request_ok(
+                "neighbors", page=0, deadline_ms=30_000
+            )
+            assert "neighbors" in result
+
+    def test_invalid_deadline_is_bad_request(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            for bad in (-1, "soon", False):
+                reply = client.request("query", name="query1", deadline_ms=bad)
+                assert reply["ok"] is False
+                assert reply["error"]["type"] == protocol.ERROR_BAD_REQUEST
+            assert client.ping() is True
+
+    def test_already_expired_deadline_shed_before_admission(self, daemon):
+        # A zero budget expires at arrival: the daemon sheds it without
+        # ever taking a worker slot, with the typed timeout reply.
+        before = daemon.daemon.counters.requests_timeout
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            reply = client.request("query", name="query1", deadline_ms=0)
+            assert reply["ok"] is False
+            assert reply["error"]["type"] == protocol.ERROR_TIMEOUT
+            assert reply["server"]["outcome"] == "timeout"
+            assert client.ping() is True
+        assert daemon.daemon.counters.requests_timeout == before + 1
+
+    def test_inline_ops_ignore_missing_deadline(self, daemon):
+        with ServeClient("127.0.0.1", daemon.port) as client:
+            assert client.ping() is True
+            assert "daemon" in client.stats()
+
+
+class TestMidExecuteTimeout:
+    def test_typed_timeout_reply_and_connection_survives(self, serve_context):
+        # Stall every device read far past the deadline; the reply must
+        # be a typed timeout at ~the deadline, not a stall-long hang,
+        # and the connection keeps working once the abandoned execution
+        # drains.
+        serve_context.forward.drop_caches()
+        serve_context.backward.drop_caches()
+        plan = faults.FaultPlan(
+            seed=5, slow_read_rate=1.0, slow_read_seconds=0.25
+        )
+        daemon = GraphQueryDaemon(
+            serve_context, port=0, workers=2, queue_limit=8
+        )
+        with faults.activated(plan), DaemonHandle(daemon) as handle:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                reply = client.request("neighbors", page=0, deadline_ms=40)
+                assert reply["ok"] is False
+                assert reply["error"]["type"] == protocol.ERROR_TIMEOUT
+                assert "deadline" in reply["error"]["message"]
+                assert reply["server"]["outcome"] == "timeout"
+                # Next request on the same connection works (the
+                # abandoned future drained, the admission slot freed).
+                assert client.ping() is True
+                stats = client.stats()
+        assert stats["daemon"]["requests_timeout"] >= 1
+        assert plan.injected.get("slow_reads", 0) >= 1
+
+    def test_queued_request_sheds_at_its_deadline(self, serve_context):
+        # One worker, its slot occupied by a deliberately slow query: a
+        # deadlined request behind it must time out while queued instead
+        # of waiting its turn.
+        serve_context.forward.drop_caches()
+        serve_context.backward.drop_caches()
+        plan = faults.FaultPlan(
+            seed=6, slow_read_rate=1.0, slow_read_seconds=0.15
+        )
+        daemon = GraphQueryDaemon(
+            serve_context, port=0, workers=1, queue_limit=8
+        )
+        slow_reply = {}
+        with faults.activated(plan), DaemonHandle(daemon) as handle:
+
+            def occupy():
+                with ServeClient("127.0.0.1", handle.port) as slow_client:
+                    slow_reply.update(
+                        slow_client.request("query", name="query1")
+                    )
+
+            occupant = threading.Thread(target=occupy)
+            occupant.start()
+            try:
+                time.sleep(0.05)  # let the slow query take the worker
+                with ServeClient("127.0.0.1", handle.port) as client:
+                    begin = time.monotonic()
+                    reply = client.request(
+                        "neighbors", page=1, deadline_ms=50
+                    )
+                    waited = time.monotonic() - begin
+                    assert reply["ok"] is False
+                    assert reply["error"]["type"] == protocol.ERROR_TIMEOUT
+                    # The reply came out around the deadline, not after
+                    # the occupant's multi-stall execution finished.
+                    assert waited < 2.0
+                    assert client.ping() is True
+            finally:
+                occupant.join(timeout=30)
+        assert not occupant.is_alive()
+        assert slow_reply.get("ok") is True
+
+    def test_deadline_accounting_conserves(self, serve_context):
+        serve_context.forward.drop_caches()
+        serve_context.backward.drop_caches()
+        plan = faults.FaultPlan(
+            seed=7, slow_read_rate=1.0, slow_read_seconds=0.2
+        )
+        daemon = GraphQueryDaemon(
+            serve_context, port=0, workers=2, queue_limit=8
+        )
+        with faults.activated(plan), DaemonHandle(daemon) as handle:
+            with ServeClient("127.0.0.1", handle.port) as client:
+                client.request("neighbors", page=0, deadline_ms=40)
+                snapshot = client.metrics()
+        outcomes = snapshot["outcomes"]
+        assert outcomes.get("timeout", {}).get("total", 0) >= 1
+        assert daemon.counters.requests_timeout >= 1

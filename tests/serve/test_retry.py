@@ -1,0 +1,121 @@
+"""Unit tests for the shared client retry/backoff policy."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.retry import (
+    DEFAULT_MAX_ATTEMPTS,
+    IDEMPOTENT_OPS,
+    RetryBudget,
+    RetryPolicy,
+    RetrySchedule,
+)
+
+
+class TestJitter:
+    def test_delays_bounded_by_base_and_cap(self):
+        policy = RetryPolicy(base_s=0.01, cap_s=0.05, seed=1)
+        schedule = policy.for_request()
+        for _ in range(200):
+            delay = schedule.next_delay()
+            assert delay is not None
+            assert 0.01 <= delay <= 0.05
+
+    def test_same_seed_same_delay_sequence(self):
+        one = RetryPolicy(seed=42).for_request()
+        two = RetryPolicy(seed=42).for_request()
+        assert [one.next_delay() for _ in range(50)] == [
+            two.next_delay() for _ in range(50)
+        ]
+
+    def test_different_seeds_decorrelate(self):
+        one = RetryPolicy(seed=1).for_request()
+        two = RetryPolicy(seed=2).for_request()
+        assert [one.next_delay() for _ in range(20)] != [
+            two.next_delay() for _ in range(20)
+        ]
+
+    def test_schedules_share_the_policy_rng(self):
+        # Two logical requests of one client draw from one jitter
+        # stream — their delays continue it instead of repeating it.
+        policy = RetryPolicy(seed=7)
+        first = [policy.for_request().next_delay() for _ in range(3)]
+        replayed = RetryPolicy(seed=7)
+        schedule = replayed.for_request()
+        assert [schedule.next_delay() for _ in range(3)] != first
+
+
+class TestLimits:
+    def test_attempt_cap_exhausts_to_none(self):
+        policy = RetryPolicy(max_attempts=3, seed=0)
+        schedule = policy.for_request()
+        delays = [schedule.next_delay() for _ in range(5)]
+        assert all(d is not None for d in delays[:3])
+        assert delays[3] is None and delays[4] is None
+        assert schedule.attempts == 3
+
+    def test_fresh_schedule_resets_the_attempt_count(self):
+        policy = RetryPolicy(max_attempts=1, seed=0)
+        assert policy.for_request().next_delay() is not None
+        again = policy.for_request()
+        assert again.next_delay() is not None
+        assert again.next_delay() is None
+
+    def test_zero_attempts_never_retries(self):
+        assert RetryPolicy(max_attempts=0).for_request().next_delay() is None
+
+    def test_shared_budget_bounds_total_retries(self):
+        budget = RetryBudget(5)
+        policies = [
+            RetryPolicy(seed=i, budget=budget) for i in range(3)
+        ]
+        granted = sum(
+            1
+            for policy in policies
+            for _ in range(4)
+            if policy.for_request().next_delay() is not None
+        )
+        assert granted == 5
+        assert budget.remaining == 0
+        assert policies[0].for_request().next_delay() is None
+
+    def test_budget_validation(self):
+        with pytest.raises(ServeError):
+            RetryBudget(-1)
+        assert RetryBudget(0).take() is False
+
+    def test_policy_validation(self):
+        with pytest.raises(ServeError):
+            RetryPolicy(base_s=0.0)
+        with pytest.raises(ServeError):
+            RetryPolicy(base_s=0.5, cap_s=0.1)
+        with pytest.raises(ServeError):
+            RetryPolicy(max_attempts=-1)
+
+    def test_defaults_are_generous(self):
+        policy = RetryPolicy()
+        assert policy.max_attempts == DEFAULT_MAX_ATTEMPTS
+        assert policy.budget is None
+        assert isinstance(policy.for_request(), RetrySchedule)
+
+
+class TestIdempotencyGate:
+    def test_backpressure_always_retryable(self):
+        policy = RetryPolicy()
+        for op in ("query", "swap", "anything"):
+            assert policy.retryable(op, "backpressure") is True
+
+    def test_reads_retryable_after_ambiguous_failure(self):
+        policy = RetryPolicy()
+        for op in IDEMPOTENT_OPS:
+            assert policy.retryable(op) is True
+            assert policy.retryable(op, None) is True
+
+    def test_swap_never_retried_blind(self):
+        # Re-sending the one mutating op could re-run a store swap.
+        policy = RetryPolicy()
+        assert "swap" not in IDEMPOTENT_OPS
+        assert policy.retryable("swap") is False
+        assert policy.retryable("swap", "server_error") is False

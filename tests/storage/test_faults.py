@@ -124,6 +124,48 @@ class TestReadFaults:
         assert any(kind == "fault" for kind, _ in device.registry.events.to_list())
 
 
+class TestSlowReads:
+    def test_slow_read_stalls_intact_data(self, datafile, monkeypatch):
+        stalls: list[float] = []
+        monkeypatch.setattr(
+            "repro.storage.faults.time.sleep", stalls.append
+        )
+        device = CountedFile(datafile)
+        plan = FaultPlan(seed=2, slow_read_rate=1.0, slow_read_seconds=0.01)
+        with faults.activated(plan):
+            data = device.read_at(0, 8)
+        # Latency injection only: the payload is untouched.
+        assert data == bytes(range(8))
+        assert stalls == [0.01]
+        assert plan.injected["slow_reads"] == 1
+        assert device.registry.get("fault_slow_reads") == 1
+
+    def test_zero_rate_preserves_legacy_fault_placement(self):
+        # The slow-read draw is gated on its rate, so a plan without one
+        # keeps the historical RNG stream — fault placement of existing
+        # seeded scenarios must not move.
+        def run(plan: FaultPlan) -> list[bytes]:
+            return [plan.on_read("f", 0, bytes(range(32))) for _ in range(16)]
+
+        legacy = run(FaultPlan(seed=7, bit_flip_rate=0.5, short_read_rate=0.3))
+        gated = run(
+            FaultPlan(
+                seed=7,
+                bit_flip_rate=0.5,
+                short_read_rate=0.3,
+                slow_read_rate=0.0,
+                slow_read_seconds=0.5,
+            )
+        )
+        assert gated == legacy
+
+    def test_slow_read_params_validated(self):
+        with pytest.raises(ValueError, match="slow_read_rate"):
+            FaultPlan(slow_read_rate=1.5)
+        with pytest.raises(ValueError, match="slow_read_seconds"):
+            FaultPlan(slow_read_seconds=-0.1)
+
+
 class TestWriteFaults:
     def test_crash_leaves_torn_prefix(self, tmp_path):
         path = tmp_path / "out.bin"
