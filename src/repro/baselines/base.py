@@ -123,6 +123,10 @@ class SNodeRepresentation(GraphRepresentation):
         self._store = build.store
         self._old_to_new = build.numbering.old_to_new
         self._new_to_old = build.numbering.new_to_old
+        #: Optional :class:`~repro.snode.delta.DeltaOverlay` of pending
+        #: edge mutations, merged into every row *after* the new->old id
+        #: translation (the overlay speaks repository ids).
+        self._overlay = None
 
     @classmethod
     def open(
@@ -163,23 +167,51 @@ class SNodeRepresentation(GraphRepresentation):
         """The underlying :class:`~repro.snode.build.SNodeBuild`."""
         return self._build
 
+    @property
+    def overlay(self):
+        """The attached delta overlay, if the store is serving mutably."""
+        return self._overlay
+
+    def attach_overlay(self, overlay) -> None:
+        """Serve ``overlay``'s pending mutations merged into every row.
+
+        Sessions stamped out by :meth:`session` consult the parent's
+        overlay dynamically, so attaching before (or between) sessions
+        is enough — no per-session re-plumbing.  Pass ``None`` to go
+        back to serving the committed build verbatim.
+        """
+        self._overlay = overlay
+
+    def _merged(self, page: int, row: list[int], registry) -> list[int]:
+        overlay = self._overlay
+        if overlay is None:
+            return row
+        return overlay.merge(page, row, registry)
+
     def out_neighbors(self, page: int) -> list[int]:
         new_page = self._old_to_new[page]
         row = self._store.out_neighbors(new_page)
-        return sorted(self._new_to_old[t] for t in row)
+        return self._merged(
+            page, sorted(self._new_to_old[t] for t in row), self.metrics
+        )
 
     def out_neighbors_many(self, pages) -> dict[int, list[int]]:
         translated = {self._old_to_new[p]: p for p in pages}
         rows = self._store.out_neighbors_many(list(translated))
         return {
-            translated[new_page]: sorted(self._new_to_old[t] for t in row)
+            translated[new_page]: self._merged(
+                translated[new_page],
+                sorted(self._new_to_old[t] for t in row),
+                self.metrics,
+            )
             for new_page, row in rows.items()
         }
 
     def iterate_all(self):
         for new_page, row in self._store.iterate_all():
-            yield self._new_to_old[new_page], sorted(
-                self._new_to_old[t] for t in row
+            page = self._new_to_old[new_page]
+            yield page, self._merged(
+                page, sorted(self._new_to_old[t] for t in row), self.metrics
             )
 
     def size_bytes(self) -> int:
@@ -276,16 +308,29 @@ class SNodeSessionRepresentation(GraphRepresentation):
         """The shared :class:`~repro.snode.store.SNodeStore`."""
         return self._session.store
 
+    def _merged(self, page: int, row: list[int]) -> list[int]:
+        # The overlay is looked up on the parent per call: a mutation
+        # enabled after this session opened is still served, and the
+        # merge cost lands on *this* session's registry — per-request
+        # attribution stays exact in the daemon.
+        overlay = self._parent._overlay
+        if overlay is None:
+            return row
+        return overlay.merge(page, row, self._session.registry)
+
     def out_neighbors(self, page: int) -> list[int]:
         new_page = self._old_to_new[page]
         row = self._session.out_neighbors(new_page)
-        return sorted(self._new_to_old[t] for t in row)
+        return self._merged(page, sorted(self._new_to_old[t] for t in row))
 
     def out_neighbors_many(self, pages) -> dict[int, list[int]]:
         translated = {self._old_to_new[p]: p for p in pages}
         rows = self._session.out_neighbors_many(list(translated))
         return {
-            translated[new_page]: sorted(self._new_to_old[t] for t in row)
+            translated[new_page]: self._merged(
+                translated[new_page],
+                sorted(self._new_to_old[t] for t in row),
+            )
             for new_page, row in rows.items()
         }
 

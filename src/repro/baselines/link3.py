@@ -35,6 +35,14 @@ from repro.storage.atomic import BuildTransaction
 from repro.storage.bufferpool import BufferPool
 from repro.storage.device import CountedFile
 from repro.util.bitio import BitReader, BitWriter
+from repro.util.deltacodec import (
+    apply_delta,
+    decode_delta_row,
+    decode_gap_row,
+    delta_against,
+    encode_delta_row,
+    encode_gap_row,
+)
 from repro.util.varint import decode_nibble, encode_nibble
 from repro.webdata.corpus import Repository
 from repro.webdata.urls import lexicographic_key
@@ -50,37 +58,10 @@ DEFAULT_BUFFER_BYTES = 8 * 1024 * 1024
 _ROW_COST = 4
 _EDGE_COST = 8
 
-
-def _zigzag(value: int) -> int:
-    return (value << 1) ^ (value >> 63) if value >= 0 else ((-value) << 1) - 1
-
-
-def _unzigzag(value: int) -> int:
-    return (value >> 1) if (value & 1) == 0 else -((value + 1) >> 1)
-
-
-def _encode_plain(writer: BitWriter, source: int, row: list[int]) -> None:
-    encode_nibble(writer, len(row))
-    previous = None
-    for target in row:
-        if previous is None:
-            encode_nibble(writer, _zigzag(target - source))
-        else:
-            encode_nibble(writer, target - previous - 1)
-        previous = target
-
-
-def _decode_plain(reader: BitReader, source: int) -> list[int]:
-    count = decode_nibble(reader)
-    row: list[int] = []
-    previous = None
-    for _ in range(count):
-        if previous is None:
-            previous = source + _unzigzag(decode_nibble(reader))
-        else:
-            previous = previous + 1 + decode_nibble(reader)
-        row.append(previous)
-    return row
+# The row codecs moved to repro.util.deltacodec (the WAL and delta
+# overlay reuse them); the output here is byte-identical.
+_encode_plain = encode_gap_row
+_decode_plain = decode_gap_row
 
 
 class Link3Representation(GraphRepresentation):
@@ -212,7 +193,6 @@ class Link3Representation(GraphRepresentation):
         probe = BitWriter()
         _encode_plain(probe, source, row)
         best_cost = len(probe)
-        row_set = set(row)
         start = max(0, len(block_rows) - self._window)
         for index in range(start, len(block_rows)):
             reference = block_rows[index]
@@ -221,16 +201,10 @@ class Link3Representation(GraphRepresentation):
             if block_depths[index] + 1 > self._max_chain:
                 continue
             offset = len(block_rows) - index  # 1..window
-            deletions = [0 if value in row_set else 1 for value in reference]
-            kept = {
-                value for value, deleted in zip(reference, deletions) if not deleted
-            }
-            additions = [value for value in row if value not in kept]
+            deletions, additions = delta_against(reference, row)
             probe = BitWriter()
             encode_nibble(probe, offset)
-            for bit in deletions:
-                probe.write_bit(bit)
-            _encode_plain(probe, source, additions)
+            encode_delta_row(probe, source, deletions, additions)
             cost = len(probe)
             if cost < best_cost:
                 best_cost = cost
@@ -241,9 +215,7 @@ class Link3Representation(GraphRepresentation):
             return 0
         offset, deletions, additions = best_choice
         encode_nibble(writer, offset)
-        for bit in deletions:
-            writer.write_bit(bit)
-        _encode_plain(writer, source, additions)
+        encode_delta_row(writer, source, deletions, additions)
         return offset
 
     # -- block decode ------------------------------------------------------------
@@ -283,12 +255,8 @@ class Link3Representation(GraphRepresentation):
             row = _decode_plain(reader, source)
         else:
             reference = self._decode_row_chain(block, data, position - offset, memo)
-            deletions = [reader.read_bit() for _ in reference]
-            additions = _decode_plain(reader, source)
-            kept = [
-                value for value, deleted in zip(reference, deletions) if not deleted
-            ]
-            row = sorted(set(kept) | set(additions))
+            deletions, additions = decode_delta_row(reader, source, reference)
+            row = apply_delta(reference, deletions, additions)
         memo[position] = row
         return row
 

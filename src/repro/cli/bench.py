@@ -18,6 +18,7 @@ def _cmd_experiment(arguments: argparse.Namespace) -> int:
         "ablations",
         "profile",
         "serve",
+        "mutate",
     }
     if arguments.name not in module_names:
         print(

@@ -63,6 +63,18 @@ def _cmd_serve(arguments: argparse.Namespace) -> int:
                 stripes=arguments.stripes,
                 on_corruption=arguments.on_corruption,
             )
+        if arguments.mutable:
+            # Mutable serving: open/replay the WAL sidecar and accept
+            # add_edges/remove_edges/compact ops.
+            opened = context.enable_mutation()
+            if not arguments.quiet:
+                print(
+                    f"[serve] mutation enabled: replayed "
+                    f"{opened['wal_records']} WAL records "
+                    f"({opened['wal_bytes']} bytes, "
+                    f"{opened['repaired_bytes']} torn bytes repaired)",
+                    file=sys.stderr,
+                )
         fault_plan = None
         if arguments.fault_eio_rate or arguments.fault_slow_rate:
             fault_plan = faults.FaultPlan(
@@ -334,7 +346,13 @@ def register(commands) -> None:
     serve.add_argument(
         "--swap-dir", default=None, metavar="DIR",
         help="on SIGHUP, hot-swap onto the serve_f/serve_b pair under DIR "
-             "(validate, open, drain, switch — no dropped requests)",
+             "(validate, open, drain, switch — no dropped requests; with "
+             "--mutable the WAL hand-off rides the same generation bump)",
+    )
+    serve.add_argument(
+        "--mutable", action="store_true",
+        help="serve mutably: replay/append the graph.wal sidecar and "
+             "accept add_edges/remove_edges/compact ops",
     )
     serve.add_argument(
         "--on-corruption", choices=("raise", "degrade"), default="raise",

@@ -67,6 +67,15 @@ def render_top(snapshot: dict) -> str:
     ]
     if pool:
         lines.append("buffer pool: " + "  ".join(pool))
+    if "wal_bytes" in gauges:
+        # Mutable serving: WAL growth, pending delta, compaction progress.
+        lines.append(
+            f"mutation: wal {gauges.get('wal_bytes', 0)}B"
+            f"  delta edges {gauges.get('delta_edges', 0)}"
+            f" over {gauges.get('overlay_rows', 0)} rows"
+            f"  compactions {gauges.get('compactions', 0)}"
+            f" (last gen {gauges.get('last_compaction_generation', 0)})"
+        )
     storage = snapshot.get("storage", {})
     if storage:
         # I/O-resilience counters: transparent retries absorbed by the

@@ -1,0 +1,547 @@
+"""Mutable-graph benchmark: recrawl deltas over the immutable build.
+
+The S-Node store is built once and never rewritten; mutability comes
+from a CRC-framed WAL (:mod:`repro.storage.wal`) replayed into per-source
+delta overlays (:mod:`repro.snode.delta`) that merge into every
+adjacency read.  This experiment drives that stack with the seeded
+recrawl workload (:mod:`repro.webdata.recrawl`) and checks the two
+promises the design makes, plus its cost profile:
+
+* **Digest equivalence at every delta depth** — after each recrawl step
+  the full adjacency (both directions) served through *base store +
+  overlay* must hash identically to (a) a **full rebuild** of the
+  mutated repository and (b) the in-memory ground-truth graph.  One
+  flag, ``adjacency_equivalent``, ANDs the comparison over every depth;
+  the per-depth digests are reported (and exact-pinned in CI).
+* **Query equivalence at final depth** — the six paper queries through a
+  :class:`~repro.serve.daemon.ServeContext` opened on the *base* store
+  with the accumulated WAL replayed must produce payload digests equal
+  to the same queries on a fresh build of the final mutated repository
+  (``queries_equivalent``; both sides share the final repository's
+  text/PageRank indexes, so adjacency is the only variable).
+* **Query cost vs delta depth** — per depth: WAL bytes, overlay
+  edges/rows, the deterministic merge counters (``delta_merges`` /
+  ``delta_merge_edges`` charged by the read path) and the wall-clock of
+  the full-adjacency probe (the only non-deterministic column, cost-
+  marked ``probe_s`` so CI threshold-compares rather than pins it).
+* **Live write/compact smoke** — a real daemon (TCP, event loop) with
+  mutation enabled takes the first recrawl delta through the
+  ``add_edges``/``remove_edges`` ops, establishes serial reference
+  digests, then runs the Figure 11 query mix concurrently while a
+  ``compact`` admin op rebuilds and hot-swaps mid-load.  Gates: zero
+  failed requests across the compaction (``live_zero_failed``), every
+  reply matching the serial baseline before *and* after the flip
+  (``live_matches_serial``), the compaction actually adopted
+  (``live_compacted``: generation bump + compaction counter), the
+  absorbed WAL prefix truncated (``live_wal_truncated``), a
+  post-compaction write landing in the *new* store's log
+  (``live_post_write_ok``) and request conservation
+  (``live_conserved``).
+
+Every digest and boolean above is deterministic and CI-gated with
+``bench-diff --exact``; throughput/latency columns vary with the machine
+and are threshold-checked only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import hashlib
+import shutil
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.errors import ServeError
+from repro.experiments.harness import (
+    add_report_arguments,
+    add_trace_arguments,
+    dataset,
+    emit_report,
+    experiment_refinement_config,
+    format_table,
+    sweep_sizes,
+    trace_session,
+)
+from repro.obs import tracing
+from repro.serve import protocol
+from repro.serve.daemon import (
+    DEFAULT_BUFFER_BYTES,
+    DaemonHandle,
+    GraphQueryDaemon,
+    ServeContext,
+)
+from repro.serve.loadgen import DEFAULT_MIX, ServeClient, run_load
+from repro.experiments.serve import _conservation
+from repro.query.workload import run_query
+from repro.webdata.recrawl import RecrawlConfig, recrawl
+
+DEFAULT_STEPS = 4
+DEFAULT_CONCURRENCY = 6
+DEFAULT_REQUESTS_PER_CLIENT = 8
+DEFAULT_WORKERS = 4
+DEFAULT_QUEUE_LIMIT = 4
+#: Edges per write request in the live phase — small enough to produce
+#: several WAL appends per step, large enough to keep frame overhead low.
+_WRITE_BATCH = 256
+#: How long the live-phase load runs before the compact op lands.
+_COMPACT_DELAY_S = 0.05
+
+
+def _digest_rows(hasher: "hashlib._Hash", rows) -> None:
+    """Fold ``(page, sorted-row)`` pairs into ``hasher`` canonically."""
+    for page, row in rows:
+        hasher.update(int(page).to_bytes(8, "little"))
+        hasher.update(len(row).to_bytes(8, "little"))
+        for target in row:
+            hasher.update(int(target).to_bytes(8, "little"))
+
+
+def _representation_digest(forward, backward) -> str:
+    """Canonical digest of both directions' full served adjacency.
+
+    Pages are probed in id order (``iterate_all`` yields physical
+    supernode order, which depends on the partition and would make two
+    equivalent stores hash differently).
+    """
+    hasher = hashlib.sha256()
+    for representation in (forward, backward):
+        num_pages = representation.num_pages
+        for start in range(0, num_pages, 1024):
+            pages = range(start, min(start + 1024, num_pages))
+            rows = representation.out_neighbors_many(pages)
+            _digest_rows(hasher, ((page, rows[page]) for page in pages))
+    return hasher.hexdigest()
+
+
+def _graph_digest(graph) -> str:
+    """Same framing as :func:`_representation_digest`, from a Digraph."""
+    hasher = hashlib.sha256()
+    transpose = graph.transpose()
+    for side in (graph, transpose):
+        _digest_rows(
+            hasher,
+            (
+                (page, side.successors_list(page))
+                for page in range(side.num_vertices)
+            ),
+        )
+    return hasher.hexdigest()
+
+
+def _build_pair(repository, workdir: Path, buffer_bytes: int):
+    """Build a forward + transpose pair; returns open representations."""
+    from repro.baselines import SNodeRepresentation
+    from repro.snode.build import BuildOptions, build_snode
+
+    refinement = experiment_refinement_config()
+    forward = SNodeRepresentation(
+        build_snode(
+            repository,
+            workdir / "serve_f",
+            BuildOptions(refinement=refinement, buffer_bytes=buffer_bytes),
+        )
+    )
+    backward = SNodeRepresentation(
+        build_snode(
+            repository,
+            workdir / "serve_b",
+            BuildOptions(
+                refinement=refinement, buffer_bytes=buffer_bytes, transpose=True
+            ),
+        )
+    )
+    return forward, backward
+
+
+def _equivalence_sweep(
+    repository, steps, base: Path, buffer_bytes: int
+) -> tuple[list[dict], bool]:
+    """Per-depth digest equivalence: base+overlay vs rebuild vs truth.
+
+    Returns the per-depth rows and the ANDed equivalence flag.  The
+    overlay side accumulates every step in one WAL beside one base pair
+    (exactly how a serving daemon would); the rebuild side builds a
+    fresh pair from the mutated repository at every depth and is thrown
+    away immediately after hashing.
+    """
+    from repro.snode.delta import DeltaOverlay
+    from repro.storage.wal import GraphWal
+
+    forward, backward = _build_pair(repository, base / "mutable", buffer_bytes)
+    wal = GraphWal.for_build(forward.build.root)
+    overlay_forward = DeltaOverlay()
+    overlay_backward = DeltaOverlay(transpose=True)
+    forward.attach_overlay(overlay_forward)
+    backward.attach_overlay(overlay_backward)
+    depths: list[dict] = []
+    equivalent = True
+    try:
+        for step in steps:
+            for op, edges in (("remove", step.removed), ("add", step.added)):
+                if not edges:
+                    continue
+                wal.append(op, list(edges))
+                overlay_forward.apply(op, edges)
+                overlay_backward.apply(op, edges)
+            merges_before = forward.metrics.get("delta_merges") + backward.metrics.get(
+                "delta_merges"
+            )
+            merge_edges_before = forward.metrics.get(
+                "delta_merge_edges"
+            ) + backward.metrics.get("delta_merge_edges")
+            started = time.perf_counter()
+            overlay_digest = _representation_digest(forward, backward)
+            probe_s = time.perf_counter() - started
+            merges = (
+                forward.metrics.get("delta_merges")
+                + backward.metrics.get("delta_merges")
+                - merges_before
+            )
+            merge_edges = (
+                forward.metrics.get("delta_merge_edges")
+                + backward.metrics.get("delta_merge_edges")
+                - merge_edges_before
+            )
+            rebuild_dir = base / f"rebuild_{step.index}"
+            rebuilt_forward, rebuilt_backward = _build_pair(
+                step.repository, rebuild_dir, buffer_bytes
+            )
+            try:
+                rebuild_digest = _representation_digest(
+                    rebuilt_forward, rebuilt_backward
+                )
+            finally:
+                rebuilt_forward.close()
+                rebuilt_backward.close()
+                shutil.rmtree(rebuild_dir)
+            truth_digest = _graph_digest(step.repository.graph)
+            matches = overlay_digest == rebuild_digest == truth_digest
+            equivalent = equivalent and matches
+            depths.append(
+                {
+                    "depth": step.index + 1,
+                    "step_edges": step.delta_edges,
+                    "url_moves": step.url_moves,
+                    "host_reorgs": step.host_reorgs,
+                    "wal_bytes": wal.size_bytes(),
+                    "overlay_edges": overlay_forward.edge_count,
+                    "overlay_rows": overlay_forward.row_count,
+                    "delta_merges": merges,
+                    "delta_merge_edges": merge_edges,
+                    "digest": overlay_digest,
+                    "matches_rebuild": matches,
+                    # The only timing column; cost-marked for bench-diff.
+                    "probe_s": probe_s,
+                }
+            )
+    finally:
+        forward.close()
+        backward.close()
+    return depths, equivalent
+
+
+def _query_equivalence(final_repository, base: Path, buffer_bytes: int) -> dict:
+    """Final-depth query equivalence: overlay serving vs full rebuild.
+
+    Both contexts are handed the *final* repository (identical text and
+    PageRank indexes); the overlay side opens the base pair — whose WAL
+    already holds every recrawl delta — and replays it via
+    ``enable_mutation``, while the rebuild side builds fresh stores from
+    the mutated graph.  Every paper query must digest identically.
+    """
+    overlay_context = ServeContext.open(
+        final_repository, base / "mutable", buffer_bytes=buffer_bytes
+    )
+    try:
+        replay = overlay_context.enable_mutation()
+        engine = overlay_context.serial_engine()
+        overlay_digests = {
+            name: protocol.payload_digest(run_query(engine, name).payload)
+            for name in DEFAULT_MIX
+        }
+    finally:
+        overlay_context.close()
+    rebuild_dir = base / "rebuild_final"
+    rebuild_context = ServeContext.build(
+        final_repository, rebuild_dir, buffer_bytes=buffer_bytes
+    )
+    try:
+        engine = rebuild_context.serial_engine()
+        rebuild_digests = {
+            name: protocol.payload_digest(run_query(engine, name).payload)
+            for name in DEFAULT_MIX
+        }
+    finally:
+        rebuild_context.close()
+        shutil.rmtree(rebuild_dir)
+    return {
+        "queries_equivalent": overlay_digests == rebuild_digests,
+        "per_query_digests": dict(sorted(overlay_digests.items())),
+        "replayed_wal_records": replay["wal_records"],
+    }
+
+
+def _apply_live_writes(client: ServeClient, step) -> int:
+    """Send one recrawl step through the daemon's write ops, batched."""
+    writes = 0
+    for op, edges in (("remove", step.removed), ("add", step.added)):
+        batch = [list(edge) for edge in edges]
+        for start in range(0, len(batch), _WRITE_BATCH):
+            chunk = batch[start : start + _WRITE_BATCH]
+            if not chunk:
+                continue
+            if op == "add":
+                client.add_edges(chunk)
+            else:
+                client.remove_edges(chunk)
+            writes += 1
+    return writes
+
+
+def _live_phase(
+    repository,
+    step,
+    base: Path,
+    buffer_bytes: int,
+    concurrency: int,
+    requests_per_client: int,
+    workers: int,
+    queue_limit: int,
+) -> dict:
+    """Writes + compaction under live load against a real daemon."""
+    live_dir = base / "live"
+    context = ServeContext.build(repository, live_dir, buffer_bytes=buffer_bytes)
+    try:
+        context.enable_mutation()
+        daemon = GraphQueryDaemon(
+            context, workers=workers, queue_limit=queue_limit
+        )
+        box: dict = {}
+        with DaemonHandle(daemon) as handle:
+            with ServeClient("127.0.0.1", handle.port) as admin:
+                writes = _apply_live_writes(admin, step)
+            # Serial reference digests *after* the writes: every reply
+            # during the load — before and after the compaction flip —
+            # must match these.
+            engine = context.serial_engine()
+            serial_digests = {
+                name: protocol.payload_digest(run_query(engine, name).payload)
+                for name in DEFAULT_MIX
+            }
+            wal_bytes_before = context.wal.size_bytes()
+
+            def _drive() -> None:
+                box["load"] = run_load(
+                    "127.0.0.1",
+                    handle.port,
+                    concurrency=concurrency,
+                    requests_per_client=requests_per_client,
+                )
+
+            thread = threading.Thread(target=_drive, name="mutate-load")
+            thread.start()
+            time.sleep(_COMPACT_DELAY_S)
+            with ServeClient("127.0.0.1", handle.port) as admin:
+                compact_outcome = admin.compact(str(live_dir / "compacted"))
+            thread.join()
+            # The compacted store must accept new writes into its own,
+            # fresh WAL.
+            with ServeClient("127.0.0.1", handle.port) as admin:
+                post = admin.add_edges([[0, repository.num_pages - 1]])
+        load = box["load"]
+        conserved, _ = _conservation(daemon, load)
+        observed = load.digests()
+        matches_serial = load.consistent() and all(
+            observed.get(name) == {digest}
+            for name, digest in serial_digests.items()
+        )
+        client_errors = [c.error for c in load.clients if c.error]
+        mutation = context.mutation_stats()
+        return {
+            # Deterministic gates (CI exact-pins these):
+            "live_compacted": bool(compact_outcome.get("compacted"))
+            and context.generation == 1
+            and context.compactions == 1
+            and context.last_compaction_generation == 1,
+            "live_matches_serial": matches_serial,
+            "live_zero_failed": load.requests_failed == 0
+            and load.requests_timeout == 0
+            and not client_errors,
+            "live_conserved": conserved,
+            "live_wal_truncated": compact_outcome.get("absorbed_bytes")
+            == wal_bytes_before
+            and compact_outcome.get("mutation", {}).get("carried_bytes") == 0,
+            "live_post_write_ok": post.get("edges_applied") == 1
+            and post.get("wal_bytes", 0) > 0
+            and mutation.get("delta_edges") == 1,
+            "live_writes_applied": writes + 1,
+            # Timing-dependent observability (CI ignores):
+            "live_detail": {
+                "wal_bytes_before_compact": wal_bytes_before,
+                "absorbed_records": compact_outcome.get("absorbed_records", 0),
+                "drained_in_flight": compact_outcome.get("drained", 0),
+                "completed": load.requests_ok,
+                "shed": load.shed_retries,
+                "errors": client_errors,
+            },
+        }
+    finally:
+        context.close()
+
+
+def run(
+    size: int | None = None,
+    steps: int = DEFAULT_STEPS,
+    seed: int = 2003,
+    buffer_bytes: int = DEFAULT_BUFFER_BYTES,
+    concurrency: int = DEFAULT_CONCURRENCY,
+    requests_per_client: int = DEFAULT_REQUESTS_PER_CLIENT,
+    workers: int = DEFAULT_WORKERS,
+    queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    workdir: str | None = None,
+) -> dict:
+    """Run the mutation benchmark end-to-end; returns the results dict."""
+    size = size or sweep_sizes()[1]
+    repository = dataset(size)
+    with tracing.span("mutate.recrawl"):
+        recrawl_steps = recrawl(
+            repository, RecrawlConfig(steps=steps, seed=seed)
+        )
+    own_tmp = tempfile.TemporaryDirectory() if workdir is None else None
+    base = Path(workdir or own_tmp.name)
+    try:
+        with tracing.span("mutate.equivalence"):
+            depths, adjacency_equivalent = _equivalence_sweep(
+                repository, recrawl_steps, base, buffer_bytes
+            )
+        with tracing.span("mutate.queries"):
+            queries = _query_equivalence(
+                recrawl_steps[-1].repository, base, buffer_bytes
+            )
+        with tracing.span("mutate.live"):
+            live = _live_phase(
+                repository,
+                recrawl_steps[0],
+                base,
+                buffer_bytes,
+                concurrency,
+                requests_per_client,
+                workers,
+                queue_limit,
+            )
+        results = {
+            "num_pages": repository.num_pages,
+            "recrawl_steps": steps,
+            "seed": seed,
+            "buffer_bytes": buffer_bytes,
+            "total_delta_edges": sum(s.delta_edges for s in recrawl_steps),
+            "adjacency_equivalent": adjacency_equivalent,
+            "depths": depths,
+            "digest": protocol.payload_digest(
+                {"per_depth": [row["digest"] for row in depths]}
+            ),
+        }
+        results.update(queries)
+        results.update(live)
+        return {"results": results}
+    finally:
+        if own_tmp is not None:
+            own_tmp.cleanup()
+
+
+def report(results: dict) -> str:
+    """Human-readable summary table."""
+    rows = [
+        ("pages", results["num_pages"]),
+        ("recrawl steps", results["recrawl_steps"]),
+        ("total delta edges", results["total_delta_edges"]),
+        ("adjacency equivalent (all depths)", results["adjacency_equivalent"]),
+        ("queries equivalent (final depth)", results["queries_equivalent"]),
+        ("live: compacted / matches serial",
+         f"{results['live_compacted']} / {results['live_matches_serial']}"),
+        ("live: zero failed / conserved",
+         f"{results['live_zero_failed']} / {results['live_conserved']}"),
+        ("live: wal truncated / post-write ok",
+         f"{results['live_wal_truncated']} / {results['live_post_write_ok']}"),
+    ]
+    table = format_table(["metric", "value"], rows)
+    depth_rows = [
+        (
+            row["depth"],
+            row["step_edges"],
+            row["overlay_edges"],
+            row["overlay_rows"],
+            row["wal_bytes"],
+            row["delta_merges"],
+            f"{row['probe_s'] * 1000.0:.1f}",
+            row["matches_rebuild"],
+        )
+        for row in results.get("depths", [])
+    ]
+    if depth_rows:
+        table += "\n\nquery cost vs delta depth:\n" + format_table(
+            ["depth", "step edges", "delta edges", "delta rows",
+             "wal bytes", "merges", "probe ms", "matches rebuild"],
+            depth_rows,
+        )
+    return table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--size", type=int, default=None)
+    parser.add_argument("--steps", type=int, default=DEFAULT_STEPS)
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument(
+        "--buffer-kb", type=int, default=DEFAULT_BUFFER_BYTES // 1024
+    )
+    parser.add_argument("--concurrency", type=int, default=DEFAULT_CONCURRENCY)
+    parser.add_argument(
+        "--requests", type=int, default=DEFAULT_REQUESTS_PER_CLIENT,
+        help="query requests per client in the live phase",
+    )
+    parser.add_argument("--workers", type=int, default=DEFAULT_WORKERS)
+    parser.add_argument("--queue-limit", type=int, default=DEFAULT_QUEUE_LIMIT)
+    add_report_arguments(parser)
+    add_trace_arguments(parser)
+    arguments = parser.parse_args()
+    with trace_session(arguments, "mutate") as tracer:
+        outcome = run(
+            size=arguments.size,
+            steps=arguments.steps,
+            seed=arguments.seed,
+            buffer_bytes=arguments.buffer_kb * 1024,
+            concurrency=arguments.concurrency,
+            requests_per_client=arguments.requests,
+            workers=arguments.workers,
+            queue_limit=arguments.queue_limit,
+        )
+    results = outcome["results"]
+    if not arguments.quiet:
+        print(report(results))
+    if not (
+        results["adjacency_equivalent"]
+        and results["queries_equivalent"]
+        and results["live_matches_serial"]
+    ):
+        raise ServeError(
+            "mutation equivalence violated: base+delta diverged from rebuild"
+        )
+    emit_report(
+        arguments.json_dir,
+        "mutate",
+        results,
+        params={
+            "steps": arguments.steps,
+            "seed": arguments.seed,
+            "concurrency": arguments.concurrency,
+            "requests_per_client": arguments.requests,
+        },
+        spans=tracer.summary_dict() if tracer else None,
+    )
+
+
+if __name__ == "__main__":
+    main()

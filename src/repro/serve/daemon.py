@@ -185,6 +185,17 @@ class ServeContext:
         #: Bumped by every adopted store swap; connections compare it
         #: against their engine's generation and rebuild lazily.
         self.generation = 0
+        #: Refinement config the stores were built with; compaction
+        #: rebuilds with the same one (None -> the experiment default).
+        self.refinement = None
+        # Mutable-serving state (enable_mutation): the WAL plus one
+        # overlay per direction, both fed from the same log.
+        self.wal = None
+        self.overlay_forward = None
+        self.overlay_backward = None
+        self.mutation_enabled = False
+        self.compactions = 0
+        self.last_compaction_generation = 0
 
     @classmethod
     def build(
@@ -235,7 +246,7 @@ class ServeContext:
                     stripes=stripes,
                     on_corruption=on_corruption,
                 )
-        return cls(
+        context = cls(
             repository,
             TextIndex(repository),
             PageRankIndex(repository),
@@ -245,6 +256,8 @@ class ServeContext:
             stripes=stripes,
             on_corruption=on_corruption,
         )
+        context.refinement = refinement
+        return context
 
     @classmethod
     def open(
@@ -301,6 +314,172 @@ class ServeContext:
                     f"has {repository.num_pages}"
                 )
         return context
+
+    # -- mutable serving (WAL + delta overlay) -------------------------------
+
+    def enable_mutation(self) -> dict:
+        """Start serving mutably: open (or create) the WAL, replay it.
+
+        The log lives beside the forward build's manifest
+        (``serve_f/graph.wal``).  A torn tail — the residue of a crash
+        mid-append — is repaired *before* anything else, so subsequent
+        appends land on a clean frame boundary and every acknowledged
+        write stays replayable.  The intact records rebuild one overlay
+        per direction (the transpose overlay sees every edge flipped),
+        and both attach to the live representations; sessions pick the
+        overlay up dynamically.
+        """
+        from repro.snode.delta import DeltaOverlay
+        from repro.storage.wal import GraphWal
+
+        wal = GraphWal.for_build(self.forward.build.root)
+        repaired = wal.repair_tail()
+        scan = wal.scan()
+        forward_overlay = DeltaOverlay()
+        backward_overlay = DeltaOverlay(transpose=True)
+        for record in scan.records:
+            forward_overlay.apply_record(record)
+            backward_overlay.apply_record(record)
+        self.forward.attach_overlay(forward_overlay)
+        self.backward.attach_overlay(backward_overlay)
+        self.wal = wal
+        self.overlay_forward = forward_overlay
+        self.overlay_backward = backward_overlay
+        self.mutation_enabled = True
+        return {
+            "wal_bytes": scan.good_bytes,
+            "wal_records": len(scan.records),
+            "repaired_bytes": repaired,
+        }
+
+    def apply_mutation(self, op: str, edges) -> dict:
+        """Durably log one edge batch, then fold it into both overlays.
+
+        The WAL append (CRC frame + fsync) happens *first*; only after
+        it returns is the overlay touched and the caller answered —
+        returning from here is the acknowledgement the crash-safety
+        contract covers.  Must be called from the daemon's event loop
+        (or any single writer): writes are serialized by construction.
+        """
+        if not self.mutation_enabled:
+            raise ServeError(
+                "mutation is not enabled on this daemon "
+                "(start it with --mutable / enable_mutation())"
+            )
+        if not isinstance(edges, (list, tuple)) or not edges:
+            raise ServeError(f"{op} needs a non-empty list of [source, target] pairs")
+        checked: list[tuple[int, int]] = []
+        for pair in edges:
+            if (
+                not isinstance(pair, (list, tuple))
+                or len(pair) != 2
+                or any(not isinstance(v, int) or isinstance(v, bool) for v in pair)
+            ):
+                raise ServeError(f"bad edge {pair!r}: expected [source, target]")
+            source, target = pair
+            for page in (source, target):
+                if not 0 <= page < self.repository.num_pages:
+                    raise ServeError(f"page {page} out of range")
+            checked.append((source, target))
+        wal_bytes = self.wal.append(op, checked)
+        applied = self.overlay_forward.apply(op, checked)
+        self.overlay_backward.apply(op, checked)
+        return {
+            "op": op,
+            "edges_applied": applied,
+            "wal_bytes": wal_bytes,
+            "delta_edges": self.overlay_forward.edge_count,
+        }
+
+    def mutation_stats(self) -> dict:
+        """The ``mutation`` section of stats replies and gauge exports."""
+        if not self.mutation_enabled:
+            return {"enabled": False}
+        return {
+            "enabled": True,
+            "wal_bytes": self.wal.size_bytes(),
+            "wal_records": self.overlay_forward.records_applied,
+            "delta_edges": self.overlay_forward.edge_count,
+            "overlay_rows": self.overlay_forward.row_count,
+            "compactions": self.compactions,
+            "last_compaction_generation": self.last_compaction_generation,
+        }
+
+    def compact_build(self, overlay, workdir: Path | str) -> None:
+        """Materialize base + ``overlay`` and build a fresh pair.
+
+        The base rows come from a *separate, overlay-free* open of the
+        committed forward store — never from ``repository.graph``, which
+        after one compaction lags the store — so chained compactions
+        stay correct and the WAL remains the only non-durable truth.
+        Runs off the event loop (heavy build I/O); the snapshot
+        ``overlay`` must be frozen by the caller before new writes can
+        interleave.
+        """
+        from repro.baselines import SNodeRepresentation
+        from repro.experiments.harness import experiment_refinement_config
+        from repro.snode.build import BuildOptions, build_snode
+        from repro.snode.delta import merged_repository
+
+        base = SNodeRepresentation.open(
+            self.forward.build.root, buffer_bytes=self.buffer_bytes
+        )
+        try:
+            repository = merged_repository(self.repository, base, overlay)
+        finally:
+            base.close()
+        workdir = Path(workdir)
+        refinement = (
+            self.refinement
+            if self.refinement is not None
+            else experiment_refinement_config()
+        )
+        for name, transpose in (("serve_f", False), ("serve_b", True)):
+            build = build_snode(
+                repository,
+                workdir / name,
+                BuildOptions(
+                    refinement=refinement,
+                    buffer_bytes=self.buffer_bytes,
+                    transpose=transpose,
+                ),
+            )
+            build.store.close()
+
+    def absorb_wal(self, absorbed_offset, forward, backward) -> dict:
+        """Truncate the absorbed WAL prefix as part of a generation bump.
+
+        Runs synchronously on the event loop right after :meth:`adopt`
+        (between two awaits), so from every other coroutine's point of
+        view the store flip and the log truncation are one atomic step.
+        The unabsorbed suffix is carried into a fresh ``graph.wal``
+        beside the adopted forward build (a restart on the new directory
+        replays exactly the writes the new build lacks), replayed into
+        fresh overlays, and attached to the new pair.  With
+        ``absorbed_offset=None`` — an operator-initiated swap onto an
+        independently rebuilt store — the whole log is treated as
+        superseded.
+        """
+        from repro.snode.delta import DeltaOverlay
+        from repro.storage.wal import GraphWal
+
+        old_wal = self.wal
+        if absorbed_offset is None:
+            absorbed_offset = old_wal.scan().good_bytes
+        new_wal = GraphWal.for_build(forward.build.root)
+        carried_bytes = old_wal.carry_suffix_to(new_wal, absorbed_offset)
+        forward_overlay, scan = DeltaOverlay.replay(new_wal)
+        backward_overlay, _ = DeltaOverlay.replay(new_wal, transpose=True)
+        forward.attach_overlay(forward_overlay)
+        backward.attach_overlay(backward_overlay)
+        self.wal = new_wal
+        self.overlay_forward = forward_overlay
+        self.overlay_backward = backward_overlay
+        return {
+            "absorbed_bytes": absorbed_offset,
+            "carried_bytes": carried_bytes,
+            "carried_records": len(scan.records),
+        }
 
     # -- hot store swap ------------------------------------------------------
 
@@ -439,6 +618,7 @@ class DaemonCounters:
     requests_failed: int = 0
     requests_timeout: int = 0
     store_swaps: int = 0
+    writes: int = 0
 
     def as_dict(self) -> dict[str, int]:
         # "backpressure_replies", not "requests_shed": the count varies
@@ -451,6 +631,7 @@ class DaemonCounters:
             "requests_failed": self.requests_failed,
             "requests_timeout": self.requests_timeout,
             "store_swaps": self.store_swaps,
+            "writes_applied": self.writes,
         }
 
 
@@ -715,8 +896,39 @@ class GraphQueryDaemon:
             return protocol.ok_reply(
                 request_id, result, server=record.reply_view()
             ), None
+        if op in ("add_edges", "remove_edges"):
+            # Write ops run inline on the event loop: the WAL append +
+            # overlay fold must serialize with each other and with the
+            # swap/compaction flip, and the fsync *is* the op's cost.
+            # Deliberately absent from IDEMPOTENT_OPS: a lost reply
+            # retried blindly would double-apply a non-idempotent write.
+            start = clock()
+            try:
+                result = self.context.apply_mutation(
+                    "add" if op == "add_edges" else "remove",
+                    request.get("edges"),
+                )
+            except (ServeError, StorageError) as exc:
+                record.phases["execute"] = clock() - start
+                record.error = str(exc)
+                self.counters.requests_failed += 1
+                return protocol.error_reply(
+                    request_id,
+                    protocol.ERROR_BAD_REQUEST,
+                    str(exc),
+                    server=record.reply_view(),
+                ), None
+            record.phases["execute"] = clock() - start
+            record.outcome = "ok"
+            self.counters.requests_ok += 1
+            self.counters.writes += 1
+            return protocol.ok_reply(
+                request_id, result, server=record.reply_view()
+            ), None
         if op == "swap":
             return await self._swap_op(request, record, request_id), None
+        if op == "compact":
+            return await self._compact_op(request, record, request_id), None
         if op not in ("query", "neighbors"):
             record.error = f"unknown op {op!r}"
             self.counters.requests_failed += 1
@@ -886,6 +1098,32 @@ class GraphQueryDaemon:
         self.counters.requests_ok += 1
         return protocol.ok_reply(request_id, result, server=record.reply_view())
 
+    async def _compact_op(
+        self, request: dict, record: RequestRecord, request_id
+    ) -> dict:
+        """The ``compact`` admin op: fold the WAL into a fresh build."""
+        clock = self.telemetry.clock
+        start = clock()
+        workdir = request.get("workdir")
+        try:
+            if not isinstance(workdir, str) or not workdir:
+                raise ServeError("compact op needs a 'workdir' string")
+            result = await self.compact_stores(workdir)
+        except (ServeError, StorageError) as exc:
+            record.phases["execute"] = clock() - start
+            record.error = str(exc)
+            self.counters.requests_failed += 1
+            return protocol.error_reply(
+                request_id,
+                protocol.ERROR_BAD_REQUEST,
+                str(exc),
+                server=record.reply_view(),
+            )
+        record.phases["execute"] = clock() - start
+        record.outcome = "ok"
+        self.counters.requests_ok += 1
+        return protocol.ok_reply(request_id, result, server=record.reply_view())
+
     async def swap_stores(self, workdir) -> dict:
         """Hot-swap the serving stores onto the pair under ``workdir``.
 
@@ -906,24 +1144,88 @@ class GraphQueryDaemon:
         if self._swap_lock.locked():
             raise ServeError("a store swap is already in progress")
         async with self._swap_lock:
-            forward, backward = await asyncio.to_thread(
-                self.context.open_pair, workdir
+            return await self._adopt_pair(workdir, absorbed_offset=None)
+
+    async def compact_stores(self, workdir) -> dict:
+        """Online compaction: fold the WAL into a fresh pair, then swap.
+
+        The sequence: **snapshot** the log on the event loop (no awaits
+        between observing the offset and copying the records, so the
+        snapshot is a frame-exact prefix even while writes keep
+        arriving); **build** base + snapshot-overlay through the normal
+        build pipeline off-loop under ``workdir``; **adopt** via the
+        same validate/flip/drain/close protocol as a hot swap, extended
+        to truncate the absorbed WAL prefix and replay the unabsorbed
+        suffix into fresh overlays inside the same generation bump.
+        Writes logged during the build are exactly that suffix — none
+        are lost, none are double-applied.
+        """
+        if self._swap_lock is None:
+            raise ServeError("daemon is not started")
+        if self._swap_lock.locked():
+            raise ServeError("a store swap is already in progress")
+        async with self._swap_lock:
+            context = self.context
+            if not context.mutation_enabled:
+                raise ServeError(
+                    "compact requires mutation to be enabled on this daemon"
+                )
+            from repro.snode.delta import DeltaOverlay
+
+            scan = context.wal.scan()
+            snapshot = DeltaOverlay()
+            for entry in scan.records:
+                snapshot.apply_record(entry)
+            await asyncio.to_thread(context.compact_build, snapshot, workdir)
+            result = await self._adopt_pair(
+                workdir, absorbed_offset=scan.good_bytes
             )
-            # Snapshot-then-flip with no await between: the snapshot is
-            # exactly the set of requests running against the old pair.
-            pending = list(self._active)
-            old_forward, old_backward = self.context.adopt(forward, backward)
-            if pending:
-                await asyncio.gather(*pending, return_exceptions=True)
-            await asyncio.to_thread(old_forward.close)
-            await asyncio.to_thread(old_backward.close)
-            self.counters.store_swaps += 1
-            return {
-                "swapped": True,
-                "generation": self.context.generation,
-                "drained": len(pending),
-                "workdir": str(workdir),
-            }
+            context.compactions += 1
+            context.last_compaction_generation = context.generation
+            result.update(
+                {
+                    "compacted": True,
+                    "absorbed_records": len(scan.records),
+                    "absorbed_bytes": scan.good_bytes,
+                }
+            )
+            return result
+
+    async def _adopt_pair(self, workdir, absorbed_offset) -> dict:
+        """Validate, open, flip, drain, close — the shared adoption tail.
+
+        Caller holds the swap lock.  When mutation is enabled, the WAL
+        hand-off (:meth:`ServeContext.absorb_wal`) runs synchronously
+        between the flip and the first await, so the generation bump,
+        the prefix truncation and the overlay re-attachment are one
+        atomic step for every coroutine.
+        """
+        forward, backward = await asyncio.to_thread(
+            self.context.open_pair, workdir
+        )
+        # Snapshot-then-flip with no await between: the snapshot is
+        # exactly the set of requests running against the old pair.
+        pending = list(self._active)
+        old_forward, old_backward = self.context.adopt(forward, backward)
+        mutation = None
+        if self.context.mutation_enabled:
+            mutation = self.context.absorb_wal(
+                absorbed_offset, forward, backward
+            )
+        if pending:
+            await asyncio.gather(*pending, return_exceptions=True)
+        await asyncio.to_thread(old_forward.close)
+        await asyncio.to_thread(old_backward.close)
+        self.counters.store_swaps += 1
+        result = {
+            "swapped": True,
+            "generation": self.context.generation,
+            "drained": len(pending),
+            "workdir": str(workdir),
+        }
+        if mutation is not None:
+            result["mutation"] = mutation
+        return result
 
     # -- request execution (worker threads) ------------------------------------
 
@@ -1049,6 +1351,9 @@ class GraphQueryDaemon:
             # Storage-layer resilience: absorbed retries + injected
             # faults (see io_resilience).
             "storage": self.io_resilience(),
+            # Mutable-serving state: WAL size, pending delta, compaction
+            # progress ({"enabled": False} on an immutable daemon).
+            "mutation": self.context.mutation_stats(),
             "daemon": {
                 **self.counters.as_dict(),
                 "inflight": self._inflight,
@@ -1071,6 +1376,16 @@ class GraphQueryDaemon:
         for direction, stats in self.context.buffer_stats().items():
             for key in ("capacity_bytes", "used_bytes", "pinned_bytes"):
                 gauges[f"buffer_{direction}_{key}"] = stats[key]
+        if self.context.mutation_enabled:
+            mutation = self.context.mutation_stats()
+            for key in (
+                "wal_bytes",
+                "delta_edges",
+                "overlay_rows",
+                "compactions",
+                "last_compaction_generation",
+            ):
+                gauges[key] = mutation[key]
         return gauges
 
     def _metrics(self, fmt) -> dict:

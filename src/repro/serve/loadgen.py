@@ -161,6 +161,22 @@ class ServeClient:
         """Hot-swap the daemon onto the store pair under ``workdir``."""
         return self.request_ok("swap", workdir=workdir)
 
+    def add_edges(self, edges) -> dict:
+        """Durably add edges (``[[source, target], ...]``) to the graph.
+
+        Non-idempotent: a lost reply must not be blind-retried (the op
+        is deliberately outside the retry policy's idempotent set).
+        """
+        return self.request_ok("add_edges", edges=list(edges))
+
+    def remove_edges(self, edges) -> dict:
+        """Durably remove edges from the graph (non-idempotent)."""
+        return self.request_ok("remove_edges", edges=list(edges))
+
+    def compact(self, workdir: str) -> dict:
+        """Fold the WAL into a fresh build under ``workdir`` and swap to it."""
+        return self.request_ok("compact", workdir=workdir)
+
     def close(self) -> None:
         """Close the connection (ends the daemon-side session)."""
         self._sock.close()

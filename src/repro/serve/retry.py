@@ -26,8 +26,10 @@ Two safety rails bound the retries:
 **Idempotency gating.**  :meth:`RetryPolicy.retryable` only approves a
 retry when re-sending cannot double-execute: a ``backpressure`` reply
 was *never executed* (safe for any op), otherwise only reads
-(:data:`IDEMPOTENT_OPS`) may be retried blind.  The one mutating op the
-protocol has — ``swap`` — is deliberately not retryable.
+(:data:`IDEMPOTENT_OPS`) may be retried blind.  The mutating ops —
+``swap``, ``compact`` and the edge writes ``add_edges``/``remove_edges``
+— are deliberately not retryable: re-sending an edge write whose reply
+was lost would append (and apply) it twice.
 """
 
 from __future__ import annotations
@@ -46,8 +48,9 @@ DEFAULT_CAP_S = 0.1
 DEFAULT_MAX_ATTEMPTS = 10_000
 
 #: Ops safe to re-send even when the first send may have executed: all
-#: of them read shared state and mutate nothing.  ``swap`` is absent on
-#: purpose — re-sending it would re-run a store swap.
+#: of them read shared state and mutate nothing.  ``swap``, ``compact``,
+#: ``add_edges`` and ``remove_edges`` are absent on purpose — re-sending
+#: any of them would re-run a non-idempotent mutation.
 IDEMPOTENT_OPS = frozenset(
     {"ping", "stats", "metrics", "debug", "query", "neighbors"}
 )

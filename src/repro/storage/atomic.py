@@ -32,6 +32,15 @@ files table, and lets the builder skip every stage whose checkpoint (and
 artifact checksum) still verifies.  Checkpoint state is torn down right
 before the commit rename — a committed build never contains it, so a
 resumed build is byte-identical to an uninterrupted one.
+
+**Mutation sidecars.**  A committed build served mutably grows a
+``graph.wal`` write-ahead log (and transiently a ``graph.wal.new``
+truncation staging file) *beside* its manifest — see
+:mod:`repro.storage.wal`.  These are deliberately outside the manifest's
+``files`` table (they mutate after commit, the table is immutable), so
+:func:`classify_build` still reports ``"valid"``: validity is defined by
+the manifest's presence, never by the absence of extra files.  Their
+integrity is frame-checked by ``repro fsck``'s WAL pass instead.
 """
 
 from __future__ import annotations

@@ -9,13 +9,20 @@ checker inspects a volume, without opening it for queries:
 2. **manifest** — the JSON must parse, its ``files`` table must match the
    directory (existence, size, whole-file CRC32) and the table must hash
    to the recorded build digest;
-3. **region pass** — scheme-specific granular checks: every S-Node
+3. **mutation sidecars** — a build serving mutably carries a
+   ``graph.wal`` write-ahead log beside its manifest
+   (:mod:`repro.storage.wal`); the log is frame-scanned so a torn tail
+   (crash mid-append) or a leftover truncation staging file is reported
+   — and with ``--repair`` truncated/removed — while a build that
+   merely *has* a delta layer stays ``valid``;
+4. **region pass** — scheme-specific granular checks: every S-Node
    intranode/superedge payload region against its ``pointers.bin`` CRC,
    every heap/B+tree page against its ``.crc`` sidecar, the Link3 block
    sidecar's frame integrity;
-4. **repair** (S-Node only, opt-in) — ``--repair`` writes the corrupt
-   region list to ``quarantine.json``; a store opened with
-   ``on_corruption="degrade"`` then serves every *other* region normally.
+5. **repair** (opt-in) — ``--repair`` writes the corrupt S-Node region
+   list to ``quarantine.json`` (a store opened with
+   ``on_corruption="degrade"`` then serves every *other* region
+   normally) and truncates torn WAL tails to the last intact record.
 
 Findings are per file and per region, so an operator knows exactly what
 was lost — and what was not.
@@ -134,6 +141,10 @@ def fsck(root: Path | str, repair: bool = False, quick: bool = False) -> FsckRep
         "s-node" if "index_files" in manifest else manifest.get("scheme", "unknown")
     )
     _check_file_table(root, manifest, report)
+    # The WAL scan runs in quick mode too: it is one small sequential
+    # read, and the hot-swap validation must reject a directory whose
+    # log tail would silently swallow post-adoption appends.
+    _check_wal_sidecar(root, report, repair)
     if quick:
         return report
     if report.scheme == "s-node":
@@ -174,6 +185,45 @@ def _check_file_table(root: Path, manifest: dict, report: FsckReport) -> None:
                 f"whole-file CRC mismatch (recorded {entry['crc32']:#010x}, "
                 f"computed {actual:#010x})",
             )
+
+
+def _check_wal_sidecar(root: Path, report: FsckReport, repair: bool) -> None:
+    """Frame-scan the mutation sidecars (``graph.wal`` + staging file).
+
+    The WAL is *not* in the manifest's files table — it mutates after
+    commit by design — so this pass is its only offline verification.
+    Intact frames count as regions; a torn tail is a finding (and a
+    ``--repair`` truncates it to the last intact record, exactly what
+    replay would have ignored anyway).
+    """
+    from repro.storage.wal import GraphWal
+
+    wal = GraphWal.for_build(root)
+    staging = wal.staging_path
+    if staging.exists():
+        report.add(
+            staging.name,
+            "interrupted WAL truncation: staging file left behind "
+            "(the main log is intact; safe to remove)",
+        )
+        if repair:
+            staging.unlink()
+            report.repaired.append([staging.name, "removed"])
+    if not wal.path.exists():
+        return
+    report.files_checked += 1
+    scan = wal.scan()
+    report.regions_checked += len(scan.records)
+    if scan.torn:
+        report.add(
+            wal.path.name,
+            f"torn tail: {scan.torn_bytes} undecodable byte(s) after "
+            f"{len(scan.records)} intact record(s) ({scan.good_bytes} bytes)",
+            ["tail", scan.good_bytes],
+        )
+        if repair:
+            removed = wal.repair_tail()
+            report.repaired.append([wal.path.name, "tail", removed])
 
 
 def _check_snode_regions(root: Path, report: FsckReport, repair: bool) -> None:

@@ -1,0 +1,307 @@
+"""Recrawl workload: seeded mutations of an existing Web repository.
+
+A production crawler never sees a frozen Web: between two visits to the
+same site, pages move to new URLs, links are added and dropped, and
+whole site sections get reorganized.  This module turns one repository
+snapshot into a seeded sequence of such **recrawl steps**, each yielding
+the exact edge delta (adds + removes) a crawler would discover plus the
+full repository snapshot *after* the step — the ground truth a full
+rebuild would be made from.
+
+Three mutation kinds, mirroring what recrawl diffs of real crawls show:
+
+* **URL moves** — a page moves to a new path on its own host.  The page
+  keeps its crawl-order id (a recrawl recognizes the content and updates
+  the URL in place), but some of its in-links go stale and are dropped,
+  while same-host pages pick up fresh links to the new location.
+* **Link churn** — background edit noise: a sampled fraction of existing
+  links is rewired (a page updates one of its references) or dropped,
+  and brand-new links appear with the same preferential skew the
+  original generator used.
+* **Host reorganizations** — one host renames a whole directory: every
+  page under it moves at once, intra-host navigation links among the
+  moved pages are refreshed, and a slice of links into the moved section
+  from elsewhere on the host goes stale.
+
+Page **count and ids never change** — the mutable serving path
+(:mod:`repro.snode.delta`) overlays edge deltas on a fixed vertex set,
+and the equivalence experiment (:mod:`repro.experiments.mutate`) needs
+both sides of the comparison to share one id space.
+
+Everything is driven by one seeded RNG and samples only from sorted
+snapshots, so a given ``(repository, RecrawlConfig)`` pair always
+produces the identical step sequence — the property that lets CI pin
+the mutation benchmark's digests byte-exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import QueryError
+from repro.graph.digraph import Digraph
+from repro.webdata.corpus import Page, Repository
+from repro.webdata.urls import host_of
+
+
+@dataclass(frozen=True)
+class RecrawlConfig:
+    """Knobs of the recrawl mutation sequence."""
+
+    #: Number of recrawl steps to generate.
+    steps: int = 4
+    seed: int = 2003
+    #: Fraction of pages whose URL moves per step.
+    url_move_fraction: float = 0.01
+    #: Fraction of existing edges rewired or dropped per step.
+    link_churn_fraction: float = 0.02
+    #: Probability that a step includes one host reorganization.
+    host_reorg_probability: float = 0.75
+    #: Probability that one stale in-link of a moved page is dropped.
+    stale_link_probability: float = 0.3
+
+
+@dataclass(frozen=True)
+class RecrawlStep:
+    """One recrawl delta plus the repository snapshot after applying it.
+
+    ``added``/``removed`` are the *exact* edge delta against the previous
+    snapshot (disjoint, each edge at most once), in the batch order a
+    crawler would emit them — ready to feed straight into the WAL.
+    """
+
+    index: int
+    repository: Repository
+    added: tuple[tuple[int, int], ...]
+    removed: tuple[tuple[int, int], ...]
+    url_moves: int
+    host_reorgs: int
+
+    @property
+    def delta_edges(self) -> int:
+        """Total edges touched by this step."""
+        return len(self.added) + len(self.removed)
+
+
+def _split_url(url: str) -> tuple[str, str, str]:
+    """``http://host/dir/leaf`` -> (host, directory-or-empty, leaf)."""
+    rest = url.split("://", 1)[1]
+    host, _, path = rest.partition("/")
+    directory, _, leaf = path.rpartition("/")
+    return host, directory, leaf
+
+
+def _join_url(host: str, directory: str, leaf: str) -> str:
+    if directory:
+        return f"http://{host}/{directory}/{leaf}"
+    return f"http://{host}/{leaf}"
+
+
+class _Recrawler:
+    """Stateful mutation driver; one instance per :func:`recrawl` call."""
+
+    def __init__(self, repository: Repository, config: RecrawlConfig) -> None:
+        if config.steps < 1:
+            raise QueryError(f"steps must be >= 1, got {config.steps}")
+        if repository.num_pages < 2:
+            raise QueryError("recrawl needs at least two pages")
+        self._config = config
+        self._rng = random.Random(config.seed)
+        self._num_pages = repository.num_pages
+        self._urls = [page.url for page in repository.pages]
+        self._terms = [page.terms for page in repository.pages]
+        self._rows: list[set[int]] = [
+            set(repository.graph.successors_list(v))
+            for v in range(repository.num_pages)
+        ]
+        self._moves = 0  # global counter keeps moved URLs collision-free
+        self._pages_by_host: dict[str, list[int]] = {}
+        for page_id, url in enumerate(self._urls):
+            self._pages_by_host.setdefault(host_of(url), []).append(page_id)
+
+    # -- edge edits (exact delta tracked per step) ---------------------------
+
+    def _add_edge(self, source: int, target: int) -> None:
+        if source == target or target in self._rows[source]:
+            return
+        self._rows[source].add(target)
+        if (source, target) in self._removed:
+            self._removed.discard((source, target))
+        else:
+            self._added.add((source, target))
+
+    def _remove_edge(self, source: int, target: int) -> None:
+        if target not in self._rows[source]:
+            return
+        self._rows[source].discard(target)
+        if (source, target) in self._added:
+            self._added.discard((source, target))
+        else:
+            self._removed.add((source, target))
+
+    # -- mutation kinds ------------------------------------------------------
+
+    def _in_links(self) -> dict[int, list[int]]:
+        """Snapshot in-neighbor lists (sorted sources per target)."""
+        incoming: dict[int, list[int]] = {}
+        for source in range(self._num_pages):
+            for target in sorted(self._rows[source]):
+                incoming.setdefault(target, []).append(source)
+        return incoming
+
+    def _move_url(self, page_id: int) -> None:
+        """Relocate one page within its host (new leaf or sibling dir)."""
+        host, directory, _leaf = _split_url(self._urls[page_id])
+        self._moves += 1
+        if directory and self._rng.random() < 0.5:
+            # Move to a sibling directory (parent + fresh component).
+            parent = directory.rpartition("/")[0]
+            component = f"m{self._moves:04d}"
+            directory = f"{parent}/{component}" if parent else component
+        leaf = f"page{page_id:06d}m{self._moves:04d}.html"
+        self._urls[page_id] = _join_url(host, directory, leaf)
+
+    def _url_moves(self, incoming: dict[int, list[int]]) -> int:
+        config = self._config
+        count = int(round(self._num_pages * config.url_move_fraction))
+        if config.url_move_fraction > 0:
+            count = max(1, count)
+        movers = self._rng.sample(range(self._num_pages), min(count, self._num_pages))
+        for page_id in sorted(movers):
+            self._move_url(page_id)
+            # Some referrers have not recrawled yet: their link to the
+            # old URL is dead and drops out of the graph.
+            for source in incoming.get(page_id, ()):
+                if self._rng.random() < config.stale_link_probability:
+                    self._remove_edge(source, page_id)
+            # The new location gets referenced from its own host (site
+            # navigation regenerates immediately).
+            host_pages = self._pages_by_host.get(host_of(self._urls[page_id]), [])
+            for _ in range(min(2, len(host_pages) - 1)):
+                source = self._rng.choice(host_pages)
+                self._add_edge(source, page_id)
+        return len(movers)
+
+    def _host_reorg(self) -> int:
+        """Rename one directory of one host; churn links around it."""
+        candidates = sorted(
+            host for host, pages in self._pages_by_host.items() if len(pages) >= 8
+        )
+        if not candidates:
+            return 0
+        host = self._rng.choice(candidates)
+        pages = self._pages_by_host[host]
+        directories: dict[str, list[int]] = {}
+        for page_id in pages:
+            _, directory, _ = _split_url(self._urls[page_id])
+            if directory:
+                directories.setdefault(directory.split("/")[0], []).append(page_id)
+        if not directories:
+            return 0
+        component = self._rng.choice(sorted(directories))
+        moved = directories[component]
+        self._moves += 1
+        renamed = f"{component}-r{self._moves:04d}"
+        for page_id in moved:
+            page_host, directory, leaf = _split_url(self._urls[page_id])
+            parts = directory.split("/")
+            parts[0] = renamed
+            self._urls[page_id] = _join_url(page_host, "/".join(parts), leaf)
+        # Navigation inside the moved section regenerates: every moved
+        # page links a couple of its section siblings.
+        for page_id in moved:
+            for _ in range(2):
+                target = self._rng.choice(moved)
+                self._add_edge(page_id, target)
+        # Links into the moved section from the rest of the host partly
+        # go stale (hardcoded paths to the old directory).
+        moved_set = set(moved)
+        for source in pages:
+            if source in moved_set:
+                continue
+            for target in sorted(self._rows[source] & moved_set):
+                if self._rng.random() < self._config.stale_link_probability:
+                    self._remove_edge(source, target)
+        return 1
+
+    def _link_churn(self) -> None:
+        config = self._config
+        edges = [
+            (source, target)
+            for source in range(self._num_pages)
+            for target in sorted(self._rows[source])
+        ]
+        if not edges:
+            return
+        count = max(1, int(len(edges) * config.link_churn_fraction))
+        churned = self._rng.sample(edges, min(count, len(edges)))
+        for source, target in churned:
+            roll = self._rng.random()
+            if roll < 0.4:
+                # The page dropped this reference outright.
+                self._remove_edge(source, target)
+            else:
+                # The page rewired it: mostly to a popular target
+                # (sampled from the edge multiset — preferential, like
+                # the original generator), sometimes uniformly.
+                self._remove_edge(source, target)
+                if self._rng.random() < 0.8:
+                    replacement = self._rng.choice(edges)[1]
+                else:
+                    replacement = self._rng.randrange(self._num_pages)
+                self._add_edge(source, replacement)
+        # Fresh links appear too (new content referencing old).
+        for _ in range(max(1, count // 2)):
+            source = self._rng.randrange(self._num_pages)
+            target = self._rng.choice(edges)[1]
+            self._add_edge(source, target)
+
+    # -- driver --------------------------------------------------------------
+
+    def _snapshot(self) -> Repository:
+        pages = [
+            Page(page_id=i, url=self._urls[i], terms=self._terms[i])
+            for i in range(self._num_pages)
+        ]
+        graph = Digraph.from_adjacency(
+            [sorted(row) for row in self._rows]
+        )
+        return Repository(pages=pages, graph=graph)
+
+    def step(self, index: int) -> RecrawlStep:
+        self._added: set[tuple[int, int]] = set()
+        self._removed: set[tuple[int, int]] = set()
+        incoming = self._in_links()
+        url_moves = self._url_moves(incoming)
+        host_reorgs = 0
+        if self._rng.random() < self._config.host_reorg_probability:
+            host_reorgs = self._host_reorg()
+        self._link_churn()
+        return RecrawlStep(
+            index=index,
+            repository=self._snapshot(),
+            added=tuple(sorted(self._added)),
+            removed=tuple(sorted(self._removed)),
+            url_moves=url_moves,
+            host_reorgs=host_reorgs,
+        )
+
+
+def recrawl(
+    repository: Repository, config: RecrawlConfig | None = None, **overrides
+) -> list[RecrawlStep]:
+    """Generate the seeded recrawl step sequence for ``repository``.
+
+    Accepts either a full :class:`RecrawlConfig` or keyword overrides of
+    its fields, e.g. ``recrawl(repo, steps=6, seed=11)``.  Step ``k``'s
+    snapshot is the original repository with deltas ``0..k`` applied;
+    its ``added``/``removed`` tuples are the exact difference against
+    step ``k-1`` (step 0: against the input repository).
+    """
+    if config is None:
+        config = RecrawlConfig(**overrides)
+    elif overrides:
+        raise QueryError("pass either a config object or keyword overrides")
+    driver = _Recrawler(repository, config)
+    return [driver.step(index) for index in range(config.steps)]

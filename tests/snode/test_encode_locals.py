@@ -5,7 +5,7 @@ from __future__ import annotations
 import pytest
 from hypothesis import given, strategies as st
 
-from repro.baselines.link3 import _unzigzag, _zigzag
+from repro.util.deltacodec import unzigzag, zigzag
 from repro.errors import CodecError
 from repro.snode.encode import _decode_locals, _encode_locals
 from repro.util.bitio import BitReader, BitWriter
@@ -56,12 +56,12 @@ class TestLocalsCodec:
 class TestZigzag:
     @pytest.mark.parametrize("value", [0, 1, -1, 5, -5, 1000, -1000])
     def test_roundtrip(self, value):
-        assert _unzigzag(_zigzag(value)) == value
+        assert unzigzag(zigzag(value)) == value
 
     def test_non_negative_output(self):
         for value in (-10, -1, 0, 1, 10):
-            assert _zigzag(value) >= 0
+            assert zigzag(value) >= 0
 
     @given(st.integers(min_value=-(2**40), max_value=2**40))
     def test_property_roundtrip(self, value):
-        assert _unzigzag(_zigzag(value)) == value
+        assert unzigzag(zigzag(value)) == value
